@@ -1,0 +1,71 @@
+// Command benchrunner regenerates the paper's evaluation artifacts: every
+// figure series and the Table 1 grid, at a configurable scale.
+//
+// Usage:
+//
+//	benchrunner -exp all                    # every experiment, default scale
+//	benchrunner -exp fig4-tuples            # one experiment
+//	benchrunner -exp fig5-pagerank -max-edges 46000000   # paper-size graph
+//	benchrunner -list                       # list experiment ids
+//
+// Output is the fixed-width tables embedded in EXPERIMENTS.md.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"lambdadb/internal/bench"
+)
+
+func main() {
+	var (
+		exp        = flag.String("exp", "all", "experiment id or 'all'")
+		list       = flag.Bool("list", false, "list experiment ids and exit")
+		maxTuples  = flag.Int("max-tuples", bench.DefaultScale.MaxTuples, "cap on tuple-count sweeps")
+		baseTuples = flag.Int("base-tuples", bench.DefaultScale.BaseTuples, "fixed n for dimension/cluster sweeps (0 = min(max-tuples, 4M))")
+		maxEdges   = flag.Int("max-edges", bench.DefaultScale.MaxEdges, "cap on PageRank graph size (directed edges)")
+		systems    = flag.String("systems", "", "comma-separated subset of systems (default: all)")
+		verbose    = flag.Bool("v", false, "print per-measurement progress")
+	)
+	flag.Parse()
+
+	scale := bench.Scale{MaxTuples: *maxTuples, BaseTuples: *baseTuples, MaxEdges: *maxEdges}
+	if *systems != "" {
+		scale.Systems = strings.Split(*systems, ",")
+	}
+
+	experiments := bench.Experiments(scale)
+	if *list {
+		for _, id := range bench.ExperimentIDs(scale) {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	var ids []string
+	if *exp == "all" {
+		ids = bench.ExperimentIDs(scale)
+	} else {
+		if _, ok := experiments[*exp]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; use -list\n", *exp)
+			os.Exit(2)
+		}
+		ids = []string{*exp}
+	}
+
+	var progress *os.File
+	if *verbose {
+		progress = os.Stderr
+	}
+	for _, id := range ids {
+		table, err := experiments[id](progress)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiment %s failed: %v\n", id, err)
+			os.Exit(1)
+		}
+		table.Print(os.Stdout)
+	}
+}

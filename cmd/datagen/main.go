@@ -1,0 +1,94 @@
+// Command datagen writes the paper's synthetic datasets as CSV, so
+// external tools can be run on identical inputs (the layer-1 "database as
+// data storage" workflow the paper contrasts against).
+//
+// Usage:
+//
+//	datagen -kind vectors -n 100000 -d 10 -o points.csv
+//	datagen -kind labeled -n 100000 -d 10 -classes 2 -o train.csv
+//	datagen -kind graph -vertices 11000 -edges 452000 -o edges.csv
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+
+	"lambdadb/internal/workload"
+)
+
+func main() {
+	var (
+		kind     = flag.String("kind", "vectors", "vectors | labeled | graph")
+		n        = flag.Int("n", 100_000, "number of tuples (vectors/labeled)")
+		d        = flag.Int("d", 10, "dimensions (vectors/labeled)")
+		classes  = flag.Int("classes", 2, "label count (labeled)")
+		vertices = flag.Int("vertices", 11_000, "vertex count (graph)")
+		edges    = flag.Int("edges", 452_000, "directed edge count (graph)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		out      = flag.String("o", "", "output file (default stdout)")
+	)
+	flag.Parse()
+
+	w := bufio.NewWriter(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	defer w.Flush()
+
+	switch *kind {
+	case "vectors":
+		writeHeader(w, workload.VectorColumnNames(*d))
+		data := workload.UniformVectors(*n, *d, *seed)
+		for i := 0; i < *n; i++ {
+			writeFloatRow(w, data[i**d:(i+1)**d], nil)
+		}
+	case "labeled":
+		writeHeader(w, append(workload.VectorColumnNames(*d), "label"))
+		data := workload.UniformVectors(*n, *d, *seed)
+		labels := workload.UniformLabels(*n, *classes, *seed+1)
+		for i := 0; i < *n; i++ {
+			writeFloatRow(w, data[i**d:(i+1)**d], &labels[i])
+		}
+	case "graph":
+		writeHeader(w, []string{"src", "dest"})
+		g := workload.SocialGraph(*vertices, *edges, *seed)
+		for i := range g.Src {
+			fmt.Fprintf(w, "%d,%d\n", g.Src[i], g.Dst[i])
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -kind %q\n", *kind)
+		os.Exit(2)
+	}
+}
+
+func writeHeader(w *bufio.Writer, cols []string) {
+	for i, c := range cols {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(c)
+	}
+	w.WriteByte('\n')
+}
+
+func writeFloatRow(w *bufio.Writer, vals []float64, label *int64) {
+	for i, v := range vals {
+		if i > 0 {
+			w.WriteByte(',')
+		}
+		w.WriteString(strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	if label != nil {
+		fmt.Fprintf(w, ",%d", *label)
+	}
+	w.WriteByte('\n')
+}

@@ -1,0 +1,154 @@
+// Command sqlshell is an interactive SQL shell over the main-memory
+// engine, with the paper's extensions available: ITERATE, KMEANS,
+// PAGERANK, NAIVE_BAYES_TRAIN/PREDICT, and λ-expressions.
+//
+// Usage:
+//
+//	sqlshell              # interactive
+//	sqlshell -f file.sql  # execute a script, print results
+//
+// Meta commands: \q quit, \d list tables, \explain SELECT ... show the
+// optimized plan.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"lambdadb/internal/engine"
+)
+
+func main() {
+	var (
+		file    = flag.String("f", "", "execute this SQL script instead of reading stdin")
+		timing  = flag.Bool("timing", false, "print per-statement wall time")
+		workers = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
+		image   = flag.String("db", "", "open this database snapshot image (see \\save)")
+	)
+	flag.Parse()
+
+	var opts []engine.Option
+	if *workers > 0 {
+		opts = append(opts, engine.WithWorkers(*workers))
+	}
+	var db *engine.DB
+	if *image != "" {
+		var err error
+		if db, err = engine.OpenFile(*image, opts...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		db = engine.Open(opts...)
+	}
+	session := db.NewSession()
+	defer session.Close()
+
+	if *file != "" {
+		script, err := os.ReadFile(*file)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := runText(session, string(script), *timing); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	interactive(db, session, *timing)
+}
+
+func runText(s *engine.Session, text string, timing bool) error {
+	start := time.Now()
+	res, err := s.Exec(text)
+	if err != nil {
+		return err
+	}
+	if res != nil {
+		fmt.Print(res)
+	}
+	if timing {
+		fmt.Printf("time: %v\n", time.Since(start))
+	}
+	return nil
+}
+
+func interactive(db *engine.DB, session *engine.Session, timing bool) {
+	fmt.Println("lambdadb shell — SQL with ITERATE, KMEANS, PAGERANK, NAIVE_BAYES_* and λ-expressions")
+	fmt.Println(`type \q to quit, \d to list tables, \explain <select> for plans,`)
+	fmt.Println(`\save <path> to snapshot the database; end statements with ;`)
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("sql> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for scanner.Scan() {
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if !metaCommand(db, session, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			text := buf.String()
+			buf.Reset()
+			if err := runText(session, text, timing); err != nil {
+				fmt.Fprintln(os.Stderr, "error:", err)
+			}
+		}
+		prompt()
+	}
+}
+
+// metaCommand handles backslash commands; it returns false to quit.
+func metaCommand(db *engine.DB, session *engine.Session, cmd string) bool {
+	switch {
+	case cmd == `\q` || cmd == `\quit`:
+		return false
+	case cmd == `\d`:
+		names := db.Store().TableNames()
+		sort.Strings(names)
+		for _, n := range names {
+			tbl, err := db.Store().Table(n)
+			if err != nil {
+				continue
+			}
+			fmt.Printf("%s %s (%d rows)\n", n, tbl.Schema(), tbl.NumRows(db.Store().Snapshot()))
+		}
+	case strings.HasPrefix(cmd, `\save `):
+		path := strings.TrimSpace(strings.TrimPrefix(cmd, `\save `))
+		if err := db.Save(path); err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Printf("saved snapshot to %s\n", path)
+		}
+	case strings.HasPrefix(cmd, `\explain `):
+		out, err := session.Explain(strings.TrimPrefix(cmd, `\explain `))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Print(out)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
+	}
+	return true
+}

@@ -1,0 +1,91 @@
+// Apriori: frequent itemset mining in plain SQL. The paper singles out the
+// a-priori algorithm as one that "works well in SQL" (Section 4.2) — no
+// operator or iteration extension needed, just joins and aggregation. The
+// candidate-generation levels of a-priori map to self-joins over a basket
+// table, with HAVING pruning below-support candidates at each level.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lambdadb/internal/engine"
+)
+
+func main() {
+	db := engine.Open()
+
+	mustExec(db, `CREATE TABLE baskets (basket BIGINT, item VARCHAR)`)
+	mustExec(db, `INSERT INTO baskets VALUES
+		(1, 'bread'), (1, 'milk'),
+		(2, 'bread'), (2, 'diapers'), (2, 'beer'), (2, 'eggs'),
+		(3, 'milk'), (3, 'diapers'), (3, 'beer'), (3, 'cola'),
+		(4, 'bread'), (4, 'milk'), (4, 'diapers'), (4, 'beer'),
+		(5, 'bread'), (5, 'milk'), (5, 'diapers'), (5, 'cola')`)
+
+	const minSupport = 3
+
+	fmt.Println("-- level 1: frequent items (support >= 3) --")
+	mustPrint(db, fmt.Sprintf(`SELECT item, count(*) AS support
+		FROM baskets GROUP BY item HAVING count(*) >= %d ORDER BY support DESC, item`, minSupport))
+
+	fmt.Println("-- level 2: frequent pairs via self-join --")
+	mustPrint(db, fmt.Sprintf(`
+		WITH freq AS (
+			SELECT item FROM baskets GROUP BY item HAVING count(*) >= %d
+		)
+		SELECT a.item AS item1, b.item AS item2, count(*) AS support
+		FROM baskets a
+		  JOIN baskets b ON a.basket = b.basket
+		  JOIN freq fa ON a.item = fa.item
+		  JOIN freq fb ON b.item = fb.item
+		WHERE a.item < b.item
+		GROUP BY a.item, b.item
+		HAVING count(*) >= %d
+		ORDER BY support DESC, item1, item2`, minSupport, minSupport))
+
+	fmt.Println("-- level 3: frequent triples --")
+	mustPrint(db, fmt.Sprintf(`
+		WITH freq AS (
+			SELECT item FROM baskets GROUP BY item HAVING count(*) >= %d
+		)
+		SELECT a.item AS item1, b.item AS item2, c.item AS item3, count(*) AS support
+		FROM baskets a
+		  JOIN baskets b ON a.basket = b.basket
+		  JOIN baskets c ON b.basket = c.basket
+		  JOIN freq fa ON a.item = fa.item
+		  JOIN freq fb ON b.item = fb.item
+		  JOIN freq fc ON c.item = fc.item
+		WHERE a.item < b.item AND b.item < c.item
+		GROUP BY a.item, b.item, c.item
+		HAVING count(*) >= %d
+		ORDER BY support DESC, item1`, minSupport, minSupport))
+
+	// Association strength for the classic pair, all in SQL.
+	fmt.Println("-- confidence(diapers -> beer) --")
+	mustPrint(db, `
+		WITH both1 AS (
+			SELECT count(*) AS c FROM (
+				SELECT a.basket FROM baskets a JOIN baskets b ON a.basket = b.basket
+				WHERE a.item = 'diapers' AND b.item = 'beer'
+			) q
+		), ante AS (
+			SELECT count(*) AS c FROM baskets WHERE item = 'diapers'
+		)
+		SELECT cast(both1.c AS DOUBLE) / ante.c AS confidence FROM both1, ante`)
+}
+
+func mustExec(db *engine.DB, q string) {
+	if _, err := db.Exec(q); err != nil {
+		log.Fatalf("%v\nquery: %s", err, q)
+	}
+}
+
+func mustPrint(db *engine.DB, q string) {
+	res, err := db.Query(q)
+	if err != nil {
+		log.Fatalf("%v\nquery: %s", err, q)
+	}
+	fmt.Print(res)
+	fmt.Println()
+}

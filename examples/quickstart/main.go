@@ -1,0 +1,67 @@
+// Quickstart: create tables, load data, run ordinary SQL, and use the
+// paper's ITERATE construct — all through the public engine API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"lambdadb/internal/engine"
+)
+
+func main() {
+	db := engine.Open()
+
+	// Plain SQL: DDL, DML, transactions.
+	mustExec(db, `CREATE TABLE sensors (id BIGINT, room VARCHAR, temp DOUBLE)`)
+	mustExec(db, `INSERT INTO sensors VALUES
+		(1, 'lab', 21.5), (2, 'lab', 22.0), (3, 'office', 19.5),
+		(4, 'office', 20.0), (5, 'server', 31.0)`)
+
+	fmt.Println("-- average temperature per room --")
+	mustPrint(db, `SELECT room, avg(temp) AS avg_temp, count(*) AS sensors
+		FROM sensors GROUP BY room ORDER BY room`)
+
+	// Updates are transactional; analytics always see a consistent snapshot.
+	mustExec(db, `UPDATE sensors SET temp = temp + 0.5 WHERE room = 'server'`)
+	fmt.Println("-- hottest sensor --")
+	mustPrint(db, `SELECT id, room, temp FROM sensors ORDER BY temp DESC LIMIT 1`)
+
+	// The paper's Listing 1: ITERATE, a non-appending iteration in SQL.
+	// Find the smallest three-digit multiple of seven.
+	fmt.Println("-- ITERATE: smallest three-digit multiple of 7 --")
+	mustPrint(db, `SELECT * FROM ITERATE (
+		(SELECT 7 "x"),
+		(SELECT x + 7 FROM iterate),
+		(SELECT x FROM iterate WHERE x >= 100))`)
+
+	// ITERATE as a general fixpoint tool: Newton iteration for sqrt(2).
+	fmt.Println("-- ITERATE: Newton iteration for sqrt(2) --")
+	mustPrint(db, `SELECT * FROM ITERATE (
+		(SELECT 1.0 AS x),
+		(SELECT (x + 2 / x) / 2 FROM iterate),
+		(SELECT x FROM iterate WHERE abs(x * x - 2) < 0.000000001))`)
+
+	// Recursive CTEs still work as in SQL:1999 (appending semantics).
+	fmt.Println("-- WITH RECURSIVE: factorials --")
+	mustPrint(db, `WITH RECURSIVE f (n, fact) AS (
+		SELECT 1, 1
+		UNION ALL
+		SELECT n + 1, fact * (n + 1) FROM f WHERE n < 8
+	) SELECT n, fact FROM f ORDER BY n`)
+}
+
+func mustExec(db *engine.DB, q string) {
+	if _, err := db.Exec(q); err != nil {
+		log.Fatalf("%v\nquery: %s", err, q)
+	}
+}
+
+func mustPrint(db *engine.DB, q string) {
+	res, err := db.Query(q)
+	if err != nil {
+		log.Fatalf("%v\nquery: %s", err, q)
+	}
+	fmt.Print(res)
+	fmt.Println()
+}

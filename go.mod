@@ -1,0 +1,3 @@
+module lambdadb
+
+go 1.22

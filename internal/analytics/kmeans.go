@@ -1,0 +1,256 @@
+// Package analytics implements the algorithm kernels behind the paper's
+// analytical physical operators (Section 6): k-Means (Lloyd's algorithm)
+// with lambda-parameterized distance metrics, pull-based PageRank over a
+// CSR index, and Gaussian Naive Bayes training and prediction.
+//
+// Kernels operate on flat row-major float64 matrices and are parallelized
+// with thread-local partial state plus a final merge, mirroring the
+// operator implementations described in the paper.
+package analytics
+
+import (
+	"fmt"
+	"sync"
+)
+
+// DistanceFn computes the distance between a data tuple and a center, both
+// given as d-dimensional float slices. It matches expr.FloatFn so compiled
+// SQL lambdas plug in directly.
+type DistanceFn func(a, b []float64) float64
+
+// KMeansResult reports the outcome of a k-Means run.
+type KMeansResult struct {
+	// Centers holds the final cluster centers, row-major k×d.
+	Centers []float64
+	// Iterations is the number of executed iterations.
+	Iterations int
+	// Converged reports whether no assignment changed in the last
+	// iteration (as opposed to hitting MaxIter).
+	Converged bool
+}
+
+// KMeansOptions configures a run.
+type KMeansOptions struct {
+	// MaxIter bounds the iteration count (paper: "an additional parameter
+	// defines the maximum number of iterations").
+	MaxIter int
+	// Workers is the parallelism degree; 0 or 1 means serial.
+	Workers int
+	// Distance is the metric; nil means squared Euclidean (the default
+	// lambda of the paper's Section 7).
+	Distance DistanceFn
+}
+
+// KMeans runs Lloyd's algorithm (paper Section 6.1) on n tuples of d
+// dimensions stored row-major in data, starting from the given centers
+// (row-major k×d, consumed, not modified).
+//
+// Each worker assigns its chunk of tuples to the nearest center and
+// accumulates per-cluster sums locally; synchronization happens only for
+// the final merge and center update, exactly as the paper describes.
+func KMeans(data []float64, n, d int, centers []float64, k int, opt KMeansOptions) (*KMeansResult, error) {
+	if d <= 0 || k <= 0 {
+		return nil, fmt.Errorf("kmeans: need d > 0 and k > 0 (got d=%d k=%d)", d, k)
+	}
+	if len(data) != n*d {
+		return nil, fmt.Errorf("kmeans: data length %d != n*d = %d", len(data), n*d)
+	}
+	if len(centers) != k*d {
+		return nil, fmt.Errorf("kmeans: centers length %d != k*d = %d", len(centers), k*d)
+	}
+	if opt.MaxIter <= 0 {
+		opt.MaxIter = 100
+	}
+	workers := opt.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > n/1024+1 {
+		workers = n/1024 + 1
+	}
+
+	cur := append([]float64{}, centers...)
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+
+	res := &KMeansResult{}
+	for iter := 0; iter < opt.MaxIter; iter++ {
+		res.Iterations = iter + 1
+		changed := assignStep(data, n, d, cur, k, opt.Distance, assign, workers)
+		updateStep(data, n, d, cur, k, assign, workers)
+		if changed == 0 {
+			res.Converged = true
+			break
+		}
+	}
+	res.Centers = cur
+	return res, nil
+}
+
+// assignStep assigns each tuple to its nearest center, returning how many
+// assignments changed.
+func assignStep(data []float64, n, d int, centers []float64, k int,
+	dist DistanceFn, assign []int32, workers int) int {
+
+	chunk := (n + workers - 1) / workers
+	changes := make([]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			changed := 0
+			if dist == nil {
+				changed = assignEuclid(data, d, centers, k, assign, lo, hi)
+			} else {
+				changed = assignCustom(data, d, centers, k, dist, assign, lo, hi)
+			}
+			changes[w] = changed
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	total := 0
+	for _, c := range changes {
+		total += c
+	}
+	return total
+}
+
+// assignEuclid is the specialized default-metric inner loop.
+func assignEuclid(data []float64, d int, centers []float64, k int, assign []int32, lo, hi int) int {
+	changed := 0
+	for i := lo; i < hi; i++ {
+		row := data[i*d : i*d+d]
+		best := int32(0)
+		bestDist := euclidSq(row, centers[:d])
+		for c := 1; c < k; c++ {
+			dd := euclidSq(row, centers[c*d:c*d+d])
+			if dd < bestDist {
+				bestDist = dd
+				best = int32(c)
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed++
+		}
+	}
+	return changed
+}
+
+func euclidSq(a, b []float64) float64 {
+	var s float64
+	for j := range a {
+		diff := a[j] - b[j]
+		s += diff * diff
+	}
+	return s
+}
+
+// assignCustom runs the compiled lambda metric.
+func assignCustom(data []float64, d int, centers []float64, k int,
+	dist DistanceFn, assign []int32, lo, hi int) int {
+	changed := 0
+	for i := lo; i < hi; i++ {
+		row := data[i*d : i*d+d]
+		best := int32(0)
+		bestDist := dist(row, centers[:d])
+		for c := 1; c < k; c++ {
+			dd := dist(row, centers[c*d:c*d+d])
+			if dd < bestDist {
+				bestDist = dd
+				best = int32(c)
+			}
+		}
+		if assign[i] != best {
+			assign[i] = best
+			changed++
+		}
+	}
+	return changed
+}
+
+// updateStep recomputes centers as the arithmetic mean of their assigned
+// tuples, using thread-local sums merged at the end. Empty clusters keep
+// their previous center.
+func updateStep(data []float64, n, d int, centers []float64, k int, assign []int32, workers int) {
+	chunk := (n + workers - 1) / workers
+	sums := make([][]float64, workers)
+	counts := make([][]int64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sum := make([]float64, k*d)
+			cnt := make([]int64, k)
+			for i := lo; i < hi; i++ {
+				c := int(assign[i])
+				cnt[c]++
+				row := data[i*d : i*d+d]
+				cs := sum[c*d : c*d+d]
+				for j, v := range row {
+					cs[j] += v
+				}
+			}
+			sums[w], counts[w] = sum, cnt
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Global merge — the only synchronized step.
+	totalSum := make([]float64, k*d)
+	totalCnt := make([]int64, k)
+	for w := range sums {
+		if sums[w] == nil {
+			continue
+		}
+		for i, v := range sums[w] {
+			totalSum[i] += v
+		}
+		for c, v := range counts[w] {
+			totalCnt[c] += v
+		}
+	}
+	for c := 0; c < k; c++ {
+		if totalCnt[c] == 0 {
+			continue // keep previous center for empty clusters
+		}
+		inv := 1 / float64(totalCnt[c])
+		for j := 0; j < d; j++ {
+			centers[c*d+j] = totalSum[c*d+j] * inv
+		}
+	}
+}
+
+// Assign returns the nearest-center index for each tuple under the given
+// metric (nil = squared Euclidean). It is the "apply the model" half of the
+// paper's model-application pattern.
+func Assign(data []float64, n, d int, centers []float64, k int, dist DistanceFn, workers int) []int32 {
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	assignStep(data, n, d, centers, k, dist, assign, workers)
+	return assign
+}

@@ -1,0 +1,144 @@
+package analytics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"lambdadb/internal/graph"
+)
+
+func mustBuild(t *testing.T, src, dst []int64) *graph.CSR {
+	t.Helper()
+	g, err := graph.Build(src, dst)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPageRankUniformOnCycle(t *testing.T) {
+	g := mustBuild(t, []int64{0, 1, 2, 3}, []int64{1, 2, 3, 0})
+	res, err := PageRank(g, PageRankOptions{Damping: 0.85, Epsilon: 1e-12, MaxIter: 200, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v, r := range res.Ranks {
+		if math.Abs(r-0.25) > 1e-9 {
+			t.Errorf("rank[%d] = %v, want 0.25", v, r)
+		}
+	}
+	if !res.Converged {
+		t.Error("cycle should converge")
+	}
+}
+
+func TestPageRankHubGetsHighestRank(t *testing.T) {
+	// Star graph: all vertices point at 0.
+	src := []int64{1, 2, 3, 4, 0}
+	dst := []int64{0, 0, 0, 0, 1}
+	g := mustBuild(t, src, dst)
+	res, err := PageRank(g, PageRankOptions{Damping: 0.85, Epsilon: 0, MaxIter: 50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := 1; v < g.N; v++ {
+		if res.Ranks[0] <= res.Ranks[v] {
+			t.Errorf("hub rank %v not above rank[%d] = %v", res.Ranks[0], v, res.Ranks[v])
+		}
+	}
+}
+
+func TestPageRankSumsToOne(t *testing.T) {
+	// Random graph with dangling vertices: total rank mass stays 1.
+	r := rand.New(rand.NewSource(7))
+	var src, dst []int64
+	const n = 200
+	for i := 0; i < 600; i++ {
+		src = append(src, int64(r.Intn(n)))
+		dst = append(dst, int64(r.Intn(n)))
+	}
+	g := mustBuild(t, src, dst)
+	res, err := PageRank(g, PageRankOptions{Damping: 0.85, Epsilon: 0, MaxIter: 60, Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, v := range res.Ranks {
+		sum += v
+	}
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("rank sum = %v, want 1", sum)
+	}
+}
+
+func TestPageRankSerialParallelIdentical(t *testing.T) {
+	r := rand.New(rand.NewSource(8))
+	var src, dst []int64
+	const n = 5000
+	for i := 0; i < 20000; i++ {
+		src = append(src, int64(r.Intn(n)))
+		dst = append(dst, int64(r.Intn(n)))
+	}
+	g := mustBuild(t, src, dst)
+	serial, err := PageRank(g, PageRankOptions{Damping: 0.85, Epsilon: 0, MaxIter: 10, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := PageRank(g, PageRankOptions{Damping: 0.85, Epsilon: 0, MaxIter: 10, Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for v := range serial.Ranks {
+		if serial.Ranks[v] != parallel.Ranks[v] {
+			t.Fatalf("rank[%d]: serial %v != parallel %v", v, serial.Ranks[v], parallel.Ranks[v])
+		}
+	}
+}
+
+func TestPageRankFixedIterations(t *testing.T) {
+	// Epsilon 0 runs exactly MaxIter iterations (the paper's evaluation
+	// protocol: e = 0, 45 iterations).
+	g := mustBuild(t, []int64{0, 1}, []int64{1, 0})
+	res, err := PageRank(g, PageRankOptions{Damping: 0.85, Epsilon: 0, MaxIter: 45})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations != 45 {
+		t.Errorf("iterations = %d, want 45", res.Iterations)
+	}
+	if res.Converged {
+		t.Error("epsilon=0 must not report convergence")
+	}
+}
+
+func TestPageRankDanglingMassRedistributed(t *testing.T) {
+	// 0 → 1, 1 is a sink. Without dangling handling mass would leak.
+	g := mustBuild(t, []int64{0}, []int64{1})
+	res, err := PageRank(g, PageRankOptions{Damping: 0.85, Epsilon: 0, MaxIter: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := res.Ranks[0] + res.Ranks[1]
+	if math.Abs(sum-1) > 1e-9 {
+		t.Errorf("rank sum with dangling vertex = %v", sum)
+	}
+	if res.Ranks[1] <= res.Ranks[0] {
+		t.Errorf("sink should outrank source: %v", res.Ranks)
+	}
+}
+
+func TestPageRankValidation(t *testing.T) {
+	g := mustBuild(t, []int64{0}, []int64{1})
+	if _, err := PageRank(g, PageRankOptions{Damping: 1.0}); err == nil {
+		t.Error("damping = 1 should fail")
+	}
+	if _, err := PageRank(g, PageRankOptions{Damping: -0.1}); err == nil {
+		t.Error("negative damping should fail")
+	}
+	empty, _ := graph.Build(nil, nil)
+	res, err := PageRank(empty, PageRankOptions{Damping: 0.85})
+	if err != nil || len(res.Ranks) != 0 {
+		t.Errorf("empty graph: res=%v err=%v", res, err)
+	}
+}

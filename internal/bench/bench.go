@@ -1,0 +1,270 @@
+package bench
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"lambdadb/internal/contender"
+	"lambdadb/internal/contender/dataflow"
+	"lambdadb/internal/contender/singlecore"
+	"lambdadb/internal/contender/udf"
+	"lambdadb/internal/engine"
+	"lambdadb/internal/types"
+	"lambdadb/internal/workload"
+)
+
+// Systems evaluated, in the paper's presentation order. The three HyPer
+// variants run inside the engine; the other three are the simulated
+// comparators (see DESIGN.md).
+const (
+	SysOperator   = "HyPerOperator"
+	SysIterate    = "HyPerIterate"
+	SysSQL        = "HyPerSQL"
+	SysDataflow   = "Dataflow(Spark)"
+	SysSingleCore = "SingleCore(MATLAB)"
+	SysUDF        = "UDF(MADlib)"
+)
+
+// AllSystems lists every evaluated system.
+var AllSystems = []string{SysOperator, SysIterate, SysSQL, SysDataflow, SysSingleCore, SysUDF}
+
+// KMeansConfig parameterizes one k-Means experiment cell (Table 1 row).
+type KMeansConfig struct {
+	N, D, K, Iters int
+	Seed           int64
+}
+
+// KMeansDataset holds one prepared k-Means dataset across all systems.
+type KMeansDataset struct {
+	Cfg     KMeansConfig
+	DB      *engine.DB
+	Data    []float64
+	Centers []float64
+}
+
+// PrepareKMeans generates the dataset and loads the engine tables:
+// points(id, d0..) and centers(cid, d0..).
+func PrepareKMeans(cfg KMeansConfig) (*KMeansDataset, error) {
+	if cfg.Iters <= 0 {
+		cfg.Iters = 3
+	}
+	data := workload.UniformVectors(cfg.N, cfg.D, cfg.Seed)
+	centers := workload.SampleCenters(data, cfg.N, cfg.D, cfg.K, cfg.Seed+1)
+
+	db := engine.Open()
+	if err := loadPointsTable(db, "points", data, cfg.N, cfg.D, true); err != nil {
+		return nil, err
+	}
+	if err := loadCentersTable(db, "centers", centers, cfg.K, cfg.D); err != nil {
+		return nil, err
+	}
+	return &KMeansDataset{Cfg: cfg, DB: db, Data: data, Centers: centers}, nil
+}
+
+// loadPointsTable loads (optionally id-prefixed) vector rows.
+func loadPointsTable(db *engine.DB, table string, data []float64, n, d int, withID bool) error {
+	schema := types.Schema{}
+	if withID {
+		schema = append(schema, types.ColumnInfo{Name: "id", Type: types.Int64})
+	}
+	schema = append(schema, workload.VectorSchema(d)...)
+	store := db.Store()
+	_ = store.DropTable(table)
+	tbl, err := store.CreateTable(table, schema)
+	if err != nil {
+		return err
+	}
+	tx := store.Begin()
+	const chunk = 1 << 16
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		b := types.NewBatch(schema)
+		for i := lo; i < hi; i++ {
+			col := 0
+			if withID {
+				b.Cols[0].AppendInt(int64(i))
+				col = 1
+			}
+			for j := 0; j < d; j++ {
+				b.Cols[col+j].AppendFloat(data[i*d+j])
+			}
+		}
+		if err := tx.Insert(tbl, b); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func loadCentersTable(db *engine.DB, table string, centers []float64, k, d int) error {
+	schema := append(types.Schema{{Name: "cid", Type: types.Int64}}, workload.VectorSchema(d)...)
+	store := db.Store()
+	_ = store.DropTable(table)
+	tbl, err := store.CreateTable(table, schema)
+	if err != nil {
+		return err
+	}
+	tx := store.Begin()
+	b := types.NewBatch(schema)
+	for c := 0; c < k; c++ {
+		b.Cols[0].AppendInt(int64(c))
+		for j := 0; j < d; j++ {
+			b.Cols[1+j].AppendFloat(centers[c*d+j])
+		}
+	}
+	if err := tx.Insert(tbl, b); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// timeQuery runs a SQL query and returns its wall time.
+func timeQuery(db *engine.DB, q string) (time.Duration, error) {
+	start := time.Now()
+	_, err := db.Query(q)
+	return time.Since(start), err
+}
+
+// Run measures one system on the dataset, returning wall time.
+func (ds *KMeansDataset) Run(system string) (time.Duration, error) {
+	cfg := ds.Cfg
+	switch system {
+	case SysOperator:
+		return timeQuery(ds.DB, KMeansOperatorQuery(cfg.D, cfg.Iters))
+	case SysIterate:
+		return timeQuery(ds.DB, KMeansIterateQuery(cfg.D, cfg.Iters))
+	case SysSQL:
+		return timeQuery(ds.DB, KMeansRecursiveCTEQuery(cfg.D, cfg.Iters))
+	case SysDataflow:
+		return timeEngineKMeans(dataflow.New(runtime.GOMAXPROCS(0)), ds)
+	case SysSingleCore:
+		return timeEngineKMeans(singlecore.New(), ds)
+	case SysUDF:
+		return timeEngineKMeans(udf.New(runtime.GOMAXPROCS(0)), ds)
+	}
+	return 0, fmt.Errorf("unknown system %q", system)
+}
+
+func timeEngineKMeans(e contender.Engine, ds *KMeansDataset) (time.Duration, error) {
+	start := time.Now()
+	_ = e.KMeans(ds.Data, ds.Cfg.N, ds.Cfg.D, ds.Centers, ds.Cfg.K, ds.Cfg.Iters)
+	return time.Since(start), nil
+}
+
+// PageRankConfig parameterizes one PageRank experiment cell.
+type PageRankConfig struct {
+	Vertices, DirectedEdges int
+	Damping                 float64
+	Iters                   int
+	Seed                    int64
+	Name                    string
+}
+
+// PageRankDataset holds a prepared graph across all systems.
+type PageRankDataset struct {
+	Cfg   PageRankConfig
+	DB    *engine.DB
+	Graph *workload.Graph
+}
+
+// PreparePageRank generates the social graph and loads the edges table.
+func PreparePageRank(cfg PageRankConfig) (*PageRankDataset, error) {
+	if cfg.Damping == 0 {
+		cfg.Damping = 0.85
+	}
+	if cfg.Iters <= 0 {
+		cfg.Iters = 45
+	}
+	g := workload.SocialGraph(cfg.Vertices, cfg.DirectedEdges, cfg.Seed)
+	db := engine.Open()
+	if err := workload.LoadEdgeTable(db, "edges", g.Src, g.Dst); err != nil {
+		return nil, err
+	}
+	return &PageRankDataset{Cfg: cfg, DB: db, Graph: g}, nil
+}
+
+// Run measures one system on the graph.
+func (ds *PageRankDataset) Run(system string) (time.Duration, error) {
+	cfg := ds.Cfg
+	switch system {
+	case SysOperator:
+		return timeQuery(ds.DB, PageRankOperatorQuery(cfg.Damping, 0, cfg.Iters))
+	case SysIterate:
+		return timeQuery(ds.DB, PageRankIterateQuery(cfg.Damping, cfg.Iters))
+	case SysSQL:
+		return timeQuery(ds.DB, PageRankRecursiveCTEQuery(cfg.Damping, cfg.Iters))
+	case SysDataflow:
+		return timeEnginePR(dataflow.New(runtime.GOMAXPROCS(0)), ds)
+	case SysSingleCore:
+		return timeEnginePR(singlecore.New(), ds)
+	case SysUDF:
+		return timeEnginePR(udf.New(runtime.GOMAXPROCS(0)), ds)
+	}
+	return 0, fmt.Errorf("unknown system %q", system)
+}
+
+func timeEnginePR(e contender.Engine, ds *PageRankDataset) (time.Duration, error) {
+	start := time.Now()
+	_ = e.PageRank(ds.Graph.Src, ds.Graph.Dst, ds.Cfg.Damping, ds.Cfg.Iters)
+	return time.Since(start), nil
+}
+
+// NBConfig parameterizes one Naive Bayes training cell.
+type NBConfig struct {
+	N, D    int
+	Classes int
+	Seed    int64
+}
+
+// NBDataset holds a prepared labeled dataset.
+type NBDataset struct {
+	Cfg    NBConfig
+	DB     *engine.DB
+	Data   []float64
+	Labels []int64
+}
+
+// PrepareNB generates labeled vectors and loads the train table.
+func PrepareNB(cfg NBConfig) (*NBDataset, error) {
+	if cfg.Classes <= 0 {
+		cfg.Classes = 2
+	}
+	data := workload.UniformVectors(cfg.N, cfg.D, cfg.Seed)
+	labels := workload.UniformLabels(cfg.N, cfg.Classes, cfg.Seed+1)
+	db := engine.Open()
+	if err := workload.LoadLabeledVectorTable(db, "train", data, labels, cfg.N, cfg.D); err != nil {
+		return nil, err
+	}
+	return &NBDataset{Cfg: cfg, DB: db, Data: data, Labels: labels}, nil
+}
+
+// Run measures one system. The iterate variant equals the SQL variant for
+// Naive Bayes (no iteration), matching the paper's Figure 5.
+func (ds *NBDataset) Run(system string) (time.Duration, error) {
+	cfg := ds.Cfg
+	switch system {
+	case SysOperator:
+		return timeQuery(ds.DB, NBTrainOperatorQuery(cfg.D))
+	case SysIterate, SysSQL:
+		return timeQuery(ds.DB, NBTrainSQLQuery(cfg.D, cfg.N))
+	case SysDataflow:
+		return timeEngineNB(dataflow.New(runtime.GOMAXPROCS(0)), ds)
+	case SysSingleCore:
+		return timeEngineNB(singlecore.New(), ds)
+	case SysUDF:
+		return timeEngineNB(udf.New(runtime.GOMAXPROCS(0)), ds)
+	}
+	return 0, fmt.Errorf("unknown system %q", system)
+}
+
+func timeEngineNB(e contender.Engine, ds *NBDataset) (time.Duration, error) {
+	start := time.Now()
+	_ = e.NBTrain(ds.Data, ds.Cfg.N, ds.Cfg.D, ds.Labels)
+	return time.Since(start), nil
+}

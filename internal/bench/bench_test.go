@@ -1,0 +1,182 @@
+package bench
+
+import (
+	"math"
+	"sort"
+	"testing"
+)
+
+// queryKMeansCenters runs a k-Means SQL variant and returns centers sorted
+// by coordinates (cluster ids are not comparable across variants).
+func queryKMeansCenters(t *testing.T, ds *KMeansDataset, q string) [][]float64 {
+	t.Helper()
+	r, err := ds.DB.Query(q)
+	if err != nil {
+		t.Fatalf("query failed: %v\n%s", err, q)
+	}
+	var out [][]float64
+	for _, row := range r.Rows {
+		coords := make([]float64, 0, ds.Cfg.D)
+		for _, v := range row[1:] {
+			coords = append(coords, v.AsFloat())
+		}
+		out = append(out, coords)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for x := range out[i] {
+			if out[i][x] != out[j][x] {
+				return out[i][x] < out[j][x]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func centersClose(a, b [][]float64, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for j := range a[i] {
+			if math.Abs(a[i][j]-b[i][j]) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestKMeansVariantsAgree is the harness's core correctness check: all
+// three in-database variants (operator, iterate, recursive CTE) must
+// produce the same centers after the same number of Lloyd iterations.
+func TestKMeansVariantsAgree(t *testing.T) {
+	ds, err := PrepareKMeans(KMeansConfig{N: 2000, D: 3, K: 4, Iters: 3, Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := queryKMeansCenters(t, ds, KMeansOperatorQuery(ds.Cfg.D, ds.Cfg.Iters))
+	it := queryKMeansCenters(t, ds, KMeansIterateQuery(ds.Cfg.D, ds.Cfg.Iters))
+	cte := queryKMeansCenters(t, ds, KMeansRecursiveCTEQuery(ds.Cfg.D, ds.Cfg.Iters))
+	if len(op) != ds.Cfg.K {
+		t.Fatalf("operator returned %d centers", len(op))
+	}
+	if !centersClose(op, it, 1e-9) {
+		t.Errorf("operator vs iterate centers differ:\n%v\n%v", op, it)
+	}
+	if !centersClose(op, cte, 1e-9) {
+		t.Errorf("operator vs recursive-CTE centers differ:\n%v\n%v", op, cte)
+	}
+}
+
+// queryRanks runs a PageRank variant and returns vertex→rank.
+func queryRanks(t *testing.T, ds *PageRankDataset, q string) map[int64]float64 {
+	t.Helper()
+	r, err := ds.DB.Query(q)
+	if err != nil {
+		t.Fatalf("query failed: %v\n%s", err, q)
+	}
+	out := map[int64]float64{}
+	for _, row := range r.Rows {
+		out[row[0].AsInt()] = row[1].AsFloat()
+	}
+	return out
+}
+
+func TestPageRankVariantsAgree(t *testing.T) {
+	ds, err := PreparePageRank(PageRankConfig{Vertices: 300, DirectedEdges: 3000, Iters: 10, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op := queryRanks(t, ds, PageRankOperatorQuery(0.85, 0, 10))
+	it := queryRanks(t, ds, PageRankIterateQuery(0.85, 10))
+	cte := queryRanks(t, ds, PageRankRecursiveCTEQuery(0.85, 10))
+	if len(op) == 0 {
+		t.Fatal("operator returned no ranks")
+	}
+	if len(it) != len(op) || len(cte) != len(op) {
+		t.Fatalf("rank counts: op=%d it=%d cte=%d", len(op), len(it), len(cte))
+	}
+	for v, want := range op {
+		if math.Abs(it[v]-want) > 1e-9 {
+			t.Errorf("iterate rank[%d] = %v, want %v", v, it[v], want)
+			break
+		}
+		if math.Abs(cte[v]-want) > 1e-9 {
+			t.Errorf("CTE rank[%d] = %v, want %v", v, cte[v], want)
+			break
+		}
+	}
+}
+
+func TestNBVariantsProduceModel(t *testing.T) {
+	ds, err := PrepareNB(NBConfig{N: 2000, D: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	op, err := ds.DB.Query(NBTrainOperatorQuery(ds.Cfg.D))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(op.Rows) != 2*ds.Cfg.D { // classes × features
+		t.Fatalf("operator model rows = %d", len(op.Rows))
+	}
+	sqlRes, err := ds.DB.Query(NBTrainSQLQuery(ds.Cfg.D, ds.Cfg.N))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sqlRes.Rows) != 2 { // one row per class
+		t.Fatalf("sql model rows = %d", len(sqlRes.Rows))
+	}
+	// Cross-check priors and means between the two formulations.
+	for _, sqlRow := range sqlRes.Rows {
+		label := sqlRow[0].AsInt()
+		prior := sqlRow[1].AsFloat()
+		mean0 := sqlRow[2].AsFloat()
+		found := false
+		for _, opRow := range op.Rows {
+			if opRow[0].AsInt() == label && opRow[1].AsInt() == 0 {
+				found = true
+				if math.Abs(opRow[2].AsFloat()-prior) > 1e-9 {
+					t.Errorf("label %d prior: op %v vs sql %v", label, opRow[2].AsFloat(), prior)
+				}
+				if math.Abs(opRow[3].AsFloat()-mean0) > 1e-9 {
+					t.Errorf("label %d mean0: op %v vs sql %v", label, opRow[3].AsFloat(), mean0)
+				}
+			}
+		}
+		if !found {
+			t.Errorf("label %d missing from operator model", label)
+		}
+	}
+}
+
+func TestRunAllSystemsSmoke(t *testing.T) {
+	km, err := PrepareKMeans(KMeansConfig{N: 1000, D: 2, K: 2, Iters: 2, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range AllSystems {
+		if _, err := km.Run(sys); err != nil {
+			t.Errorf("kmeans %s: %v", sys, err)
+		}
+	}
+	pr, err := PreparePageRank(PageRankConfig{Vertices: 100, DirectedEdges: 600, Iters: 3, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range AllSystems {
+		if _, err := pr.Run(sys); err != nil {
+			t.Errorf("pagerank %s: %v", sys, err)
+		}
+	}
+	nb, err := PrepareNB(NBConfig{N: 1000, D: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, sys := range AllSystems {
+		if _, err := nb.Run(sys); err != nil {
+			t.Errorf("nb %s: %v", sys, err)
+		}
+	}
+}

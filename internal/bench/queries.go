@@ -1,0 +1,186 @@
+// Package bench is the benchmark harness reproducing the paper's
+// evaluation (Section 8): it prepares the synthetic datasets, builds the
+// SQL texts for the three in-database variants (HyPer Operator, HyPer
+// Iterate, HyPer SQL), runs the comparator engines, and prints the series
+// behind every figure and the dataset grid of Table 1.
+package bench
+
+import (
+	"fmt"
+	"strings"
+)
+
+// kmeansDistanceExpr builds the squared-Euclidean distance expression
+// between tuple aliases a and b over d dimension columns d0..d{d-1}.
+func kmeansDistanceExpr(a, b string, d int) string {
+	terms := make([]string, d)
+	for j := 0; j < d; j++ {
+		terms[j] = fmt.Sprintf("(%s.d%d - %s.d%d)^2", a, j, b, j)
+	}
+	return strings.Join(terms, " + ")
+}
+
+// dimList renders "p.d0, p.d1, ..." style projections.
+func dimList(alias string, d int, format string) string {
+	parts := make([]string, d)
+	for j := 0; j < d; j++ {
+		parts[j] = fmt.Sprintf(format, alias, j, j)
+	}
+	return strings.Join(parts, ", ")
+}
+
+// KMeansOperatorQuery is the layer-4 benchmark query: the physical
+// operator with its default distance (the paper's evaluation protocol —
+// all systems run plain Lloyd's k-Means with the L2 metric).
+func KMeansOperatorQuery(d, maxIter int) string {
+	dims := dimList("", d, "d%[2]d")
+	return fmt.Sprintf(`SELECT * FROM KMEANS (
+  (SELECT %s FROM points),
+  (SELECT %s FROM centers),
+  %d)`, dims, dims, maxIter)
+}
+
+// KMeansOperatorLambdaQuery is the paper's Listing 3 shape: the same
+// operator parameterized with an explicit distance lambda (used by the
+// lambda-variants ablation and the correctness tests).
+func KMeansOperatorLambdaQuery(d, maxIter int) string {
+	dims := dimList("", d, "d%[2]d")
+	return fmt.Sprintf(`SELECT * FROM KMEANS (
+  (SELECT %s FROM points),
+  (SELECT %s FROM centers),
+  λ(a, b) %s,
+  %d)`, dims, dims, kmeansDistanceExpr("a", "b", d), maxIter)
+}
+
+// kmeansStepBody builds the assignment+update step over a working centers
+// relation named workRel (the SQL-centric plan of the paper's Figure 2b).
+// The working relation carries (cid, d0.., iter).
+func kmeansStepBody(workRel string, d int) string {
+	avgs := dimList("p", d, "avg(%[1]s.d%[2]d) AS d%[3]d")
+	return fmt.Sprintf(`WITH dists AS (
+    SELECT p.id AS id, c.cid AS cid, %s AS dist
+    FROM points p, %s c
+  ), mind AS (
+    SELECT id, min(dist) AS md FROM dists GROUP BY id
+  ), assign AS (
+    SELECT dd.id AS id, min(dd.cid) AS cid
+    FROM dists dd JOIN mind m ON dd.id = m.id AND dd.dist = m.md
+    GROUP BY dd.id
+  )
+  SELECT a.cid AS cid, %s, min(t.it) + 1 AS iter
+  FROM assign a
+    JOIN points p ON a.id = p.id,
+    (SELECT min(iter) AS it FROM %s) t
+  GROUP BY a.cid`, kmeansDistanceExpr("p", "c", d), workRel, avgs, workRel)
+}
+
+// KMeansIterateQuery is the layer-3 query using the paper's non-appending
+// ITERATE construct: the working table holds the current centers only.
+func KMeansIterateQuery(d, iters int) string {
+	dims := dimList("", d, "d%[2]d")
+	return fmt.Sprintf(`SELECT cid, %s FROM ITERATE (
+  (SELECT cid, %s, 0 AS iter FROM centers),
+  (%s),
+  (SELECT cid FROM iterate WHERE iter >= %d))`,
+		dims, dims, kmeansStepBody("iterate", d), iters)
+}
+
+// KMeansRecursiveCTEQuery is the plain-SQL:1999 variant: the recursive CTE
+// appends every iteration's centers, carries the iteration counter in each
+// tuple, and the consumer filters for the final iteration — the costs
+// Section 5.1 attributes to recursive CTEs.
+func KMeansRecursiveCTEQuery(d, iters int) string {
+	dims := dimList("", d, "d%[2]d")
+	// The inner HAVING guards recursion: no rows are produced once the
+	// iteration counter reaches the target, which terminates the CTE. The
+	// step is wrapped in a FROM-subquery because a UNION branch must be a
+	// plain SELECT.
+	step := kmeansStepBody("c", d)
+	return fmt.Sprintf(`WITH RECURSIVE c (cid, %s, iter) AS (
+  SELECT cid, %s, 0 AS iter FROM centers
+  UNION ALL
+  SELECT * FROM (
+  %s
+  HAVING min(t.it) + 1 <= %d
+  ) stepq
+) SELECT cid, %s FROM c WHERE iter = %d`,
+		dims, dims, step, iters, dims, iters)
+}
+
+// PageRankOperatorQuery is the paper's Listing 2.
+func PageRankOperatorQuery(damping, epsilon float64, iters int) string {
+	return fmt.Sprintf(`SELECT * FROM PAGERANK ((SELECT src, dest FROM edges), %g, %g, %d)`,
+		damping, epsilon, iters)
+}
+
+// pageRankStepBody computes one rank update over a working relation
+// (v, rank, iter). It is the relational formulation the paper describes:
+// a derived vertex table and edge joins, with runtime dominated by hash
+// joins (Section 8.4.2).
+func pageRankStepBody(workRel string, damping float64) string {
+	return fmt.Sprintf(`WITH outdeg AS (
+    SELECT src, count(*) AS deg FROM edges GROUP BY src
+  ), contrib AS (
+    SELECT e.dest AS v, sum(r.rank / o.deg) AS inc
+    FROM %s r
+      JOIN outdeg o ON r.v = o.src
+      JOIN edges e ON r.v = e.src
+    GROUP BY e.dest
+  )
+  SELECT r.v AS v, %g / t.n + %g * coalesce(c.inc, 0.0) AS rank, r.iter + 1 AS iter
+  FROM %s r
+    LEFT JOIN contrib c ON r.v = c.v,
+    (SELECT cast(count(*) AS DOUBLE) AS n FROM %s) t`,
+		workRel, 1-damping, damping, workRel, workRel)
+}
+
+// PageRankIterateQuery is the layer-3 PageRank over ITERATE.
+func PageRankIterateQuery(damping float64, iters int) string {
+	return fmt.Sprintf(`SELECT v, rank FROM ITERATE (
+  (SELECT v.src AS v, 1.0 / t.n AS rank, 0 AS iter
+   FROM (SELECT DISTINCT src FROM edges) v,
+        (SELECT cast(count(*) AS DOUBLE) AS n FROM (SELECT DISTINCT src FROM edges) q) t),
+  (%s),
+  (SELECT v FROM iterate WHERE iter >= %d LIMIT 1))`,
+		pageRankStepBody("iterate", damping), iters)
+}
+
+// PageRankRecursiveCTEQuery is the plain recursive-CTE PageRank: ranks of
+// every iteration accumulate; the consumer filters the last one. The step
+// is wrapped in a FROM-subquery because a UNION branch must be a plain
+// SELECT; the inner WHERE guards recursion.
+func PageRankRecursiveCTEQuery(damping float64, iters int) string {
+	step := pageRankStepBody("r", damping)
+	return fmt.Sprintf(`WITH RECURSIVE r (v, rank, iter) AS (
+  SELECT v.src AS v, 1.0 / t.n AS rank, 0 AS iter
+  FROM (SELECT DISTINCT src FROM edges) v,
+       (SELECT cast(count(*) AS DOUBLE) AS n FROM (SELECT DISTINCT src FROM edges) q) t
+  UNION ALL
+  SELECT * FROM (
+  %s
+  WHERE r.iter < %d
+  ) stepq
+) SELECT v, rank FROM r WHERE iter = %d`, step, iters, iters)
+}
+
+// NBTrainOperatorQuery is the layer-4 Naive Bayes training call.
+func NBTrainOperatorQuery(d int) string {
+	feats := dimList("", d, "d%[2]d")
+	return fmt.Sprintf(`SELECT * FROM NAIVE_BAYES_TRAIN ((SELECT %s, label FROM train))`, feats)
+}
+
+// NBTrainSQLQuery trains Naive Bayes in plain SQL: one grouped aggregation
+// computing count, mean, and stddev per class and feature. Naive Bayes has
+// no iteration, so the SQL-centric and iterate-centric variants coincide
+// (the paper's Figure 5 reflects the same).
+func NBTrainSQLQuery(d, n int) string {
+	var cols []string
+	for j := 0; j < d; j++ {
+		cols = append(cols,
+			fmt.Sprintf("avg(d%d) AS mean%d", j, j),
+			fmt.Sprintf("stddev(d%d) AS stddev%d", j, j))
+	}
+	return fmt.Sprintf(
+		`SELECT label, cast(count(*) + 1 AS DOUBLE) / (%d + 2) AS prior, %s FROM train GROUP BY label`,
+		n, strings.Join(cols, ", "))
+}

@@ -1,0 +1,42 @@
+// Package catalog defines the interfaces through which the planner and
+// executor see stored relations, decoupling them from the storage engine.
+package catalog
+
+import (
+	"fmt"
+
+	"lambdadb/internal/types"
+)
+
+// Relation is a readable stored relation at some snapshot.
+type Relation interface {
+	// Name returns the table name.
+	Name() string
+	// Schema returns the column layout.
+	Schema() types.Schema
+	// NumRows returns the number of rows visible at the given snapshot.
+	// It is used for cardinality estimation and may be approximate.
+	NumRows(snapshot uint64) int
+	// Scan calls yield with batches of rows visible at snapshot, in row
+	// order, until exhausted or yield returns an error.
+	Scan(snapshot uint64, yield func(*types.Batch) error) error
+	// ScanRange behaves like Scan but only covers physical rows in
+	// [lo, hi); it exists so parallel scans can partition a table into
+	// morsels.
+	ScanRange(snapshot uint64, lo, hi int, yield func(*types.Batch) error) error
+	// PhysicalRows returns the physical row count (including rows not
+	// visible at a given snapshot) for morsel partitioning.
+	PhysicalRows() int
+}
+
+// Catalog resolves table names to relations.
+type Catalog interface {
+	Resolve(name string) (Relation, error)
+}
+
+// ErrNoSuchTable is returned by Resolve for unknown tables.
+type ErrNoSuchTable struct{ Name string }
+
+func (e *ErrNoSuchTable) Error() string {
+	return fmt.Sprintf("table %q does not exist", e.Name)
+}

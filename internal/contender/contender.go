@@ -1,0 +1,36 @@
+// Package contender defines the common interface of the simulated
+// comparator systems used in the paper's evaluation (Section 8.2). The
+// paper compared HyPer against MATLAB (single-threaded dedicated tool),
+// Apache Spark MLlib (partitioned dataflow engine), and MADlib on Greenplum
+// (UDF-layer database extension). Those systems cannot run here, so each
+// subpackage reproduces the corresponding *cost structure* with a from-
+// scratch engine — see DESIGN.md's substitution table.
+package contender
+
+// Engine is the contract every comparator implements: the three algorithms
+// of the paper's evaluation under the same protocol as the in-database
+// operators (Lloyd's k-Means with fixed iterations, fixed-iteration
+// PageRank, Gaussian Naive Bayes training).
+type Engine interface {
+	// Name identifies the engine in benchmark output.
+	Name() string
+	// KMeans clusters n d-dimensional tuples (row-major) starting from k
+	// centers (row-major, not mutated), running exactly maxIter iterations
+	// or until assignments stabilize. Returns the final centers.
+	KMeans(data []float64, n, d int, centers []float64, k, maxIter int) []float64
+	// PageRank ranks the graph given as a directed edge list, running
+	// maxIter iterations with the given damping factor. Returns ranks by
+	// dense vertex id (sorted original id order).
+	PageRank(src, dst []int64, damping float64, maxIter int) []float64
+	// NBTrain trains Gaussian Naive Bayes: per sorted class, a prior and
+	// per-feature mean/stddev.
+	NBTrain(data []float64, n, d int, labels []int64) NBModel
+}
+
+// NBModel is the comparator-side Naive Bayes model representation.
+type NBModel struct {
+	Labels []int64
+	Priors []float64
+	Means  [][]float64
+	Stds   [][]float64
+}

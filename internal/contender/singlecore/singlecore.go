@@ -1,0 +1,186 @@
+// Package singlecore is the MATLAB analog: clean, straightforward,
+// strictly single-threaded implementations of the evaluation algorithms.
+// The paper includes MATLAB because "multiple heavily used data analytics
+// tools do not support parallelism" (Section 8.4.3); this engine isolates
+// exactly that property.
+package singlecore
+
+import (
+	"math"
+	"sort"
+
+	"lambdadb/internal/contender"
+)
+
+// Engine is the single-threaded comparator.
+type Engine struct{}
+
+// New returns the engine.
+func New() *Engine { return &Engine{} }
+
+// Name implements contender.Engine.
+func (*Engine) Name() string { return "SingleCore" }
+
+// KMeans implements Lloyd's algorithm in one thread.
+func (*Engine) KMeans(data []float64, n, d int, centers []float64, k, maxIter int) []float64 {
+	cur := append([]float64{}, centers...)
+	assign := make([]int, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sums := make([]float64, k*d)
+	counts := make([]int, k)
+	for iter := 0; iter < maxIter; iter++ {
+		changed := 0
+		for i := 0; i < n; i++ {
+			row := data[i*d : i*d+d]
+			best, bestDist := 0, math.Inf(1)
+			for c := 0; c < k; c++ {
+				var dist float64
+				cs := cur[c*d : c*d+d]
+				for j := 0; j < d; j++ {
+					diff := row[j] - cs[j]
+					dist += diff * diff
+				}
+				if dist < bestDist {
+					best, bestDist = c, dist
+				}
+			}
+			if assign[i] != best {
+				assign[i] = best
+				changed++
+			}
+		}
+		for i := range sums {
+			sums[i] = 0
+		}
+		for i := range counts {
+			counts[i] = 0
+		}
+		for i := 0; i < n; i++ {
+			c := assign[i]
+			counts[c]++
+			for j := 0; j < d; j++ {
+				sums[c*d+j] += data[i*d+j]
+			}
+		}
+		for c := 0; c < k; c++ {
+			if counts[c] == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				cur[c*d+j] = sums[c*d+j] / float64(counts[c])
+			}
+		}
+		if changed == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// PageRank implements the power iteration in one thread over an adjacency
+// list built from the edge list.
+func (*Engine) PageRank(src, dst []int64, damping float64, maxIter int) []float64 {
+	// Dense relabeling in sorted order, matching the in-database operator.
+	idset := map[int64]struct{}{}
+	for i := range src {
+		idset[src[i]] = struct{}{}
+		idset[dst[i]] = struct{}{}
+	}
+	orig := make([]int64, 0, len(idset))
+	for id := range idset {
+		orig = append(orig, id)
+	}
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	dense := make(map[int64]int, len(orig))
+	for i, id := range orig {
+		dense[id] = i
+	}
+	n := len(orig)
+	if n == 0 {
+		return nil
+	}
+	out := make([][]int32, n)
+	for i := range src {
+		s := dense[src[i]]
+		out[s] = append(out[s], int32(dense[dst[i]]))
+	}
+
+	invN := 1.0 / float64(n)
+	rank := make([]float64, n)
+	next := make([]float64, n)
+	for i := range rank {
+		rank[i] = invN
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if len(out[v]) == 0 {
+				dangling += rank[v]
+			}
+		}
+		base := (1-damping)*invN + damping*dangling*invN
+		for v := range next {
+			next[v] = base
+		}
+		for v := 0; v < n; v++ {
+			if len(out[v]) == 0 {
+				continue
+			}
+			share := damping * rank[v] / float64(len(out[v]))
+			for _, t := range out[v] {
+				next[t] += share
+			}
+		}
+		rank, next = next, rank
+	}
+	return rank
+}
+
+// NBTrain trains Gaussian Naive Bayes in one pass, one thread.
+func (*Engine) NBTrain(data []float64, n, d int, labels []int64) contender.NBModel {
+	count := map[int64]int64{}
+	sum := map[int64][]float64{}
+	sumSq := map[int64][]float64{}
+	for i := 0; i < n; i++ {
+		l := labels[i]
+		s, ok := sum[l]
+		if !ok {
+			s = make([]float64, d)
+			sum[l] = s
+			sumSq[l] = make([]float64, d)
+		}
+		sq := sumSq[l]
+		count[l]++
+		for j := 0; j < d; j++ {
+			v := data[i*d+j]
+			s[j] += v
+			sq[j] += v * v
+		}
+	}
+	m := contender.NBModel{}
+	for l := range count {
+		m.Labels = append(m.Labels, l)
+	}
+	sort.Slice(m.Labels, func(i, j int) bool { return m.Labels[i] < m.Labels[j] })
+	numClasses := float64(len(m.Labels))
+	for _, l := range m.Labels {
+		cnt := float64(count[l])
+		m.Priors = append(m.Priors, (cnt+1)/(float64(n)+numClasses))
+		means := make([]float64, d)
+		stds := make([]float64, d)
+		for j := 0; j < d; j++ {
+			mean := sum[l][j] / cnt
+			variance := sumSq[l][j]/cnt - mean*mean
+			if variance < 1e-9 {
+				variance = 1e-9
+			}
+			means[j] = mean
+			stds[j] = math.Sqrt(variance)
+		}
+		m.Means = append(m.Means, means)
+		m.Stds = append(m.Stds, stds)
+	}
+	return m
+}

@@ -1,0 +1,365 @@
+// Package udf is the MADlib-on-Greenplum analog: analytics as black-box
+// user-defined aggregate functions driven row at a time by a host
+// executor. It reproduces the layer-2 cost structure of the paper's
+// Figure 1:
+//
+//   - every tuple crosses an opaque function-call boundary (interface
+//     dispatch per row — no inlining, no fusion, the "black box" of
+//     Section 4.1),
+//   - the host re-materializes and copies the input for every iteration
+//     (the per-iteration SQL round trip MADlib performs), and
+//   - execution is parallel across segments, but the aggregate state
+//     merge protocol (init / accumulate / merge / final) is the only
+//     structure the host understands.
+package udf
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"lambdadb/internal/contender"
+)
+
+// aggregateUDF is the user-defined aggregate contract: the host executor
+// treats implementations as opaque code, calling Accumulate once per row.
+type aggregateUDF interface {
+	// NewState returns a fresh per-segment state.
+	NewState() any
+	// Accumulate folds one row into the state.
+	Accumulate(state any, row []float64) any
+	// Merge combines two segment states.
+	Merge(a, b any) any
+}
+
+// Engine is the UDF-layer comparator. Segments mirror Greenplum's
+// parallelism model.
+type Engine struct {
+	segments int
+}
+
+// New creates the engine with the given segment count.
+func New(segments int) *Engine {
+	if segments < 1 {
+		segments = runtime.GOMAXPROCS(0)
+	}
+	return &Engine{segments: segments}
+}
+
+// Name implements contender.Engine.
+func (*Engine) Name() string { return "UDF" }
+
+// runAggregate drives a UDF over materialized rows, one interface call per
+// row, parallel across segments, merging states at the coordinator.
+func (e *Engine) runAggregate(udf aggregateUDF, rows [][]float64) any {
+	segs := e.segments
+	if segs > len(rows) {
+		segs = len(rows)
+	}
+	if segs < 1 {
+		segs = 1
+	}
+	states := make([]any, segs)
+	chunk := (len(rows) + segs - 1) / segs
+	var wg sync.WaitGroup
+	for s := 0; s < segs; s++ {
+		lo := s * chunk
+		hi := lo + chunk
+		if lo > len(rows) {
+			lo = len(rows)
+		}
+		if hi > len(rows) {
+			hi = len(rows)
+		}
+		wg.Add(1)
+		go func(s, lo, hi int) {
+			defer wg.Done()
+			state := udf.NewState()
+			for _, row := range rows[lo:hi] {
+				state = udf.Accumulate(state, row)
+			}
+			states[s] = state
+		}(s, lo, hi)
+	}
+	wg.Wait()
+	total := states[0]
+	for _, s := range states[1:] {
+		total = udf.Merge(total, s)
+	}
+	return total
+}
+
+// materialize copies the dataset into per-row objects — the data transfer
+// into the UDF layer that MADlib pays on every aggregate invocation.
+func materialize(data []float64, n, d int) [][]float64 {
+	rows := make([][]float64, n)
+	backing := make([]float64, n*d)
+	copy(backing, data)
+	for i := range rows {
+		rows[i] = backing[i*d : i*d+d]
+	}
+	return rows
+}
+
+// kmState is the k-Means aggregate state.
+type kmState struct {
+	sums    []float64
+	counts  []int64
+	changed int
+}
+
+// kmUDF is one k-Means iteration as a user-defined aggregate.
+type kmUDF struct {
+	centers []float64
+	k, d    int
+	// assign is indexed by a row-id smuggled in the last row slot, the way
+	// MADlib keeps per-row cluster ids in a temp table between iterations.
+	assign []int32
+}
+
+func (u *kmUDF) NewState() any {
+	return &kmState{sums: make([]float64, u.k*u.d), counts: make([]int64, u.k)}
+}
+
+func (u *kmUDF) Accumulate(state any, row []float64) any {
+	s := state.(*kmState)
+	id := int(row[u.d])
+	feats := row[:u.d]
+	best, bestDist := int32(0), math.Inf(1)
+	for c := 0; c < u.k; c++ {
+		var dist float64
+		cs := u.centers[c*u.d : c*u.d+u.d]
+		for j := 0; j < u.d; j++ {
+			diff := feats[j] - cs[j]
+			dist += diff * diff
+		}
+		if dist < bestDist {
+			best, bestDist = int32(c), dist
+		}
+	}
+	if u.assign[id] != best {
+		u.assign[id] = best
+		s.changed++
+	}
+	s.counts[best]++
+	cs := s.sums[int(best)*u.d : int(best)*u.d+u.d]
+	for j := 0; j < u.d; j++ {
+		cs[j] += feats[j]
+	}
+	return s
+}
+
+func (u *kmUDF) Merge(a, b any) any {
+	x, y := a.(*kmState), b.(*kmState)
+	for i, v := range y.sums {
+		x.sums[i] += v
+	}
+	for i, v := range y.counts {
+		x.counts[i] += v
+	}
+	x.changed += y.changed
+	return x
+}
+
+// KMeans implements contender.Engine: one aggregate invocation per
+// iteration, with the input re-materialized each time (the SQL round
+// trip).
+func (e *Engine) KMeans(data []float64, n, d int, centers []float64, k, maxIter int) []float64 {
+	cur := append([]float64{}, centers...)
+	assign := make([]int32, n)
+	for i := range assign {
+		assign[i] = -1
+	}
+	// Rows carry (features..., rowid) like MADlib's points table.
+	wide := make([]float64, n*(d+1))
+	for i := 0; i < n; i++ {
+		copy(wide[i*(d+1):], data[i*d:i*d+d])
+		wide[i*(d+1)+d] = float64(i)
+	}
+	for iter := 0; iter < maxIter; iter++ {
+		rows := materialize(wide, n, d+1) // per-iteration round trip
+		udf := &kmUDF{centers: cur, k: k, d: d, assign: assign}
+		res := e.runAggregate(udf, rows).(*kmState)
+		for c := 0; c < k; c++ {
+			if res.counts[c] == 0 {
+				continue
+			}
+			for j := 0; j < d; j++ {
+				cur[c*d+j] = res.sums[c*d+j] / float64(res.counts[c])
+			}
+		}
+		if res.changed == 0 {
+			break
+		}
+	}
+	return cur
+}
+
+// prState is a PageRank iteration's aggregate state: incoming rank sums.
+type prState struct {
+	incoming []float64
+}
+
+// prUDF computes one PageRank iteration over edge rows (src, dst).
+type prUDF struct {
+	contrib []float64
+	n       int
+}
+
+func (u *prUDF) NewState() any { return &prState{incoming: make([]float64, u.n)} }
+
+func (u *prUDF) Accumulate(state any, row []float64) any {
+	s := state.(*prState)
+	s.incoming[int(row[1])] += u.contrib[int(row[0])]
+	return s
+}
+
+func (u *prUDF) Merge(a, b any) any {
+	x, y := a.(*prState), b.(*prState)
+	for i, v := range y.incoming {
+		x.incoming[i] += v
+	}
+	return x
+}
+
+// PageRank runs each iteration as an aggregate over the edge table — the
+// relational formulation MADlib uses, re-materializing the edge relation
+// per iteration.
+func (e *Engine) PageRank(src, dst []int64, damping float64, maxIter int) []float64 {
+	idset := map[int64]struct{}{}
+	for i := range src {
+		idset[src[i]] = struct{}{}
+		idset[dst[i]] = struct{}{}
+	}
+	orig := make([]int64, 0, len(idset))
+	for id := range idset {
+		orig = append(orig, id)
+	}
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	dense := make(map[int64]int, len(orig))
+	for i, id := range orig {
+		dense[id] = i
+	}
+	n := len(orig)
+	if n == 0 {
+		return nil
+	}
+	outDeg := make([]float64, n)
+	edges := make([]float64, 0, 2*len(src))
+	for i := range src {
+		s, t := dense[src[i]], dense[dst[i]]
+		outDeg[s]++
+		edges = append(edges, float64(s), float64(t))
+	}
+
+	invN := 1.0 / float64(n)
+	rank := make([]float64, n)
+	for v := range rank {
+		rank[v] = invN
+	}
+	contrib := make([]float64, n)
+	for iter := 0; iter < maxIter; iter++ {
+		var dangling float64
+		for v := 0; v < n; v++ {
+			if outDeg[v] == 0 {
+				dangling += rank[v]
+			} else {
+				contrib[v] = rank[v] / outDeg[v]
+			}
+		}
+		base := (1-damping)*invN + damping*dangling*invN
+		rows := materialize(edges, len(src), 2) // edge-table round trip
+		udf := &prUDF{contrib: contrib, n: n}
+		res := e.runAggregate(udf, rows).(*prState)
+		for v := 0; v < n; v++ {
+			rank[v] = base + damping*res.incoming[v]
+		}
+	}
+	return rank
+}
+
+// nbState holds per-class moment maps.
+type nbState struct {
+	count map[int64]int64
+	sum   map[int64][]float64
+	sumSq map[int64][]float64
+}
+
+type nbUDF struct{ d int }
+
+func (u *nbUDF) NewState() any {
+	return &nbState{count: map[int64]int64{}, sum: map[int64][]float64{}, sumSq: map[int64][]float64{}}
+}
+
+func (u *nbUDF) Accumulate(state any, row []float64) any {
+	s := state.(*nbState)
+	label := int64(row[u.d])
+	sum, ok := s.sum[label]
+	if !ok {
+		sum = make([]float64, u.d)
+		s.sum[label] = sum
+		s.sumSq[label] = make([]float64, u.d)
+	}
+	sq := s.sumSq[label]
+	s.count[label]++
+	for j := 0; j < u.d; j++ {
+		v := row[j]
+		sum[j] += v
+		sq[j] += v * v
+	}
+	return s
+}
+
+func (u *nbUDF) Merge(a, b any) any {
+	x, y := a.(*nbState), b.(*nbState)
+	for l, c := range y.count {
+		x.count[l] += c
+		if _, ok := x.sum[l]; !ok {
+			x.sum[l] = y.sum[l]
+			x.sumSq[l] = y.sumSq[l]
+			continue
+		}
+		for j := range y.sum[l] {
+			x.sum[l][j] += y.sum[l][j]
+			x.sumSq[l][j] += y.sumSq[l][j]
+		}
+	}
+	return x
+}
+
+// NBTrain implements contender.Engine through a single aggregate pass.
+func (e *Engine) NBTrain(data []float64, n, d int, labels []int64) contender.NBModel {
+	wide := make([]float64, n*(d+1))
+	for i := 0; i < n; i++ {
+		copy(wide[i*(d+1):], data[i*d:i*d+d])
+		wide[i*(d+1)+d] = float64(labels[i])
+	}
+	rows := materialize(wide, n, d+1)
+	res := e.runAggregate(&nbUDF{d: d}, rows).(*nbState)
+
+	m := contender.NBModel{}
+	for l := range res.count {
+		m.Labels = append(m.Labels, l)
+	}
+	sort.Slice(m.Labels, func(i, j int) bool { return m.Labels[i] < m.Labels[j] })
+	numClasses := float64(len(m.Labels))
+	for _, l := range m.Labels {
+		cnt := float64(res.count[l])
+		m.Priors = append(m.Priors, (cnt+1)/(float64(n)+numClasses))
+		means := make([]float64, d)
+		stds := make([]float64, d)
+		for j := 0; j < d; j++ {
+			mean := res.sum[l][j] / cnt
+			variance := res.sumSq[l][j]/cnt - mean*mean
+			if variance < 1e-9 {
+				variance = 1e-9
+			}
+			means[j] = mean
+			stds[j] = math.Sqrt(variance)
+		}
+		m.Means = append(m.Means, means)
+		m.Stds = append(m.Stds, stds)
+	}
+	return m
+}

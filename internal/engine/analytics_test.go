@@ -1,0 +1,332 @@
+package engine
+
+import (
+	"math"
+	"sort"
+	"strings"
+	"testing"
+)
+
+// clusterTestDB loads two well-separated 2-d clusters plus initial centers.
+func clusterTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(WithWorkers(2))
+	db.MustExec(`CREATE TABLE data (x FLOAT, y FLOAT)`)
+	db.MustExec(`CREATE TABLE center (x FLOAT, y FLOAT)`)
+	db.MustExec(`INSERT INTO data VALUES
+		(0.0, 0.0), (0.2, 0.1), (-0.1, 0.2), (0.1, -0.2),
+		(10.0, 10.0), (10.2, 9.9), (9.8, 10.1), (10.1, 10.2)`)
+	db.MustExec(`INSERT INTO center VALUES (1.0, 1.0), (9.0, 9.0)`)
+	return db
+}
+
+func TestKMeansOperatorDefaultDistance(t *testing.T) {
+	db := clusterTestDB(t)
+	r, err := db.Query(`SELECT * FROM KMEANS ((SELECT x, y FROM data), (SELECT x, y FROM center), 10) ORDER BY cluster`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Columns[0] != "cluster" || r.Columns[1] != "x" || r.Columns[2] != "y" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+	// Cluster 0 must converge near (0.05, 0.025), cluster 1 near (10.025, 10.05).
+	c0x, c0y := r.Rows[0][1].F, r.Rows[0][2].F
+	c1x, c1y := r.Rows[1][1].F, r.Rows[1][2].F
+	if math.Abs(c0x-0.05) > 0.01 || math.Abs(c0y-0.025) > 0.01 {
+		t.Errorf("cluster 0 center = (%v, %v)", c0x, c0y)
+	}
+	if math.Abs(c1x-10.025) > 0.01 || math.Abs(c1y-10.05) > 0.01 {
+		t.Errorf("cluster 1 center = (%v, %v)", c1x, c1y)
+	}
+}
+
+func TestKMeansOperatorListing3Lambda(t *testing.T) {
+	// The paper's Listing 3: explicit Euclidean lambda must match the
+	// default distance exactly on this data.
+	db := clusterTestDB(t)
+	q := `SELECT * FROM KMEANS (
+		(SELECT x, y FROM data),
+		(SELECT x, y FROM center),
+		λ(a, b) (a.x - b.x)^2 + (a.y - b.y)^2,
+		3) ORDER BY cluster`
+	withLambda, err := db.Query(q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withDefault, err := db.Query(`SELECT * FROM KMEANS ((SELECT x, y FROM data), (SELECT x, y FROM center), 3) ORDER BY cluster`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range withLambda.Rows {
+		for j := range withLambda.Rows[i] {
+			a, b := withLambda.Rows[i][j], withDefault.Rows[i][j]
+			if a.T != b.T || math.Abs(a.AsFloat()-b.AsFloat()) > 1e-9 {
+				t.Errorf("row %d col %d: lambda %v vs default %v", i, j, a, b)
+			}
+		}
+	}
+}
+
+func TestKMeansManhattanLambda(t *testing.T) {
+	// k-Medians via the L1 lambda (the paper's motivating variant).
+	db := clusterTestDB(t)
+	r, err := db.Query(`SELECT * FROM KMEANS (
+		(SELECT x, y FROM data),
+		(SELECT x, y FROM center),
+		LAMBDA(a, b) abs(a.x - b.x) + abs(a.y - b.y),
+		10) ORDER BY cluster`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// Same separation: centers must land in the two blobs.
+	if r.Rows[0][1].F > 5 || r.Rows[1][1].F < 5 {
+		t.Errorf("centers = %v", r.Rows)
+	}
+}
+
+func TestKMeansPostProcessingInSQL(t *testing.T) {
+	// The operator's output is a relation: aggregate over it in the same
+	// query (paper: results can be post-processed within the same query).
+	db := clusterTestDB(t)
+	r, err := db.Query(`SELECT count(*), max(x) FROM KMEANS ((SELECT x, y FROM data), (SELECT x, y FROM center), 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 2 || r.Rows[0][1].F < 9 {
+		t.Errorf("post-processed = %v", r.Rows[0])
+	}
+}
+
+func TestKMeansErrors(t *testing.T) {
+	db := clusterTestDB(t)
+	for _, q := range []string{
+		`SELECT * FROM KMEANS ((SELECT x, y FROM data))`,                                            // too few args
+		`SELECT * FROM KMEANS ((SELECT x FROM data), (SELECT x, y FROM center), 3)`,                 // dim mismatch
+		`SELECT * FROM KMEANS ((SELECT x, y FROM data), (SELECT x, y FROM center), 0)`,              // bad maxiter
+		`SELECT * FROM KMEANS ((SELECT x, y FROM data), (SELECT x, y FROM center), λ(a) a.x, 3)`,    // 1-param lambda
+		`SELECT * FROM KMEANS ((SELECT x, y FROM data), (SELECT x, y FROM center), λ(a, b) a.z, 3)`, // unknown field
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestPageRankOperatorListing2(t *testing.T) {
+	db := Open(WithWorkers(2))
+	db.MustExec(`CREATE TABLE edges (src BIGINT, dest BIGINT)`)
+	// A tiny directed graph: 1 and 2 point at 3; 3 points at 1.
+	db.MustExec(`INSERT INTO edges VALUES (1,3), (2,3), (3,1)`)
+	r, err := db.Query(`SELECT * FROM PAGE RANK ((SELECT src, dest FROM edges), 0.85, 0.0001) ORDER BY rank DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	// Vertex 3 receives two links and must rank highest; ranks sum to ~1.
+	if r.Rows[0][0].I != 3 {
+		t.Errorf("top vertex = %v", r.Rows[0])
+	}
+	var sum float64
+	for _, row := range r.Rows {
+		sum += row[1].F
+	}
+	if math.Abs(sum-1) > 0.01 {
+		t.Errorf("rank sum = %v", sum)
+	}
+}
+
+func TestPageRankVertexIDsPreserved(t *testing.T) {
+	// Original (sparse, large) vertex ids must come back unchanged
+	// through the dense relabeling and reverse mapping.
+	db := Open()
+	db.MustExec(`CREATE TABLE e2 (src BIGINT, dest BIGINT)`)
+	db.MustExec(`INSERT INTO e2 VALUES (1000000, 42), (42, 7), (7, 1000000)`)
+	r, err := db.Query(`SELECT vertex FROM PAGERANK ((SELECT src, dest FROM e2), 0.85, 0.0) ORDER BY vertex`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, row := range r.Rows {
+		got = append(got, row[0].I)
+	}
+	want := []int64{7, 42, 1000000}
+	if len(got) != 3 || got[0] != want[0] || got[1] != want[1] || got[2] != want[2] {
+		t.Errorf("vertices = %v, want %v", got, want)
+	}
+}
+
+func TestPageRankSymmetricGraphUniformRanks(t *testing.T) {
+	// On a symmetric cycle every vertex must receive the same rank.
+	db := Open()
+	db.MustExec(`CREATE TABLE cyc (src BIGINT, dest BIGINT)`)
+	db.MustExec(`INSERT INTO cyc VALUES (0,1),(1,2),(2,3),(3,0)`)
+	r, err := db.Query(`SELECT rank FROM PAGERANK ((SELECT src, dest FROM cyc), 0.85, 0.0, 50)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range r.Rows {
+		if math.Abs(row[0].F-0.25) > 1e-9 {
+			t.Errorf("rank = %v, want 0.25", row[0].F)
+		}
+	}
+}
+
+func TestPageRankErrors(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE e3 (src BIGINT, dest BIGINT, w DOUBLE)`)
+	for _, q := range []string{
+		`SELECT * FROM PAGERANK ((SELECT src, dest, w FROM e3), 0.85, 0.0)`, // 3 columns
+		`SELECT * FROM PAGERANK ((SELECT src, dest FROM e3), 1.5, 0.0)`,     // bad damping
+		`SELECT * FROM PAGERANK ((SELECT src, dest FROM e3), 0.85, -1.0)`,   // bad epsilon
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+// nbTestDB creates a separable 2-feature classification problem.
+func nbTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(WithWorkers(2))
+	db.MustExec(`CREATE TABLE train (f1 DOUBLE, f2 DOUBLE, label BIGINT)`)
+	db.MustExec(`INSERT INTO train VALUES
+		(0.0, 0.1, 0), (0.1, 0.0, 0), (0.2, 0.2, 0), (-0.1, 0.1, 0),
+		(5.0, 5.1, 1), (5.1, 5.0, 1), (4.9, 5.2, 1), (5.2, 4.8, 1)`)
+	db.MustExec(`CREATE TABLE test (f1 DOUBLE, f2 DOUBLE)`)
+	db.MustExec(`INSERT INTO test VALUES (0.05, 0.05), (5.05, 5.05), (0.3, -0.1), (4.7, 5.3)`)
+	return db
+}
+
+func TestNaiveBayesTrainModelRelation(t *testing.T) {
+	db := nbTestDB(t)
+	r, err := db.Query(`SELECT * FROM NAIVE_BAYES_TRAIN ((SELECT f1, f2, label FROM train)) ORDER BY label, feature`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2 classes × 2 features.
+	if len(r.Rows) != 4 {
+		t.Fatalf("model rows = %v", r.Rows)
+	}
+	cols := strings.Join(r.Columns, ",")
+	if cols != "label,feature,prior,mean,stddev" {
+		t.Errorf("model columns = %v", r.Columns)
+	}
+	// Paper's Laplace prior: (4+1)/(8+2) = 0.5 for both classes.
+	for _, row := range r.Rows {
+		if math.Abs(row[2].F-0.5) > 1e-12 {
+			t.Errorf("prior = %v, want 0.5", row[2].F)
+		}
+	}
+	// Class-0 means near 0, class-1 means near 5.
+	if r.Rows[0][3].F > 1 || r.Rows[3][3].F < 4 {
+		t.Errorf("means = %v", r.Rows)
+	}
+}
+
+func TestNaiveBayesPredictEndToEnd(t *testing.T) {
+	db := nbTestDB(t)
+	r, err := db.Query(`SELECT * FROM NAIVE_BAYES_PREDICT (
+		(SELECT * FROM NAIVE_BAYES_TRAIN ((SELECT f1, f2, label FROM train))),
+		(SELECT f1, f2 FROM test)) ORDER BY f1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 4 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	want := []int64{0, 0, 1, 1} // ordered by f1: 0.05, 0.3, 4.7, 5.05
+	var got []int64
+	for _, row := range r.Rows {
+		got = append(got, row[2].I)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("prediction %d = %d, want %d (all: %v)", i, got[i], want[i], got)
+		}
+	}
+}
+
+func TestNaiveBayesModelStoredInTable(t *testing.T) {
+	// Model-application across statements: store the model relationally,
+	// then predict from the stored model (the paper's two-phase pattern).
+	db := nbTestDB(t)
+	db.MustExec(`CREATE TABLE model (label BIGINT, feature BIGINT, prior DOUBLE, mean DOUBLE, stddev DOUBLE)`)
+	db.MustExec(`INSERT INTO model SELECT * FROM NAIVE_BAYES_TRAIN ((SELECT f1, f2, label FROM train))`)
+	r, err := db.Query(`SELECT label FROM NAIVE_BAYES_PREDICT (
+		(SELECT label, feature, prior, mean, stddev FROM model),
+		(SELECT f1, f2 FROM test)) ORDER BY 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []int64
+	for _, row := range r.Rows {
+		got = append(got, row[0].I)
+	}
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 4 || got[0] != 0 || got[3] != 1 {
+		t.Errorf("stored-model predictions = %v", got)
+	}
+}
+
+func TestNaiveBayesErrors(t *testing.T) {
+	db := nbTestDB(t)
+	for _, q := range []string{
+		`SELECT * FROM NAIVE_BAYES_TRAIN ((SELECT f1 FROM train))`,                              // no label col
+		`SELECT * FROM NAIVE_BAYES_TRAIN ((SELECT f1, f2 FROM train))`,                          // label not BIGINT
+		`SELECT * FROM NAIVE_BAYES_PREDICT ((SELECT f1, f2 FROM train), (SELECT f1 FROM test))`, // bad model schema
+	} {
+		if _, err := db.Query(q); err == nil {
+			t.Errorf("Query(%q) should fail", q)
+		}
+	}
+}
+
+func TestIterateNewtonConvergence(t *testing.T) {
+	// Numeric fixpoint through ITERATE: Newton iteration for sqrt(2).
+	db := Open()
+	r, err := db.Query(`SELECT * FROM ITERATE (
+		(SELECT 1.0 AS x),
+		(SELECT (x + 2 / x) / 2 FROM iterate),
+		(SELECT x FROM iterate WHERE abs(x * x - 2) < 0.000000001))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if math.Abs(r.Rows[0][0].F-math.Sqrt2) > 1e-9 {
+		t.Errorf("sqrt(2) = %v", r.Rows[0][0].F)
+	}
+}
+
+func TestIterateKMeansStepInSQL(t *testing.T) {
+	// One dimension of the paper's Figure 2b query plan: a working table of
+	// centers is non-appendingly replaced by the mean of its assigned data
+	// points, with a fixed iteration count encoded in the working table.
+	db := clusterTestDB(t)
+	r, err := db.Query(`SELECT cx FROM ITERATE (
+		(SELECT 1.0 AS cx, 0 AS iter),
+		(SELECT (SELECT avg(x) FROM data) , iter + 1 FROM iterate),
+		(SELECT cx FROM iterate WHERE iter >= 3))`)
+	// Scalar subqueries are not part of the dialect; assignment-style SQL
+	// k-Means lives in the workload package with joins instead. Accept a
+	// clean planner error here rather than silent misbehavior.
+	if err != nil {
+		if !strings.Contains(err.Error(), "SELECT") {
+			t.Fatalf("unexpected error shape: %v", err)
+		}
+		return
+	}
+	if len(r.Rows) != 1 {
+		t.Errorf("rows = %v", r.Rows)
+	}
+}

@@ -1,0 +1,129 @@
+package engine
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeTempCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCopyFromCSV(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE pts (id BIGINT, x DOUBLE, tag VARCHAR)`)
+	path := writeTempCSV(t, "id,x,tag\n1,0.5,a\n2,1.5,b\n3,2.5,c\n")
+	r, err := db.Exec(fmt.Sprintf(`COPY pts FROM '%s' WITH HEADER`, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 3 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	q, err := db.Query(`SELECT count(*), sum(x) FROM pts`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.Rows[0][0].I != 3 || q.Rows[0][1].F != 4.5 {
+		t.Errorf("loaded data = %v", q.Rows[0])
+	}
+}
+
+func TestCopyCustomDelimiter(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE d (a BIGINT, b VARCHAR)`)
+	path := writeTempCSV(t, "1|one\n2|two\n")
+	r, err := db.Exec(fmt.Sprintf(`COPY d FROM '%s' DELIMITER '|'`, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+}
+
+func TestCopyErrors(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE e (a BIGINT)`)
+	if _, err := db.Exec(`COPY e FROM '/nonexistent/file.csv'`); err == nil {
+		t.Error("missing file should fail")
+	}
+	if _, err := db.Exec(`COPY missing FROM '/tmp/whatever.csv'`); err == nil {
+		t.Error("missing table should fail")
+	}
+	path := writeTempCSV(t, "notanumber\n")
+	if _, err := db.Exec(fmt.Sprintf(`COPY e FROM '%s'`, path)); err == nil {
+		t.Error("bad data should fail")
+	}
+	// Failed COPY leaves nothing behind.
+	q, _ := db.Query(`SELECT count(*) FROM e`)
+	if q.Rows[0][0].I != 0 {
+		t.Errorf("failed COPY left %v rows", q.Rows[0][0])
+	}
+}
+
+func TestCopyRejectedInExplicitTransaction(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE e2 (a BIGINT)`)
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	path := writeTempCSV(t, "1\n")
+	if _, err := s.Exec(fmt.Sprintf(`COPY e2 FROM '%s'`, path)); err == nil {
+		t.Error("COPY inside a transaction should be rejected")
+	}
+}
+
+func TestExplainStatement(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Exec(`EXPLAIN SELECT n FROM nums WHERE n > 1 ORDER BY n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Columns) != 1 || r.Columns[0] != "plan" {
+		t.Fatalf("columns = %v", r.Columns)
+	}
+	joined := ""
+	for _, row := range r.Rows {
+		joined += row[0].S + "\n"
+	}
+	for _, frag := range []string{"Sort", "Project", "Filter", "Scan nums"} {
+		if !strings.Contains(joined, frag) {
+			t.Errorf("plan missing %q:\n%s", frag, joined)
+		}
+	}
+}
+
+func TestDatagenRoundTrip(t *testing.T) {
+	// datagen-format CSV (header + floats) loads back via COPY — the
+	// layer-1 export/import loop.
+	db := Open()
+	db.MustExec(`CREATE TABLE vecs (d0 DOUBLE, d1 DOUBLE)`)
+	var sb strings.Builder
+	sb.WriteString("d0,d1\n")
+	for i := 0; i < 100; i++ {
+		fmt.Fprintf(&sb, "%g,%g\n", float64(i)*0.1, float64(i)*0.2)
+	}
+	path := writeTempCSV(t, sb.String())
+	r, err := db.Exec(fmt.Sprintf(`COPY vecs FROM '%s' WITH HEADER`, path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 100 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	q, _ := db.Query(`SELECT max(d1) FROM vecs`)
+	if q.Rows[0][0].F != 19.8 {
+		t.Errorf("max d1 = %v", q.Rows[0][0])
+	}
+}

@@ -1,0 +1,276 @@
+package engine
+
+import (
+	"fmt"
+
+	"lambdadb/internal/exec"
+	"lambdadb/internal/expr"
+	"lambdadb/internal/plan"
+	"lambdadb/internal/sql"
+	"lambdadb/internal/storage"
+	"lambdadb/internal/types"
+)
+
+// coerce converts a value to a column type, widening numerics.
+func coerce(v types.Value, to types.Type) (types.Value, error) {
+	if v.Null {
+		return types.NewNull(to), nil
+	}
+	if v.T == to {
+		return v, nil
+	}
+	if v.T.IsNumeric() && to.IsNumeric() {
+		if to == types.Float64 {
+			return types.NewFloat(v.AsFloat()), nil
+		}
+		return types.NewInt(v.AsInt()), nil
+	}
+	return types.Value{}, fmt.Errorf("cannot store %s value in %s column", v.T, to)
+}
+
+func (s *Session) execInsert(n *sql.Insert) (*Result, error) {
+	tbl, err := s.db.store.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+
+	// Map the insert column list to table positions.
+	colIdx := make([]int, 0, len(schema))
+	if len(n.Columns) == 0 {
+		for i := range schema {
+			colIdx = append(colIdx, i)
+		}
+	} else {
+		for _, name := range n.Columns {
+			i := schema.IndexOf(name)
+			if i < 0 {
+				return nil, fmt.Errorf("table %q has no column %q", n.Table, name)
+			}
+			colIdx = append(colIdx, i)
+		}
+	}
+
+	batch := types.NewBatch(schema)
+	appendRow := func(vals []types.Value) error {
+		if len(vals) != len(colIdx) {
+			return fmt.Errorf("INSERT expects %d values, got %d", len(colIdx), len(vals))
+		}
+		row := make([]types.Value, len(schema))
+		for i := range row {
+			row[i] = types.NewNull(schema[i].Type)
+		}
+		for k, v := range vals {
+			cv, err := coerce(v, schema[colIdx[k]].Type)
+			if err != nil {
+				return err
+			}
+			row[colIdx[k]] = cv
+		}
+		batch.AppendRow(row)
+		return nil
+	}
+
+	switch {
+	case len(n.Rows) > 0:
+		emptyCtx := expr.NewResolveCtx(nil, "")
+		for _, exprRow := range n.Rows {
+			vals := make([]types.Value, len(exprRow))
+			for i, e := range exprRow {
+				re, err := expr.Resolve(e, emptyCtx)
+				if err != nil {
+					return nil, err
+				}
+				v, err := expr.EvalConst(re)
+				if err != nil {
+					return nil, err
+				}
+				vals[i] = v
+			}
+			if err := appendRow(vals); err != nil {
+				return nil, err
+			}
+		}
+	case n.Query != nil:
+		b := plan.NewBuilder(s.db.store, s.snapshot())
+		node, err := b.BuildSelect(n.Query)
+		if err != nil {
+			return nil, err
+		}
+		ctx := exec.NewContext()
+		ctx.Workers = s.db.workers
+		mat, err := exec.Run(node, ctx)
+		if err != nil {
+			return nil, err
+		}
+		for _, src := range mat.Batches {
+			cnt := src.Len()
+			for i := 0; i < cnt; i++ {
+				if err := appendRow(src.Row(i)); err != nil {
+					return nil, err
+				}
+			}
+		}
+	default:
+		return nil, fmt.Errorf("INSERT needs VALUES or a SELECT")
+	}
+
+	affected := batch.Len()
+	err = s.write(func(tx *storage.Txn) error { return tx.Insert(tbl, batch) })
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// compilePredicate resolves and compiles an optional WHERE clause against a
+// table's schema. A nil clause accepts all rows.
+func compilePredicate(where expr.Expr, schema types.Schema, table string) (expr.Evaluator, error) {
+	if where == nil {
+		return nil, nil
+	}
+	rc := expr.NewResolveCtx(schema, table)
+	pred, err := expr.Resolve(where, rc)
+	if err != nil {
+		return nil, err
+	}
+	if pred.Type() != types.Bool {
+		return nil, fmt.Errorf("WHERE must be boolean, got %s", pred.Type())
+	}
+	return expr.Compile(pred)
+}
+
+func (s *Session) execDelete(n *sql.Delete) (*Result, error) {
+	tbl, err := s.db.store.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	pred, err := compilePredicate(n.Where, tbl.Schema(), n.Table)
+	if err != nil {
+		return nil, err
+	}
+	affected := 0
+	err = s.write(func(tx *storage.Txn) error {
+		return tbl.ScanWithRowIDs(s.snapshot(), func(b *types.Batch, rowIDs []int) error {
+			match, err := matchRows(b, pred)
+			if err != nil {
+				return err
+			}
+			for i, m := range match {
+				if !m {
+					continue
+				}
+				if err := tx.Delete(tbl, rowIDs[i]); err != nil {
+					return err
+				}
+				affected++
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}
+
+// matchRows evaluates an optional predicate over a batch.
+func matchRows(b *types.Batch, pred expr.Evaluator) ([]bool, error) {
+	n := b.Len()
+	match := make([]bool, n)
+	if pred == nil {
+		for i := range match {
+			match[i] = true
+		}
+		return match, nil
+	}
+	c, err := pred(b)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < n; i++ {
+		match[i] = !c.IsNull(i) && c.Bools[i]
+	}
+	return match, nil
+}
+
+func (s *Session) execUpdate(n *sql.Update) (*Result, error) {
+	tbl, err := s.db.store.Table(n.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := tbl.Schema()
+	pred, err := compilePredicate(n.Where, schema, n.Table)
+	if err != nil {
+		return nil, err
+	}
+
+	// Compile SET expressions against the table schema.
+	rc := expr.NewResolveCtx(schema, n.Table)
+	setCols := make([]int, len(n.Set))
+	setEvals := make([]expr.Evaluator, len(n.Set))
+	for i, a := range n.Set {
+		ci := schema.IndexOf(a.Column)
+		if ci < 0 {
+			return nil, fmt.Errorf("table %q has no column %q", n.Table, a.Column)
+		}
+		e, err := expr.Resolve(a.Value, rc)
+		if err != nil {
+			return nil, err
+		}
+		if e.Type() != schema[ci].Type {
+			if !(e.Type().IsNumeric() && schema[ci].Type.IsNumeric()) {
+				return nil, fmt.Errorf("cannot assign %s to column %q (%s)",
+					e.Type(), a.Column, schema[ci].Type)
+			}
+			e = &expr.Cast{E: e, To: schema[ci].Type}
+		}
+		ev, err := expr.Compile(e)
+		if err != nil {
+			return nil, err
+		}
+		setCols[i], setEvals[i] = ci, ev
+	}
+
+	affected := 0
+	err = s.write(func(tx *storage.Txn) error {
+		return tbl.ScanWithRowIDs(s.snapshot(), func(b *types.Batch, rowIDs []int) error {
+			match, err := matchRows(b, pred)
+			if err != nil {
+				return err
+			}
+			// Compute replacement values over the whole batch once.
+			newCols := make([]*types.Column, len(setEvals))
+			for k, ev := range setEvals {
+				c, err := ev(b)
+				if err != nil {
+					return err
+				}
+				newCols[k] = c
+			}
+			inserted := types.NewBatch(schema)
+			for i, m := range match {
+				if !m {
+					continue
+				}
+				if err := tx.Delete(tbl, rowIDs[i]); err != nil {
+					return err
+				}
+				row := b.Row(i)
+				for k, ci := range setCols {
+					row[ci] = newCols[k].Value(i)
+				}
+				inserted.AppendRow(row)
+				affected++
+			}
+			if inserted.Len() > 0 {
+				return tx.Insert(tbl, inserted)
+			}
+			return nil
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: affected}, nil
+}

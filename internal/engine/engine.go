@@ -1,0 +1,342 @@
+// Package engine is the public face of the database: it wires the SQL
+// front end, planner, executor, and storage into a single main-memory
+// engine with autocommit and explicit transactions.
+package engine
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+
+	"lambdadb/internal/exec"
+	"lambdadb/internal/load"
+	"lambdadb/internal/persist"
+	"lambdadb/internal/plan"
+	"lambdadb/internal/sql"
+	"lambdadb/internal/storage"
+	"lambdadb/internal/types"
+)
+
+// DB is a main-memory database instance.
+type DB struct {
+	store   *storage.Store
+	workers int
+}
+
+// Option configures a DB.
+type Option func(*DB)
+
+// WithWorkers sets the parallelism degree for query execution.
+func WithWorkers(n int) Option {
+	return func(db *DB) {
+		if n > 0 {
+			db.workers = n
+		}
+	}
+}
+
+// Open creates an empty database.
+func Open(opts ...Option) *DB {
+	db := &DB{store: storage.NewStore(), workers: runtime.GOMAXPROCS(0)}
+	for _, o := range opts {
+		o(db)
+	}
+	return db
+}
+
+// Store exposes the underlying storage (tools and benchmarks use it for
+// bulk loading).
+func (db *DB) Store() *storage.Store { return db.store }
+
+// Save writes a snapshot image of the database to path.
+func (db *DB) Save(path string) error { return persist.SaveFile(db.store, path) }
+
+// OpenFile opens a database restored from a snapshot image.
+func OpenFile(path string, opts ...Option) (*DB, error) {
+	store, err := persist.LoadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	db := Open(opts...)
+	db.store = store
+	return db, nil
+}
+
+// Workers returns the configured parallelism degree.
+func (db *DB) Workers() int { return db.workers }
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns (empty for DML).
+	Columns []string
+	// Rows holds the result rows (nil for DML).
+	Rows [][]types.Value
+	// Affected counts rows touched by DML.
+	Affected int
+}
+
+// String renders the result as an aligned text table.
+func (r *Result) String() string {
+	if len(r.Columns) == 0 {
+		return fmt.Sprintf("(%d rows affected)", r.Affected)
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	cells := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		cells[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			cells[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(vals []string) {
+		for i, v := range vals {
+			if i > 0 {
+				sb.WriteString(" | ")
+			}
+			sb.WriteString(v)
+			for p := len(v); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	for i, w := range widths {
+		if i > 0 {
+			sb.WriteString("-+-")
+		}
+		sb.WriteString(strings.Repeat("-", w))
+	}
+	sb.WriteByte('\n')
+	for _, row := range cells {
+		writeRow(row)
+	}
+	fmt.Fprintf(&sb, "(%d rows)\n", len(r.Rows))
+	return sb.String()
+}
+
+// Exec parses and executes one or more semicolon-separated statements in
+// autocommit mode, returning the last statement's result.
+func (db *DB) Exec(text string) (*Result, error) {
+	s := db.NewSession()
+	defer s.Close()
+	return s.Exec(text)
+}
+
+// Query is Exec restricted to a single SELECT.
+func (db *DB) Query(text string) (*Result, error) {
+	st, err := sql.ParseOne(text)
+	if err != nil {
+		return nil, err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return nil, fmt.Errorf("Query expects a SELECT statement")
+	}
+	s := db.NewSession()
+	defer s.Close()
+	return s.execSelect(sel)
+}
+
+// MustExec is Exec that panics on error (tests, examples).
+func (db *DB) MustExec(text string) *Result {
+	r, err := db.Exec(text)
+	if err != nil {
+		panic(fmt.Sprintf("MustExec(%q): %v", text, err))
+	}
+	return r
+}
+
+// Session is a connection-like handle holding transaction state.
+// Statements outside BEGIN...COMMIT autocommit. Within an explicit
+// transaction, reads see the snapshot taken at BEGIN; buffered writes
+// become visible at COMMIT (no read-your-own-writes).
+type Session struct {
+	db  *DB
+	txn *storage.Txn
+}
+
+// NewSession opens a session.
+func (db *DB) NewSession() *Session { return &Session{db: db} }
+
+// Close rolls back any open transaction.
+func (s *Session) Close() {
+	if s.txn != nil {
+		s.txn.Rollback()
+		s.txn = nil
+	}
+}
+
+// InTransaction reports whether an explicit transaction is open.
+func (s *Session) InTransaction() bool { return s.txn != nil }
+
+// Exec executes one or more statements, returning the last result.
+func (s *Session) Exec(text string) (*Result, error) {
+	stmts, err := sql.Parse(text)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 0 {
+		return &Result{}, nil
+	}
+	var last *Result
+	for _, st := range stmts {
+		r, err := s.execStatement(st)
+		if err != nil {
+			return nil, err
+		}
+		last = r
+	}
+	return last, nil
+}
+
+func (s *Session) execStatement(st sql.Statement) (*Result, error) {
+	switch n := st.(type) {
+	case *sql.CreateTable:
+		return s.execCreate(n)
+	case *sql.DropTable:
+		return s.execDrop(n)
+	case *sql.Insert:
+		return s.execInsert(n)
+	case *sql.Update:
+		return s.execUpdate(n)
+	case *sql.Delete:
+		return s.execDelete(n)
+	case *sql.Select:
+		return s.execSelect(n)
+	case *sql.Begin:
+		if s.txn != nil {
+			return nil, fmt.Errorf("transaction already open")
+		}
+		s.txn = s.db.store.Begin()
+		return &Result{}, nil
+	case *sql.Commit:
+		if s.txn == nil {
+			return nil, fmt.Errorf("no transaction open")
+		}
+		err := s.txn.Commit()
+		s.txn = nil
+		return &Result{}, err
+	case *sql.Rollback:
+		if s.txn == nil {
+			return nil, fmt.Errorf("no transaction open")
+		}
+		s.txn.Rollback()
+		s.txn = nil
+		return &Result{}, nil
+	case *sql.Copy:
+		return s.execCopy(n)
+	case *sql.Explain:
+		b := plan.NewBuilder(s.db.store, s.snapshot())
+		node, err := b.BuildSelect(n.Query)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Columns: []string{"plan"}}
+		for _, line := range strings.Split(strings.TrimRight(plan.ExplainTree(node), "\n"), "\n") {
+			res.Rows = append(res.Rows, []types.Value{types.NewString(line)})
+		}
+		return res, nil
+	}
+	return nil, fmt.Errorf("unsupported statement %T", st)
+}
+
+// execCopy bulk-loads a CSV file into a table (instant-loading style).
+func (s *Session) execCopy(n *sql.Copy) (*Result, error) {
+	if s.txn != nil {
+		return nil, fmt.Errorf("COPY is not supported inside an explicit transaction")
+	}
+	f, err := os.Open(n.Path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rows, err := load.CSV(s.db.store, n.Table, f, load.Options{
+		Header:    n.Header,
+		Delimiter: n.Delimiter,
+		Workers:   s.db.workers,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Affected: rows}, nil
+}
+
+// snapshot returns the read snapshot for the current statement.
+func (s *Session) snapshot() uint64 {
+	if s.txn != nil {
+		return s.txn.Snapshot()
+	}
+	return s.db.store.Snapshot()
+}
+
+// write runs fn against the session transaction, or an autocommit one.
+func (s *Session) write(fn func(tx *storage.Txn) error) error {
+	if s.txn != nil {
+		return fn(s.txn)
+	}
+	tx := s.db.store.Begin()
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+func (s *Session) execCreate(n *sql.CreateTable) (*Result, error) {
+	_, err := s.db.store.CreateTable(n.Name, n.Schema)
+	if err != nil && n.IfNotExists {
+		return &Result{}, nil
+	}
+	return &Result{}, err
+}
+
+func (s *Session) execDrop(n *sql.DropTable) (*Result, error) {
+	err := s.db.store.DropTable(n.Name)
+	if err != nil && n.IfExists {
+		return &Result{}, nil
+	}
+	return &Result{}, err
+}
+
+func (s *Session) execSelect(sel *sql.Select) (*Result, error) {
+	b := plan.NewBuilder(s.db.store, s.snapshot())
+	node, err := b.BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	ctx := exec.NewContext()
+	ctx.Workers = s.db.workers
+	mat, err := exec.Run(node, ctx)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Columns: mat.Schema.Names(), Rows: mat.Rows()}, nil
+}
+
+// Explain returns the optimized logical plan of a SELECT as text.
+func (s *Session) Explain(text string) (string, error) {
+	st, err := sql.ParseOne(text)
+	if err != nil {
+		return "", err
+	}
+	sel, ok := st.(*sql.Select)
+	if !ok {
+		return "", fmt.Errorf("EXPLAIN supports SELECT only")
+	}
+	b := plan.NewBuilder(s.db.store, s.snapshot())
+	node, err := b.BuildSelect(sel)
+	if err != nil {
+		return "", err
+	}
+	return plan.ExplainTree(node), nil
+}

@@ -1,0 +1,503 @@
+package engine
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// newTestDB returns a DB preloaded with small tables used across tests.
+func newTestDB(t *testing.T) *DB {
+	t.Helper()
+	db := Open(WithWorkers(2))
+	db.MustExec(`CREATE TABLE nums (n BIGINT, f DOUBLE, s VARCHAR)`)
+	db.MustExec(`INSERT INTO nums VALUES
+		(1, 1.5, 'a'), (2, 2.5, 'b'), (3, 3.5, 'c'), (4, 4.5, 'a'), (5, 5.5, 'b')`)
+	return db
+}
+
+func queryInts(t *testing.T, db *DB, q string) []int64 {
+	t.Helper()
+	r, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	out := make([]int64, 0, len(r.Rows))
+	for _, row := range r.Rows {
+		out = append(out, row[0].AsInt())
+	}
+	return out
+}
+
+func queryOneFloat(t *testing.T, db *DB, q string) float64 {
+	t.Helper()
+	r, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("Query(%q): %v", q, err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("Query(%q): got %d rows, want 1", q, len(r.Rows))
+	}
+	return r.Rows[0][0].AsFloat()
+}
+
+func TestSelectBasics(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT n, f FROM nums WHERE n > 2 ORDER BY n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 3 || r.Rows[0][0].I != 3 || r.Rows[2][0].I != 5 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Columns[0] != "n" || r.Columns[1] != "f" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+}
+
+func TestSelectExpressionsAndAliases(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT n * 2 AS dbl, f + 0.5 FROM nums WHERE s = 'a' ORDER BY dbl`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 2 || r.Rows[1][0].I != 8 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Columns[0] != "dbl" {
+		t.Errorf("columns = %v", r.Columns)
+	}
+	if r.Rows[0][1].F != 2.0 {
+		t.Errorf("f+0.5 = %v", r.Rows[0][1])
+	}
+}
+
+func TestSelectWithoutFrom(t *testing.T) {
+	db := Open()
+	r, err := db.Query(`SELECT 6 * 7 AS answer, 'hi' AS greeting`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].I != 42 || r.Rows[0][1].S != "hi" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestAggregates(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT count(*), sum(n), avg(f), min(n), max(f) FROM nums`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	row := r.Rows[0]
+	if row[0].I != 5 || row[1].I != 15 {
+		t.Errorf("count/sum = %v", row)
+	}
+	if math.Abs(row[2].F-3.5) > 1e-12 {
+		t.Errorf("avg = %v", row[2])
+	}
+	if row[3].I != 1 || row[4].F != 5.5 {
+		t.Errorf("min/max = %v", row)
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT s, count(*) AS c, sum(n) AS total
+		FROM nums GROUP BY s HAVING count(*) > 1 ORDER BY s`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].S != "a" || r.Rows[0][1].I != 2 || r.Rows[0][2].I != 5 {
+		t.Errorf("group a = %v", r.Rows[0])
+	}
+	if r.Rows[1][0].S != "b" || r.Rows[1][2].I != 7 {
+		t.Errorf("group b = %v", r.Rows[1])
+	}
+}
+
+func TestGroupByNonGroupedColumnRejected(t *testing.T) {
+	db := newTestDB(t)
+	_, err := db.Query(`SELECT s, n FROM nums GROUP BY s`)
+	if err == nil || !strings.Contains(err.Error(), "GROUP BY") {
+		t.Errorf("expected GROUP BY error, got %v", err)
+	}
+}
+
+func TestGlobalAggregateOnEmptyTable(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE empty1 (x BIGINT)`)
+	r, err := db.Query(`SELECT count(*), sum(x), avg(x) FROM empty1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].I != 0 || !r.Rows[0][1].Null || !r.Rows[0][2].Null {
+		t.Errorf("empty aggregate = %v", r.Rows[0])
+	}
+}
+
+func TestDistinct(t *testing.T) {
+	db := newTestDB(t)
+	got := queryInts(t, db, `SELECT DISTINCT s FROM nums ORDER BY s`)
+	_ = got
+	r, _ := db.Query(`SELECT DISTINCT s FROM nums ORDER BY s`)
+	if len(r.Rows) != 3 {
+		t.Fatalf("distinct rows = %v", r.Rows)
+	}
+}
+
+func TestOrderByLimitOffset(t *testing.T) {
+	db := newTestDB(t)
+	got := queryInts(t, db, `SELECT n FROM nums ORDER BY n DESC LIMIT 2 OFFSET 1`)
+	if len(got) != 2 || got[0] != 4 || got[1] != 3 {
+		t.Fatalf("got %v", got)
+	}
+	// Positional ORDER BY.
+	got = queryInts(t, db, `SELECT n FROM nums ORDER BY 1 DESC LIMIT 1`)
+	if len(got) != 1 || got[0] != 5 {
+		t.Fatalf("positional order by got %v", got)
+	}
+}
+
+func TestJoinInner(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`CREATE TABLE labels (n BIGINT, tag VARCHAR)`)
+	db.MustExec(`INSERT INTO labels VALUES (1, 'one'), (3, 'three'), (9, 'nine')`)
+	r, err := db.Query(`SELECT nums.n, labels.tag FROM nums JOIN labels ON nums.n = labels.n ORDER BY nums.n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][0].I != 1 || r.Rows[0][1].S != "one" {
+		t.Errorf("row 0 = %v", r.Rows[0])
+	}
+	if r.Rows[1][0].I != 3 || r.Rows[1][1].S != "three" {
+		t.Errorf("row 1 = %v", r.Rows[1])
+	}
+}
+
+func TestJoinLeft(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`CREATE TABLE labels2 (n BIGINT, tag VARCHAR)`)
+	db.MustExec(`INSERT INTO labels2 VALUES (1, 'one')`)
+	r, err := db.Query(`SELECT nums.n, labels2.tag FROM nums LEFT JOIN labels2 ON nums.n = labels2.n ORDER BY nums.n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	if r.Rows[0][1].S != "one" {
+		t.Errorf("row 0 = %v", r.Rows[0])
+	}
+	for _, row := range r.Rows[1:] {
+		if !row[1].Null {
+			t.Errorf("expected NULL tag, got %v", row)
+		}
+	}
+}
+
+func TestJoinCrossAndNonEqui(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`CREATE TABLE small1 (a BIGINT)`)
+	db.MustExec(`INSERT INTO small1 VALUES (1), (2)`)
+	r, err := db.Query(`SELECT count(*) FROM nums, small1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 10 {
+		t.Errorf("cross join count = %v", r.Rows[0][0])
+	}
+	// Non-equi join condition → nested loop.
+	r, err = db.Query(`SELECT count(*) FROM nums JOIN small1 ON nums.n < small1.a`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 1 { // only (1 < 2)
+		t.Errorf("non-equi count = %v", r.Rows[0][0])
+	}
+}
+
+func TestSelfJoinWithAliases(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT a.n, b.n FROM nums a JOIN nums b ON a.n = b.n WHERE a.n <= 2 ORDER BY a.n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 1 || r.Rows[1][1].I != 2 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}
+
+func TestSubqueryInFrom(t *testing.T) {
+	db := newTestDB(t)
+	got := queryInts(t, db, `SELECT big.n FROM (SELECT n FROM nums WHERE n > 3) AS big ORDER BY big.n`)
+	if len(got) != 2 || got[0] != 4 || got[1] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestUnion(t *testing.T) {
+	db := newTestDB(t)
+	got := queryInts(t, db, `SELECT n FROM nums WHERE n <= 2 UNION ALL SELECT n FROM nums WHERE n >= 4 ORDER BY n`)
+	if len(got) != 4 {
+		t.Fatalf("union all got %v", got)
+	}
+	got = queryInts(t, db, `SELECT 1 UNION SELECT 1 UNION SELECT 2 ORDER BY 1`)
+	if len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("union distinct got %v", got)
+	}
+}
+
+func TestCTE(t *testing.T) {
+	db := newTestDB(t)
+	got := queryInts(t, db, `WITH big AS (SELECT n FROM nums WHERE n > 3)
+		SELECT n FROM big ORDER BY n`)
+	if len(got) != 2 || got[0] != 4 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecursiveCTE(t *testing.T) {
+	db := Open()
+	got := queryInts(t, db, `WITH RECURSIVE r (n) AS (
+		SELECT 1
+		UNION ALL
+		SELECT n + 1 FROM r WHERE n < 10
+	) SELECT n FROM r ORDER BY n`)
+	if len(got) != 10 || got[0] != 1 || got[9] != 10 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestRecursiveCTEUnionDistinctFixpoint(t *testing.T) {
+	// Transitive closure over a cyclic graph requires UNION (distinct)
+	// to terminate.
+	db := Open()
+	db.MustExec(`CREATE TABLE edge (src BIGINT, dst BIGINT)`)
+	db.MustExec(`INSERT INTO edge VALUES (1,2), (2,3), (3,1)`)
+	got := queryInts(t, db, `WITH RECURSIVE reach (v) AS (
+		SELECT 1
+		UNION
+		SELECT edge.dst FROM reach JOIN edge ON reach.v = edge.src
+	) SELECT v FROM reach ORDER BY v`)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestIterateListing1(t *testing.T) {
+	// The paper's Listing 1: smallest three-digit multiple of seven.
+	db := Open()
+	got := queryInts(t, db, `SELECT * FROM ITERATE (
+		(SELECT 7 "x"),
+		(SELECT x + 7 FROM iterate),
+		(SELECT x FROM iterate WHERE x >= 100))`)
+	if len(got) != 1 || got[0] != 105 {
+		t.Fatalf("got %v, want [105]", got)
+	}
+}
+
+func TestIterateKeepsConstantSize(t *testing.T) {
+	// Non-appending semantics: result is only the last iteration.
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT * FROM ITERATE (
+		(SELECT n, f FROM nums),
+		(SELECT n, f * 2 FROM iterate),
+		(SELECT n FROM iterate WHERE f > 100))`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 5 {
+		t.Fatalf("iterate result has %d rows, want 5", len(r.Rows))
+	}
+}
+
+func TestIterateInfiniteLoopAborted(t *testing.T) {
+	db := Open()
+	_, err := db.Query(`SELECT * FROM ITERATE (
+		(SELECT 1 "x"),
+		(SELECT x FROM iterate),
+		(SELECT x FROM iterate WHERE x > 2))`)
+	if err == nil || !strings.Contains(err.Error(), "iterations") {
+		t.Errorf("expected infinite-loop abort, got %v", err)
+	}
+}
+
+func TestUpdateDelete(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Exec(`UPDATE nums SET f = f + 10 WHERE n <= 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	if got := queryOneFloat(t, db, `SELECT sum(f) FROM nums`); math.Abs(got-37.5) > 1e-9 {
+		t.Errorf("sum after update = %v", got)
+	}
+	r, err = db.Exec(`DELETE FROM nums WHERE s = 'b'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 {
+		t.Fatalf("delete affected = %d", r.Affected)
+	}
+	got := queryInts(t, db, `SELECT count(*) FROM nums`)
+	if got[0] != 3 {
+		t.Errorf("count after delete = %v", got)
+	}
+}
+
+func TestTransactionCommitRollback(t *testing.T) {
+	db := newTestDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	if _, err := s.Exec(`BEGIN`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Exec(`INSERT INTO nums VALUES (100, 1.0, 'z')`); err != nil {
+		t.Fatal(err)
+	}
+	// Another session must not see the uncommitted row.
+	if got := queryInts(t, db, `SELECT count(*) FROM nums`); got[0] != 5 {
+		t.Errorf("uncommitted row visible: count = %v", got)
+	}
+	if _, err := s.Exec(`COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryInts(t, db, `SELECT count(*) FROM nums`); got[0] != 6 {
+		t.Errorf("after commit: count = %v", got)
+	}
+
+	if _, err := s.Exec(`BEGIN; DELETE FROM nums; ROLLBACK`); err != nil {
+		t.Fatal(err)
+	}
+	if got := queryInts(t, db, `SELECT count(*) FROM nums`); got[0] != 6 {
+		t.Errorf("after rollback: count = %v", got)
+	}
+}
+
+func TestInsertSelect(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`CREATE TABLE copy1 (n BIGINT, f DOUBLE, s VARCHAR)`)
+	r, err := db.Exec(`INSERT INTO copy1 SELECT n, f, s FROM nums WHERE n > 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 {
+		t.Fatalf("affected = %d", r.Affected)
+	}
+	if got := queryInts(t, db, `SELECT count(*) FROM copy1`); got[0] != 2 {
+		t.Errorf("copied rows = %v", got)
+	}
+}
+
+func TestInsertColumnSubsetAndCoercion(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`INSERT INTO nums (n) VALUES (99)`)
+	r, err := db.Query(`SELECT f, s FROM nums WHERE n = 99`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r.Rows[0][0].Null || !r.Rows[0][1].Null {
+		t.Errorf("unset columns should be NULL, got %v", r.Rows[0])
+	}
+	// Int literal into DOUBLE column.
+	db.MustExec(`INSERT INTO nums VALUES (50, 2, 'w')`)
+	if got := queryOneFloat(t, db, `SELECT f FROM nums WHERE n = 50`); got != 2.0 {
+		t.Errorf("coerced f = %v", got)
+	}
+}
+
+func TestErrorCases(t *testing.T) {
+	db := newTestDB(t)
+	for _, q := range []string{
+		`SELECT nope FROM nums`,
+		`SELECT * FROM missing`,
+		`INSERT INTO nums VALUES (1)`,
+		`INSERT INTO missing VALUES (1)`,
+		`UPDATE nums SET missing = 1`,
+		`DELETE FROM missing`,
+		`SELECT n FROM nums ORDER BY missing`,
+		`SELECT sum(s) FROM nums`,
+		`SELECT * FROM nums WHERE n`,
+	} {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("Exec(%q) should fail", q)
+		}
+	}
+}
+
+func TestCreateDropIfExists(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE t1 (a BIGINT)`)
+	if _, err := db.Exec(`CREATE TABLE t1 (a BIGINT)`); err == nil {
+		t.Error("duplicate CREATE should fail")
+	}
+	db.MustExec(`CREATE TABLE IF NOT EXISTS t1 (a BIGINT)`)
+	db.MustExec(`DROP TABLE t1`)
+	if _, err := db.Exec(`DROP TABLE t1`); err == nil {
+		t.Error("DROP of missing table should fail")
+	}
+	db.MustExec(`DROP TABLE IF EXISTS t1`)
+}
+
+func TestResultString(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT n, s FROM nums WHERE n = 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := r.String()
+	if !strings.Contains(s, "n") || !strings.Contains(s, "(1 rows)") {
+		t.Errorf("String() = %q", s)
+	}
+}
+
+func TestExplain(t *testing.T) {
+	db := newTestDB(t)
+	s := db.NewSession()
+	defer s.Close()
+	out, err := s.Explain(`SELECT n FROM nums WHERE n > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "Scan nums") || !strings.Contains(out, "Filter") {
+		t.Errorf("explain = %q", out)
+	}
+}
+
+func TestCaseInQuery(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT n, CASE WHEN n % 2 = 0 THEN 'even' ELSE 'odd' END AS parity
+		FROM nums ORDER BY n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][1].S != "odd" || r.Rows[1][1].S != "even" {
+		t.Errorf("parity = %v %v", r.Rows[0], r.Rows[1])
+	}
+}
+
+func TestPredicatePushdownThroughJoinGivesSameResult(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`CREATE TABLE other (n BIGINT, v DOUBLE)`)
+	db.MustExec(`INSERT INTO other VALUES (1, 10), (2, 20), (3, 30), (4, 40), (5, 50)`)
+	r, err := db.Query(`SELECT nums.n, other.v FROM nums JOIN other ON nums.n = other.n
+		WHERE nums.n > 2 AND other.v < 50 ORDER BY nums.n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][0].I != 3 || r.Rows[1][0].I != 4 {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+}

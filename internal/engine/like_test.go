@@ -1,0 +1,33 @@
+package engine
+
+import "testing"
+
+func TestLikeInSQL(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE names (n VARCHAR)`)
+	db.MustExec(`INSERT INTO names VALUES ('alice'), ('bob'), ('carol'), ('albert')`)
+	r, err := db.Query(`SELECT n FROM names WHERE n LIKE 'al%' ORDER BY n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 || r.Rows[0][0].S != "albert" || r.Rows[1][0].S != "alice" {
+		t.Fatalf("rows = %v", r.Rows)
+	}
+	r, err = db.Query(`SELECT count(*) FROM names WHERE n NOT LIKE '%o%'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 2 { // alice, albert
+		t.Errorf("NOT LIKE count = %v", r.Rows[0][0])
+	}
+	r, err = db.Query(`SELECT count(*) FROM names WHERE n LIKE '_ob'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 1 {
+		t.Errorf("underscore count = %v", r.Rows[0][0])
+	}
+	if _, err := db.Query(`SELECT * FROM names WHERE n LIKE 5`); err == nil {
+		t.Error("non-string pattern should fail to parse")
+	}
+}

@@ -1,0 +1,44 @@
+package engine
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestSaveAndOpenFile(t *testing.T) {
+	db := newTestDB(t)
+	db.MustExec(`CREATE TABLE edges (src BIGINT, dest BIGINT)`)
+	db.MustExec(`INSERT INTO edges VALUES (1,2),(2,1)`)
+	path := filepath.Join(t.TempDir(), "db.img")
+	if err := db.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	restored, err := OpenFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := queryInts(t, restored, `SELECT count(*) FROM nums`)
+	if got[0] != 5 {
+		t.Errorf("restored rows = %v", got)
+	}
+	// The restored database is fully queryable including analytics.
+	r, err := restored.Query(`SELECT count(*) FROM PAGERANK ((SELECT src, dest FROM edges), 0.85, 0.0, 5)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 2 {
+		t.Errorf("pagerank on restored db = %v", r.Rows[0][0])
+	}
+	// And writable.
+	restored.MustExec(`INSERT INTO nums VALUES (6, 6.5, 'z')`)
+	if got := queryInts(t, restored, `SELECT count(*) FROM nums`); got[0] != 6 {
+		t.Errorf("post-restore insert: %v", got)
+	}
+}
+
+func TestOpenFileMissing(t *testing.T) {
+	if _, err := OpenFile("/nonexistent/db.img"); err == nil {
+		t.Error("missing image should fail")
+	}
+}

@@ -1,0 +1,268 @@
+package engine
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"lambdadb/internal/types"
+)
+
+// randomTable loads n rows of (k BIGINT, v DOUBLE) with small random values
+// and returns the raw rows for reference computations.
+func randomTable(t *testing.T, db *DB, name string, n int, seed int64) [][2]float64 {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	rows := make([][2]float64, n)
+	store := db.Store()
+	tbl, err := store.CreateTable(name, types.Schema{
+		{Name: "k", Type: types.Int64},
+		{Name: "v", Type: types.Float64},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := store.Begin()
+	b := types.NewBatch(tbl.Schema())
+	for i := range rows {
+		k := float64(r.Intn(10))
+		v := math.Round(r.Float64()*100) / 4 // exact quarters: float-sum safe
+		rows[i] = [2]float64{k, v}
+		b.Cols[0].AppendInt(int64(k))
+		b.Cols[1].AppendFloat(v)
+	}
+	if err := tx.Insert(tbl, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+// TestAggregatesMatchReference cross-checks SQL aggregation against a
+// straightforward Go computation over many random datasets.
+func TestAggregatesMatchReference(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		db := Open()
+		rows := randomTable(t, db, "t", 500+trial*100, int64(trial))
+
+		// Reference group-by.
+		type agg struct {
+			count    int64
+			sum      float64
+			min, max float64
+		}
+		ref := map[int64]*agg{}
+		for _, row := range rows {
+			k := int64(row[0])
+			a, ok := ref[k]
+			if !ok {
+				a = &agg{min: math.Inf(1), max: math.Inf(-1)}
+				ref[k] = a
+			}
+			a.count++
+			a.sum += row[1]
+			a.min = math.Min(a.min, row[1])
+			a.max = math.Max(a.max, row[1])
+		}
+
+		r, err := db.Query(`SELECT k, count(*), sum(v), min(v), max(v), avg(v) FROM t GROUP BY k ORDER BY k`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(r.Rows) != len(ref) {
+			t.Fatalf("trial %d: %d groups, want %d", trial, len(r.Rows), len(ref))
+		}
+		for _, row := range r.Rows {
+			k := row[0].I
+			a := ref[k]
+			if a == nil {
+				t.Fatalf("trial %d: unexpected group %d", trial, k)
+			}
+			if row[1].I != a.count {
+				t.Errorf("trial %d group %d: count %d want %d", trial, k, row[1].I, a.count)
+			}
+			if math.Abs(row[2].F-a.sum) > 1e-9 {
+				t.Errorf("trial %d group %d: sum %v want %v", trial, k, row[2].F, a.sum)
+			}
+			if row[3].F != a.min || row[4].F != a.max {
+				t.Errorf("trial %d group %d: min/max %v/%v want %v/%v",
+					trial, k, row[3].F, row[4].F, a.min, a.max)
+			}
+			if math.Abs(row[5].F-a.sum/float64(a.count)) > 1e-9 {
+				t.Errorf("trial %d group %d: avg %v", trial, k, row[5].F)
+			}
+		}
+	}
+}
+
+// TestFilterMatchesReference cross-checks WHERE evaluation against Go.
+func TestFilterMatchesReference(t *testing.T) {
+	for trial := 0; trial < 10; trial++ {
+		db := Open()
+		rows := randomTable(t, db, "t", 400, int64(100+trial))
+		lo := float64(trial * 3)
+		hi := lo + 10
+		want := 0
+		for _, row := range rows {
+			if row[1] > lo && row[1] <= hi || int64(row[0])%2 == 0 {
+				want++
+			}
+		}
+		q := fmt.Sprintf(`SELECT count(*) FROM t WHERE (v > %g AND v <= %g) OR k %% 2 = 0`, lo, hi)
+		r, err := db.Query(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(r.Rows[0][0].I); got != want {
+			t.Errorf("trial %d: filter count %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestJoinMatchesReference cross-checks an equi-join against a nested loop
+// in Go.
+func TestJoinMatchesReference(t *testing.T) {
+	for trial := 0; trial < 5; trial++ {
+		db := Open()
+		a := randomTable(t, db, "a", 200, int64(200+trial))
+		b := randomTable(t, db, "b", 150, int64(300+trial))
+		want := 0
+		for _, ra := range a {
+			for _, rb := range b {
+				if int64(ra[0]) == int64(rb[0]) {
+					want++
+				}
+			}
+		}
+		r, err := db.Query(`SELECT count(*) FROM a JOIN b ON a.k = b.k`)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := int(r.Rows[0][0].I); got != want {
+			t.Errorf("trial %d: join count %d, want %d", trial, got, want)
+		}
+	}
+}
+
+// TestOrderByIsSorted checks ordering over random data, including ties
+// (stability is not required, only correct ordering of the key).
+func TestOrderByIsSorted(t *testing.T) {
+	db := Open()
+	rows := randomTable(t, db, "t", 1000, 42)
+	r, err := db.Query(`SELECT v FROM t ORDER BY v DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(rows) {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for i := 1; i < len(r.Rows); i++ {
+		if r.Rows[i][0].F > r.Rows[i-1][0].F {
+			t.Fatalf("row %d out of order: %v after %v", i, r.Rows[i][0].F, r.Rows[i-1][0].F)
+		}
+	}
+	// Same multiset as input.
+	want := make([]float64, len(rows))
+	for i, row := range rows {
+		want[i] = row[1]
+	}
+	got := make([]float64, len(r.Rows))
+	for i, row := range r.Rows {
+		got[i] = row[0].F
+	}
+	sort.Float64s(want)
+	sort.Float64s(got)
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("value multiset differs at %d", i)
+		}
+	}
+}
+
+// TestDistinctMatchesReference checks DISTINCT against a Go set.
+func TestDistinctMatchesReference(t *testing.T) {
+	db := Open()
+	rows := randomTable(t, db, "t", 800, 7)
+	set := map[int64]bool{}
+	for _, row := range rows {
+		set[int64(row[0])] = true
+	}
+	r, err := db.Query(`SELECT DISTINCT k FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != len(set) {
+		t.Fatalf("distinct = %d, want %d", len(r.Rows), len(set))
+	}
+	seen := map[int64]bool{}
+	for _, row := range r.Rows {
+		if seen[row[0].I] {
+			t.Fatalf("duplicate %d in DISTINCT output", row[0].I)
+		}
+		seen[row[0].I] = true
+		if !set[row[0].I] {
+			t.Fatalf("phantom value %d", row[0].I)
+		}
+	}
+}
+
+// TestUnionAllCounts checks UNION ALL concatenation semantics.
+func TestUnionAllCounts(t *testing.T) {
+	db := Open()
+	a := randomTable(t, db, "a", 300, 1)
+	b := randomTable(t, db, "b", 200, 2)
+	r, err := db.Query(`SELECT count(*) FROM (SELECT k FROM a UNION ALL SELECT k FROM b) u`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(r.Rows[0][0].I) != len(a)+len(b) {
+		t.Errorf("union all count = %v", r.Rows[0][0])
+	}
+}
+
+// TestIterateEquivalentToGoLoop: for a deterministic numeric recurrence,
+// ITERATE must agree with the direct computation, for random parameters.
+func TestIterateEquivalentToGoLoop(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 8; trial++ {
+		start := float64(r.Intn(10) + 1)
+		factor := 1 + float64(r.Intn(5)+1)/10 // 1.1 .. 1.5
+		iters := r.Intn(10) + 1
+		want := start
+		for i := 0; i < iters; i++ {
+			want = want*factor + 1
+		}
+		db := Open()
+		q := fmt.Sprintf(`SELECT x FROM ITERATE (
+			(SELECT %.1f AS x, 0 AS iter),
+			(SELECT x * %g + 1, iter + 1 FROM iterate),
+			(SELECT x FROM iterate WHERE iter >= %d))`, start, factor, iters)
+		res, err := db.Query(q)
+		if err != nil {
+			t.Fatalf("trial %d: %v\n%s", trial, err, q)
+		}
+		if got := res.Rows[0][0].AsFloat(); math.Abs(got-want) > 1e-9*math.Abs(want) {
+			t.Errorf("trial %d: iterate %v, want %v", trial, got, want)
+		}
+	}
+}
+
+// TestResultStringAlignment sanity-checks the text table renderer.
+func TestResultStringAlignment(t *testing.T) {
+	db := Open()
+	db.MustExec(`CREATE TABLE w (a VARCHAR, b BIGINT)`)
+	db.MustExec(`INSERT INTO w VALUES ('longvaluehere', 1), ('x', 22222)`)
+	r, _ := db.Query(`SELECT a, b FROM w ORDER BY b`)
+	lines := strings.Split(strings.TrimSpace(r.String()), "\n")
+	if len(lines) != 5 { // header, separator, 2 rows, count
+		t.Fatalf("lines = %q", lines)
+	}
+	if len(lines[2]) != len(lines[3]) {
+		t.Errorf("rows not aligned:\n%s", r)
+	}
+}

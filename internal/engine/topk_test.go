@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTopKPlanFusion(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Exec(`EXPLAIN SELECT n FROM nums ORDER BY n DESC LIMIT 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	joined := ""
+	for _, row := range r.Rows {
+		joined += row[0].S + "\n"
+	}
+	if !strings.Contains(joined, "TopK 2") {
+		t.Errorf("Limit over Sort not fused to TopK:\n%s", joined)
+	}
+}
+
+func TestTopKMatchesFullSort(t *testing.T) {
+	db := Open()
+	rows := randomTable(t, db, "t", 5000, 99)
+	_ = rows
+	limited, err := db.Query(`SELECT v FROM t ORDER BY v DESC LIMIT 25`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Query(`SELECT v FROM t ORDER BY v DESC`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(limited.Rows) != 25 {
+		t.Fatalf("limited rows = %d", len(limited.Rows))
+	}
+	for i := range limited.Rows {
+		if limited.Rows[i][0].F != full.Rows[i][0].F {
+			t.Errorf("row %d: topk %v vs full %v", i, limited.Rows[i][0].F, full.Rows[i][0].F)
+		}
+	}
+}
+
+func TestTopKWithOffset(t *testing.T) {
+	db := Open()
+	randomTable(t, db, "t", 2000, 5)
+	withOffset, err := db.Query(`SELECT v FROM t ORDER BY v LIMIT 10 OFFSET 7`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := db.Query(`SELECT v FROM t ORDER BY v`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(withOffset.Rows) != 10 {
+		t.Fatalf("rows = %d", len(withOffset.Rows))
+	}
+	for i := range withOffset.Rows {
+		if withOffset.Rows[i][0].F != full.Rows[i+7][0].F {
+			t.Errorf("offset row %d: %v vs %v", i, withOffset.Rows[i][0].F, full.Rows[i+7][0].F)
+		}
+	}
+}
+
+func TestTopKLargerThanInput(t *testing.T) {
+	db := newTestDB(t)
+	got := queryInts(t, db, `SELECT n FROM nums ORDER BY n LIMIT 100`)
+	if len(got) != 5 || got[0] != 1 || got[4] != 5 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestLimitZero(t *testing.T) {
+	db := newTestDB(t)
+	got := queryInts(t, db, `SELECT n FROM nums ORDER BY n LIMIT 0`)
+	if len(got) != 0 {
+		t.Fatalf("LIMIT 0 returned %v", got)
+	}
+}
+
+func TestTopKMultiKey(t *testing.T) {
+	db := newTestDB(t)
+	r, err := db.Query(`SELECT s, n FROM nums ORDER BY s DESC, n ASC LIMIT 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nums: (1,a) (2,b) (3,c) (4,a) (5,b) → ordered: (c,3) (b,2) (b,5).
+	want := [][2]interface{}{{"c", int64(3)}, {"b", int64(2)}, {"b", int64(5)}}
+	for i, w := range want {
+		if r.Rows[i][0].S != w[0].(string) || r.Rows[i][1].I != w[1].(int64) {
+			t.Errorf("row %d = %v, want %v", i, r.Rows[i], w)
+		}
+	}
+}

@@ -1,0 +1,439 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"lambdadb/internal/expr"
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// aggState accumulates one aggregate for one group. Numeric sums are kept
+// in both integer and float domains depending on the argument type.
+type aggState struct {
+	count int64
+	sumI  int64
+	sumF  float64
+	sumSq float64 // for stddev/variance
+	min   types.Value
+	max   types.Value
+	seen  bool
+}
+
+// group holds a group's key values and aggregate states.
+type group struct {
+	keys   []types.Value
+	states []aggState
+}
+
+// aggHash is a chained hash table over groups.
+type aggHash struct {
+	buckets map[uint64][]*group
+	groups  []*group // insertion order
+	nAggs   int
+}
+
+func newAggHash(nAggs int) *aggHash {
+	return &aggHash{buckets: map[uint64][]*group{}, nAggs: nAggs}
+}
+
+// lookup returns the group for the given key row, creating it on demand.
+func (h *aggHash) lookup(keys []types.Value) *group {
+	var hv uint64
+	for _, k := range keys {
+		if k.Null {
+			// GROUP BY treats NULLs as one group; give them a fixed hash.
+			hv = types.HashCombine(hv, 0x9e3779b97f4a7c15)
+		} else {
+			hv = types.HashCombine(hv, k.Hash())
+		}
+	}
+	for _, g := range h.buckets[hv] {
+		if groupKeysEqual(g.keys, keys) {
+			return g
+		}
+	}
+	g := &group{keys: append([]types.Value{}, keys...), states: make([]aggState, h.nAggs)}
+	h.buckets[hv] = append(h.buckets[hv], g)
+	h.groups = append(h.groups, g)
+	return g
+}
+
+// groupKeysEqual compares group keys with NULL = NULL (SQL GROUP BY
+// semantics, unlike ordinary equality).
+func groupKeysEqual(a, b []types.Value) bool {
+	for i := range a {
+		if a[i].Null != b[i].Null {
+			return false
+		}
+		if !a[i].Null && !a[i].Equal(b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// update folds one input value into an aggregate state.
+func (s *aggState) update(f plan.AggFunc, v types.Value) {
+	if f == plan.AggCountStar {
+		s.count++
+		return
+	}
+	if v.Null {
+		return
+	}
+	switch f {
+	case plan.AggCount:
+		s.count++
+	case plan.AggSum, plan.AggAvg:
+		s.count++
+		if v.T == types.Int64 {
+			s.sumI += v.I
+		} else {
+			s.sumF += v.F
+		}
+	case plan.AggStddev, plan.AggVariance:
+		s.count++
+		f := v.AsFloat()
+		s.sumF += f
+		s.sumSq += f * f
+	case plan.AggMin:
+		if !s.seen || v.Compare(s.min) < 0 {
+			s.min = v
+		}
+		s.seen = true
+	case plan.AggMax:
+		if !s.seen || v.Compare(s.max) > 0 {
+			s.max = v
+		}
+		s.seen = true
+	}
+}
+
+// merge folds another partial state into s (parallel aggregation).
+func (s *aggState) merge(f plan.AggFunc, o aggState) {
+	switch f {
+	case plan.AggCountStar, plan.AggCount:
+		s.count += o.count
+	case plan.AggSum, plan.AggAvg, plan.AggStddev, plan.AggVariance:
+		s.count += o.count
+		s.sumI += o.sumI
+		s.sumF += o.sumF
+		s.sumSq += o.sumSq
+	case plan.AggMin:
+		if o.seen && (!s.seen || o.min.Compare(s.min) < 0) {
+			s.min = o.min
+		}
+		s.seen = s.seen || o.seen
+	case plan.AggMax:
+		if o.seen && (!s.seen || o.max.Compare(s.max) > 0) {
+			s.max = o.max
+		}
+		s.seen = s.seen || o.seen
+	}
+}
+
+// result produces the final value of an aggregate state.
+func (s *aggState) result(spec plan.AggSpec) types.Value {
+	switch spec.Func {
+	case plan.AggCountStar, plan.AggCount:
+		return types.NewInt(s.count)
+	case plan.AggSum:
+		if s.count == 0 {
+			return types.NewNull(spec.Type)
+		}
+		if spec.Type == types.Int64 {
+			return types.NewInt(s.sumI)
+		}
+		return types.NewFloat(s.sumF + float64(s.sumI))
+	case plan.AggAvg:
+		if s.count == 0 {
+			return types.NewNull(types.Float64)
+		}
+		return types.NewFloat((s.sumF + float64(s.sumI)) / float64(s.count))
+	case plan.AggStddev, plan.AggVariance:
+		// Population variance: E[x²] − E[x]², floored at zero against
+		// floating-point cancellation.
+		if s.count == 0 {
+			return types.NewNull(types.Float64)
+		}
+		n := float64(s.count)
+		mean := s.sumF / n
+		variance := s.sumSq/n - mean*mean
+		if variance < 0 {
+			variance = 0
+		}
+		if spec.Func == plan.AggVariance {
+			return types.NewFloat(variance)
+		}
+		return types.NewFloat(math.Sqrt(variance))
+	case plan.AggMin:
+		if !s.seen {
+			return types.NewNull(spec.Type)
+		}
+		return s.min
+	case plan.AggMax:
+		if !s.seen {
+			return types.NewNull(spec.Type)
+		}
+		return s.max
+	}
+	return types.NewNull(spec.Type)
+}
+
+// aggOp is the hash-aggregation operator. When its input pipeline is rooted
+// at a base-table scan it runs morsel-parallel: each worker aggregates a
+// row range into a private hash table, and the tables are merged at the
+// end — the thread-local pattern the paper describes for its analytical
+// operators (Section 6.1).
+type aggOp struct {
+	node   *plan.Aggregate
+	schema types.Schema
+	result *Materialized
+	it     matIterator
+}
+
+func newAggOp(n *plan.Aggregate) (Operator, error) {
+	return &aggOp{node: n, schema: n.Schema()}, nil
+}
+
+func (a *aggOp) Schema() types.Schema { return a.schema }
+
+func (a *aggOp) Open(ctx *Context) error {
+	parts := splitParallel(a.node.Child, ctx.Workers)
+	var total *aggHash
+	var err error
+	if len(parts) > 1 {
+		total, err = a.aggregateParallel(ctx, parts)
+	} else {
+		total, err = a.aggregateSerial(ctx, a.node.Child)
+	}
+	if err != nil {
+		return err
+	}
+	a.result = a.finalize(total)
+	a.it = matIterator{mat: a.result}
+	return nil
+}
+
+func (a *aggOp) aggregateSerial(ctx *Context, child plan.Node) (*aggHash, error) {
+	op, err := Build(child)
+	if err != nil {
+		return nil, err
+	}
+	return a.consume(ctx, op)
+}
+
+func (a *aggOp) aggregateParallel(ctx *Context, parts []plan.Node) (*aggHash, error) {
+	results := make([]*aggHash, len(parts))
+	errs := make([]error, len(parts))
+	var wg sync.WaitGroup
+	for i, part := range parts {
+		wg.Add(1)
+		go func(i int, part plan.Node) {
+			defer wg.Done()
+			op, err := Build(part)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			results[i], errs[i] = a.consume(ctx, op)
+		}(i, part)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	// Merge worker tables into the first.
+	total := results[0]
+	for _, part := range results[1:] {
+		for _, g := range part.groups {
+			dst := total.lookup(g.keys)
+			for ai := range dst.states {
+				dst.states[ai].merge(a.node.Aggs[ai].Func, g.states[ai])
+			}
+		}
+	}
+	return total, nil
+}
+
+// consume drains op, updating a fresh hash table.
+func (a *aggOp) consume(ctx *Context, op Operator) (*aggHash, error) {
+	keyEvals := make([]expr.Evaluator, len(a.node.Keys))
+	for i, k := range a.node.Keys {
+		ev, err := expr.Compile(k)
+		if err != nil {
+			return nil, err
+		}
+		keyEvals[i] = ev
+	}
+	argEvals := make([]expr.Evaluator, len(a.node.Aggs))
+	for i, g := range a.node.Aggs {
+		if g.Arg == nil {
+			continue
+		}
+		ev, err := expr.Compile(g.Arg)
+		if err != nil {
+			return nil, err
+		}
+		argEvals[i] = ev
+	}
+
+	table := newAggHash(len(a.node.Aggs))
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return nil, err
+	}
+	defer op.Close()
+
+	keyBuf := make([]types.Value, len(keyEvals))
+	var global *group
+	if len(keyEvals) == 0 {
+		global = table.lookup(nil)
+	}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		keyCols := make([]*types.Column, len(keyEvals))
+		for i, ev := range keyEvals {
+			if keyCols[i], err = ev(b); err != nil {
+				return nil, err
+			}
+		}
+		argCols := make([]*types.Column, len(argEvals))
+		for i, ev := range argEvals {
+			if ev == nil {
+				continue
+			}
+			if argCols[i], err = ev(b); err != nil {
+				return nil, err
+			}
+		}
+		n := b.Len()
+		for r := 0; r < n; r++ {
+			g := global
+			if g == nil {
+				for i, kc := range keyCols {
+					keyBuf[i] = kc.Value(r)
+				}
+				g = table.lookup(keyBuf)
+			}
+			for ai := range a.node.Aggs {
+				var v types.Value
+				if argCols[ai] != nil {
+					v = argCols[ai].Value(r)
+				}
+				g.states[ai].update(a.node.Aggs[ai].Func, v)
+			}
+		}
+	}
+	return table, nil
+}
+
+// finalize converts the hash table into output batches. Global aggregation
+// (no keys) over empty input still yields one row.
+func (a *aggOp) finalize(table *aggHash) *Materialized {
+	out := &Materialized{Schema: a.schema}
+	batch := types.NewBatch(a.schema)
+	emit := func(g *group) {
+		row := make([]types.Value, 0, len(a.schema))
+		row = append(row, g.keys...)
+		for ai, spec := range a.node.Aggs {
+			row = append(row, g.states[ai].result(spec))
+		}
+		batch.AppendRow(row)
+		if batch.Len() >= types.BatchSize {
+			out.Append(batch)
+			batch = types.NewBatch(a.schema)
+		}
+	}
+	for _, g := range table.groups {
+		emit(g)
+	}
+	out.Append(batch)
+	return out
+}
+
+func (a *aggOp) Next() (*types.Batch, error) { return a.it.next(), nil }
+func (a *aggOp) Close() error                { return nil }
+
+// splitParallel partitions a pipeline rooted at a base-table Scan into
+// row-range morsels, one plan clone per part. It returns nil when the
+// pipeline is not parallelizable (non-scan leaves, or a small table).
+func splitParallel(p plan.Node, parts int) []plan.Node {
+	if parts <= 1 {
+		return nil
+	}
+	scan := findScan(p)
+	if scan == nil {
+		return nil
+	}
+	n := scan.Rel.PhysicalRows()
+	const minRowsPerWorker = 8192
+	if n < 2*minRowsPerWorker {
+		return nil
+	}
+	if parts > n/minRowsPerWorker {
+		parts = n / minRowsPerWorker
+	}
+	out := make([]plan.Node, 0, parts)
+	chunk := (n + parts - 1) / parts
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, clonePipeline(p, lo, hi))
+	}
+	return out
+}
+
+// findScan returns the single base-table Scan at the root of a pipeline of
+// Filter/Project/Alias nodes, or nil.
+func findScan(p plan.Node) *plan.Scan {
+	switch n := p.(type) {
+	case *plan.Scan:
+		return n
+	case *plan.Filter:
+		return findScan(n.Child)
+	case *plan.Project:
+		return findScan(n.Child)
+	case *plan.Alias:
+		return findScan(n.Child)
+	}
+	return nil
+}
+
+// clonePipeline copies a Filter/Project/Alias chain with the leaf Scan
+// restricted to [lo, hi). Expressions are shared; they are immutable after
+// planning.
+func clonePipeline(p plan.Node, lo, hi int) plan.Node {
+	switch n := p.(type) {
+	case *plan.Scan:
+		c := *n
+		c.Lo, c.Hi = lo, hi
+		return &c
+	case *plan.Filter:
+		c := *n
+		c.Child = clonePipeline(n.Child, lo, hi)
+		return &c
+	case *plan.Project:
+		c := *n
+		c.Child = clonePipeline(n.Child, lo, hi)
+		return &c
+	case *plan.Alias:
+		c := *n
+		c.Child = clonePipeline(n.Child, lo, hi)
+		return &c
+	}
+	panic(fmt.Sprintf("clonePipeline: unexpected node %T", p))
+}

@@ -1,0 +1,200 @@
+// Package exec implements the vectorized (batch-at-a-time) physical
+// execution engine: relational operators, the paper's iterate operator and
+// recursive CTEs, and the bridges to the analytical operators.
+//
+// Operators follow the Volcano protocol with batches: Open prepares state,
+// Next returns the next batch (nil at end), Close releases resources.
+// Parallelism is morsel-style: pipelines rooted at a base-table scan can be
+// split into physical row ranges and executed by a worker pool (used by
+// aggregation and the analytical operators' input materialization).
+package exec
+
+import (
+	"fmt"
+	"runtime"
+
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// Context carries per-query execution state.
+type Context struct {
+	// Workers is the parallelism degree for morsel-parallel fragments.
+	Workers int
+	// Bindings maps working-table names (ITERATE, recursive CTEs) to their
+	// current contents.
+	Bindings map[string]*Materialized
+
+	// epoch counts iteration rounds of the innermost running ITERATE /
+	// recursive CTE; epoch-scoped Shared subplans are recomputed when it
+	// advances.
+	epoch uint64
+	// shared caches materialized Shared subplans.
+	shared sharedCache
+}
+
+// BumpEpoch advances the iteration epoch, invalidating epoch-scoped shared
+// materializations. The iterate and recursive-CTE operators call it once
+// per iteration.
+func (c *Context) BumpEpoch() { c.epoch++ }
+
+// NewContext returns a Context with default parallelism.
+func NewContext() *Context {
+	return &Context{
+		Workers:  runtime.GOMAXPROCS(0),
+		Bindings: map[string]*Materialized{},
+	}
+}
+
+// Operator is a physical operator.
+type Operator interface {
+	// Schema returns the operator's output layout.
+	Schema() types.Schema
+	// Open prepares the operator for execution.
+	Open(ctx *Context) error
+	// Next returns the next output batch, or nil when exhausted.
+	Next() (*types.Batch, error)
+	// Close releases resources. It is safe to call after a failed Open.
+	Close() error
+}
+
+// Materialized is a fully computed relation.
+type Materialized struct {
+	Schema  types.Schema
+	Batches []*types.Batch
+	NumRows int
+}
+
+// Append adds a batch.
+func (m *Materialized) Append(b *types.Batch) {
+	if b == nil || b.Len() == 0 {
+		return
+	}
+	m.Batches = append(m.Batches, b)
+	m.NumRows += b.Len()
+}
+
+// Rows flattens the result into value rows (client/result use).
+func (m *Materialized) Rows() [][]types.Value {
+	out := make([][]types.Value, 0, m.NumRows)
+	for _, b := range m.Batches {
+		for i := 0; i < b.Len(); i++ {
+			out = append(out, b.Row(i))
+		}
+	}
+	return out
+}
+
+// Scan yields the materialized batches.
+func (m *Materialized) Scan(yield func(*types.Batch) error) error {
+	for _, b := range m.Batches {
+		if err := yield(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// buildHook lets tests inject physical operators for test-only plan nodes.
+var buildHook func(plan.Node) (Operator, bool)
+
+// Build translates a logical plan into a physical operator tree.
+func Build(p plan.Node) (Operator, error) {
+	if buildHook != nil {
+		if op, ok := buildHook(p); ok {
+			return op, nil
+		}
+	}
+	switch n := p.(type) {
+	case *plan.Scan:
+		return newTableScan(n), nil
+	case *plan.WorkingScan:
+		return newWorkingScan(n), nil
+	case *plan.Values:
+		return newValuesOp(n), nil
+	case *plan.Alias:
+		return Build(n.Child)
+	case *plan.Shared:
+		return newSharedOp(n), nil
+	case *plan.Filter:
+		return newFilterOp(n)
+	case *plan.Project:
+		return newProjectOp(n)
+	case *plan.Join:
+		return newJoinOp(n)
+	case *plan.Aggregate:
+		return newAggOp(n)
+	case *plan.Sort:
+		return newSortOp(n)
+	case *plan.Limit:
+		return newLimitOp(n)
+	case *plan.Distinct:
+		return newDistinctOp(n)
+	case *plan.Union:
+		return newUnionOp(n)
+	case *plan.Iterate:
+		return newIterateOp(n), nil
+	case *plan.RecursiveCTE:
+		return newRecursiveOp(n), nil
+	case *plan.KMeans:
+		return newKMeansOp(n)
+	case *plan.KMeansAssign:
+		return newKMeansAssignOp(n)
+	case *plan.PageRank:
+		return newPageRankOp(n)
+	case *plan.NaiveBayesTrain:
+		return newNBTrainOp(n), nil
+	case *plan.NaiveBayesPredict:
+		return newNBPredictOp(n), nil
+	}
+	return nil, fmt.Errorf("exec: no physical operator for %T", p)
+}
+
+// Run builds, executes, and materializes a plan.
+func Run(p plan.Node, ctx *Context) (*Materialized, error) {
+	op, err := Build(p)
+	if err != nil {
+		return nil, err
+	}
+	return Drain(op, ctx)
+}
+
+// Drain opens an operator, collects all batches, and closes it.
+func Drain(op Operator, ctx *Context) (*Materialized, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return nil, err
+	}
+	out := &Materialized{Schema: op.Schema()}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		out.Append(b)
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// matIterator drains a Materialized as batches (shared by several
+// operators that deliver from a buffered result).
+type matIterator struct {
+	mat *Materialized
+	pos int
+}
+
+func (it *matIterator) next() *types.Batch {
+	if it.mat == nil || it.pos >= len(it.mat.Batches) {
+		return nil
+	}
+	b := it.mat.Batches[it.pos]
+	it.pos++
+	return b
+}

@@ -1,0 +1,152 @@
+package exec
+
+import (
+	"fmt"
+
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// iterateOp implements the paper's non-appending iteration (Section 5.1):
+//
+//	working := Init
+//	while Stop(working) yields no rows:
+//	    working := Step(working)
+//	return working
+//
+// Only the current (and the just-computed next) working table are ever
+// materialized — the memory advantage over recursive CTEs that Section 5.1
+// argues for. Step and Stop are logical subplans re-instantiated each
+// iteration so the optimizer's plan is reused while operator state is not.
+type iterateOp struct {
+	node *plan.Iterate
+	it   matIterator
+}
+
+func newIterateOp(n *plan.Iterate) *iterateOp { return &iterateOp{node: n} }
+
+func (i *iterateOp) Schema() types.Schema { return i.node.Schema() }
+
+func (i *iterateOp) Open(ctx *Context) error {
+	working, err := Run(i.node.Init, ctx)
+	if err != nil {
+		return fmt.Errorf("iterate init: %w", err)
+	}
+	saved, had := ctx.Bindings["iterate"]
+	defer func() {
+		if had {
+			ctx.Bindings["iterate"] = saved
+		} else {
+			delete(ctx.Bindings, "iterate")
+		}
+	}()
+
+	for depth := 0; ; depth++ {
+		if depth >= i.node.MaxDepth {
+			return fmt.Errorf("iterate: exceeded %d iterations (possible infinite loop)", i.node.MaxDepth)
+		}
+		ctx.BumpEpoch()
+		ctx.Bindings["iterate"] = working
+		stop, err := Run(i.node.Stop, ctx)
+		if err != nil {
+			return fmt.Errorf("iterate stop: %w", err)
+		}
+		if stop.NumRows > 0 {
+			break
+		}
+		next, err := Run(i.node.Step, ctx)
+		if err != nil {
+			return fmt.Errorf("iterate step: %w", err)
+		}
+		// Non-appending: the previous working table is dropped here; at
+		// most two iterations' worth of tuples are alive at once.
+		working = next
+	}
+	i.it = matIterator{mat: working}
+	return nil
+}
+
+func (i *iterateOp) Next() (*types.Batch, error) { return i.it.next(), nil }
+func (i *iterateOp) Close() error                { return nil }
+
+// recursiveOp implements SQL:1999 recursive CTEs with appending semantics:
+// the result accumulates every iteration's tuples. UNION (without ALL)
+// deduplicates globally and reaches a fixpoint; UNION ALL stops when the
+// recursive term produces no rows.
+type recursiveOp struct {
+	node *plan.RecursiveCTE
+	it   matIterator
+}
+
+func newRecursiveOp(n *plan.RecursiveCTE) *recursiveOp { return &recursiveOp{node: n} }
+
+func (r *recursiveOp) Schema() types.Schema { return r.node.Schema() }
+
+func (r *recursiveOp) Open(ctx *Context) error {
+	init, err := Run(r.node.Init, ctx)
+	if err != nil {
+		return fmt.Errorf("recursive CTE %s init: %w", r.node.Name, err)
+	}
+
+	acc := &Materialized{Schema: init.Schema}
+	var seen *rowSet
+	if !r.node.All {
+		seen = newRowSet()
+	}
+
+	working := &Materialized{Schema: init.Schema}
+	appendDeduped := func(src *Materialized, dst ...*Materialized) {
+		for _, b := range src.Batches {
+			if seen == nil {
+				for _, d := range dst {
+					d.Append(b)
+				}
+				continue
+			}
+			filtered := types.NewBatch(src.Schema)
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				if seen.add(row) {
+					filtered.AppendRow(row)
+				}
+			}
+			if filtered.Len() > 0 {
+				for _, d := range dst {
+					d.Append(filtered)
+				}
+			}
+		}
+	}
+	appendDeduped(init, acc, working)
+
+	saved, had := ctx.Bindings[r.node.Name]
+	defer func() {
+		if had {
+			ctx.Bindings[r.node.Name] = saved
+		} else {
+			delete(ctx.Bindings, r.node.Name)
+		}
+	}()
+
+	for depth := 0; working.NumRows > 0; depth++ {
+		if depth >= r.node.MaxDepth {
+			return fmt.Errorf("recursive CTE %s: exceeded %d iterations (possible infinite loop)",
+				r.node.Name, r.node.MaxDepth)
+		}
+		ctx.BumpEpoch()
+		ctx.Bindings[r.node.Name] = working
+		delta, err := Run(r.node.Rec, ctx)
+		if err != nil {
+			return fmt.Errorf("recursive CTE %s: %w", r.node.Name, err)
+		}
+		next := &Materialized{Schema: acc.Schema}
+		appendDeduped(delta, acc, next)
+		working = next
+	}
+	r.it = matIterator{mat: acc}
+	return nil
+}
+
+func (r *recursiveOp) Next() (*types.Batch, error) { return r.it.next(), nil }
+func (r *recursiveOp) Close() error                { return nil }

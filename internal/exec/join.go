@@ -1,0 +1,413 @@
+package exec
+
+import (
+	"lambdadb/internal/expr"
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// rowRef addresses a row inside a Materialized relation.
+type rowRef struct {
+	batch int
+	row   int
+}
+
+// hashTable is a chained hash table over materialized rows keyed by a set
+// of columns. NULL keys never match (SQL equi-join semantics).
+type hashTable struct {
+	mat     *Materialized
+	keyCols []int
+	buckets map[uint64][]rowRef
+}
+
+func buildHashTable(mat *Materialized, keyCols []int) *hashTable {
+	ht := &hashTable{mat: mat, keyCols: keyCols,
+		buckets: make(map[uint64][]rowRef, mat.NumRows)}
+	for bi, b := range mat.Batches {
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			h, ok := rowKeyHash(b, keyCols, i)
+			if !ok {
+				continue // NULL key never joins
+			}
+			ht.buckets[h] = append(ht.buckets[h], rowRef{bi, i})
+		}
+	}
+	return ht
+}
+
+// rowKeyHash hashes the key columns of row i; ok is false when any key is
+// NULL.
+func rowKeyHash(b *types.Batch, cols []int, i int) (uint64, bool) {
+	var h uint64
+	for _, c := range cols {
+		col := b.Cols[c]
+		if col.IsNull(i) {
+			return 0, false
+		}
+		h = types.HashCombine(h, col.Value(i).Hash())
+	}
+	return h, true
+}
+
+// keysEqual compares key columns between two rows.
+func keysEqual(a *types.Batch, aCols []int, ai int, b *types.Batch, bCols []int, bi int) bool {
+	for k := range aCols {
+		if !a.Cols[aCols[k]].Value(ai).Equal(b.Cols[bCols[k]].Value(bi)) {
+			return false
+		}
+	}
+	return true
+}
+
+// joinOp executes inner, left-outer, and cross joins. With equi keys it is
+// a hash join; otherwise a block nested-loop join.
+type joinOp struct {
+	node   *plan.Join
+	left   Operator
+	right  Operator
+	schema types.Schema
+
+	residual expr.Evaluator // nil when no residual predicate
+	onEval   expr.Evaluator // nested-loop condition
+
+	ctx *Context
+
+	// Hash-join state.
+	ht          *hashTable
+	probe       Operator // operator streamed against the hash table
+	buildIsLeft bool
+
+	// Left-join bookkeeping: rows of the left (probe) side that matched.
+	pendingOut []*types.Batch
+
+	// Nested-loop state.
+	rightMat  *Materialized
+	nlLeft    *types.Batch
+	nlMatched []bool
+	nlRight   int
+	done      bool
+}
+
+func newJoinOp(n *plan.Join) (Operator, error) {
+	l, err := Build(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Build(n.R)
+	if err != nil {
+		return nil, err
+	}
+	j := &joinOp{node: n, left: l, right: r, schema: n.Schema()}
+	if n.Residual != nil {
+		ev, err := expr.Compile(n.Residual)
+		if err != nil {
+			return nil, err
+		}
+		j.residual = ev
+	}
+	if n.On != nil && len(n.EquiLeft) == 0 {
+		ev, err := expr.Compile(n.On)
+		if err != nil {
+			return nil, err
+		}
+		j.onEval = ev
+	}
+	return j, nil
+}
+
+func (j *joinOp) Schema() types.Schema { return j.schema }
+
+func (j *joinOp) Open(ctx *Context) error {
+	j.ctx = ctx
+	j.done = false
+	j.pendingOut = nil
+	useHash := len(j.node.EquiLeft) > 0 &&
+		(j.node.Type == plan.InnerJoin || j.node.Type == plan.LeftJoin)
+	if useHash {
+		// Inner joins build on the left (the optimizer put the smaller
+		// side there); left-outer joins must probe with the left side, so
+		// they build on the right.
+		j.buildIsLeft = j.node.Type == plan.InnerJoin
+		buildOp, buildKeys := j.left, j.node.EquiLeft
+		probeOp := j.right
+		if !j.buildIsLeft {
+			buildOp, buildKeys = j.right, j.node.EquiRight
+			probeOp = j.left
+		}
+		mat, err := Drain(buildOp, ctx)
+		if err != nil {
+			return err
+		}
+		j.ht = buildHashTable(mat, buildKeys)
+		j.probe = probeOp
+		return probeOp.Open(ctx)
+	}
+	// Nested loop: materialize the right side, stream the left.
+	mat, err := Drain(j.right, ctx)
+	if err != nil {
+		return err
+	}
+	j.rightMat = mat
+	return j.left.Open(ctx)
+}
+
+func (j *joinOp) Close() error {
+	if j.ht != nil && j.probe != nil {
+		return j.probe.Close()
+	}
+	return j.left.Close()
+}
+
+func (j *joinOp) Next() (*types.Batch, error) {
+	if j.ht != nil {
+		return j.hashNext()
+	}
+	return j.loopNext()
+}
+
+// hashNext probes the hash table with the next probe-side batch.
+func (j *joinOp) hashNext() (*types.Batch, error) {
+	for {
+		if len(j.pendingOut) > 0 {
+			b := j.pendingOut[0]
+			j.pendingOut = j.pendingOut[1:]
+			return b, nil
+		}
+		pb, err := j.probe.Next()
+		if err != nil || pb == nil {
+			return nil, err
+		}
+		out, err := j.probeBatch(pb)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil && out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (j *joinOp) probeBatch(pb *types.Batch) (*types.Batch, error) {
+	probeKeys := j.node.EquiRight
+	buildKeys := j.node.EquiLeft
+	if !j.buildIsLeft {
+		probeKeys, buildKeys = j.node.EquiLeft, j.node.EquiRight
+	}
+	n := pb.Len()
+	var buildRefs []rowRef
+	var probeIdx []int
+	var unmatched []int // left-join probe rows with no match
+	for i := 0; i < n; i++ {
+		h, ok := rowKeyHash(pb, probeKeys, i)
+		matched := false
+		if ok {
+			for _, ref := range j.ht.buckets[h] {
+				bb := j.ht.mat.Batches[ref.batch]
+				if keysEqual(pb, probeKeys, i, bb, buildKeys, ref.row) {
+					buildRefs = append(buildRefs, ref)
+					probeIdx = append(probeIdx, i)
+					matched = true
+				}
+			}
+		}
+		if !matched && j.node.Type == plan.LeftJoin {
+			unmatched = append(unmatched, i)
+		}
+	}
+	out, keep, err := j.assemble(pb, probeIdx, buildRefs)
+	if err != nil {
+		return nil, err
+	}
+	// For left joins, rows eliminated by the residual also count as
+	// unmatched; track which probe rows survived.
+	if j.node.Type == plan.LeftJoin {
+		stillMatched := map[int]bool{}
+		for oi, pi := range probeIdx {
+			if keep == nil || keep[oi] {
+				stillMatched[pi] = true
+			}
+		}
+		for _, pi := range probeIdx {
+			if !stillMatched[pi] {
+				unmatched = append(unmatched, pi)
+			}
+		}
+		// Deduplicate: a probe row with several candidates may appear in
+		// unmatched repeatedly.
+		seen := map[int]bool{}
+		nullRows := types.NewBatch(j.schema)
+		for _, pi := range unmatched {
+			if seen[pi] || stillMatched[pi] {
+				continue
+			}
+			seen[pi] = true
+			row := make([]types.Value, 0, len(j.schema))
+			row = append(row, pb.Row(pi)...)
+			for _, c := range j.schema[len(pb.Cols):] {
+				row = append(row, types.NewNull(c.Type))
+			}
+			nullRows.AppendRow(row)
+		}
+		if nullRows.Len() > 0 {
+			j.pendingOut = append(j.pendingOut, nullRows)
+		}
+	}
+	return out, nil
+}
+
+// assemble materializes matched pairs in output column order (left then
+// right), applying the residual predicate. keep reports which output rows
+// survived the residual (nil = all).
+func (j *joinOp) assemble(pb *types.Batch, probeIdx []int, buildRefs []rowRef) (*types.Batch, []bool, error) {
+	if len(probeIdx) == 0 {
+		return nil, nil, nil
+	}
+	nl := len(j.node.L.Schema())
+	out := &types.Batch{Schema: j.schema, Cols: make([]*types.Column, len(j.schema))}
+	for ci := range j.schema {
+		fromLeft := ci < nl
+		srcCol := ci
+		if !fromLeft {
+			srcCol = ci - nl
+		}
+		if fromLeft != j.buildIsLeft {
+			// Probe-side column: a single gather.
+			out.Cols[ci] = pb.Cols[srcCol].Gather(probeIdx)
+			continue
+		}
+		// Build-side column: rows scatter across the materialized batches.
+		col := types.NewColumn(j.schema[ci].Type, len(probeIdx))
+		for k := range probeIdx {
+			ref := buildRefs[k]
+			col.Append(j.ht.mat.Batches[ref.batch].Cols[srcCol].Value(ref.row))
+		}
+		out.Cols[ci] = col
+	}
+	if j.residual == nil {
+		return out, nil, nil
+	}
+	c, err := j.residual(out)
+	if err != nil {
+		return nil, nil, err
+	}
+	keep := make([]bool, out.Len())
+	idx := make([]int, 0, out.Len())
+	for i := range keep {
+		keep[i] = !c.IsNull(i) && c.Bools[i]
+		if keep[i] {
+			idx = append(idx, i)
+		}
+	}
+	if len(idx) == out.Len() {
+		return out, keep, nil
+	}
+	return out.Gather(idx), keep, nil
+}
+
+// loopNext implements block nested-loop join (cross joins and non-equi
+// conditions).
+func (j *joinOp) loopNext() (*types.Batch, error) {
+	for {
+		if len(j.pendingOut) > 0 {
+			b := j.pendingOut[0]
+			j.pendingOut = j.pendingOut[1:]
+			return b, nil
+		}
+		if j.done {
+			return nil, nil
+		}
+		if j.nlLeft == nil {
+			lb, err := j.left.Next()
+			if err != nil {
+				return nil, err
+			}
+			if lb == nil {
+				j.done = true
+				continue
+			}
+			j.nlLeft = lb
+			j.nlMatched = make([]bool, lb.Len())
+			j.nlRight = 0
+		}
+		if j.nlRight >= len(j.rightMat.Batches) {
+			// Finished all right batches for this left batch.
+			if j.node.Type == plan.LeftJoin {
+				nullRows := types.NewBatch(j.schema)
+				for i, m := range j.nlMatched {
+					if m {
+						continue
+					}
+					row := append([]types.Value{}, j.nlLeft.Row(i)...)
+					for _, c := range j.schema[len(j.nlLeft.Cols):] {
+						row = append(row, types.NewNull(c.Type))
+					}
+					nullRows.AppendRow(row)
+				}
+				if nullRows.Len() > 0 {
+					j.pendingOut = append(j.pendingOut, nullRows)
+				}
+			}
+			j.nlLeft = nil
+			continue
+		}
+		rb := j.rightMat.Batches[j.nlRight]
+		j.nlRight++
+		out, err := j.crossBlock(j.nlLeft, rb)
+		if err != nil {
+			return nil, err
+		}
+		if out != nil && out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+// crossBlock produces the filtered cross product of two batches and
+// records which left rows matched. Output columns are built column-wise:
+// left values repeat across the right block, right columns are copied
+// wholesale per left row.
+func (j *joinOp) crossBlock(lb, rb *types.Batch) (*types.Batch, error) {
+	ln, rn := lb.Len(), rb.Len()
+	nl := len(lb.Cols)
+	out := &types.Batch{Schema: j.schema, Cols: make([]*types.Column, len(j.schema))}
+	for ci := range j.schema {
+		out.Cols[ci] = types.NewColumn(j.schema[ci].Type, ln*rn)
+	}
+	leftIdx := make([]int, 0, ln*rn)
+	for li := 0; li < ln; li++ {
+		for ci, c := range lb.Cols {
+			out.Cols[ci].AppendRepeat(c.Value(li), rn)
+		}
+		for ci, c := range rb.Cols {
+			out.Cols[nl+ci].AppendColumn(c)
+		}
+		for ri := 0; ri < rn; ri++ {
+			leftIdx = append(leftIdx, li)
+		}
+	}
+	if j.onEval == nil {
+		for i := range j.nlMatched {
+			j.nlMatched[i] = true
+		}
+		return out, nil
+	}
+	c, err := j.onEval(out)
+	if err != nil {
+		return nil, err
+	}
+	idx := make([]int, 0, out.Len())
+	for i := 0; i < out.Len(); i++ {
+		if !c.IsNull(i) && c.Bools[i] {
+			idx = append(idx, i)
+			j.nlMatched[leftIdx[i]] = true
+		}
+	}
+	if len(idx) == 0 {
+		return nil, nil
+	}
+	if len(idx) == out.Len() {
+		return out, nil
+	}
+	return out.Gather(idx), nil
+}

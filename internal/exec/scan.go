@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"fmt"
+
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// tableScan reads a stored table (optionally a physical row range).
+type tableScan struct {
+	node    *plan.Scan
+	batches chan *types.Batch
+	errCh   chan error
+	done    chan struct{}
+	opened  bool
+}
+
+func newTableScan(n *plan.Scan) *tableScan { return &tableScan{node: n} }
+
+func (s *tableScan) Schema() types.Schema { return s.node.Schema() }
+
+func (s *tableScan) Open(ctx *Context) error {
+	s.batches = make(chan *types.Batch, 4)
+	s.errCh = make(chan error, 1)
+	s.done = make(chan struct{})
+	s.opened = true
+	lo, hi := s.node.Lo, s.node.Hi
+	if hi < 0 {
+		hi = s.node.Rel.PhysicalRows()
+	}
+	go func() {
+		defer close(s.batches)
+		err := s.node.Rel.ScanRange(s.node.Snapshot, lo, hi, func(b *types.Batch) error {
+			select {
+			case s.batches <- b:
+				return nil
+			case <-s.done:
+				return errScanCancelled
+			}
+		})
+		if err != nil && err != errScanCancelled {
+			s.errCh <- err
+		}
+	}()
+	return nil
+}
+
+var errScanCancelled = fmt.Errorf("scan cancelled")
+
+func (s *tableScan) Next() (*types.Batch, error) {
+	select {
+	case err := <-s.errCh:
+		return nil, err
+	case b, ok := <-s.batches:
+		if !ok {
+			select {
+			case err := <-s.errCh:
+				return nil, err
+			default:
+			}
+			return nil, nil
+		}
+		return b, nil
+	}
+}
+
+func (s *tableScan) Close() error {
+	if s.opened {
+		close(s.done)
+		s.opened = false
+	}
+	return nil
+}
+
+// workingScan reads the current contents of a named working table from the
+// execution context (ITERATE / recursive CTE bodies).
+type workingScan struct {
+	node *plan.WorkingScan
+	it   matIterator
+}
+
+func newWorkingScan(n *plan.WorkingScan) *workingScan { return &workingScan{node: n} }
+
+func (s *workingScan) Schema() types.Schema { return s.node.Sch }
+
+func (s *workingScan) Open(ctx *Context) error {
+	mat, ok := ctx.Bindings[s.node.Name]
+	if !ok {
+		return fmt.Errorf("working table %q is not bound", s.node.Name)
+	}
+	s.it = matIterator{mat: mat}
+	return nil
+}
+
+func (s *workingScan) Next() (*types.Batch, error) { return s.it.next(), nil }
+func (s *workingScan) Close() error                { return nil }
+
+// valuesOp emits literal rows.
+type valuesOp struct {
+	node *plan.Values
+	done bool
+}
+
+func newValuesOp(n *plan.Values) *valuesOp { return &valuesOp{node: n} }
+
+func (v *valuesOp) Schema() types.Schema    { return v.node.Sch }
+func (v *valuesOp) Open(ctx *Context) error { v.done = false; return nil }
+
+func (v *valuesOp) Next() (*types.Batch, error) {
+	if v.done || len(v.node.Rows) == 0 {
+		return nil, nil
+	}
+	v.done = true
+	b := types.NewBatch(v.node.Sch)
+	for _, row := range v.node.Rows {
+		b.AppendRow(row)
+	}
+	return b, nil
+}
+
+func (v *valuesOp) Close() error { return nil }

@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"sync"
+
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// sharedKey identifies one cached materialization: the plan node plus the
+// execution epoch (0 for loop-invariant subplans).
+type sharedKey struct {
+	node  *plan.Shared
+	epoch uint64
+}
+
+// sharedCache stores materialized Shared subplans per Context. Each entry
+// computes at most once; the per-entry sync.Once keeps nested Shared
+// subplans (a CTE referencing another CTE) from deadlocking on the map
+// lock.
+type sharedCache struct {
+	mu      sync.Mutex
+	entries map[sharedKey]*sharedEntry
+}
+
+type sharedEntry struct {
+	once sync.Once
+	mat  *Materialized
+	err  error
+}
+
+// sharedOp serves a Shared plan node from the context cache, computing it
+// on first use within the relevant epoch.
+type sharedOp struct {
+	node *plan.Shared
+	it   matIterator
+}
+
+func newSharedOp(n *plan.Shared) *sharedOp { return &sharedOp{node: n} }
+
+func (s *sharedOp) Schema() types.Schema { return s.node.Schema() }
+
+func (s *sharedOp) Open(ctx *Context) error {
+	key := sharedKey{node: s.node}
+	if !s.node.Invariant {
+		key.epoch = ctx.epoch
+	}
+	c := &ctx.shared
+	c.mu.Lock()
+	if c.entries == nil {
+		c.entries = map[sharedKey]*sharedEntry{}
+	}
+	e, ok := c.entries[key]
+	if !ok {
+		e = &sharedEntry{}
+		c.entries[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		e.mat, e.err = Run(s.node.Child, ctx)
+	})
+	if e.err != nil {
+		return e.err
+	}
+	s.it = matIterator{mat: e.mat}
+	return nil
+}
+
+func (s *sharedOp) Next() (*types.Batch, error) { return s.it.next(), nil }
+func (s *sharedOp) Close() error                { return nil }

@@ -1,0 +1,351 @@
+package exec
+
+import (
+	"sort"
+
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// sortOp materializes its input and emits it in key order.
+type sortOp struct {
+	node  *plan.Sort
+	child Operator
+	it    matIterator
+}
+
+func newSortOp(n *plan.Sort) (Operator, error) {
+	child, err := Build(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	return &sortOp{node: n, child: child}, nil
+}
+
+func (s *sortOp) Schema() types.Schema { return s.child.Schema() }
+
+func (s *sortOp) Open(ctx *Context) error {
+	keys := s.node.Keys
+	less := func(a, b []types.Value) bool {
+		for _, k := range keys {
+			c := a[k.Col].Compare(b[k.Col])
+			if c == 0 {
+				continue
+			}
+			if k.Desc {
+				return c > 0
+			}
+			return c < 0
+		}
+		return false
+	}
+
+	var rows [][]types.Value
+	var schema types.Schema
+	if k := s.node.TopK; k >= 0 {
+		// Bounded top-k: stream the child through a max-heap of size k
+		// whose root is the worst kept row; better rows replace it.
+		h := &rowHeap{less: less}
+		if err := s.child.Open(ctx); err != nil {
+			s.child.Close()
+			return err
+		}
+		schema = s.child.Schema()
+		for {
+			b, err := s.child.Next()
+			if err != nil {
+				s.child.Close()
+				return err
+			}
+			if b == nil {
+				break
+			}
+			n := b.Len()
+			for i := 0; i < n; i++ {
+				row := b.Row(i)
+				switch {
+				case int64(len(h.rows)) < k:
+					h.push(row)
+				case k > 0 && less(row, h.rows[0]):
+					h.replaceTop(row)
+				}
+			}
+		}
+		if err := s.child.Close(); err != nil {
+			return err
+		}
+		rows = h.rows
+		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	} else {
+		mat, err := Drain(s.child, ctx)
+		if err != nil {
+			return err
+		}
+		schema = mat.Schema
+		rows = mat.Rows()
+		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	}
+
+	mat := &Materialized{Schema: schema}
+	out := mat
+	batch := types.NewBatch(mat.Schema)
+	for _, r := range rows {
+		batch.AppendRow(r)
+		if batch.Len() >= types.BatchSize {
+			out.Append(batch)
+			batch = types.NewBatch(mat.Schema)
+		}
+	}
+	out.Append(batch)
+	s.it = matIterator{mat: out}
+	return nil
+}
+
+func (s *sortOp) Next() (*types.Batch, error) { return s.it.next(), nil }
+func (s *sortOp) Close() error                { return nil }
+
+// limitOp skips Offset rows and passes through at most N.
+type limitOp struct {
+	node      *plan.Limit
+	child     Operator
+	toSkip    int64
+	remaining int64
+}
+
+func newLimitOp(n *plan.Limit) (Operator, error) {
+	child, err := Build(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	return &limitOp{node: n, child: child}, nil
+}
+
+func (l *limitOp) Schema() types.Schema { return l.child.Schema() }
+
+func (l *limitOp) Open(ctx *Context) error {
+	l.toSkip = l.node.Offset
+	l.remaining = l.node.N
+	if l.remaining < 0 {
+		l.remaining = int64(^uint64(0) >> 1) // effectively unlimited
+	}
+	return l.child.Open(ctx)
+}
+
+func (l *limitOp) Next() (*types.Batch, error) {
+	for l.remaining > 0 {
+		b, err := l.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		n := int64(b.Len())
+		if l.toSkip >= n {
+			l.toSkip -= n
+			continue
+		}
+		if l.toSkip > 0 {
+			b = b.Slice(int(l.toSkip), int(n))
+			n -= l.toSkip
+			l.toSkip = 0
+		}
+		if n > l.remaining {
+			b = b.Slice(0, int(l.remaining))
+			n = l.remaining
+		}
+		l.remaining -= n
+		return b, nil
+	}
+	return nil, nil
+}
+
+func (l *limitOp) Close() error { return l.child.Close() }
+
+// rowSet deduplicates full rows (Distinct, UNION).
+type rowSet struct {
+	buckets map[uint64][][]types.Value
+}
+
+func newRowSet() *rowSet { return &rowSet{buckets: map[uint64][][]types.Value{}} }
+
+// add inserts the row and reports whether it was new.
+func (s *rowSet) add(row []types.Value) bool {
+	var h uint64
+	for _, v := range row {
+		if v.Null {
+			h = types.HashCombine(h, 0x9e3779b97f4a7c15)
+		} else {
+			h = types.HashCombine(h, v.Hash())
+		}
+	}
+	for _, existing := range s.buckets[h] {
+		if groupKeysEqual(existing, row) {
+			return false
+		}
+	}
+	s.buckets[h] = append(s.buckets[h], append([]types.Value{}, row...))
+	return true
+}
+
+// distinctOp drops duplicate rows.
+type distinctOp struct {
+	child Operator
+	seen  *rowSet
+}
+
+func newDistinctOp(n *plan.Distinct) (Operator, error) {
+	child, err := Build(n.Child)
+	if err != nil {
+		return nil, err
+	}
+	return &distinctOp{child: child}, nil
+}
+
+func (d *distinctOp) Schema() types.Schema { return d.child.Schema() }
+
+func (d *distinctOp) Open(ctx *Context) error {
+	d.seen = newRowSet()
+	return d.child.Open(ctx)
+}
+
+func (d *distinctOp) Next() (*types.Batch, error) {
+	for {
+		b, err := d.child.Next()
+		if err != nil || b == nil {
+			return nil, err
+		}
+		out := types.NewBatch(b.Schema)
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if d.seen.add(row) {
+				out.AppendRow(row)
+			}
+		}
+		if out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (d *distinctOp) Close() error { return d.child.Close() }
+
+// unionOp concatenates two inputs; without ALL it deduplicates.
+type unionOp struct {
+	node    *plan.Union
+	l, r    Operator
+	onRight bool
+	seen    *rowSet
+}
+
+func newUnionOp(n *plan.Union) (Operator, error) {
+	l, err := Build(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Build(n.R)
+	if err != nil {
+		return nil, err
+	}
+	return &unionOp{node: n, l: l, r: r}, nil
+}
+
+func (u *unionOp) Schema() types.Schema { return u.l.Schema() }
+
+func (u *unionOp) Open(ctx *Context) error {
+	u.onRight = false
+	if !u.node.All {
+		u.seen = newRowSet()
+	}
+	if err := u.l.Open(ctx); err != nil {
+		return err
+	}
+	return u.r.Open(ctx)
+}
+
+func (u *unionOp) Next() (*types.Batch, error) {
+	for {
+		src := u.l
+		if u.onRight {
+			src = u.r
+		}
+		b, err := src.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			if u.onRight {
+				return nil, nil
+			}
+			u.onRight = true
+			continue
+		}
+		if u.seen == nil {
+			// UNION ALL: left batches pass through unchanged, right batches
+			// are re-labeled with the unified schema.
+			if b.Schema.Equal(u.Schema()) {
+				return b, nil
+			}
+			return &types.Batch{Schema: u.Schema(), Cols: b.Cols}, nil
+		}
+		out := types.NewBatch(u.Schema())
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if u.seen.add(row) {
+				out.AppendRow(row)
+			}
+		}
+		if out.Len() > 0 {
+			return out, nil
+		}
+	}
+}
+
+func (u *unionOp) Close() error {
+	err1 := u.l.Close()
+	err2 := u.r.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// rowHeap is a max-heap of rows under the sort order: the root is the
+// worst kept row, so a better candidate replaces it in O(log k).
+type rowHeap struct {
+	rows [][]types.Value
+	less func(a, b []types.Value) bool
+}
+
+func (h *rowHeap) push(row []types.Value) {
+	h.rows = append(h.rows, row)
+	i := len(h.rows) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		// Sift up while the child is worse (greater) than its parent.
+		if !h.less(h.rows[parent], h.rows[i]) {
+			break
+		}
+		h.rows[parent], h.rows[i] = h.rows[i], h.rows[parent]
+		i = parent
+	}
+}
+
+func (h *rowHeap) replaceTop(row []types.Value) {
+	h.rows[0] = row
+	i := 0
+	n := len(h.rows)
+	for {
+		worst := i
+		if l := 2*i + 1; l < n && h.less(h.rows[worst], h.rows[l]) {
+			worst = l
+		}
+		if r := 2*i + 2; r < n && h.less(h.rows[worst], h.rows[r]) {
+			worst = r
+		}
+		if worst == i {
+			return
+		}
+		h.rows[i], h.rows[worst] = h.rows[worst], h.rows[i]
+		i = worst
+	}
+}

@@ -1,0 +1,849 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+
+	"lambdadb/internal/types"
+)
+
+// Evaluator computes one column from an input batch. Returned columns may
+// alias input storage (for bare column references); callers must not mutate
+// them.
+type Evaluator func(*types.Batch) (*types.Column, error)
+
+// Compile translates a resolved expression tree into a tree of closures.
+// Each closure is specialized to its operand types, so batch evaluation
+// performs no per-row type dispatch — the reproduction's analog of HyPer's
+// compiled query pipelines.
+func Compile(e Expr) (Evaluator, error) {
+	switch n := e.(type) {
+	case *Const:
+		v := n.Val
+		return func(b *types.Batch) (*types.Column, error) {
+			return types.ConstColumn(v, b.Len()), nil
+		}, nil
+
+	case *ColRef:
+		if n.Index < 0 {
+			return nil, fmt.Errorf("unresolved column reference %s", n)
+		}
+		idx := n.Index
+		return func(b *types.Batch) (*types.Column, error) {
+			if idx >= len(b.Cols) {
+				return nil, fmt.Errorf("column index %d out of range (batch has %d)", idx, len(b.Cols))
+			}
+			return b.Cols[idx], nil
+		}, nil
+
+	case *Cast:
+		return compileCast(n)
+
+	case *BinOp:
+		return compileBinOp(n)
+
+	case *UnOp:
+		return compileUnOp(n)
+
+	case *FuncCall:
+		return compileFunc(n)
+
+	case *Case:
+		return compileCase(n)
+
+	case *Like:
+		return compileLike(n)
+
+	case *IsNull:
+		inner, err := Compile(n.E)
+		if err != nil {
+			return nil, err
+		}
+		negate := n.Negate
+		return func(b *types.Batch) (*types.Column, error) {
+			c, err := inner(b)
+			if err != nil {
+				return nil, err
+			}
+			n := c.Len()
+			out := &types.Column{T: types.Bool, Bools: make([]bool, n)}
+			for i := 0; i < n; i++ {
+				out.Bools[i] = c.IsNull(i) != negate
+			}
+			return out, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("cannot compile expression %T", e)
+}
+
+func compileCast(n *Cast) (Evaluator, error) {
+	inner, err := Compile(n.E)
+	if err != nil {
+		return nil, err
+	}
+	from, to := n.E.Type(), n.To
+	if from == to {
+		return inner, nil
+	}
+	return func(b *types.Batch) (*types.Column, error) {
+		c, err := inner(b)
+		if err != nil {
+			return nil, err
+		}
+		return castColumn(c, to)
+	}, nil
+}
+
+func castColumn(c *types.Column, to types.Type) (*types.Column, error) {
+	n := c.Len()
+	out := types.NewColumn(to, n)
+	for i := 0; i < n; i++ {
+		if c.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		v, err := castValue(c.Value(i), to)
+		if err != nil {
+			return nil, err
+		}
+		out.Append(v)
+	}
+	return out, nil
+}
+
+func castValue(v types.Value, to types.Type) (types.Value, error) {
+	switch to {
+	case types.Float64:
+		if v.T.IsNumeric() {
+			return types.NewFloat(v.AsFloat()), nil
+		}
+	case types.Int64:
+		if v.T.IsNumeric() {
+			return types.NewInt(v.AsInt()), nil
+		}
+		if v.T == types.Bool {
+			if v.B {
+				return types.NewInt(1), nil
+			}
+			return types.NewInt(0), nil
+		}
+	case types.String:
+		return types.NewString(v.String()), nil
+	case types.Bool:
+		if v.T == types.Bool {
+			return v, nil
+		}
+	}
+	return types.Value{}, fmt.Errorf("cannot cast %s to %s", v.T, to)
+}
+
+// mergeNulls returns the elementwise OR of two null bitmaps (either may be
+// nil).
+func mergeNulls(a, b []bool, n int) []bool {
+	if a == nil && b == nil {
+		return nil
+	}
+	out := make([]bool, n)
+	for i := 0; i < n; i++ {
+		out[i] = (a != nil && a[i]) || (b != nil && b[i])
+	}
+	return out
+}
+
+func compileBinOp(n *BinOp) (Evaluator, error) {
+	l, err := Compile(n.L)
+	if err != nil {
+		return nil, err
+	}
+	r, err := Compile(n.R)
+	if err != nil {
+		return nil, err
+	}
+	op := n.Op
+	switch {
+	case op == OpAnd:
+		return compileAnd(l, r), nil
+	case op == OpOr:
+		return compileOr(l, r), nil
+	case op.IsComparison():
+		return compileCompare(op, n.L.Type(), l, r)
+	case op == OpConcat:
+		return func(b *types.Batch) (*types.Column, error) {
+			lc, rc, err := evalPair(l, r, b)
+			if err != nil {
+				return nil, err
+			}
+			cnt := lc.Len()
+			out := &types.Column{T: types.String, Strs: make([]string, cnt)}
+			out.Nulls = mergeNulls(lc.Nulls, rc.Nulls, cnt)
+			for i := 0; i < cnt; i++ {
+				out.Strs[i] = lc.Strs[i] + rc.Strs[i]
+			}
+			return out, nil
+		}, nil
+	case op.IsArith():
+		return compileArith(op, n.Typ, l, r)
+	}
+	return nil, fmt.Errorf("cannot compile operator %s", op)
+}
+
+func evalPair(l, r Evaluator, b *types.Batch) (*types.Column, *types.Column, error) {
+	lc, err := l(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	rc, err := r(b)
+	if err != nil {
+		return nil, nil, err
+	}
+	return lc, rc, nil
+}
+
+func compileArith(op Op, out types.Type, l, r Evaluator) (Evaluator, error) {
+	if out == types.Int64 {
+		var fn func(a, b int64) (int64, error)
+		switch op {
+		case OpAdd:
+			fn = func(a, b int64) (int64, error) { return a + b, nil }
+		case OpSub:
+			fn = func(a, b int64) (int64, error) { return a - b, nil }
+		case OpMul:
+			fn = func(a, b int64) (int64, error) { return a * b, nil }
+		case OpMod:
+			fn = func(a, b int64) (int64, error) {
+				if b == 0 {
+					return 0, fmt.Errorf("modulo by zero")
+				}
+				return a % b, nil
+			}
+		default:
+			return nil, fmt.Errorf("operator %s cannot yield an integer", op)
+		}
+		return func(b *types.Batch) (*types.Column, error) {
+			lc, rc, err := evalPair(l, r, b)
+			if err != nil {
+				return nil, err
+			}
+			n := lc.Len()
+			res := &types.Column{T: types.Int64, Ints: make([]int64, n)}
+			res.Nulls = mergeNulls(lc.Nulls, rc.Nulls, n)
+			for i := 0; i < n; i++ {
+				if res.Nulls != nil && res.Nulls[i] {
+					continue
+				}
+				v, err := fn(lc.Ints[i], rc.Ints[i])
+				if err != nil {
+					return nil, err
+				}
+				res.Ints[i] = v
+			}
+			return res, nil
+		}, nil
+	}
+
+	var fn func(a, b float64) float64
+	switch op {
+	case OpAdd:
+		fn = func(a, b float64) float64 { return a + b }
+	case OpSub:
+		fn = func(a, b float64) float64 { return a - b }
+	case OpMul:
+		fn = func(a, b float64) float64 { return a * b }
+	case OpDiv:
+		fn = func(a, b float64) float64 { return a / b }
+	case OpMod:
+		fn = math.Mod
+	case OpPow:
+		fn = math.Pow
+	default:
+		return nil, fmt.Errorf("operator %s cannot yield a float", op)
+	}
+	return func(b *types.Batch) (*types.Column, error) {
+		lc, rc, err := evalPair(l, r, b)
+		if err != nil {
+			return nil, err
+		}
+		n := lc.Len()
+		res := &types.Column{T: types.Float64, Floats: make([]float64, n)}
+		res.Nulls = mergeNulls(lc.Nulls, rc.Nulls, n)
+		lf, rf := lc.Floats, rc.Floats
+		for i := 0; i < n; i++ {
+			res.Floats[i] = fn(lf[i], rf[i])
+		}
+		return res, nil
+	}, nil
+}
+
+func compileCompare(op Op, operand types.Type, l, r Evaluator) (Evaluator, error) {
+	// cmpResult maps a three-way comparison to the operator's truth value.
+	var truth func(c int) bool
+	switch op {
+	case OpEq:
+		truth = func(c int) bool { return c == 0 }
+	case OpNe:
+		truth = func(c int) bool { return c != 0 }
+	case OpLt:
+		truth = func(c int) bool { return c < 0 }
+	case OpLe:
+		truth = func(c int) bool { return c <= 0 }
+	case OpGt:
+		truth = func(c int) bool { return c > 0 }
+	case OpGe:
+		truth = func(c int) bool { return c >= 0 }
+	}
+	return func(b *types.Batch) (*types.Column, error) {
+		lc, rc, err := evalPair(l, r, b)
+		if err != nil {
+			return nil, err
+		}
+		n := lc.Len()
+		res := &types.Column{T: types.Bool, Bools: make([]bool, n)}
+		res.Nulls = mergeNulls(lc.Nulls, rc.Nulls, n)
+		switch operand {
+		case types.Int64:
+			for i := 0; i < n; i++ {
+				a, bb := lc.Ints[i], rc.Ints[i]
+				res.Bools[i] = truth(cmp3(a < bb, a > bb))
+			}
+		case types.Float64:
+			for i := 0; i < n; i++ {
+				a, bb := lc.Floats[i], rc.Floats[i]
+				res.Bools[i] = truth(cmp3(a < bb, a > bb))
+			}
+		case types.String:
+			for i := 0; i < n; i++ {
+				a, bb := lc.Strs[i], rc.Strs[i]
+				res.Bools[i] = truth(cmp3(a < bb, a > bb))
+			}
+		case types.Bool:
+			for i := 0; i < n; i++ {
+				a, bb := lc.Bools[i], rc.Bools[i]
+				res.Bools[i] = truth(cmp3(!a && bb, a && !bb))
+			}
+		default:
+			return nil, fmt.Errorf("cannot compare values of type %s", operand)
+		}
+		return res, nil
+	}, nil
+}
+
+func cmp3(lt, gt bool) int {
+	switch {
+	case lt:
+		return -1
+	case gt:
+		return 1
+	}
+	return 0
+}
+
+// compileAnd implements SQL three-valued AND: false dominates NULL.
+func compileAnd(l, r Evaluator) Evaluator {
+	return func(b *types.Batch) (*types.Column, error) {
+		lc, rc, err := evalPair(l, r, b)
+		if err != nil {
+			return nil, err
+		}
+		n := lc.Len()
+		res := &types.Column{T: types.Bool, Bools: make([]bool, n)}
+		var nulls []bool
+		for i := 0; i < n; i++ {
+			ln, rn := lc.IsNull(i), rc.IsNull(i)
+			lv := !ln && lc.Bools[i]
+			rv := !rn && rc.Bools[i]
+			switch {
+			case !ln && !rn:
+				res.Bools[i] = lv && rv
+			case (!ln && !lv) || (!rn && !rv):
+				res.Bools[i] = false // false AND anything = false
+			default:
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+			}
+		}
+		res.Nulls = nulls
+		return res, nil
+	}
+}
+
+// compileOr implements SQL three-valued OR: true dominates NULL.
+func compileOr(l, r Evaluator) Evaluator {
+	return func(b *types.Batch) (*types.Column, error) {
+		lc, rc, err := evalPair(l, r, b)
+		if err != nil {
+			return nil, err
+		}
+		n := lc.Len()
+		res := &types.Column{T: types.Bool, Bools: make([]bool, n)}
+		var nulls []bool
+		for i := 0; i < n; i++ {
+			ln, rn := lc.IsNull(i), rc.IsNull(i)
+			lv := !ln && lc.Bools[i]
+			rv := !rn && rc.Bools[i]
+			switch {
+			case !ln && !rn:
+				res.Bools[i] = lv || rv
+			case lv || rv:
+				res.Bools[i] = true
+			default:
+				if nulls == nil {
+					nulls = make([]bool, n)
+				}
+				nulls[i] = true
+			}
+		}
+		res.Nulls = nulls
+		return res, nil
+	}
+}
+
+func compileUnOp(n *UnOp) (Evaluator, error) {
+	inner, err := Compile(n.E)
+	if err != nil {
+		return nil, err
+	}
+	switch n.Op {
+	case OpNeg:
+		t := n.Typ
+		return func(b *types.Batch) (*types.Column, error) {
+			c, err := inner(b)
+			if err != nil {
+				return nil, err
+			}
+			cnt := c.Len()
+			out := types.NewColumn(t, cnt)
+			out.Nulls = mergeNulls(c.Nulls, nil, cnt)
+			if out.Nulls == nil && c.Nulls != nil {
+				out.Nulls = append([]bool{}, c.Nulls...)
+			}
+			if t == types.Int64 {
+				out.Ints = make([]int64, cnt)
+				for i := 0; i < cnt; i++ {
+					out.Ints[i] = -c.Ints[i]
+				}
+			} else {
+				out.Floats = make([]float64, cnt)
+				for i := 0; i < cnt; i++ {
+					out.Floats[i] = -c.Floats[i]
+				}
+			}
+			return out, nil
+		}, nil
+	case OpNot:
+		return func(b *types.Batch) (*types.Column, error) {
+			c, err := inner(b)
+			if err != nil {
+				return nil, err
+			}
+			cnt := c.Len()
+			out := &types.Column{T: types.Bool, Bools: make([]bool, cnt)}
+			if c.Nulls != nil {
+				out.Nulls = append([]bool{}, c.Nulls...)
+			}
+			for i := 0; i < cnt; i++ {
+				out.Bools[i] = !c.Bools[i]
+			}
+			return out, nil
+		}, nil
+	}
+	return nil, fmt.Errorf("cannot compile unary operator %s", n.Op)
+}
+
+func compileCase(n *Case) (Evaluator, error) {
+	conds := make([]Evaluator, len(n.Whens))
+	thens := make([]Evaluator, len(n.Whens))
+	for i, w := range n.Whens {
+		var err error
+		if conds[i], err = Compile(w.Cond); err != nil {
+			return nil, err
+		}
+		if thens[i], err = Compile(w.Then); err != nil {
+			return nil, err
+		}
+	}
+	var els Evaluator
+	if n.Else != nil {
+		var err error
+		if els, err = Compile(n.Else); err != nil {
+			return nil, err
+		}
+	}
+	t := n.Typ
+	return func(b *types.Batch) (*types.Column, error) {
+		cnt := b.Len()
+		// decided[i] = arm index + 1, 0 = undecided.
+		decided := make([]int, cnt)
+		remaining := cnt
+		for a := range conds {
+			if remaining == 0 {
+				break
+			}
+			cc, err := conds[a](b)
+			if err != nil {
+				return nil, err
+			}
+			for i := 0; i < cnt; i++ {
+				if decided[i] == 0 && !cc.IsNull(i) && cc.Bools[i] {
+					decided[i] = a + 1
+					remaining--
+				}
+			}
+		}
+		armCols := make([]*types.Column, len(thens))
+		for a, th := range thens {
+			c, err := th(b)
+			if err != nil {
+				return nil, err
+			}
+			armCols[a] = c
+		}
+		var elseCol *types.Column
+		if els != nil {
+			c, err := els(b)
+			if err != nil {
+				return nil, err
+			}
+			elseCol = c
+		}
+		out := types.NewColumn(t, cnt)
+		for i := 0; i < cnt; i++ {
+			switch {
+			case decided[i] > 0:
+				out.Append(armCols[decided[i]-1].Value(i))
+			case elseCol != nil:
+				out.Append(elseCol.Value(i))
+			default:
+				out.AppendNull()
+			}
+		}
+		return out, nil
+	}, nil
+}
+
+func compileFunc(n *FuncCall) (Evaluator, error) {
+	if AggregateFuncs[n.Name] {
+		return nil, fmt.Errorf("aggregate %s evaluated outside GROUP BY context", n.Name)
+	}
+	args := make([]Evaluator, len(n.Args))
+	for i, a := range n.Args {
+		ev, err := Compile(a)
+		if err != nil {
+			return nil, err
+		}
+		args[i] = ev
+	}
+	name := n.Name
+	if f := scalarFloatFunc(name); f != nil && len(args) == 1 && n.Typ == types.Float64 {
+		arg := args[0]
+		return func(b *types.Batch) (*types.Column, error) {
+			c, err := arg(b)
+			if err != nil {
+				return nil, err
+			}
+			cnt := c.Len()
+			out := &types.Column{T: types.Float64, Floats: make([]float64, cnt)}
+			if c.Nulls != nil {
+				out.Nulls = append([]bool{}, c.Nulls...)
+			}
+			for i := 0; i < cnt; i++ {
+				out.Floats[i] = f(c.Floats[i])
+			}
+			return out, nil
+		}, nil
+	}
+	switch name {
+	case "abs", "sign":
+		// Integer-typed abs/sign.
+		arg := args[0]
+		return func(b *types.Batch) (*types.Column, error) {
+			c, err := arg(b)
+			if err != nil {
+				return nil, err
+			}
+			cnt := c.Len()
+			out := &types.Column{T: types.Int64, Ints: make([]int64, cnt)}
+			if c.Nulls != nil {
+				out.Nulls = append([]bool{}, c.Nulls...)
+			}
+			for i := 0; i < cnt; i++ {
+				v := c.Ints[i]
+				if name == "abs" {
+					if v < 0 {
+						v = -v
+					}
+				} else {
+					switch {
+					case v > 0:
+						v = 1
+					case v < 0:
+						v = -1
+					}
+				}
+				out.Ints[i] = v
+			}
+			return out, nil
+		}, nil
+	case "pow", "power":
+		l, r := args[0], args[1]
+		return func(b *types.Batch) (*types.Column, error) {
+			lc, rc, err := evalPair(l, r, b)
+			if err != nil {
+				return nil, err
+			}
+			cnt := lc.Len()
+			out := &types.Column{T: types.Float64, Floats: make([]float64, cnt)}
+			out.Nulls = mergeNulls(lc.Nulls, rc.Nulls, cnt)
+			for i := 0; i < cnt; i++ {
+				out.Floats[i] = math.Pow(lc.Floats[i], rc.Floats[i])
+			}
+			return out, nil
+		}, nil
+	case "least", "greatest":
+		want := -1 // comparison direction
+		if name == "greatest" {
+			want = 1
+		}
+		t := n.Typ
+		return func(b *types.Batch) (*types.Column, error) {
+			cols := make([]*types.Column, len(args))
+			for i, a := range args {
+				c, err := a(b)
+				if err != nil {
+					return nil, err
+				}
+				cols[i] = c
+			}
+			cnt := b.Len()
+			out := types.NewColumn(t, cnt)
+			for i := 0; i < cnt; i++ {
+				var best types.Value
+				haveBest := false
+				null := false
+				for _, c := range cols {
+					if c.IsNull(i) {
+						null = true
+						break
+					}
+					v := c.Value(i)
+					if !haveBest || v.Compare(best) == want {
+						best, haveBest = v, true
+					}
+				}
+				if null {
+					out.AppendNull()
+				} else {
+					bv, err := castValue(best, t)
+					if err != nil {
+						return nil, err
+					}
+					out.Append(bv)
+				}
+			}
+			return out, nil
+		}, nil
+	case "coalesce":
+		t := n.Typ
+		return func(b *types.Batch) (*types.Column, error) {
+			cols := make([]*types.Column, len(args))
+			for i, a := range args {
+				c, err := a(b)
+				if err != nil {
+					return nil, err
+				}
+				cols[i] = c
+			}
+			cnt := b.Len()
+			out := types.NewColumn(t, cnt)
+			for i := 0; i < cnt; i++ {
+				appended := false
+				for _, c := range cols {
+					if !c.IsNull(i) {
+						v, err := castValue(c.Value(i), t)
+						if err != nil {
+							return nil, err
+						}
+						out.Append(v)
+						appended = true
+						break
+					}
+				}
+				if !appended {
+					out.AppendNull()
+				}
+			}
+			return out, nil
+		}, nil
+	case "length", "lower", "upper", "substr":
+		return compileStringFunc(name, args)
+	}
+	return nil, fmt.Errorf("unknown function %q", name)
+}
+
+func compileStringFunc(name string, args []Evaluator) (Evaluator, error) {
+	return func(b *types.Batch) (*types.Column, error) {
+		cols := make([]*types.Column, len(args))
+		for i, a := range args {
+			c, err := a(b)
+			if err != nil {
+				return nil, err
+			}
+			cols[i] = c
+		}
+		cnt := b.Len()
+		var out *types.Column
+		if name == "length" {
+			out = &types.Column{T: types.Int64, Ints: make([]int64, cnt)}
+		} else {
+			out = &types.Column{T: types.String, Strs: make([]string, cnt)}
+		}
+		if cols[0].Nulls != nil {
+			out.Nulls = append([]bool{}, cols[0].Nulls...)
+		}
+		for i := 0; i < cnt; i++ {
+			if cols[0].IsNull(i) {
+				continue
+			}
+			s := cols[0].Strs[i]
+			switch name {
+			case "length":
+				out.Ints[i] = int64(len(s))
+			case "lower":
+				out.Strs[i] = toLower(s)
+			case "upper":
+				out.Strs[i] = toUpper(s)
+			case "substr":
+				start := int(cols[1].Ints[i]) - 1 // SQL is 1-based
+				if start < 0 {
+					start = 0
+				}
+				end := len(s)
+				if len(cols) == 3 {
+					if e := start + int(cols[2].Ints[i]); e < end {
+						end = e
+					}
+				}
+				if start > len(s) {
+					start = len(s)
+				}
+				if end < start {
+					end = start
+				}
+				out.Strs[i] = s[start:end]
+			}
+		}
+		return out, nil
+	}, nil
+}
+
+func toLower(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'A' && c <= 'Z' {
+			b[i] = c + 32
+		}
+	}
+	return string(b)
+}
+
+func toUpper(s string) string {
+	b := []byte(s)
+	for i, c := range b {
+		if c >= 'a' && c <= 'z' {
+			b[i] = c - 32
+		}
+	}
+	return string(b)
+}
+
+func compileLike(n *Like) (Evaluator, error) {
+	inner, err := Compile(n.E)
+	if err != nil {
+		return nil, err
+	}
+	pattern, negate := n.Pattern, n.Negate
+	return func(b *types.Batch) (*types.Column, error) {
+		c, err := inner(b)
+		if err != nil {
+			return nil, err
+		}
+		cnt := c.Len()
+		out := &types.Column{T: types.Bool, Bools: make([]bool, cnt)}
+		if c.Nulls != nil {
+			out.Nulls = append([]bool{}, c.Nulls...)
+		}
+		for i := 0; i < cnt; i++ {
+			if c.IsNull(i) {
+				continue
+			}
+			out.Bools[i] = MatchLike(c.Strs[i], pattern) != negate
+		}
+		return out, nil
+	}, nil
+}
+
+// MatchLike implements SQL LIKE matching: % matches any byte sequence,
+// _ matches exactly one byte. The classic two-pointer algorithm backtracks
+// to the most recent %.
+func MatchLike(s, pattern string) bool {
+	si, pi := 0, 0
+	starP, starS := -1, 0
+	for si < len(s) {
+		switch {
+		case pi < len(pattern) && (pattern[pi] == '_' || pattern[pi] == s[si]):
+			si++
+			pi++
+		case pi < len(pattern) && pattern[pi] == '%':
+			starP, starS = pi, si
+			pi++
+		case starP >= 0:
+			starS++
+			si = starS
+			pi = starP + 1
+		default:
+			return false
+		}
+	}
+	for pi < len(pattern) && pattern[pi] == '%' {
+		pi++
+	}
+	return pi == len(pattern)
+}
+
+// EvalConst evaluates a constant-foldable expression to a scalar value.
+func EvalConst(e Expr) (types.Value, error) {
+	// Bare literals (including untyped NULL) need no compilation.
+	if c, ok := e.(*Const); ok {
+		return c.Val, nil
+	}
+	ev, err := Compile(e)
+	if err != nil {
+		return types.Value{}, err
+	}
+	// A one-row dummy batch drives the evaluation.
+	b := &types.Batch{Schema: types.Schema{{Name: "dummy", Type: types.Int64}},
+		Cols: []*types.Column{{T: types.Int64, Ints: []int64{0}}}}
+	c, err := ev(b)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if c.Len() != 1 {
+		return types.Value{}, fmt.Errorf("constant expression produced %d rows", c.Len())
+	}
+	return c.Value(0), nil
+}
+
+// IsConst reports whether e references no columns or parameters.
+func IsConst(e Expr) bool {
+	constant := true
+	Walk(e, func(n Expr) bool {
+		switch n.(type) {
+		case *ColRef, *ParamField:
+			constant = false
+			return false
+		}
+		return true
+	})
+	return constant
+}

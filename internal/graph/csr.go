@@ -1,0 +1,145 @@
+// Package graph provides the compressed sparse row (CSR) representation
+// used by the PageRank physical operator (paper Section 6.3): vertices are
+// re-labeled to dense internal ids for direct array indexing, and a reverse
+// mapping restores the original ids after the computation.
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CSR is a directed graph in compressed sparse row form over dense vertex
+// ids [0, N).
+type CSR struct {
+	// N is the number of vertices.
+	N int
+	// Offsets has N+1 entries; the out-neighbors of vertex v are
+	// Targets[Offsets[v]:Offsets[v+1]].
+	Offsets []int64
+	// Targets holds the flattened adjacency lists.
+	Targets []int32
+	// Weights, when non-nil, holds one edge weight per Targets entry.
+	Weights []float64
+	// OrigIDs maps dense ids back to the original vertex ids (the paper's
+	// reverse mapping operator).
+	OrigIDs []int64
+}
+
+// EdgeWeights returns the weights of v's out-edges (nil when unweighted).
+func (g *CSR) EdgeWeights(v int) []float64 {
+	if g.Weights == nil {
+		return nil
+	}
+	return g.Weights[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// OutDegree returns the out-degree of dense vertex v.
+func (g *CSR) OutDegree(v int) int {
+	return int(g.Offsets[v+1] - g.Offsets[v])
+}
+
+// Neighbors returns the out-neighbors of dense vertex v (shared storage).
+func (g *CSR) Neighbors(v int) []int32 {
+	return g.Targets[g.Offsets[v]:g.Offsets[v+1]]
+}
+
+// NumEdges returns the number of directed edges.
+func (g *CSR) NumEdges() int { return len(g.Targets) }
+
+// Build constructs a CSR from an edge list, re-labeling arbitrary int64
+// vertex ids to dense ids. Vertices appearing only as targets are included.
+// Original ids are assigned dense ids in sorted order so results are
+// deterministic.
+func Build(src, dst []int64) (*CSR, error) {
+	return BuildWeighted(src, dst, nil)
+}
+
+// BuildWeighted is Build with optional per-edge weights (nil = unweighted);
+// weights stay aligned with their edges through the relabeling.
+func BuildWeighted(src, dst []int64, weights []float64) (*CSR, error) {
+	if len(src) != len(dst) {
+		return nil, fmt.Errorf("graph: %d sources but %d destinations", len(src), len(dst))
+	}
+	// Collect and sort distinct ids.
+	idset := make(map[int64]struct{}, len(src))
+	for i := range src {
+		idset[src[i]] = struct{}{}
+		idset[dst[i]] = struct{}{}
+	}
+	orig := make([]int64, 0, len(idset))
+	for id := range idset {
+		orig = append(orig, id)
+	}
+	sort.Slice(orig, func(i, j int) bool { return orig[i] < orig[j] })
+	dense := make(map[int64]int32, len(orig))
+	for i, id := range orig {
+		dense[id] = int32(i)
+	}
+
+	n := len(orig)
+	if int64(len(src)) > int64(^uint32(0)>>1) {
+		return nil, fmt.Errorf("graph: too many edges (%d)", len(src))
+	}
+
+	// Counting pass.
+	offsets := make([]int64, n+1)
+	for _, s := range src {
+		offsets[dense[s]+1]++
+	}
+	for i := 0; i < n; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	if weights != nil && len(weights) != len(src) {
+		return nil, fmt.Errorf("graph: %d weights for %d edges", len(weights), len(src))
+	}
+
+	// Fill pass.
+	targets := make([]int32, len(src))
+	var outW []float64
+	if weights != nil {
+		outW = make([]float64, len(src))
+	}
+	cursor := make([]int64, n)
+	copy(cursor, offsets[:n])
+	for i := range src {
+		s := dense[src[i]]
+		targets[cursor[s]] = dense[dst[i]]
+		if weights != nil {
+			outW[cursor[s]] = weights[i]
+		}
+		cursor[s]++
+	}
+	return &CSR{N: n, Offsets: offsets, Targets: targets, Weights: outW, OrigIDs: orig}, nil
+}
+
+// Transpose returns the reverse graph (in-edges become out-edges); the
+// pull-based PageRank kernel iterates over incoming edges. Edge weights
+// travel with their edges.
+func (g *CSR) Transpose() *CSR {
+	offsets := make([]int64, g.N+1)
+	for _, t := range g.Targets {
+		offsets[t+1]++
+	}
+	for i := 0; i < g.N; i++ {
+		offsets[i+1] += offsets[i]
+	}
+	targets := make([]int32, len(g.Targets))
+	var outW []float64
+	if g.Weights != nil {
+		outW = make([]float64, len(g.Targets))
+	}
+	cursor := make([]int64, g.N)
+	copy(cursor, offsets[:g.N])
+	for v := 0; v < g.N; v++ {
+		ws := g.EdgeWeights(v)
+		for i, t := range g.Neighbors(v) {
+			targets[cursor[t]] = int32(v)
+			if outW != nil {
+				outW[cursor[t]] = ws[i]
+			}
+			cursor[t]++
+		}
+	}
+	return &CSR{N: g.N, Offsets: offsets, Targets: targets, Weights: outW, OrigIDs: g.OrigIDs}
+}

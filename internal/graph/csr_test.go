@@ -1,0 +1,166 @@
+package graph
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestBuildSimple(t *testing.T) {
+	// 1→3, 2→3, 3→1 with sparse original ids.
+	g, err := Build([]int64{10, 20, 30}, []int64{30, 30, 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 3 {
+		t.Fatalf("N = %d", g.N)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("edges = %d", g.NumEdges())
+	}
+	// Dense ids assigned in sorted original order: 10→0, 20→1, 30→2.
+	if g.OrigIDs[0] != 10 || g.OrigIDs[1] != 20 || g.OrigIDs[2] != 30 {
+		t.Fatalf("orig ids = %v", g.OrigIDs)
+	}
+	if g.OutDegree(0) != 1 || g.OutDegree(1) != 1 || g.OutDegree(2) != 1 {
+		t.Errorf("out degrees = %d %d %d", g.OutDegree(0), g.OutDegree(1), g.OutDegree(2))
+	}
+	if n := g.Neighbors(0); len(n) != 1 || n[0] != 2 {
+		t.Errorf("neighbors(0) = %v", n)
+	}
+	if n := g.Neighbors(2); len(n) != 1 || n[0] != 0 {
+		t.Errorf("neighbors(2) = %v", n)
+	}
+}
+
+func TestBuildIncludesTargetOnlyVertices(t *testing.T) {
+	g, err := Build([]int64{1}, []int64{99})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 2 {
+		t.Fatalf("N = %d, want 2", g.N)
+	}
+	if g.OutDegree(1) != 0 {
+		t.Errorf("sink should have out-degree 0")
+	}
+}
+
+func TestBuildLengthMismatch(t *testing.T) {
+	if _, err := Build([]int64{1, 2}, []int64{1}); err == nil {
+		t.Error("length mismatch should fail")
+	}
+}
+
+func TestBuildEmpty(t *testing.T) {
+	g, err := Build(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N != 0 || g.NumEdges() != 0 {
+		t.Errorf("empty graph: N=%d edges=%d", g.N, g.NumEdges())
+	}
+}
+
+func TestBuildParallelEdgesAndSelfLoops(t *testing.T) {
+	g, err := Build([]int64{1, 1, 2}, []int64{2, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 3 {
+		t.Errorf("parallel edges must be kept: %d", g.NumEdges())
+	}
+	if g.OutDegree(0) != 2 {
+		t.Errorf("out degree with parallel edge = %d", g.OutDegree(0))
+	}
+	if g.OutDegree(1) != 1 { // self loop 2→2
+		t.Errorf("self loop out degree = %d", g.OutDegree(1))
+	}
+}
+
+func TestTransposeReversesEdges(t *testing.T) {
+	g, err := Build([]int64{0, 0, 1}, []int64{1, 2, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := g.Transpose()
+	if tr.N != g.N || tr.NumEdges() != g.NumEdges() {
+		t.Fatalf("transpose size mismatch")
+	}
+	// In-degree of 2 in g is out-degree of 2 in transpose.
+	if tr.OutDegree(2) != 2 {
+		t.Errorf("transpose out-degree(2) = %d, want 2", tr.OutDegree(2))
+	}
+	if tr.OutDegree(0) != 0 {
+		t.Errorf("transpose out-degree(0) = %d, want 0", tr.OutDegree(0))
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	// Property: transposing twice restores edge multiset per vertex.
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var src, dst []int64
+		for i := 0; i+1 < len(raw); i += 2 {
+			src = append(src, int64(raw[i]%16))
+			dst = append(dst, int64(raw[i+1]%16))
+		}
+		g, err := Build(src, dst)
+		if err != nil {
+			return false
+		}
+		back := g.Transpose().Transpose()
+		if back.N != g.N || back.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for v := 0; v < g.N; v++ {
+			a, b := g.Neighbors(v), back.Neighbors(v)
+			if len(a) != len(b) {
+				return false
+			}
+			counts := map[int32]int{}
+			for _, x := range a {
+				counts[x]++
+			}
+			for _, x := range b {
+				counts[x]--
+			}
+			for _, c := range counts {
+				if c != 0 {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestOffsetsAreMonotone(t *testing.T) {
+	f := func(raw []uint8) bool {
+		if len(raw) < 2 {
+			return true
+		}
+		var src, dst []int64
+		for i := 0; i+1 < len(raw); i += 2 {
+			src = append(src, int64(raw[i]))
+			dst = append(dst, int64(raw[i+1]))
+		}
+		g, err := Build(src, dst)
+		if err != nil {
+			return false
+		}
+		for i := 0; i < g.N; i++ {
+			if g.Offsets[i] > g.Offsets[i+1] {
+				return false
+			}
+		}
+		return g.Offsets[g.N] == int64(len(g.Targets))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,207 @@
+package load
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"lambdadb/internal/storage"
+	"lambdadb/internal/types"
+)
+
+func newStoreWithTable(t *testing.T) *storage.Store {
+	t.Helper()
+	s := storage.NewStore()
+	_, err := s.CreateTable("t", types.Schema{
+		{Name: "id", Type: types.Int64},
+		{Name: "v", Type: types.Float64},
+		{Name: "name", Type: types.String},
+		{Name: "ok", Type: types.Bool},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func scanRows(t *testing.T, s *storage.Store) [][]types.Value {
+	t.Helper()
+	tbl, err := s.Table("t")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rows [][]types.Value
+	err = tbl.Scan(s.Snapshot(), func(b *types.Batch) error {
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, b.Row(i))
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestCSVBasic(t *testing.T) {
+	s := newStoreWithTable(t)
+	in := "1,1.5,alice,true\n2,2.5,bob,false\n"
+	n, err := CSV(s, "t", strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	rows := scanRows(t, s)
+	if rows[0][0].I != 1 || rows[0][1].F != 1.5 || rows[0][2].S != "alice" || !rows[0][3].B {
+		t.Errorf("row 0 = %v", rows[0])
+	}
+	if rows[1][3].B {
+		t.Errorf("row 1 bool = %v", rows[1][3])
+	}
+}
+
+func TestCSVHeaderSkipped(t *testing.T) {
+	s := newStoreWithTable(t)
+	in := "id,v,name,ok\n7,0.5,x,1\n"
+	n, err := CSV(s, "t", strings.NewReader(in), Options{Header: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("loaded %d rows", n)
+	}
+	if rows := scanRows(t, s); rows[0][0].I != 7 {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestCSVNullsAndQuotes(t *testing.T) {
+	s := newStoreWithTable(t)
+	in := `1,,"say ""hi"", friend",true` + "\n" + `2,3.5,\N,false` + "\n"
+	n, err := CSV(s, "t", strings.NewReader(in), Options{NullToken: `\N`})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d", n)
+	}
+	rows := scanRows(t, s)
+	if !rows[0][1].Null {
+		t.Errorf("empty float field should be NULL: %v", rows[0][1])
+	}
+	if rows[0][2].S != `say "hi", friend` {
+		t.Errorf("quoted field = %q", rows[0][2].S)
+	}
+	if !rows[1][2].Null {
+		t.Errorf("null token should be NULL: %v", rows[1][2])
+	}
+}
+
+func TestCSVCustomDelimiter(t *testing.T) {
+	s := newStoreWithTable(t)
+	in := "1|2.0|a|t\n"
+	if _, err := CSV(s, "t", strings.NewReader(in), Options{Delimiter: '|'}); err != nil {
+		t.Fatal(err)
+	}
+	if rows := scanRows(t, s); rows[0][2].S != "a" {
+		t.Errorf("row = %v", rows[0])
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	s := newStoreWithTable(t)
+	cases := []string{
+		"1,2.0,a\n",         // too few fields
+		"1,2.0,a,t,extra\n", // too many fields
+		"x,2.0,a,t\n",       // bad int
+		"1,notafloat,a,t\n", // bad float
+		"1,2.0,a,maybe\n",   // bad bool
+	}
+	for _, in := range cases {
+		if _, err := CSV(s, "t", strings.NewReader(in), Options{}); err == nil {
+			t.Errorf("CSV(%q) should fail", in)
+		}
+	}
+	if _, err := CSV(s, "missing", strings.NewReader("1\n"), Options{}); err == nil {
+		t.Error("missing table should fail")
+	}
+	// A failed load must not leave partial rows behind.
+	if rows := scanRows(t, s); len(rows) != 0 {
+		t.Errorf("failed loads left %d rows", len(rows))
+	}
+}
+
+func TestCSVParallelMatchesSerial(t *testing.T) {
+	var sb strings.Builder
+	const n = 20_000
+	for i := 0; i < n; i++ {
+		fmt.Fprintf(&sb, "%d,%g,row%d,%v\n", i, float64(i)*0.5, i, i%2 == 0)
+	}
+	in := sb.String()
+
+	loadWith := func(workers int) [][]types.Value {
+		s := newStoreWithTable(t)
+		cnt, err := CSV(s, "t", strings.NewReader(in), Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cnt != n {
+			t.Fatalf("workers=%d loaded %d rows, want %d", workers, cnt, n)
+		}
+		return scanRows(t, s)
+	}
+	serial := loadWith(1)
+	parallel := loadWith(8)
+	// Row multiset must match; parallel chunks preserve order per chunk and
+	// chunks are installed in order, so full order matches too.
+	for i := range serial {
+		for j := range serial[i] {
+			if !serial[i][j].Equal(parallel[i][j]) && !(serial[i][j].Null && parallel[i][j].Null) {
+				t.Fatalf("row %d col %d: %v vs %v", i, j, serial[i][j], parallel[i][j])
+			}
+		}
+	}
+}
+
+func TestSplitChunksProperty(t *testing.T) {
+	// Property: chunks are line-aligned and concatenate back to the input.
+	f := func(lines uint8, parts uint8) bool {
+		n := int(lines%40) + 1
+		p := int(parts%8) + 1
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			fmt.Fprintf(&sb, "line%d\n", i)
+		}
+		data := []byte(sb.String())
+		chunks := splitChunks(data, p)
+		var rejoined []byte
+		for _, c := range chunks {
+			if len(c) > 0 && c[len(c)-1] != '\n' && !strings.HasSuffix(sb.String(), string(c)) {
+				return false // only the final chunk may lack a newline
+			}
+			rejoined = append(rejoined, c...)
+		}
+		return string(rejoined) == sb.String()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVCRLF(t *testing.T) {
+	s := newStoreWithTable(t)
+	in := "1,2.0,a,t\r\n2,3.0,b,f\r\n"
+	n, err := CSV(s, "t", strings.NewReader(in), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("loaded %d", n)
+	}
+	if rows := scanRows(t, s); rows[1][2].S != "b" {
+		t.Errorf("CRLF row = %v", rows[1])
+	}
+}

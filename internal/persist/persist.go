@@ -1,0 +1,364 @@
+// Package persist implements database snapshots: serializing all tables
+// visible at a point in time to a binary image and restoring them. The
+// paper's introduction counts "recovery procedures" among the DBMS
+// features that make the one-system approach attractive; this package is
+// the corresponding substrate (snapshot-based recovery in the HyPer
+// tradition — here an explicit binary image; deleted row versions are
+// compacted away on save).
+//
+// Format (little endian):
+//
+//	magic "LMDB1\n"
+//	u32 table count
+//	per table:
+//	  string name
+//	  u32 column count, per column: string name, u8 type
+//	  batches: u32 row count (0 terminates), then per column:
+//	    u8 hasNulls (+ rowCount null bytes), then the typed payload
+package persist
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+
+	"lambdadb/internal/storage"
+	"lambdadb/internal/types"
+)
+
+var magic = []byte("LMDB1\n")
+
+// Save writes a snapshot of every table (rows visible at the current
+// snapshot) to w.
+func Save(store *storage.Store, w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.Write(magic); err != nil {
+		return err
+	}
+	names := store.TableNames()
+	sort.Strings(names)
+	if err := writeU32(bw, uint32(len(names))); err != nil {
+		return err
+	}
+	snapshot := store.Snapshot()
+	for _, name := range names {
+		tbl, err := store.Table(name)
+		if err != nil {
+			return err
+		}
+		if err := saveTable(bw, tbl, snapshot); err != nil {
+			return fmt.Errorf("table %q: %w", name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// SaveFile writes the snapshot to a file, atomically via a temp file.
+func SaveFile(store *storage.Store, path string) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := Save(store, f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+func saveTable(w *bufio.Writer, tbl *storage.Table, snapshot uint64) error {
+	if err := writeString(w, tbl.Name()); err != nil {
+		return err
+	}
+	schema := tbl.Schema()
+	if err := writeU32(w, uint32(len(schema))); err != nil {
+		return err
+	}
+	for _, c := range schema {
+		if err := writeString(w, c.Name); err != nil {
+			return err
+		}
+		if err := w.WriteByte(byte(c.Type)); err != nil {
+			return err
+		}
+	}
+	err := tbl.Scan(snapshot, func(b *types.Batch) error {
+		return writeBatch(w, b)
+	})
+	if err != nil {
+		return err
+	}
+	return writeU32(w, 0) // batch terminator
+}
+
+func writeBatch(w *bufio.Writer, b *types.Batch) error {
+	n := b.Len()
+	if n == 0 {
+		return nil
+	}
+	if err := writeU32(w, uint32(n)); err != nil {
+		return err
+	}
+	for _, c := range b.Cols {
+		if err := writeColumn(w, c, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writeColumn(w *bufio.Writer, c *types.Column, n int) error {
+	if c.Nulls != nil {
+		if err := w.WriteByte(1); err != nil {
+			return err
+		}
+		for i := 0; i < n; i++ {
+			bit := byte(0)
+			if c.Nulls[i] {
+				bit = 1
+			}
+			if err := w.WriteByte(bit); err != nil {
+				return err
+			}
+		}
+	} else if err := w.WriteByte(0); err != nil {
+		return err
+	}
+	switch c.T {
+	case types.Int64:
+		for _, v := range c.Ints[:n] {
+			if err := writeU64(w, uint64(v)); err != nil {
+				return err
+			}
+		}
+	case types.Float64:
+		for _, v := range c.Floats[:n] {
+			if err := writeU64(w, math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	case types.String:
+		for _, v := range c.Strs[:n] {
+			if err := writeString(w, v); err != nil {
+				return err
+			}
+		}
+	case types.Bool:
+		for _, v := range c.Bools[:n] {
+			bit := byte(0)
+			if v {
+				bit = 1
+			}
+			if err := w.WriteByte(bit); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("cannot persist column of type %s", c.T)
+	}
+	return nil
+}
+
+// Load reads a snapshot image into a fresh store.
+func Load(r io.Reader) (*storage.Store, error) {
+	br := bufio.NewReader(r)
+	head := make([]byte, len(magic))
+	if _, err := io.ReadFull(br, head); err != nil {
+		return nil, err
+	}
+	if string(head) != string(magic) {
+		return nil, fmt.Errorf("not a database image (bad magic)")
+	}
+	count, err := readU32(br)
+	if err != nil {
+		return nil, err
+	}
+	store := storage.NewStore()
+	for t := uint32(0); t < count; t++ {
+		if err := loadTable(br, store); err != nil {
+			return nil, err
+		}
+	}
+	return store, nil
+}
+
+// LoadFile reads a snapshot image from a file.
+func LoadFile(path string) (*storage.Store, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}
+
+func loadTable(r *bufio.Reader, store *storage.Store) error {
+	name, err := readString(r)
+	if err != nil {
+		return err
+	}
+	ncols, err := readU32(r)
+	if err != nil {
+		return err
+	}
+	schema := make(types.Schema, ncols)
+	for i := range schema {
+		cname, err := readString(r)
+		if err != nil {
+			return err
+		}
+		tb, err := r.ReadByte()
+		if err != nil {
+			return err
+		}
+		ct := types.Type(tb)
+		switch ct {
+		case types.Int64, types.Float64, types.String, types.Bool:
+		default:
+			return fmt.Errorf("table %q: bad column type %d", name, tb)
+		}
+		schema[i] = types.ColumnInfo{Name: cname, Type: ct}
+	}
+	tbl, err := store.CreateTable(name, schema)
+	if err != nil {
+		return err
+	}
+	tx := store.Begin()
+	for {
+		n, err := readU32(r)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			break
+		}
+		b := types.NewBatch(schema)
+		for j := range schema {
+			if err := readColumn(r, b.Cols[j], int(n)); err != nil {
+				return fmt.Errorf("table %q column %q: %w", name, schema[j].Name, err)
+			}
+		}
+		if err := tx.Insert(tbl, b); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}
+
+func readColumn(r *bufio.Reader, c *types.Column, n int) error {
+	hasNulls, err := r.ReadByte()
+	if err != nil {
+		return err
+	}
+	var nulls []bool
+	if hasNulls == 1 {
+		nulls = make([]bool, n)
+		for i := range nulls {
+			b, err := r.ReadByte()
+			if err != nil {
+				return err
+			}
+			nulls[i] = b == 1
+		}
+	}
+	for i := 0; i < n; i++ {
+		switch c.T {
+		case types.Int64:
+			v, err := readU64(r)
+			if err != nil {
+				return err
+			}
+			c.AppendInt(int64(v))
+		case types.Float64:
+			v, err := readU64(r)
+			if err != nil {
+				return err
+			}
+			c.AppendFloat(math.Float64frombits(v))
+		case types.String:
+			s, err := readString(r)
+			if err != nil {
+				return err
+			}
+			c.AppendString(s)
+		case types.Bool:
+			b, err := r.ReadByte()
+			if err != nil {
+				return err
+			}
+			c.AppendBool(b == 1)
+		}
+	}
+	if nulls != nil {
+		c.Nulls = nulls
+	}
+	return nil
+}
+
+// ---- primitive encoding ----
+
+func writeU32(w *bufio.Writer, v uint32) error {
+	var buf [4]byte
+	binary.LittleEndian.PutUint32(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeU64(w *bufio.Writer, v uint64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, err := w.Write(buf[:])
+	return err
+}
+
+func writeString(w *bufio.Writer, s string) error {
+	if err := writeU32(w, uint32(len(s))); err != nil {
+		return err
+	}
+	_, err := w.WriteString(s)
+	return err
+}
+
+func readU32(r *bufio.Reader) (uint32, error) {
+	var buf [4]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(buf[:]), nil
+}
+
+func readU64(r *bufio.Reader) (uint64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(r, buf[:]); err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint64(buf[:]), nil
+}
+
+const maxStringLen = 1 << 30
+
+func readString(r *bufio.Reader) (string, error) {
+	n, err := readU32(r)
+	if err != nil {
+		return "", err
+	}
+	if n > maxStringLen {
+		return "", fmt.Errorf("corrupt image: string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}

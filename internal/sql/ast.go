@@ -1,0 +1,207 @@
+package sql
+
+import (
+	"lambdadb/internal/expr"
+	"lambdadb/internal/types"
+)
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmtNode() }
+
+// CreateTable is CREATE TABLE name (col TYPE, ...).
+type CreateTable struct {
+	Name        string
+	Schema      types.Schema
+	IfNotExists bool
+}
+
+func (*CreateTable) stmtNode() {}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropTable) stmtNode() {}
+
+// Insert is INSERT INTO name [(cols)] VALUES (...),... | SELECT ...
+type Insert struct {
+	Table   string
+	Columns []string      // empty = positional
+	Rows    [][]expr.Expr // literal VALUES rows
+	Query   *Select       // or INSERT ... SELECT
+}
+
+func (*Insert) stmtNode() {}
+
+// Assignment is one SET col = expr clause.
+type Assignment struct {
+	Column string
+	Value  expr.Expr
+}
+
+// Update is UPDATE name SET ... [WHERE ...].
+type Update struct {
+	Table string
+	Set   []Assignment
+	Where expr.Expr
+}
+
+func (*Update) stmtNode() {}
+
+// Delete is DELETE FROM name [WHERE ...].
+type Delete struct {
+	Table string
+	Where expr.Expr
+}
+
+func (*Delete) stmtNode() {}
+
+// Begin/Commit/Rollback control explicit transactions.
+type Begin struct{}
+
+func (*Begin) stmtNode() {}
+
+// Commit commits the current transaction.
+type Commit struct{}
+
+func (*Commit) stmtNode() {}
+
+// Rollback aborts the current transaction.
+type Rollback struct{}
+
+func (*Rollback) stmtNode() {}
+
+// Copy is COPY table FROM 'path' [WITH HEADER] [DELIMITER 'c'] — bulk CSV
+// ingestion.
+type Copy struct {
+	Table     string
+	Path      string
+	Header    bool
+	Delimiter byte
+}
+
+func (*Copy) stmtNode() {}
+
+// Explain is EXPLAIN <select>: it returns the optimized logical plan as
+// text instead of executing the query.
+type Explain struct {
+	Query *Select
+}
+
+func (*Explain) stmtNode() {}
+
+// CTE is one WITH entry. Recursive CTEs follow SQL:1999: the definition is
+// `initial UNION [ALL] recursive` and may reference its own name in the
+// recursive term.
+type CTE struct {
+	Name      string
+	Columns   []string // optional column alias list
+	Query     *Select
+	Recursive bool
+}
+
+// Select is a full query: optional WITH prefix, a set-operation tree of
+// select cores, and optional ORDER BY / LIMIT.
+type Select struct {
+	With    []CTE
+	Body    QueryExpr
+	OrderBy []OrderItem
+	Limit   expr.Expr // nil = no limit
+	Offset  expr.Expr // nil = no offset
+}
+
+func (*Select) stmtNode() {}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr expr.Expr
+	Desc bool
+}
+
+// QueryExpr is a node in the set-operation tree: *SelectCore or *SetOp.
+type QueryExpr interface{ queryNode() }
+
+// SetOp combines two query expressions with UNION [ALL].
+type SetOp struct {
+	All  bool
+	L, R QueryExpr
+}
+
+func (*SetOp) queryNode() {}
+
+// SelectCore is a single SELECT ... FROM ... block.
+type SelectCore struct {
+	Distinct bool
+	Items    []SelectItem
+	From     TableRef // nil = SELECT without FROM
+	Where    expr.Expr
+	GroupBy  []expr.Expr
+	Having   expr.Expr
+}
+
+func (*SelectCore) queryNode() {}
+
+// SelectItem is one projection item.
+type SelectItem struct {
+	Star      bool   // SELECT *
+	TableStar string // SELECT t.*
+	Expr      expr.Expr
+	Alias     string
+}
+
+// TableRef is a FROM-clause item: TableName, Subquery, Join, or TableFunc.
+type TableRef interface{ tableRefNode() }
+
+// TableName references a stored table or CTE.
+type TableName struct {
+	Name  string
+	Alias string
+}
+
+func (*TableName) tableRefNode() {}
+
+// Subquery is a parenthesized query in FROM.
+type Subquery struct {
+	Query *Select
+	Alias string
+}
+
+func (*Subquery) tableRefNode() {}
+
+// JoinType enumerates supported join types.
+type JoinType uint8
+
+// Join types.
+const (
+	InnerJoin JoinType = iota
+	LeftJoin
+	CrossJoin
+)
+
+// Join combines two table references.
+type Join struct {
+	Type JoinType
+	L, R TableRef
+	On   expr.Expr // nil for CROSS
+}
+
+func (*Join) tableRefNode() {}
+
+// TableFuncArg is one argument to a table function: exactly one field set.
+type TableFuncArg struct {
+	Query  *Select      // subquery argument
+	Lambda *expr.Lambda // lambda argument
+	Scalar expr.Expr    // constant scalar argument
+}
+
+// TableFunc is an analytical table function in FROM: ITERATE, KMEANS,
+// PAGERANK, NAIVE_BAYES_TRAIN, NAIVE_BAYES_PREDICT.
+type TableFunc struct {
+	Name  string // lower-case
+	Args  []TableFuncArg
+	Alias string
+}
+
+func (*TableFunc) tableRefNode() {}

@@ -1,0 +1,253 @@
+// Package sql implements the SQL front end: a hand-written lexer and
+// recursive-descent parser for the dialect described in DESIGN.md,
+// including the paper's ITERATE construct, lambda expressions, and the
+// analytical table functions.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+	"unicode/utf8"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokQuotedIdent
+	tokKeyword
+	tokNumber
+	tokString
+	tokSymbol // punctuation and operators
+	tokLambda // the λ rune
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased; unquoted identifiers lower-cased
+	pos  int    // byte offset, for error messages
+}
+
+// keywords recognized by the lexer (upper case).
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "OFFSET": true,
+	"ASC": true, "DESC": true, "DISTINCT": true, "ALL": true,
+	"AS": true, "JOIN": true, "INNER": true, "LEFT": true, "RIGHT": true,
+	"OUTER": true, "CROSS": true, "ON": true, "AND": true, "OR": true,
+	"NOT": true, "NULL": true, "TRUE": true, "FALSE": true,
+	"CREATE": true, "TABLE": true, "DROP": true, "INSERT": true,
+	"INTO": true, "VALUES": true, "UPDATE": true, "SET": true,
+	"DELETE": true, "WITH": true, "RECURSIVE": true, "UNION": true,
+	"CASE": true, "WHEN": true, "THEN": true, "ELSE": true, "END": true,
+	"IS": true, "IN": true, "BETWEEN": true, "LIKE": true, "EXISTS": true,
+	"CAST": true, "IF": true, "BEGIN": true, "COMMIT": true,
+	"ROLLBACK": true, "LAMBDA": true, "ITERATE": true, "PRIMARY": true,
+	"KEY": true, "COPY": true, "HEADER": true, "DELIMITER": true,
+	"EXPLAIN": true,
+}
+
+// lexer turns SQL text into tokens.
+type lexer struct {
+	src string
+	pos int
+}
+
+func newLexer(src string) *lexer { return &lexer{src: src} }
+
+// lexError decorates an error with position context.
+type lexError struct {
+	msg string
+	pos int
+	src string
+}
+
+func (e *lexError) Error() string {
+	line, col := 1, 1
+	for i := 0; i < e.pos && i < len(e.src); i++ {
+		if e.src[i] == '\n' {
+			line++
+			col = 1
+		} else {
+			col++
+		}
+	}
+	return fmt.Sprintf("syntax error at line %d column %d: %s", line, col, e.msg)
+}
+
+func (l *lexer) errorf(pos int, format string, args ...any) error {
+	return &lexError{msg: fmt.Sprintf(format, args...), pos: pos, src: l.src}
+}
+
+// next returns the next token.
+func (l *lexer) next() (token, error) {
+	l.skipSpace()
+	if l.pos >= len(l.src) {
+		return token{kind: tokEOF, pos: l.pos}, nil
+	}
+	start := l.pos
+	r, size := utf8.DecodeRuneInString(l.src[l.pos:])
+
+	switch {
+	case r == 'λ':
+		l.pos += size
+		return token{kind: tokLambda, text: "λ", pos: start}, nil
+
+	case unicode.IsLetter(r) || r == '_':
+		for l.pos < len(l.src) {
+			r2, s2 := utf8.DecodeRuneInString(l.src[l.pos:])
+			if !unicode.IsLetter(r2) && !unicode.IsDigit(r2) && r2 != '_' {
+				break
+			}
+			l.pos += s2
+		}
+		word := l.src[start:l.pos]
+		up := strings.ToUpper(word)
+		if keywords[up] {
+			return token{kind: tokKeyword, text: up, pos: start}, nil
+		}
+		return token{kind: tokIdent, text: strings.ToLower(word), pos: start}, nil
+
+	case unicode.IsDigit(r) || (r == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+		return l.lexNumber(start)
+
+	case r == '\'':
+		return l.lexString(start)
+
+	case r == '"':
+		return l.lexQuotedIdent(start)
+
+	default:
+		return l.lexSymbol(start)
+	}
+}
+
+func isDigit(b byte) bool { return b >= '0' && b <= '9' }
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
+			// Block comment.
+			end := strings.Index(l.src[l.pos+2:], "*/")
+			if end < 0 {
+				l.pos = len(l.src)
+			} else {
+				l.pos += 2 + end + 2
+			}
+		default:
+			return
+		}
+	}
+}
+
+func (l *lexer) lexNumber(start int) (token, error) {
+	seenDot, seenExp := false, false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case isDigit(c):
+			l.pos++
+		case c == '.' && !seenDot && !seenExp:
+			seenDot = true
+			l.pos++
+		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
+			seenExp = true
+			l.pos++
+			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
+				l.pos++
+			}
+		default:
+			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+		}
+	}
+	return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
+}
+
+func (l *lexer) lexString(start int) (token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' {
+				sb.WriteByte('\'') // escaped quote
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			return token{kind: tokString, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errorf(start, "unterminated string literal")
+}
+
+func (l *lexer) lexQuotedIdent(start int) (token, error) {
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			return token{kind: tokQuotedIdent, text: sb.String(), pos: start}, nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return token{}, l.errorf(start, "unterminated quoted identifier")
+}
+
+// two-character symbols, checked before single characters.
+var twoCharSymbols = map[string]bool{
+	"<>": true, "!=": true, "<=": true, ">=": true, "||": true,
+}
+
+func (l *lexer) lexSymbol(start int) (token, error) {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharSymbols[two] {
+			l.pos += 2
+			if two == "!=" {
+				two = "<>"
+			}
+			return token{kind: tokSymbol, text: two, pos: start}, nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '.', '*', '+', '-', '/', '%', '^', '=', '<', '>':
+		l.pos++
+		return token{kind: tokSymbol, text: string(c), pos: start}, nil
+	}
+	return token{}, l.errorf(start, "unexpected character %q", string(c))
+}
+
+// lexAll tokenizes the whole input (used by the parser, which needs
+// lookahead).
+func lexAll(src string) ([]token, error) {
+	l := newLexer(src)
+	var out []token
+	for {
+		t, err := l.next()
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, t)
+		if t.kind == tokEOF {
+			return out, nil
+		}
+	}
+}

@@ -1,0 +1,42 @@
+package storage
+
+import "lambdadb/internal/types"
+
+// ScanWithRowIDs yields batches of visible rows together with their physical
+// row indices. DML execution (UPDATE/DELETE) uses it to address the rows it
+// must version.
+func (t *Table) ScanWithRowIDs(snapshot uint64, yield func(b *types.Batch, rowIDs []int) error) error {
+	t.mu.RLock()
+	n := len(t.createdAt)
+	t.mu.RUnlock()
+	idx := make([]int, 0, types.BatchSize)
+	for start := 0; start < n; start += types.BatchSize {
+		end := start + types.BatchSize
+		if end > n {
+			end = n
+		}
+		t.mu.RLock()
+		idx = idx[:0]
+		for i := start; i < end; i++ {
+			if t.visibleLocked(i, snapshot) {
+				idx = append(idx, i)
+			}
+		}
+		var b *types.Batch
+		if len(idx) > 0 {
+			b = &types.Batch{Schema: t.schema, Cols: make([]*types.Column, len(t.cols))}
+			for j, c := range t.cols {
+				b.Cols[j] = c.Gather(idx)
+			}
+		}
+		t.mu.RUnlock()
+		if b != nil {
+			ids := make([]int, len(idx))
+			copy(ids, idx)
+			if err := yield(b, ids); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

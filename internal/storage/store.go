@@ -1,0 +1,183 @@
+package storage
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"lambdadb/internal/catalog"
+	"lambdadb/internal/types"
+)
+
+// Store is the top-level main-memory database: a set of tables plus the
+// global commit clock.
+type Store struct {
+	mu     sync.RWMutex
+	tables map[string]*Table
+
+	// clock is the last assigned commit timestamp. A snapshot is simply a
+	// clock reading: all rows committed at or before it are visible.
+	clock atomic.Uint64
+
+	// commitMu serializes commits so validation and apply are atomic.
+	commitMu sync.Mutex
+}
+
+// NewStore returns an empty store.
+func NewStore() *Store {
+	return &Store{tables: make(map[string]*Table)}
+}
+
+// CreateTable creates a new table. It fails if the name is taken.
+func (s *Store) CreateTable(name string, schema types.Schema) (*Table, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; ok {
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	s.tables[name] = t
+	return t, nil
+}
+
+// DropTable removes a table.
+func (s *Store) DropTable(name string) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if _, ok := s.tables[name]; !ok {
+		return &catalog.ErrNoSuchTable{Name: name}
+	}
+	delete(s.tables, name)
+	return nil
+}
+
+// Table returns the named table.
+func (s *Store) Table(name string) (*Table, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t, ok := s.tables[name]
+	if !ok {
+		return nil, &catalog.ErrNoSuchTable{Name: name}
+	}
+	return t, nil
+}
+
+// Resolve implements catalog.Catalog.
+func (s *Store) Resolve(name string) (catalog.Relation, error) {
+	return s.Table(name)
+}
+
+// TableNames returns the names of all tables.
+func (s *Store) TableNames() []string {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	out := make([]string, 0, len(s.tables))
+	for n := range s.tables {
+		out = append(out, n)
+	}
+	return out
+}
+
+// Snapshot returns the current snapshot timestamp.
+func (s *Store) Snapshot() uint64 { return s.clock.Load() }
+
+// Begin starts a transaction reading at the current snapshot.
+func (s *Store) Begin() *Txn {
+	return &Txn{store: s, snapshot: s.clock.Load()}
+}
+
+// Txn is a transaction: a snapshot for reads plus buffered writes that are
+// validated and applied atomically at commit. Write-write conflicts follow
+// first-committer-wins.
+type Txn struct {
+	store    *Store
+	snapshot uint64
+	done     bool
+
+	inserts []bufferedInsert
+	deletes []bufferedDelete
+}
+
+type bufferedInsert struct {
+	table *Table
+	batch *types.Batch
+}
+
+type bufferedDelete struct {
+	table *Table
+	row   int
+}
+
+// Snapshot returns the transaction's read snapshot.
+func (tx *Txn) Snapshot() uint64 { return tx.snapshot }
+
+// Insert buffers rows for insertion into table at commit.
+func (tx *Txn) Insert(table *Table, b *types.Batch) error {
+	if tx.done {
+		return errTxnDone
+	}
+	if len(b.Cols) != len(table.schema) {
+		return fmt.Errorf("insert into %s: got %d columns, want %d",
+			table.name, len(b.Cols), len(table.schema))
+	}
+	tx.inserts = append(tx.inserts, bufferedInsert{table, b})
+	return nil
+}
+
+// Delete buffers the deletion of a physical row.
+func (tx *Txn) Delete(table *Table, row int) error {
+	if tx.done {
+		return errTxnDone
+	}
+	tx.deletes = append(tx.deletes, bufferedDelete{table, row})
+	return nil
+}
+
+// Commit validates and applies all buffered writes atomically, returning a
+// ConflictError if another transaction deleted one of our target rows after
+// our snapshot.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return errTxnDone
+	}
+	tx.done = true
+	if len(tx.inserts) == 0 && len(tx.deletes) == 0 {
+		return nil
+	}
+	s := tx.store
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+
+	// Validate deletes first (first-committer-wins): any target row deleted
+	// after our snapshot is a conflict.
+	for _, d := range tx.deletes {
+		_, del := d.table.rowVersion(d.row)
+		if del != 0 && del > tx.snapshot {
+			return &ConflictError{Table: d.table.name, Row: d.row}
+		}
+	}
+
+	ts := s.clock.Load() + 1
+	for _, d := range tx.deletes {
+		if err := d.table.deleteRow(d.row, ts, tx.snapshot); err != nil {
+			// Cannot happen after validation while holding commitMu, but
+			// surface it rather than hide it.
+			return err
+		}
+	}
+	for _, in := range tx.inserts {
+		in.table.appendRows(in.batch, ts)
+	}
+	// Publish: rows become visible to snapshots taken from now on.
+	s.clock.Store(ts)
+	return nil
+}
+
+// Rollback discards all buffered writes.
+func (tx *Txn) Rollback() {
+	tx.done = true
+	tx.inserts = nil
+	tx.deletes = nil
+}
+
+var errTxnDone = fmt.Errorf("transaction already finished")

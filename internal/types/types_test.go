@@ -1,0 +1,159 @@
+package types
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueString(t *testing.T) {
+	cases := []struct {
+		v    Value
+		want string
+	}{
+		{NewInt(42), "42"},
+		{NewInt(-7), "-7"},
+		{NewFloat(1.5), "1.5"},
+		{NewString("hi"), "hi"},
+		{NewBool(true), "true"},
+		{NewBool(false), "false"},
+		{NewNull(Int64), "NULL"},
+	}
+	for _, c := range cases {
+		if got := c.v.String(); got != c.want {
+			t.Errorf("%#v.String() = %q, want %q", c.v, got, c.want)
+		}
+	}
+}
+
+func TestValueCompare(t *testing.T) {
+	cases := []struct {
+		a, b Value
+		want int
+	}{
+		{NewInt(1), NewInt(2), -1},
+		{NewInt(2), NewInt(2), 0},
+		{NewInt(3), NewInt(2), 1},
+		{NewFloat(1.5), NewFloat(2.5), -1},
+		{NewInt(2), NewFloat(2.0), 0},
+		{NewFloat(2.5), NewInt(2), 1},
+		{NewString("a"), NewString("b"), -1},
+		{NewBool(false), NewBool(true), -1},
+		{NewNull(Int64), NewInt(0), -1},
+		{NewInt(0), NewNull(Int64), 1},
+		{NewNull(Int64), NewNull(Float64), 0},
+	}
+	for _, c := range cases {
+		if got := c.a.Compare(c.b); got != c.want {
+			t.Errorf("Compare(%v, %v) = %d, want %d", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestValueEqualCrossNumeric(t *testing.T) {
+	if !NewInt(3).Equal(NewFloat(3.0)) {
+		t.Error("3 should equal 3.0")
+	}
+	if NewInt(3).Equal(NewFloat(3.5)) {
+		t.Error("3 should not equal 3.5")
+	}
+	if NewNull(Int64).Equal(NewNull(Int64)) {
+		t.Error("NULL must not equal NULL")
+	}
+	if NewString("1").Equal(NewInt(1)) {
+		t.Error("'1' must not equal 1")
+	}
+}
+
+func TestHashIntFloatAgree(t *testing.T) {
+	// SQL equality across int64/float64 requires identical hashes.
+	f := func(x int32) bool {
+		return NewInt(int64(x)).Hash() == NewFloat(float64(x)).Hash()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashNegativeZero(t *testing.T) {
+	if NewFloat(0.0).Hash() != NewFloat(math.Copysign(0, -1)).Hash() {
+		t.Error("0.0 and -0.0 must hash identically")
+	}
+}
+
+func TestHashDistribution(t *testing.T) {
+	// Property: distinct small ints should essentially never collide.
+	seen := map[uint64]int64{}
+	for i := int64(0); i < 10000; i++ {
+		h := NewInt(i).Hash()
+		if prev, ok := seen[h]; ok {
+			t.Fatalf("hash collision between %d and %d", prev, i)
+		}
+		seen[h] = i
+	}
+}
+
+func TestHashCombineOrderSensitive(t *testing.T) {
+	a, b := NewInt(1).Hash(), NewInt(2).Hash()
+	h1 := HashCombine(HashCombine(0, a), b)
+	h2 := HashCombine(HashCombine(0, b), a)
+	if h1 == h2 {
+		t.Error("HashCombine should be order sensitive")
+	}
+}
+
+func TestCompareIsAntisymmetric(t *testing.T) {
+	f := func(a, b int64) bool {
+		va, vb := NewInt(a), NewInt(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	g := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		va, vb := NewFloat(a), NewFloat(b)
+		return va.Compare(vb) == -vb.Compare(va)
+	}
+	if err := quick.Check(g, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseType(t *testing.T) {
+	cases := map[string]Type{
+		"INTEGER": Int64, "BIGINT": Int64, "INT": Int64,
+		"FLOAT": Float64, "DOUBLE": Float64, "REAL": Float64,
+		"VARCHAR": String, "TEXT": String,
+		"BOOLEAN": Bool, "BOOL": Bool,
+	}
+	for name, want := range cases {
+		got, err := ParseType(name)
+		if err != nil {
+			t.Fatalf("ParseType(%q): %v", name, err)
+		}
+		if got != want {
+			t.Errorf("ParseType(%q) = %v, want %v", name, got, want)
+		}
+	}
+	if _, err := ParseType("BLOB"); err == nil {
+		t.Error("ParseType(BLOB) should fail")
+	}
+}
+
+func TestAsFloatAsInt(t *testing.T) {
+	if NewInt(3).AsFloat() != 3.0 {
+		t.Error("AsFloat of int")
+	}
+	if NewFloat(3.9).AsInt() != 3 {
+		t.Error("AsInt truncates")
+	}
+	if NewFloat(2.5).AsFloat() != 2.5 {
+		t.Error("AsFloat of float")
+	}
+	if NewInt(7).AsInt() != 7 {
+		t.Error("AsInt of int")
+	}
+}

@@ -1,0 +1,109 @@
+package workload
+
+import (
+	"math/rand"
+)
+
+// Graph is an undirected social graph emitted as a directed edge list with
+// both directions present — the shape of the LDBC SNB person-knows-person
+// relation the paper evaluates on.
+type Graph struct {
+	NumVertices int
+	// Src/Dst list every undirected edge twice (u→v and v→u).
+	Src, Dst []int64
+}
+
+// NumDirectedEdges returns the number of directed edges (2× undirected).
+func (g *Graph) NumDirectedEdges() int { return len(g.Src) }
+
+// LDBCScale names the three graph sizes of the paper's Figure 5 (left).
+type LDBCScale struct {
+	Name     string
+	Vertices int
+	// UndirectedEdges approximates the paper's edge counts (which count
+	// directed person-knows-person rows).
+	DirectedEdges int
+}
+
+// LDBCScales mirrors the paper's three datasets: 11k/452k, 73k/4.6m,
+// 499k/46m (vertices / directed edges).
+var LDBCScales = []LDBCScale{
+	{Name: "ldbc-sf1", Vertices: 11_000, DirectedEdges: 452_000},
+	{Name: "ldbc-sf10", Vertices: 73_000, DirectedEdges: 4_600_000},
+	{Name: "ldbc-sf100", Vertices: 499_000, DirectedEdges: 46_000_000},
+}
+
+// SocialGraph generates an undirected preferential-attachment graph with
+// the given vertex count and approximate directed edge count. Preferential
+// attachment yields the heavy-tailed degree distribution characteristic of
+// social networks, which is the property that drives PageRank cost — our
+// substitute for the LDBC SNB generator (see DESIGN.md).
+func SocialGraph(vertices, directedEdges int, seed int64) *Graph {
+	if vertices < 2 {
+		vertices = 2
+	}
+	undirected := directedEdges / 2
+	m := undirected / vertices // attachments per joining vertex
+	if m < 1 {
+		m = 1
+	}
+	r := rand.New(rand.NewSource(seed))
+
+	g := &Graph{NumVertices: vertices}
+	// endpoints records every edge endpoint; sampling from it implements
+	// preferential attachment (probability proportional to degree).
+	endpoints := make([]int64, 0, 2*undirected)
+
+	addEdge := func(u, v int64) {
+		g.Src = append(g.Src, u, v)
+		g.Dst = append(g.Dst, v, u)
+		endpoints = append(endpoints, u, v)
+	}
+
+	// Seed clique over the first m+1 vertices.
+	seedSize := m + 1
+	if seedSize > vertices {
+		seedSize = vertices
+	}
+	for u := 0; u < seedSize; u++ {
+		for v := u + 1; v < seedSize; v++ {
+			addEdge(int64(u), int64(v))
+		}
+	}
+	// Each remaining vertex attaches to m existing vertices, preferring
+	// high-degree ones.
+	for u := seedSize; u < vertices; u++ {
+		attached := map[int64]bool{}
+		for len(attached) < m {
+			var v int64
+			if r.Intn(10) == 0 {
+				// Small uniform component keeps the graph connected-ish and
+				// bounds hub dominance, like LDBC's person-similarity noise.
+				v = int64(r.Intn(u))
+			} else {
+				v = endpoints[r.Intn(len(endpoints))]
+			}
+			if v == int64(u) || attached[v] {
+				continue
+			}
+			attached[v] = true
+			addEdge(int64(u), v)
+		}
+	}
+	return g
+}
+
+// MaxDegree returns the maximum vertex degree (for tests of skew).
+func (g *Graph) MaxDegree() int {
+	deg := make([]int, g.NumVertices)
+	for _, s := range g.Src {
+		deg[s]++
+	}
+	max := 0
+	for _, d := range deg {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

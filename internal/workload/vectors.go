@@ -1,0 +1,141 @@
+// Package workload generates the synthetic datasets of the paper's
+// evaluation (Section 8.1): uniformly distributed vector data for k-Means
+// and Naive Bayes, and LDBC-SNB-like social graphs for PageRank.
+//
+// All generators are deterministic in their seed so experiments are
+// reproducible run to run.
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/types"
+)
+
+// UniformVectors generates n tuples of d dimensions, uniformly distributed
+// in [0, 1), row-major. The paper argues uniform synthetic data is adequate
+// because plain k-Means with a fixed iteration count is insensitive to
+// skew (Section 8.1.1).
+func UniformVectors(n, d int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, n*d)
+	for i := range out {
+		out[i] = r.Float64()
+	}
+	return out
+}
+
+// UniformLabels generates n labels drawn uniformly from {0, ..., classes-1}
+// (the paper uses a uniform density over two labels, Section 8.1.2).
+func UniformLabels(n, classes int, seed int64) []int64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = int64(r.Intn(classes))
+	}
+	return out
+}
+
+// SampleCenters picks k distinct rows of data (n×d row-major) as initial
+// cluster centers — the paper's "simplest cluster initialization strategy:
+// random selection of k initial cluster centers".
+func SampleCenters(data []float64, n, d, k int, seed int64) []float64 {
+	r := rand.New(rand.NewSource(seed))
+	out := make([]float64, 0, k*d)
+	seen := map[int]bool{}
+	for len(seen) < k && len(seen) < n {
+		i := r.Intn(n)
+		if seen[i] {
+			continue
+		}
+		seen[i] = true
+		out = append(out, data[i*d:i*d+d]...)
+	}
+	return out
+}
+
+// VectorColumnNames returns the conventional dimension column names
+// d0, d1, ... used by the generated tables.
+func VectorColumnNames(d int) []string {
+	out := make([]string, d)
+	for j := range out {
+		out[j] = fmt.Sprintf("d%d", j)
+	}
+	return out
+}
+
+// VectorSchema builds the schema of a d-dimensional vector table.
+func VectorSchema(d int) types.Schema {
+	names := VectorColumnNames(d)
+	schema := make(types.Schema, d)
+	for j, name := range names {
+		schema[j] = types.ColumnInfo{Name: name, Type: types.Float64}
+	}
+	return schema
+}
+
+// LoadVectorTable bulk-loads row-major vector data into a new table.
+func LoadVectorTable(db *engine.DB, table string, data []float64, n, d int) error {
+	schema := VectorSchema(d)
+	return bulkLoad(db, table, schema, n, func(b *types.Batch, i int) {
+		for j := 0; j < d; j++ {
+			b.Cols[j].AppendFloat(data[i*d+j])
+		}
+	})
+}
+
+// LoadLabeledVectorTable bulk-loads vectors plus an integer label column.
+func LoadLabeledVectorTable(db *engine.DB, table string, data []float64, labels []int64, n, d int) error {
+	schema := append(VectorSchema(d), types.ColumnInfo{Name: "label", Type: types.Int64})
+	return bulkLoad(db, table, schema, n, func(b *types.Batch, i int) {
+		for j := 0; j < d; j++ {
+			b.Cols[j].AppendFloat(data[i*d+j])
+		}
+		b.Cols[d].AppendInt(labels[i])
+	})
+}
+
+// LoadEdgeTable bulk-loads an edge list into a table (src, dest BIGINT).
+func LoadEdgeTable(db *engine.DB, table string, src, dst []int64) error {
+	schema := types.Schema{
+		{Name: "src", Type: types.Int64},
+		{Name: "dest", Type: types.Int64},
+	}
+	return bulkLoad(db, table, schema, len(src), func(b *types.Batch, i int) {
+		b.Cols[0].AppendInt(src[i])
+		b.Cols[1].AppendInt(dst[i])
+	})
+}
+
+// bulkLoad creates the table (replacing an existing one) and inserts n rows
+// through a single transaction, using the paper's instant-loading spirit:
+// bypassing SQL literal parsing for bulk ingest.
+func bulkLoad(db *engine.DB, table string, schema types.Schema, n int,
+	fill func(b *types.Batch, i int)) error {
+
+	store := db.Store()
+	_ = store.DropTable(table) // ignore "does not exist"
+	tbl, err := store.CreateTable(table, schema)
+	if err != nil {
+		return err
+	}
+	tx := store.Begin()
+	const chunk = 1 << 16
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		b := types.NewBatch(schema)
+		for i := lo; i < hi; i++ {
+			fill(b, i)
+		}
+		if err := tx.Insert(tbl, b); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	return tx.Commit()
+}

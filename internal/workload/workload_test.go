@@ -1,0 +1,216 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+
+	"lambdadb/internal/engine"
+)
+
+func TestUniformVectorsDeterministic(t *testing.T) {
+	a := UniformVectors(100, 5, 7)
+	b := UniformVectors(100, 5, 7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed must give identical data")
+		}
+	}
+	c := UniformVectors(100, 5, 8)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds should give different data")
+	}
+}
+
+func TestUniformVectorsRange(t *testing.T) {
+	f := func(seed int64) bool {
+		data := UniformVectors(200, 3, seed)
+		for _, v := range data {
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestUniformLabelsDistribution(t *testing.T) {
+	labels := UniformLabels(10_000, 2, 1)
+	counts := map[int64]int{}
+	for _, l := range labels {
+		counts[l]++
+	}
+	if len(counts) != 2 {
+		t.Fatalf("labels = %v", counts)
+	}
+	// Uniform two-label density: each side within 45-55%.
+	for l, c := range counts {
+		if c < 4500 || c > 5500 {
+			t.Errorf("label %d count %d not near uniform", l, c)
+		}
+	}
+}
+
+func TestSampleCentersDistinct(t *testing.T) {
+	data := UniformVectors(100, 4, 2)
+	centers := SampleCenters(data, 100, 4, 10, 3)
+	if len(centers) != 40 {
+		t.Fatalf("centers length = %d", len(centers))
+	}
+	// All centers must be actual data rows.
+	rowSet := map[[4]float64]bool{}
+	for i := 0; i < 100; i++ {
+		var key [4]float64
+		copy(key[:], data[i*4:i*4+4])
+		rowSet[key] = true
+	}
+	seen := map[[4]float64]bool{}
+	for c := 0; c < 10; c++ {
+		var key [4]float64
+		copy(key[:], centers[c*4:c*4+4])
+		if !rowSet[key] {
+			t.Errorf("center %d is not a data row", c)
+		}
+		if seen[key] {
+			t.Errorf("center %d duplicated", c)
+		}
+		seen[key] = true
+	}
+}
+
+func TestSocialGraphShape(t *testing.T) {
+	g := SocialGraph(1000, 10_000, 1)
+	if g.NumVertices != 1000 {
+		t.Errorf("vertices = %d", g.NumVertices)
+	}
+	// Directed edge count within 25% of the request.
+	got := g.NumDirectedEdges()
+	if got < 7_500 || got > 12_500 {
+		t.Errorf("directed edges = %d, want ≈10000", got)
+	}
+	// Undirectedness: both directions present.
+	edgeSet := map[[2]int64]bool{}
+	for i := range g.Src {
+		edgeSet[[2]int64{g.Src[i], g.Dst[i]}] = true
+	}
+	for i := range g.Src {
+		if !edgeSet[[2]int64{g.Dst[i], g.Src[i]}] {
+			t.Fatalf("edge %d→%d missing its reverse", g.Src[i], g.Dst[i])
+		}
+	}
+	// Vertex ids within range.
+	for i := range g.Src {
+		if g.Src[i] < 0 || g.Src[i] >= int64(g.NumVertices) {
+			t.Fatalf("vertex id out of range: %d", g.Src[i])
+		}
+	}
+}
+
+func TestSocialGraphHeavyTail(t *testing.T) {
+	// Preferential attachment: the max degree must far exceed the mean
+	// (the skew that makes the graph LDBC/social-network-like).
+	g := SocialGraph(5000, 50_000, 2)
+	mean := float64(g.NumDirectedEdges()) / float64(g.NumVertices)
+	if max := g.MaxDegree(); float64(max) < 4*mean {
+		t.Errorf("max degree %d vs mean %.1f: degree distribution not heavy-tailed", max, mean)
+	}
+}
+
+func TestSocialGraphDeterministic(t *testing.T) {
+	a := SocialGraph(500, 5000, 3)
+	b := SocialGraph(500, 5000, 3)
+	if len(a.Src) != len(b.Src) {
+		t.Fatal("lengths differ")
+	}
+	for i := range a.Src {
+		if a.Src[i] != b.Src[i] || a.Dst[i] != b.Dst[i] {
+			t.Fatal("same seed must give identical graphs")
+		}
+	}
+}
+
+func TestLoadVectorTable(t *testing.T) {
+	db := engine.Open()
+	data := UniformVectors(1000, 3, 4)
+	if err := LoadVectorTable(db, "vecs", data, 1000, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query(`SELECT count(*), min(d0), max(d2) FROM vecs`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 1000 {
+		t.Errorf("count = %v", r.Rows[0][0])
+	}
+	if r.Rows[0][1].F < 0 || r.Rows[0][2].F >= 1 {
+		t.Errorf("bounds = %v", r.Rows[0])
+	}
+	// Reloading replaces the table.
+	if err := LoadVectorTable(db, "vecs", data[:30], 10, 3); err != nil {
+		t.Fatal(err)
+	}
+	r, _ = db.Query(`SELECT count(*) FROM vecs`)
+	if r.Rows[0][0].I != 10 {
+		t.Errorf("reload count = %v", r.Rows[0][0])
+	}
+}
+
+func TestLoadLabeledAndEdgeTables(t *testing.T) {
+	db := engine.Open()
+	data := UniformVectors(500, 2, 5)
+	labels := UniformLabels(500, 2, 6)
+	if err := LoadLabeledVectorTable(db, "train", data, labels, 500, 2); err != nil {
+		t.Fatal(err)
+	}
+	r, err := db.Query(`SELECT count(DISTINCT label) FROM train`)
+	if err == nil {
+		_ = r // count(DISTINCT) unsupported; fall through to GROUP BY check
+	}
+	r, err = db.Query(`SELECT label, count(*) FROM train GROUP BY label ORDER BY label`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 2 {
+		t.Errorf("labels = %v", r.Rows)
+	}
+
+	g := SocialGraph(100, 500, 7)
+	if err := LoadEdgeTable(db, "edges", g.Src, g.Dst); err != nil {
+		t.Fatal(err)
+	}
+	r, err = db.Query(`SELECT count(*) FROM edges`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int(r.Rows[0][0].I) != g.NumDirectedEdges() {
+		t.Errorf("edge count = %v, want %d", r.Rows[0][0], g.NumDirectedEdges())
+	}
+}
+
+func TestLDBCScalesMatchPaper(t *testing.T) {
+	if len(LDBCScales) != 3 {
+		t.Fatal("expected three LDBC scales")
+	}
+	if LDBCScales[0].Vertices != 11_000 || LDBCScales[0].DirectedEdges != 452_000 {
+		t.Errorf("scale 1 = %+v", LDBCScales[0])
+	}
+	if LDBCScales[2].Vertices != 499_000 || LDBCScales[2].DirectedEdges != 46_000_000 {
+		t.Errorf("scale 3 = %+v", LDBCScales[2])
+	}
+}
+
+func TestVectorSchema(t *testing.T) {
+	s := VectorSchema(3)
+	if len(s) != 3 || s[0].Name != "d0" || s[2].Name != "d2" {
+		t.Errorf("schema = %v", s)
+	}
+}
