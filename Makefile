@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: everything CI runs — vet, build, full tests, race on the executor
+check: vet build test race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+## race: the parallel executor and engine under the race detector
+race:
+	$(GO) test -race ./internal/exec/ ./internal/engine/
+
+## bench: refresh the parallel-operator scaling baseline (see BENCH_exec.json)
+bench:
+	$(GO) test ./internal/exec/ -run xxx -bench 'BenchmarkParallel(Join|Sort|TopK|Agg)Scaling' -benchtime 3x

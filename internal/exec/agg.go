@@ -1,9 +1,7 @@
 package exec
 
 import (
-	"fmt"
 	"math"
-	"sync"
 
 	"lambdadb/internal/expr"
 	"lambdadb/internal/plan"
@@ -202,7 +200,7 @@ func newAggOp(n *plan.Aggregate) (Operator, error) {
 func (a *aggOp) Schema() types.Schema { return a.schema }
 
 func (a *aggOp) Open(ctx *Context) error {
-	parts := splitParallel(a.node.Child, ctx.Workers)
+	parts := splitParallel(a.node.Child, ctx.workers(), ctx)
 	var total *aggHash
 	var err error
 	if len(parts) > 1 {
@@ -228,25 +226,16 @@ func (a *aggOp) aggregateSerial(ctx *Context, child plan.Node) (*aggHash, error)
 
 func (a *aggOp) aggregateParallel(ctx *Context, parts []plan.Node) (*aggHash, error) {
 	results := make([]*aggHash, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		wg.Add(1)
-		go func(i int, part plan.Node) {
-			defer wg.Done()
-			op, err := Build(part)
-			if err != nil {
-				errs[i] = err
-				return
-			}
-			results[i], errs[i] = a.consume(ctx, op)
-		}(i, part)
-	}
-	wg.Wait()
-	for _, err := range errs {
+	err := runParts(len(parts), ctx.workers(), func(i int) error {
+		op, err := Build(parts[i])
 		if err != nil {
-			return nil, err
+			return err
 		}
+		results[i], err = a.consume(ctx, op)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
 	// Merge worker tables into the first.
 	total := results[0]
@@ -365,75 +354,3 @@ func (a *aggOp) finalize(table *aggHash) *Materialized {
 
 func (a *aggOp) Next() (*types.Batch, error) { return a.it.next(), nil }
 func (a *aggOp) Close() error                { return nil }
-
-// splitParallel partitions a pipeline rooted at a base-table Scan into
-// row-range morsels, one plan clone per part. It returns nil when the
-// pipeline is not parallelizable (non-scan leaves, or a small table).
-func splitParallel(p plan.Node, parts int) []plan.Node {
-	if parts <= 1 {
-		return nil
-	}
-	scan := findScan(p)
-	if scan == nil {
-		return nil
-	}
-	n := scan.Rel.PhysicalRows()
-	const minRowsPerWorker = 8192
-	if n < 2*minRowsPerWorker {
-		return nil
-	}
-	if parts > n/minRowsPerWorker {
-		parts = n / minRowsPerWorker
-	}
-	out := make([]plan.Node, 0, parts)
-	chunk := (n + parts - 1) / parts
-	for lo := 0; lo < n; lo += chunk {
-		hi := lo + chunk
-		if hi > n {
-			hi = n
-		}
-		out = append(out, clonePipeline(p, lo, hi))
-	}
-	return out
-}
-
-// findScan returns the single base-table Scan at the root of a pipeline of
-// Filter/Project/Alias nodes, or nil.
-func findScan(p plan.Node) *plan.Scan {
-	switch n := p.(type) {
-	case *plan.Scan:
-		return n
-	case *plan.Filter:
-		return findScan(n.Child)
-	case *plan.Project:
-		return findScan(n.Child)
-	case *plan.Alias:
-		return findScan(n.Child)
-	}
-	return nil
-}
-
-// clonePipeline copies a Filter/Project/Alias chain with the leaf Scan
-// restricted to [lo, hi). Expressions are shared; they are immutable after
-// planning.
-func clonePipeline(p plan.Node, lo, hi int) plan.Node {
-	switch n := p.(type) {
-	case *plan.Scan:
-		c := *n
-		c.Lo, c.Hi = lo, hi
-		return &c
-	case *plan.Filter:
-		c := *n
-		c.Child = clonePipeline(n.Child, lo, hi)
-		return &c
-	case *plan.Project:
-		c := *n
-		c.Child = clonePipeline(n.Child, lo, hi)
-		return &c
-	case *plan.Alias:
-		c := *n
-		c.Child = clonePipeline(n.Child, lo, hi)
-		return &c
-	}
-	panic(fmt.Sprintf("clonePipeline: unexpected node %T", p))
-}

@@ -2,7 +2,6 @@ package exec
 
 import (
 	"fmt"
-	"sync"
 
 	"lambdadb/internal/analytics"
 	"lambdadb/internal/expr"
@@ -28,7 +27,7 @@ func drainFloatMatrix(p plan.Node, ctx *Context) (*floatMatrix, error) {
 			return nil, fmt.Errorf("analytical input column %q is %s, need a numeric type", c.Name, c.Type)
 		}
 	}
-	parts := splitParallel(p, ctx.Workers)
+	parts := splitParallel(p, ctx.workers(), ctx)
 	if len(parts) <= 1 {
 		data, n, err := drainFloatsSerial(p, ctx, d)
 		if err != nil {
@@ -38,21 +37,16 @@ func drainFloatMatrix(p plan.Node, ctx *Context) (*floatMatrix, error) {
 	}
 	datas := make([][]float64, len(parts))
 	ns := make([]int, len(parts))
-	errs := make([]error, len(parts))
-	var wg sync.WaitGroup
-	for i, part := range parts {
-		wg.Add(1)
-		go func(i int, part plan.Node) {
-			defer wg.Done()
-			datas[i], ns[i], errs[i] = drainFloatsSerial(part, ctx, d)
-		}(i, part)
+	err := runParts(len(parts), ctx.workers(), func(i int) error {
+		var err error
+		datas[i], ns[i], err = drainFloatsSerial(parts[i], ctx, d)
+		return err
+	})
+	if err != nil {
+		return nil, err
 	}
-	wg.Wait()
 	total := 0
 	for i := range parts {
-		if errs[i] != nil {
-			return nil, errs[i]
-		}
 		total += ns[i]
 	}
 	data := make([]float64, 0, total*d)

@@ -91,6 +91,76 @@ func benchName(workers int) string {
 	return "workers=" + string(rune('0'+workers))
 }
 
+// BenchmarkParallelJoinScaling sweeps the morsel-parallel hash join worker
+// count: partitioned parallel build on 100k rows, morsel-parallel probe
+// with 1.6M rows, 1:1 key matches.
+func BenchmarkParallelJoinScaling(b *testing.B) {
+	s, left := bigTable(b, 100_000, 100_000)
+	rs, right := bigTable(b, 1_600_000, 100_000)
+	join := &plan.Join{
+		Type:      plan.InnerJoin,
+		L:         plan.NewScan(left, "l", s.Snapshot()),
+		R:         plan.NewScan(right, "r", rs.Snapshot()),
+		EquiLeft:  []int{0},
+		EquiRight: []int{0},
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			ctx := NewContext()
+			ctx.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(join, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelSortScaling sweeps the parallel sort worker count:
+// per-worker run generation over a 1M-row scan, k-way loser-tree merge.
+func BenchmarkParallelSortScaling(b *testing.B) {
+	s, tbl := bigTable(b, 1_000_000, 1000) // v column is unique, k repeats
+	srt := &plan.Sort{
+		Child: plan.NewScan(tbl, "", s.Snapshot()),
+		Keys:  []plan.SortKey{{Col: 1, Desc: true}},
+		TopK:  -1,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			ctx := NewContext()
+			ctx.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(srt, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkParallelTopKScaling isolates the fused ORDER BY ... LIMIT path:
+// per-worker bounded heaps mean the 1M-row input is never materialized.
+func BenchmarkParallelTopKScaling(b *testing.B) {
+	s, tbl := bigTable(b, 1_000_000, 1000)
+	srt := &plan.Sort{
+		Child: plan.NewScan(tbl, "", s.Snapshot()),
+		Keys:  []plan.SortKey{{Col: 1, Desc: true}},
+		TopK:  100,
+	}
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(benchName(workers), func(b *testing.B) {
+			ctx := NewContext()
+			ctx.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(srt, ctx); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkHashJoin measures the equi-join path: build on 100k rows,
 // probe with 400k.
 func BenchmarkHashJoin(b *testing.B) {

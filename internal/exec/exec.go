@@ -40,10 +40,24 @@ func (c *Context) BumpEpoch() { c.epoch++ }
 
 // NewContext returns a Context with default parallelism.
 func NewContext() *Context {
+	w := runtime.GOMAXPROCS(0)
+	if w < 1 {
+		w = 1
+	}
 	return &Context{
-		Workers:  runtime.GOMAXPROCS(0),
+		Workers:  w,
 		Bindings: map[string]*Materialized{},
 	}
+}
+
+// workers returns the effective parallelism degree, clamped to >= 1, so
+// operators never have to defend against zero or negative Workers values
+// set by callers that bypass NewContext.
+func (c *Context) workers() int {
+	if c == nil || c.Workers < 1 {
+		return 1
+	}
+	return c.Workers
 }
 
 // Operator is a physical operator.
@@ -81,6 +95,41 @@ func (m *Materialized) Rows() [][]types.Value {
 		for i := 0; i < b.Len(); i++ {
 			out = append(out, b.Row(i))
 		}
+	}
+	return out
+}
+
+// SliceRows returns batches covering rows [lo, hi) of the materialized
+// relation, slicing the boundary batches. hi <= 0 means to the end. The
+// returned batches may alias m's storage.
+func (m *Materialized) SliceRows(lo, hi int) []*types.Batch {
+	if hi <= 0 || hi > m.NumRows {
+		hi = m.NumRows
+	}
+	var out []*types.Batch
+	base := 0
+	for _, b := range m.Batches {
+		n := b.Len()
+		if base+n <= lo {
+			base += n
+			continue
+		}
+		if base >= hi {
+			break
+		}
+		from, to := 0, n
+		if lo > base {
+			from = lo - base
+		}
+		if hi < base+n {
+			to = hi - base
+		}
+		if from == 0 && to == n {
+			out = append(out, b)
+		} else {
+			out = append(out, b.Slice(from, to))
+		}
+		base += n
 	}
 	return out
 }

@@ -96,7 +96,7 @@ func TestParallelAggregationMatchesSerial(t *testing.T) {
 func TestSplitParallelCoversAllRows(t *testing.T) {
 	s, tbl := bigTable(t, 50_000, 3)
 	scan := plan.NewScan(tbl, "", s.Snapshot())
-	parts := splitParallel(scan, 4)
+	parts := splitParallel(scan, 4, NewContext())
 	if len(parts) < 2 {
 		t.Fatalf("expected multiple parts, got %d", len(parts))
 	}
@@ -117,7 +117,7 @@ func TestSplitParallelCoversAllRows(t *testing.T) {
 func TestSplitParallelRefusesSmallTables(t *testing.T) {
 	s, tbl := bigTable(t, 100, 3)
 	scan := plan.NewScan(tbl, "", s.Snapshot())
-	if parts := splitParallel(scan, 8); parts != nil {
+	if parts := splitParallel(scan, 8, NewContext()); parts != nil {
 		t.Errorf("small table should not be split, got %d parts", len(parts))
 	}
 }
@@ -128,7 +128,7 @@ func TestSplitParallelRefusesNonPipelines(t *testing.T) {
 	// An aggregate is a pipeline breaker: its subtree must not be split.
 	agg := &plan.Aggregate{Child: scan, Aggs: []plan.AggSpec{
 		{Func: plan.AggCountStar, Type: types.Int64, Name: "count(*)"}}}
-	if parts := splitParallel(agg, 8); parts != nil {
+	if parts := splitParallel(agg, 8, NewContext()); parts != nil {
 		t.Error("aggregate should not be splittable")
 	}
 }

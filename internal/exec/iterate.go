@@ -18,6 +18,11 @@ import (
 // materialized — the memory advantage over recursive CTEs that Section 5.1
 // argues for. Step and Stop are logical subplans re-instantiated each
 // iteration so the optimizer's plan is reused while operator state is not.
+//
+// The iteration context (including ctx.Workers) is passed through to every
+// Init/Step/Stop execution, and working tables bound here are splittable
+// into row-range morsels (WorkingScan Lo/Hi), so joins, sorts, and
+// aggregates inside the loop body run morsel-parallel each round.
 type iterateOp struct {
 	node *plan.Iterate
 	it   matIterator

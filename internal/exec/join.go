@@ -12,17 +12,30 @@ type rowRef struct {
 	row   int
 }
 
-// hashTable is a chained hash table over materialized rows keyed by a set
-// of columns. NULL keys never match (SQL equi-join semantics).
+// hashTable is a partitioned chained hash table over materialized rows
+// keyed by a set of columns. Partition p owns the keys with hash&mask == p,
+// so the parallel build needs no locks: each partition is written by
+// exactly one worker, and probing is read-only. NULL keys never enter the
+// table (SQL equi-join semantics).
 type hashTable struct {
 	mat     *Materialized
 	keyCols []int
-	buckets map[uint64][]rowRef
+	parts   []map[uint64][]rowRef
+	mask    uint64
 }
 
-func buildHashTable(mat *Materialized, keyCols []int) *hashTable {
+func (ht *hashTable) lookup(h uint64) []rowRef { return ht.parts[h&ht.mask][h] }
+
+// buildHashTable constructs the table; when the build side is large enough
+// and workers > 1 it builds in parallel: one pass hashes every row's keys
+// (parallel over batches), then each partition worker inserts its own slice
+// of the hash space.
+func buildHashTable(mat *Materialized, keyCols []int, workers int) *hashTable {
+	if workers > 1 && mat.NumRows >= 2*minRowsPerWorker {
+		return buildHashTableParallel(mat, keyCols, workers)
+	}
 	ht := &hashTable{mat: mat, keyCols: keyCols,
-		buckets: make(map[uint64][]rowRef, mat.NumRows)}
+		parts: []map[uint64][]rowRef{make(map[uint64][]rowRef, mat.NumRows)}}
 	for bi, b := range mat.Batches {
 		n := b.Len()
 		for i := 0; i < n; i++ {
@@ -30,9 +43,52 @@ func buildHashTable(mat *Materialized, keyCols []int) *hashTable {
 			if !ok {
 				continue // NULL key never joins
 			}
-			ht.buckets[h] = append(ht.buckets[h], rowRef{bi, i})
+			ht.parts[0][h] = append(ht.parts[0][h], rowRef{bi, i})
 		}
 	}
+	return ht
+}
+
+func buildHashTableParallel(mat *Materialized, keyCols []int, workers int) *hashTable {
+	p := 1
+	for p < workers {
+		p <<= 1
+	}
+	ht := &hashTable{mat: mat, keyCols: keyCols,
+		parts: make([]map[uint64][]rowRef, p), mask: uint64(p - 1)}
+	// Pass 1: hash every row's key columns, parallel over batches. A NULL
+	// key marks the row invalid.
+	hashes := make([][]uint64, len(mat.Batches))
+	valid := make([][]bool, len(mat.Batches))
+	runParts(len(mat.Batches), workers, func(bi int) error {
+		b := mat.Batches[bi]
+		n := b.Len()
+		hs := make([]uint64, n)
+		ok := make([]bool, n)
+		for i := 0; i < n; i++ {
+			hs[i], ok[i] = rowKeyHash(b, keyCols, i)
+		}
+		hashes[bi], valid[bi] = hs, ok
+		return nil
+	})
+	// Pass 2: each partition worker scans the precomputed hashes and keeps
+	// only its share. Insertion order within a partition matches row order,
+	// so probe results are deterministic.
+	est := mat.NumRows / p
+	runParts(p, workers, func(pi int) error {
+		part := make(map[uint64][]rowRef, est)
+		target := uint64(pi)
+		for bi, hs := range hashes {
+			ok := valid[bi]
+			for i, h := range hs {
+				if ok[i] && h&ht.mask == target {
+					part[h] = append(part[h], rowRef{bi, i})
+				}
+			}
+		}
+		ht.parts[pi] = part
+		return nil
+	})
 	return ht
 }
 
@@ -61,27 +117,29 @@ func keysEqual(a *types.Batch, aCols []int, ai int, b *types.Batch, bCols []int,
 }
 
 // joinOp executes inner, left-outer, and cross joins. With equi keys it is
-// a hash join; otherwise a block nested-loop join.
+// a hash join — partition-parallel build and, when the probe side is a
+// splittable scan pipeline, morsel-parallel probe; otherwise a block
+// nested-loop join.
 type joinOp struct {
 	node   *plan.Join
-	left   Operator
-	right  Operator
 	schema types.Schema
-
-	residual expr.Evaluator // nil when no residual predicate
-	onEval   expr.Evaluator // nested-loop condition
 
 	ctx *Context
 
 	// Hash-join state.
 	ht          *hashTable
-	probe       Operator // operator streamed against the hash table
 	buildIsLeft bool
+	probe       Operator // serial streaming probe
+	pr          *prober  // serial streaming probe state
+	parallel    bool     // probe ran morsel-parallel in Open
+	it          matIterator
 
-	// Left-join bookkeeping: rows of the left (probe) side that matched.
 	pendingOut []*types.Batch
 
 	// Nested-loop state.
+	left      Operator
+	right     Operator
+	onEval    expr.Evaluator
 	rightMat  *Materialized
 	nlLeft    *types.Batch
 	nlMatched []bool
@@ -90,30 +148,19 @@ type joinOp struct {
 }
 
 func newJoinOp(n *plan.Join) (Operator, error) {
-	l, err := Build(n.L)
-	if err != nil {
-		return nil, err
-	}
-	r, err := Build(n.R)
-	if err != nil {
-		return nil, err
-	}
-	j := &joinOp{node: n, left: l, right: r, schema: n.Schema()}
+	// Compile condition expressions eagerly so malformed plans fail at
+	// build time; per-worker probers recompile their own copies.
 	if n.Residual != nil {
-		ev, err := expr.Compile(n.Residual)
-		if err != nil {
+		if _, err := expr.Compile(n.Residual); err != nil {
 			return nil, err
 		}
-		j.residual = ev
 	}
 	if n.On != nil && len(n.EquiLeft) == 0 {
-		ev, err := expr.Compile(n.On)
-		if err != nil {
+		if _, err := expr.Compile(n.On); err != nil {
 			return nil, err
 		}
-		j.onEval = ev
 	}
-	return j, nil
+	return &joinOp{node: n, schema: n.Schema()}, nil
 }
 
 func (j *joinOp) Schema() types.Schema { return j.schema }
@@ -121,30 +168,113 @@ func (j *joinOp) Schema() types.Schema { return j.schema }
 func (j *joinOp) Open(ctx *Context) error {
 	j.ctx = ctx
 	j.done = false
+	j.parallel = false
 	j.pendingOut = nil
 	useHash := len(j.node.EquiLeft) > 0 &&
 		(j.node.Type == plan.InnerJoin || j.node.Type == plan.LeftJoin)
 	if useHash {
-		// Inner joins build on the left (the optimizer put the smaller
-		// side there); left-outer joins must probe with the left side, so
-		// they build on the right.
-		j.buildIsLeft = j.node.Type == plan.InnerJoin
-		buildOp, buildKeys := j.left, j.node.EquiLeft
-		probeOp := j.right
-		if !j.buildIsLeft {
-			buildOp, buildKeys = j.right, j.node.EquiRight
-			probeOp = j.left
-		}
-		mat, err := Drain(buildOp, ctx)
+		return j.openHash(ctx)
+	}
+	return j.openLoop(ctx)
+}
+
+// openHash runs the two hash-join phases. Build: drain the build side
+// (morsel-parallel when its pipeline splits) and build the partitioned
+// table. Probe: when the probe side splits, each worker streams its morsels
+// against the shared read-only table with private output buffers —
+// concatenating per-part outputs in part order reproduces the serial output
+// order exactly; otherwise probe batches stream through Next as before.
+func (j *joinOp) openHash(ctx *Context) error {
+	// Inner joins build on the left (the optimizer put the smaller side
+	// there); left-outer joins must probe with the left side, so they build
+	// on the right.
+	j.buildIsLeft = j.node.Type == plan.InnerJoin
+	buildPlan, buildKeys := j.node.L, j.node.EquiLeft
+	probePlan := j.node.R
+	if !j.buildIsLeft {
+		buildPlan, buildKeys = j.node.R, j.node.EquiRight
+		probePlan = j.node.L
+	}
+	mat, err := drainPipeline(buildPlan, ctx)
+	if err != nil {
+		return err
+	}
+	j.ht = buildHashTable(mat, buildKeys, ctx.workers())
+
+	if parts := splitParallel(probePlan, ctx.workers(), ctx); len(parts) > 1 {
+		outs := make([][]*types.Batch, len(parts))
+		err := runParts(len(parts), ctx.workers(), func(i int) error {
+			pr, err := j.newProber()
+			if err != nil {
+				return err
+			}
+			op, err := Build(parts[i])
+			if err != nil {
+				return err
+			}
+			if err := op.Open(ctx); err != nil {
+				op.Close()
+				return err
+			}
+			defer op.Close()
+			for {
+				pb, err := op.Next()
+				if err != nil {
+					return err
+				}
+				if pb == nil {
+					return nil
+				}
+				bs, err := pr.probeBatch(pb)
+				if err != nil {
+					return err
+				}
+				outs[i] = append(outs[i], bs...)
+			}
+		})
 		if err != nil {
 			return err
 		}
-		j.ht = buildHashTable(mat, buildKeys)
-		j.probe = probeOp
-		return probeOp.Open(ctx)
+		res := &Materialized{Schema: j.schema}
+		for _, bs := range outs {
+			for _, b := range bs {
+				res.Append(b)
+			}
+		}
+		j.parallel = true
+		j.it = matIterator{mat: res}
+		return nil
 	}
-	// Nested loop: materialize the right side, stream the left.
-	mat, err := Drain(j.right, ctx)
+
+	pr, err := j.newProber()
+	if err != nil {
+		return err
+	}
+	j.pr = pr
+	op, err := Build(probePlan)
+	if err != nil {
+		return err
+	}
+	j.probe = op
+	return op.Open(ctx)
+}
+
+// openLoop prepares the block nested-loop join: materialize the right side,
+// stream the left.
+func (j *joinOp) openLoop(ctx *Context) error {
+	l, err := Build(j.node.L)
+	if err != nil {
+		return err
+	}
+	j.left = l
+	if j.node.On != nil && len(j.node.EquiLeft) == 0 {
+		ev, err := expr.Compile(j.node.On)
+		if err != nil {
+			return err
+		}
+		j.onEval = ev
+	}
+	mat, err := drainPipeline(j.node.R, ctx)
 	if err != nil {
 		return err
 	}
@@ -153,13 +283,22 @@ func (j *joinOp) Open(ctx *Context) error {
 }
 
 func (j *joinOp) Close() error {
-	if j.ht != nil && j.probe != nil {
-		return j.probe.Close()
+	if j.ht != nil {
+		if j.probe != nil {
+			return j.probe.Close()
+		}
+		return nil
 	}
-	return j.left.Close()
+	if j.left != nil {
+		return j.left.Close()
+	}
+	return nil
 }
 
 func (j *joinOp) Next() (*types.Batch, error) {
+	if j.parallel {
+		return j.it.next(), nil
+	}
 	if j.ht != nil {
 		return j.hashNext()
 	}
@@ -178,17 +317,38 @@ func (j *joinOp) hashNext() (*types.Batch, error) {
 		if err != nil || pb == nil {
 			return nil, err
 		}
-		out, err := j.probeBatch(pb)
+		bs, err := j.pr.probeBatch(pb)
 		if err != nil {
 			return nil, err
 		}
-		if out != nil && out.Len() > 0 {
-			return out, nil
-		}
+		j.pendingOut = append(j.pendingOut, bs...)
 	}
 }
 
-func (j *joinOp) probeBatch(pb *types.Batch) (*types.Batch, error) {
+// prober holds the per-worker probe state of a hash join: its own compiled
+// residual evaluator (compiled closures are not shared across goroutines)
+// over the operator-wide read-only hash table.
+type prober struct {
+	j        *joinOp
+	residual expr.Evaluator
+}
+
+func (j *joinOp) newProber() (*prober, error) {
+	pr := &prober{j: j}
+	if j.node.Residual != nil {
+		ev, err := expr.Compile(j.node.Residual)
+		if err != nil {
+			return nil, err
+		}
+		pr.residual = ev
+	}
+	return pr, nil
+}
+
+// probeBatch joins one probe-side batch against the hash table, returning
+// the matched rows followed by any left-join NULL-extended rows.
+func (p *prober) probeBatch(pb *types.Batch) ([]*types.Batch, error) {
+	j := p.j
 	probeKeys := j.node.EquiRight
 	buildKeys := j.node.EquiLeft
 	if !j.buildIsLeft {
@@ -202,7 +362,7 @@ func (j *joinOp) probeBatch(pb *types.Batch) (*types.Batch, error) {
 		h, ok := rowKeyHash(pb, probeKeys, i)
 		matched := false
 		if ok {
-			for _, ref := range j.ht.buckets[h] {
+			for _, ref := range j.ht.lookup(h) {
 				bb := j.ht.mat.Batches[ref.batch]
 				if keysEqual(pb, probeKeys, i, bb, buildKeys, ref.row) {
 					buildRefs = append(buildRefs, ref)
@@ -215,9 +375,13 @@ func (j *joinOp) probeBatch(pb *types.Batch) (*types.Batch, error) {
 			unmatched = append(unmatched, i)
 		}
 	}
-	out, keep, err := j.assemble(pb, probeIdx, buildRefs)
+	out, keep, err := p.assemble(pb, probeIdx, buildRefs)
 	if err != nil {
 		return nil, err
+	}
+	var res []*types.Batch
+	if out != nil && out.Len() > 0 {
+		res = append(res, out)
 	}
 	// For left joins, rows eliminated by the residual also count as
 	// unmatched; track which probe rows survived.
@@ -250,16 +414,17 @@ func (j *joinOp) probeBatch(pb *types.Batch) (*types.Batch, error) {
 			nullRows.AppendRow(row)
 		}
 		if nullRows.Len() > 0 {
-			j.pendingOut = append(j.pendingOut, nullRows)
+			res = append(res, nullRows)
 		}
 	}
-	return out, nil
+	return res, nil
 }
 
 // assemble materializes matched pairs in output column order (left then
 // right), applying the residual predicate. keep reports which output rows
 // survived the residual (nil = all).
-func (j *joinOp) assemble(pb *types.Batch, probeIdx []int, buildRefs []rowRef) (*types.Batch, []bool, error) {
+func (p *prober) assemble(pb *types.Batch, probeIdx []int, buildRefs []rowRef) (*types.Batch, []bool, error) {
+	j := p.j
 	if len(probeIdx) == 0 {
 		return nil, nil, nil
 	}
@@ -284,10 +449,10 @@ func (j *joinOp) assemble(pb *types.Batch, probeIdx []int, buildRefs []rowRef) (
 		}
 		out.Cols[ci] = col
 	}
-	if j.residual == nil {
+	if p.residual == nil {
 		return out, nil, nil
 	}
-	c, err := j.residual(out)
+	c, err := p.residual(out)
 	if err != nil {
 		return nil, nil, err
 	}

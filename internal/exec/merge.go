@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"lambdadb/internal/types"
+)
+
+// loserTree is a tournament tree that k-way merges sorted runs of rows.
+// Internal nodes hold the losers of their subtree's comparisons and node[0]
+// holds the overall winner, so advancing costs one leaf-to-root replay
+// (log k comparisons) per emitted row. Ties break toward the lower run
+// index: runs generated from ordered input ranges therefore merge stably.
+type loserTree struct {
+	less func(a, b []types.Value) bool
+	runs [][][]types.Value
+	pos  []int // next unconsumed row of each run
+	node []int // node[1..k-1]: losing run indices; node[0]: winner
+	k    int
+}
+
+func newLoserTree(runs [][][]types.Value, less func(a, b []types.Value) bool) *loserTree {
+	// Pad the run count to a power of two with empty runs (which lose every
+	// comparison) so the implicit tree is complete.
+	k := 1
+	for k < len(runs) {
+		k <<= 1
+	}
+	padded := make([][][]types.Value, k)
+	copy(padded, runs)
+	t := &loserTree{less: less, runs: padded, pos: make([]int, k), node: make([]int, k), k: k}
+	for i := range t.node {
+		t.node[i] = -1
+	}
+	for r := 0; r < k; r++ {
+		t.seed(r)
+	}
+	return t
+}
+
+// seed plays run r into the partially built tree: an empty node absorbs the
+// current winner; an occupied node plays a match whose winner moves up. The
+// last seed reaches the root and sets node[0].
+func (t *loserTree) seed(r int) {
+	winner := r
+	for i := (r + t.k) / 2; i > 0; i /= 2 {
+		if t.node[i] == -1 {
+			t.node[i] = winner
+			return
+		}
+		if t.beats(t.node[i], winner) {
+			t.node[i], winner = winner, t.node[i]
+		}
+	}
+	t.node[0] = winner
+}
+
+// current returns run r's next row, or nil when the run is exhausted.
+func (t *loserTree) current(r int) []types.Value {
+	if t.pos[r] >= len(t.runs[r]) {
+		return nil
+	}
+	return t.runs[r][t.pos[r]]
+}
+
+// beats reports whether run a's current row is emitted before run b's.
+func (t *loserTree) beats(a, b int) bool {
+	if a == -1 {
+		return false
+	}
+	if b == -1 {
+		return true
+	}
+	ra, rb := t.current(a), t.current(b)
+	if ra == nil {
+		return false
+	}
+	if rb == nil {
+		return true
+	}
+	if t.less(ra, rb) {
+		return true
+	}
+	if t.less(rb, ra) {
+		return false
+	}
+	return a < b
+}
+
+// replay pushes run r from its leaf to the root: at every internal node the
+// winner moves up and the loser stays.
+func (t *loserTree) replay(r int) {
+	winner := r
+	for i := (r + t.k) / 2; i > 0; i /= 2 {
+		if t.beats(t.node[i], winner) {
+			t.node[i], winner = winner, t.node[i]
+		}
+	}
+	t.node[0] = winner
+}
+
+// next returns the globally smallest remaining row, or nil when every run
+// is exhausted.
+func (t *loserTree) next() []types.Value {
+	w := t.node[0]
+	if w == -1 {
+		return nil
+	}
+	row := t.current(w)
+	if row == nil {
+		return nil
+	}
+	t.pos[w]++
+	t.replay(w)
+	return row
+}
+
+// mergeRuns k-way merges sorted runs into one sorted row slice.
+func mergeRuns(runs [][][]types.Value, less func(a, b []types.Value) bool) [][]types.Value {
+	switch len(runs) {
+	case 0:
+		return nil
+	case 1:
+		return runs[0]
+	}
+	total := 0
+	for _, r := range runs {
+		total += len(r)
+	}
+	out := make([][]types.Value, 0, total)
+	t := newLoserTree(runs, less)
+	for row := t.next(); row != nil; row = t.next() {
+		out = append(out, row)
+	}
+	return out
+}

@@ -89,6 +89,10 @@ func (s *workingScan) Open(ctx *Context) error {
 	if !ok {
 		return fmt.Errorf("working table %q is not bound", s.node.Name)
 	}
+	if s.node.Lo > 0 || s.node.Hi > 0 {
+		// Morsel-restricted scan over the bound working table.
+		mat = &Materialized{Schema: mat.Schema, Batches: mat.SliceRows(s.node.Lo, s.node.Hi)}
+	}
 	s.it = matIterator{mat: mat}
 	return nil
 }

@@ -2,10 +2,135 @@ package exec
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"lambdadb/internal/plan"
 	"lambdadb/internal/types"
 )
+
+// ---------------------------------------------------------------------------
+// Parallel-pipeline driver
+//
+// Morsel-style parallelism shared by aggregation, hash join, sort, and the
+// analytical operators' input materialization: a pipeline rooted at a
+// base-table Scan (or a bound working table) is cloned into row-range
+// morsels and the clones run on a bounded worker pool. Results are indexed
+// by part, so output order is deterministic regardless of scheduling.
+// ---------------------------------------------------------------------------
+
+// minRowsPerWorker is the smallest morsel worth a goroutine; below twice
+// this size the serial path wins.
+const minRowsPerWorker = 8192
+
+// splitParallel partitions a pipeline rooted at a base-table Scan or a
+// WorkingScan into row-range morsels, one plan clone per part. It returns
+// nil when the pipeline is not parallelizable (non-scan leaves, a small
+// table, or a clamp down to a single part), in which case callers take the
+// cheaper serial path. ctx supplies working-table bindings; it may be nil
+// when the caller has none.
+func splitParallel(p plan.Node, parts int, ctx *Context) []plan.Node {
+	if parts <= 1 {
+		return nil
+	}
+	var rows int
+	switch leaf := plan.MorselLeaf(p).(type) {
+	case *plan.Scan:
+		rows = leaf.Rel.PhysicalRows()
+	case *plan.WorkingScan:
+		if ctx == nil {
+			return nil
+		}
+		mat, ok := ctx.Bindings[leaf.Name]
+		if !ok {
+			return nil
+		}
+		rows = mat.NumRows
+	default:
+		return nil
+	}
+	return plan.SplitPipeline(p, rows, parts, minRowsPerWorker)
+}
+
+// runParts executes fn(i) for i in [0, n) on at most `workers` goroutines.
+// Every part runs regardless of failures elsewhere; the lowest-indexed
+// error is returned so error reporting is deterministic.
+func runParts(n, workers int, fn func(i int) error) error {
+	if n == 0 {
+		return nil
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				errs[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// drainParts builds and drains one cloned pipeline per part on the worker
+// pool, returning the materialized results in part order.
+func drainParts(parts []plan.Node, ctx *Context) ([]*Materialized, error) {
+	mats := make([]*Materialized, len(parts))
+	err := runParts(len(parts), ctx.workers(), func(i int) error {
+		op, err := Build(parts[i])
+		if err != nil {
+			return err
+		}
+		mats[i], err = Drain(op, ctx)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return mats, nil
+}
+
+// drainPipeline materializes a plan, splitting it across the worker pool
+// when possible. Batch order matches the serial scan order.
+func drainPipeline(p plan.Node, ctx *Context) (*Materialized, error) {
+	parts := splitParallel(p, ctx.workers(), ctx)
+	if len(parts) == 0 {
+		return Run(p, ctx)
+	}
+	mats, err := drainParts(parts, ctx)
+	if err != nil {
+		return nil, err
+	}
+	out := &Materialized{Schema: p.Schema()}
+	for _, m := range mats {
+		for _, b := range m.Batches {
+			out.Append(b)
+		}
+	}
+	return out, nil
+}
 
 // sharedKey identifies one cached materialization: the plan node plus the
 // execution epoch (0 for loop-invariant subplans).

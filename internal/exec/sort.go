@@ -7,22 +7,23 @@ import (
 	"lambdadb/internal/types"
 )
 
-// sortOp materializes its input and emits it in key order.
+// sortOp materializes its input and emits it in key order. When the input
+// pipeline is splittable it runs morsel-parallel: each worker produces a
+// sorted run (or a bounded top-k heap when the optimizer fused a LIMIT),
+// and the runs meet in a k-way loser-tree merge. Inputs that cannot be
+// split (join results, aggregates) are drained serially but still sorted
+// with parallel chunk runs plus the same merge.
 type sortOp struct {
-	node  *plan.Sort
-	child Operator
-	it    matIterator
+	node   *plan.Sort
+	schema types.Schema
+	it     matIterator
 }
 
 func newSortOp(n *plan.Sort) (Operator, error) {
-	child, err := Build(n.Child)
-	if err != nil {
-		return nil, err
-	}
-	return &sortOp{node: n, child: child}, nil
+	return &sortOp{node: n, schema: n.Schema()}, nil
 }
 
-func (s *sortOp) Schema() types.Schema { return s.child.Schema() }
+func (s *sortOp) Schema() types.Schema { return s.schema }
 
 func (s *sortOp) Open(ctx *Context) error {
 	keys := s.node.Keys
@@ -39,66 +40,149 @@ func (s *sortOp) Open(ctx *Context) error {
 		}
 		return false
 	}
+	workers := ctx.workers()
+	topK := s.node.TopK
 
-	var rows [][]types.Value
-	var schema types.Schema
-	if k := s.node.TopK; k >= 0 {
-		// Bounded top-k: stream the child through a max-heap of size k
-		// whose root is the worst kept row; better rows replace it.
-		h := &rowHeap{less: less}
-		if err := s.child.Open(ctx); err != nil {
-			s.child.Close()
-			return err
-		}
-		schema = s.child.Schema()
-		for {
-			b, err := s.child.Next()
+	var runs [][][]types.Value
+	if parts := splitParallel(s.node.Child, workers, ctx); len(parts) > 1 {
+		// Parallel run generation: one sorted run per morsel. With a fused
+		// top-k each worker streams its morsel through a private bounded
+		// heap, so ORDER BY ... LIMIT never materializes the full input.
+		runs = make([][][]types.Value, len(parts))
+		err := runParts(len(parts), workers, func(i int) error {
+			op, err := Build(parts[i])
 			if err != nil {
-				s.child.Close()
 				return err
 			}
-			if b == nil {
-				break
+			rows, err := drainSorted(op, ctx, topK, less)
+			if err != nil {
+				return err
 			}
-			n := b.Len()
-			for i := 0; i < n; i++ {
-				row := b.Row(i)
-				switch {
-				case int64(len(h.rows)) < k:
-					h.push(row)
-				case k > 0 && less(row, h.rows[0]):
-					h.replaceTop(row)
-				}
-			}
-		}
-		if err := s.child.Close(); err != nil {
-			return err
-		}
-		rows = h.rows
-		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
-	} else {
-		mat, err := Drain(s.child, ctx)
+			runs[i] = rows
+			return nil
+		})
 		if err != nil {
 			return err
 		}
-		schema = mat.Schema
-		rows = mat.Rows()
-		sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	} else if topK >= 0 {
+		// Serial streamed top-k (unsplittable input): bounded heap, then
+		// sort the survivors.
+		op, err := Build(s.node.Child)
+		if err != nil {
+			return err
+		}
+		rows, err := drainSorted(op, ctx, topK, less)
+		if err != nil {
+			return err
+		}
+		runs = [][][]types.Value{rows}
+	} else {
+		// Full sort of an unsplittable input: drain serially, then sort
+		// contiguous chunks on the worker pool and merge.
+		mat, err := Run(s.node.Child, ctx)
+		if err != nil {
+			return err
+		}
+		rows := mat.Rows()
+		runs = chunkRuns(rows, workers)
+		err = runParts(len(runs), workers, func(i int) error {
+			r := runs[i]
+			sort.SliceStable(r, func(a, b int) bool { return less(r[a], r[b]) })
+			return nil
+		})
+		if err != nil {
+			return err
+		}
 	}
 
-	mat := &Materialized{Schema: schema}
-	out := mat
-	batch := types.NewBatch(mat.Schema)
+	rows := mergeRuns(runs, less)
+	if topK >= 0 && int64(len(rows)) > topK {
+		rows = rows[:topK]
+	}
+
+	out := &Materialized{Schema: s.schema}
+	batch := types.NewBatch(s.schema)
 	for _, r := range rows {
 		batch.AppendRow(r)
 		if batch.Len() >= types.BatchSize {
 			out.Append(batch)
-			batch = types.NewBatch(mat.Schema)
+			batch = types.NewBatch(s.schema)
 		}
 	}
 	out.Append(batch)
 	s.it = matIterator{mat: out}
 	return nil
+}
+
+// drainSorted opens and drains op into a sorted row run. With k >= 0 the
+// rows stream through a bounded max-heap whose root is the worst kept row,
+// so only k rows are ever held.
+func drainSorted(op Operator, ctx *Context, k int64, less func(a, b []types.Value) bool) ([][]types.Value, error) {
+	if err := op.Open(ctx); err != nil {
+		op.Close()
+		return nil, err
+	}
+	var rows [][]types.Value
+	h := &rowHeap{less: less}
+	for {
+		b, err := op.Next()
+		if err != nil {
+			op.Close()
+			return nil, err
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			row := b.Row(i)
+			if k < 0 {
+				rows = append(rows, row)
+				continue
+			}
+			switch {
+			case int64(len(h.rows)) < k:
+				h.push(row)
+			case k > 0 && less(row, h.rows[0]):
+				h.replaceTop(row)
+			}
+		}
+	}
+	if err := op.Close(); err != nil {
+		return nil, err
+	}
+	if k >= 0 {
+		rows = h.rows
+	}
+	sort.SliceStable(rows, func(i, j int) bool { return less(rows[i], rows[j]) })
+	return rows, nil
+}
+
+// chunkRuns splits rows into at most `workers` contiguous chunks of at
+// least minRowsPerWorker rows each (a single chunk below that), preserving
+// input order across chunk boundaries for merge stability.
+func chunkRuns(rows [][]types.Value, workers int) [][][]types.Value {
+	n := len(rows)
+	parts := workers
+	if parts > 1 && n < 2*minRowsPerWorker {
+		parts = 1
+	}
+	if parts > n/minRowsPerWorker && parts > 1 {
+		parts = n / minRowsPerWorker
+	}
+	if parts <= 1 {
+		return [][][]types.Value{rows}
+	}
+	chunk := (n + parts - 1) / parts
+	out := make([][][]types.Value, 0, parts)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, rows[lo:hi:hi])
+	}
+	return out
 }
 
 func (s *sortOp) Next() (*types.Batch, error) { return s.it.next(), nil }

@@ -1,0 +1,82 @@
+package plan
+
+import "fmt"
+
+// Morsel splitting: a pipeline rooted at a base-table Scan (or at a
+// WorkingScan over a bound working table) can be cloned into row-range
+// restricted copies, one per morsel, which the executor runs on a worker
+// pool. Filter/Project/Alias nodes are pure per-row transforms and commute
+// with the split; everything else is a pipeline breaker.
+
+// MorselLeaf returns the splittable leaf (a *Scan or *WorkingScan) at the
+// root of a Filter/Project/Alias pipeline, or nil when the pipeline is not
+// splittable.
+func MorselLeaf(p Node) Node {
+	switch n := p.(type) {
+	case *Scan:
+		return n
+	case *WorkingScan:
+		return n
+	case *Filter:
+		return MorselLeaf(n.Child)
+	case *Project:
+		return MorselLeaf(n.Child)
+	case *Alias:
+		return MorselLeaf(n.Child)
+	}
+	return nil
+}
+
+// ClonePipeline copies a Filter/Project/Alias chain with the leaf scan
+// restricted to [lo, hi). Expressions are shared; they are immutable after
+// planning.
+func ClonePipeline(p Node, lo, hi int) Node {
+	switch n := p.(type) {
+	case *Scan:
+		c := *n
+		c.Lo, c.Hi = lo, hi
+		return &c
+	case *WorkingScan:
+		c := *n
+		c.Lo, c.Hi = lo, hi
+		return &c
+	case *Filter:
+		c := *n
+		c.Child = ClonePipeline(n.Child, lo, hi)
+		return &c
+	case *Project:
+		c := *n
+		c.Child = ClonePipeline(n.Child, lo, hi)
+		return &c
+	case *Alias:
+		c := *n
+		c.Child = ClonePipeline(n.Child, lo, hi)
+		return &c
+	}
+	panic(fmt.Sprintf("plan.ClonePipeline: unexpected node %T", p))
+}
+
+// SplitPipeline clones p into row-range morsels covering [0, rows). It
+// returns nil when the input is too small to be worth splitting or when the
+// clamp leaves a single part (callers then take the cheaper serial path).
+func SplitPipeline(p Node, rows, parts, minRowsPerPart int) []Node {
+	if parts <= 1 || rows < 2*minRowsPerPart {
+		return nil
+	}
+	if parts > rows/minRowsPerPart {
+		parts = rows / minRowsPerPart
+	}
+	if parts <= 1 {
+		return nil
+	}
+	out := make([]Node, 0, parts)
+	chunk := (rows + parts - 1) / parts
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		out = append(out, ClonePipeline(p, lo, hi))
+	}
+	return out
+}

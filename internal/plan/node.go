@@ -65,12 +65,15 @@ func uniformQuals(n int, q string) []string {
 
 // WorkingScan reads the current working table of an enclosing ITERATE or
 // recursive CTE, identified by name. The executor resolves it through its
-// binding context.
+// binding context. Lo/Hi restrict the row range for morsel-parallel
+// execution; Hi <= 0 means to the end of the working table (the zero value
+// scans everything, so plain construction needs no explicit range).
 type WorkingScan struct {
 	Name    string
 	Sch     types.Schema
 	Alias   string
 	CardEst float64
+	Lo, Hi  int
 }
 
 func (w *WorkingScan) Schema() types.Schema { return w.Sch }
