@@ -14,9 +14,9 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the parallel executor and engine under the race detector
+## race: the parallel executor, engine, and fault-injection registry under the race detector
 race:
-	$(GO) test -race ./internal/exec/ ./internal/engine/
+	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/
 
 ## bench: refresh the parallel-operator scaling baseline (see BENCH_exec.json)
 bench:

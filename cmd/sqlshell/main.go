@@ -13,15 +13,62 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"sort"
 	"strings"
+	"sync"
 	"time"
 
 	"lambdadb/internal/engine"
 )
+
+// interrupts routes SIGINT to the running statement: the first Ctrl-C
+// cancels its context (the shell survives and prints the error), a second
+// Ctrl-C — or one arriving while no statement runs — exits the shell.
+type interrupts struct {
+	mu      sync.Mutex
+	cancel  context.CancelFunc
+	pressed bool // a Ctrl-C already cancelled the current statement
+}
+
+// watch installs the SIGINT handler; call once at startup.
+func (in *interrupts) watch() {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	go func() {
+		for range ch {
+			in.mu.Lock()
+			cancel, again := in.cancel, in.pressed
+			in.pressed = true
+			in.mu.Unlock()
+			if cancel == nil || again {
+				fmt.Fprintln(os.Stderr, "\ninterrupted")
+				os.Exit(130)
+			}
+			fmt.Fprintln(os.Stderr, "\ncancelling statement (Ctrl-C again to quit)")
+			cancel()
+		}
+	}()
+}
+
+// statementContext returns a context for one statement; done must be called
+// when the statement finishes.
+func (in *interrupts) statementContext() (ctx context.Context, done func()) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in.mu.Lock()
+	in.cancel, in.pressed = cancel, false
+	in.mu.Unlock()
+	return ctx, func() {
+		in.mu.Lock()
+		in.cancel, in.pressed = nil, false
+		in.mu.Unlock()
+		cancel()
+	}
+}
 
 func main() {
 	var (
@@ -49,25 +96,30 @@ func main() {
 	session := db.NewSession()
 	defer session.Close()
 
+	in := &interrupts{}
+	in.watch()
+
 	if *file != "" {
 		script, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := runText(session, string(script), *timing); err != nil {
+		if err := runText(in, session, string(script), *timing); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	interactive(db, session, *timing)
+	interactive(db, session, in, *timing)
 }
 
-func runText(s *engine.Session, text string, timing bool) error {
+func runText(in *interrupts, s *engine.Session, text string, timing bool) error {
+	ctx, done := in.statementContext()
+	defer done()
 	start := time.Now()
-	res, err := s.Exec(text)
+	res, err := s.ExecContext(ctx, text)
 	if err != nil {
 		return err
 	}
@@ -80,7 +132,7 @@ func runText(s *engine.Session, text string, timing bool) error {
 	return nil
 }
 
-func interactive(db *engine.DB, session *engine.Session, timing bool) {
+func interactive(db *engine.DB, session *engine.Session, in *interrupts, timing bool) {
 	fmt.Println("lambdadb shell — SQL with ITERATE, KMEANS, PAGERANK, NAIVE_BAYES_* and λ-expressions")
 	fmt.Println(`type \q to quit, \d to list tables, \explain <select> for plans,`)
 	fmt.Println(`\save <path> to snapshot the database; end statements with ;`)
@@ -110,7 +162,7 @@ func interactive(db *engine.DB, session *engine.Session, timing bool) {
 		if strings.HasSuffix(trimmed, ";") {
 			text := buf.String()
 			buf.Reset()
-			if err := runText(session, text, timing); err != nil {
+			if err := runText(in, session, text, timing); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}

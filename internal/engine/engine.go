@@ -4,10 +4,12 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"runtime"
 	"strings"
+	"time"
 
 	"lambdadb/internal/exec"
 	"lambdadb/internal/load"
@@ -20,8 +22,11 @@ import (
 
 // DB is a main-memory database instance.
 type DB struct {
-	store   *storage.Store
-	workers int
+	store       *storage.Store
+	workers     int
+	memLimit    int64
+	stmtTimeout time.Duration
+	iterLimit   int
 }
 
 // Option configures a DB.
@@ -34,6 +39,28 @@ func WithWorkers(n int) Option {
 			db.workers = n
 		}
 	}
+}
+
+// WithMemoryLimit caps the bytes one query may hold in materializations
+// (hash-join builds, sort runs, working tables, buffered results). A query
+// over the budget fails with a typed *exec.ResourceError naming the
+// operator that tripped it, instead of driving the process out of memory.
+// bytes <= 0 (the default) means unlimited.
+func WithMemoryLimit(bytes int64) Option {
+	return func(db *DB) { db.memLimit = bytes }
+}
+
+// WithStatementTimeout bounds the wall-clock time of each statement. An
+// expired statement fails with a wrapped context.DeadlineExceeded within
+// one morsel's work. d <= 0 (the default) means no timeout.
+func WithStatementTimeout(d time.Duration) Option {
+	return func(db *DB) { db.stmtTimeout = d }
+}
+
+// WithIterationLimit bounds ITERATE / recursive-CTE rounds per query
+// (runaway-loop protection); n <= 0 keeps the planner default.
+func WithIterationLimit(n int) Option {
+	return func(db *DB) { db.iterLimit = n }
 }
 
 // Open creates an empty database.
@@ -127,13 +154,26 @@ func (r *Result) String() string {
 // Exec parses and executes one or more semicolon-separated statements in
 // autocommit mode, returning the last statement's result.
 func (db *DB) Exec(text string) (*Result, error) {
+	return db.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec governed by ctx: cancelling it (or its deadline
+// expiring) aborts the running statement within one morsel's work with a
+// wrapped context.Canceled / context.DeadlineExceeded, leaving the DB
+// usable for subsequent queries.
+func (db *DB) ExecContext(ctx context.Context, text string) (*Result, error) {
 	s := db.NewSession()
 	defer s.Close()
-	return s.Exec(text)
+	return s.ExecContext(ctx, text)
 }
 
 // Query is Exec restricted to a single SELECT.
 func (db *DB) Query(text string) (*Result, error) {
+	return db.QueryContext(context.Background(), text)
+}
+
+// QueryContext is Query governed by ctx (see ExecContext).
+func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
 	st, err := sql.ParseOne(text)
 	if err != nil {
 		return nil, err
@@ -144,7 +184,7 @@ func (db *DB) Query(text string) (*Result, error) {
 	}
 	s := db.NewSession()
 	defer s.Close()
-	return s.execSelect(sel)
+	return s.execSelect(ctx, sel)
 }
 
 // MustExec is Exec that panics on error (tests, examples).
@@ -181,6 +221,12 @@ func (s *Session) InTransaction() bool { return s.txn != nil }
 
 // Exec executes one or more statements, returning the last result.
 func (s *Session) Exec(text string) (*Result, error) {
+	return s.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec governed by ctx; cancellation aborts the statement in
+// flight and skips any statements after it.
+func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error) {
 	stmts, err := sql.Parse(text)
 	if err != nil {
 		return nil, err
@@ -190,7 +236,10 @@ func (s *Session) Exec(text string) (*Result, error) {
 	}
 	var last *Result
 	for _, st := range stmts {
-		r, err := s.execStatement(st)
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		r, err := s.execStatement(ctx, st)
 		if err != nil {
 			return nil, err
 		}
@@ -199,7 +248,7 @@ func (s *Session) Exec(text string) (*Result, error) {
 	return last, nil
 }
 
-func (s *Session) execStatement(st sql.Statement) (*Result, error) {
+func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result, error) {
 	switch n := st.(type) {
 	case *sql.CreateTable:
 		return s.execCreate(n)
@@ -212,7 +261,7 @@ func (s *Session) execStatement(st sql.Statement) (*Result, error) {
 	case *sql.Delete:
 		return s.execDelete(n)
 	case *sql.Select:
-		return s.execSelect(n)
+		return s.execSelect(ctx, n)
 	case *sql.Begin:
 		if s.txn != nil {
 			return nil, fmt.Errorf("transaction already open")
@@ -236,7 +285,7 @@ func (s *Session) execStatement(st sql.Statement) (*Result, error) {
 	case *sql.Copy:
 		return s.execCopy(n)
 	case *sql.Explain:
-		b := plan.NewBuilder(s.db.store, s.snapshot())
+		b := s.newBuilder()
 		node, err := b.BuildSelect(n.Query)
 		if err != nil {
 			return nil, err
@@ -308,15 +357,31 @@ func (s *Session) execDrop(n *sql.DropTable) (*Result, error) {
 	return &Result{}, err
 }
 
-func (s *Session) execSelect(sel *sql.Select) (*Result, error) {
+// newBuilder returns a plan builder configured with the session snapshot
+// and the DB's iteration limit.
+func (s *Session) newBuilder() *plan.Builder {
 	b := plan.NewBuilder(s.db.store, s.snapshot())
-	node, err := b.BuildSelect(sel)
+	if s.db.iterLimit > 0 {
+		b.MaxDepth = s.db.iterLimit
+	}
+	return b
+}
+
+func (s *Session) execSelect(ctx context.Context, sel *sql.Select) (*Result, error) {
+	node, err := s.newBuilder().BuildSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	ctx := exec.NewContext()
-	ctx.Workers = s.db.workers
-	mat, err := exec.Run(node, ctx)
+	if s.db.stmtTimeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, s.db.stmtTimeout)
+		defer cancel()
+	}
+	ectx := exec.NewContext()
+	ectx.Workers = s.db.workers
+	ectx.AttachContext(ctx)
+	ectx.SetMemoryLimit(s.db.memLimit)
+	mat, err := exec.Run(node, ectx)
 	if err != nil {
 		return nil, err
 	}
@@ -333,8 +398,7 @@ func (s *Session) Explain(text string) (string, error) {
 	if !ok {
 		return "", fmt.Errorf("EXPLAIN supports SELECT only")
 	}
-	b := plan.NewBuilder(s.db.store, s.snapshot())
-	node, err := b.BuildSelect(sel)
+	node, err := s.newBuilder().BuildSelect(sel)
 	if err != nil {
 		return "", err
 	}

@@ -226,7 +226,7 @@ func (a *aggOp) aggregateSerial(ctx *Context, child plan.Node) (*aggHash, error)
 
 func (a *aggOp) aggregateParallel(ctx *Context, parts []plan.Node) (*aggHash, error) {
 	results := make([]*aggHash, len(parts))
-	err := runParts(len(parts), ctx.workers(), func(i int) error {
+	err := runParts(ctx, len(parts), func(i int) error {
 		op, err := Build(parts[i])
 		if err != nil {
 			return err
@@ -285,6 +285,9 @@ func (a *aggOp) consume(ctx *Context, op Operator) (*aggHash, error) {
 		global = table.lookup(nil)
 	}
 	for {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			return nil, err

@@ -37,7 +37,7 @@ func drainFloatMatrix(p plan.Node, ctx *Context) (*floatMatrix, error) {
 	}
 	datas := make([][]float64, len(parts))
 	ns := make([]int, len(parts))
-	err := runParts(len(parts), ctx.workers(), func(i int) error {
+	err := runParts(ctx, len(parts), func(i int) error {
 		var err error
 		datas[i], ns[i], err = drainFloatsSerial(parts[i], ctx, d)
 		return err

@@ -10,6 +10,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 
@@ -25,12 +26,43 @@ type Context struct {
 	// current contents.
 	Bindings map[string]*Materialized
 
+	// goCtx governs cancellation and deadlines; nil means no cancellation
+	// (context.Background semantics). Operators check it at morsel
+	// boundaries via Err, so a cancelled query aborts within one morsel's
+	// work even inside worker pools.
+	goCtx context.Context
+	// mem is the per-query memory accountant; nil means unlimited.
+	mem *memAccountant
+
 	// epoch counts iteration rounds of the innermost running ITERATE /
 	// recursive CTE; epoch-scoped Shared subplans are recomputed when it
 	// advances.
 	epoch uint64
 	// shared caches materialized Shared subplans.
 	shared sharedCache
+}
+
+// AttachContext sets the Go context governing cancellation and deadlines
+// for this query.
+func (c *Context) AttachContext(ctx context.Context) { c.goCtx = ctx }
+
+// Err returns context.Canceled / context.DeadlineExceeded once the query's
+// context is done, nil otherwise. Nil-safe; operators call it at every
+// morsel boundary.
+func (c *Context) Err() error {
+	if c == nil || c.goCtx == nil {
+		return nil
+	}
+	return c.goCtx.Err()
+}
+
+// doneCh exposes the cancellation channel for producer-goroutine selects;
+// the nil channel (no context) blocks forever, which is the desired no-op.
+func (c *Context) doneCh() <-chan struct{} {
+	if c == nil || c.goCtx == nil {
+		return nil
+	}
+	return c.goCtx.Done()
 }
 
 // BumpEpoch advances the iteration epoch, invalidating epoch-scoped shared
@@ -208,14 +240,59 @@ func Run(p plan.Node, ctx *Context) (*Materialized, error) {
 	return Drain(op, ctx)
 }
 
-// Drain opens an operator, collects all batches, and closes it.
-func Drain(op Operator, ctx *Context) (*Materialized, error) {
+// opLabel names an operator for error reporting (ResourceError.Operator,
+// panic containment).
+func opLabel(op Operator) string {
+	switch op.(type) {
+	case *tableScan:
+		return "scan"
+	case *workingScan:
+		return "working-scan"
+	case *valuesOp:
+		return "values"
+	case *sharedOp:
+		return "shared"
+	case *filterOp:
+		return "filter"
+	case *projectOp:
+		return "project"
+	case *joinOp:
+		return "join"
+	case *aggOp:
+		return "aggregate"
+	case *sortOp:
+		return "sort"
+	case *limitOp:
+		return "limit"
+	case *distinctOp:
+		return "distinct"
+	case *unionOp:
+		return "union"
+	case *iterateOp:
+		return "iterate"
+	case *recursiveOp:
+		return "recursive-cte"
+	}
+	return fmt.Sprintf("%T", op)
+}
+
+// Drain opens an operator, collects all batches, and closes it. It is the
+// serial executor boundary: operator panics are contained into
+// *InternalError, cancellation is checked per batch, and collected batches
+// are charged against the query's memory budget.
+func Drain(op Operator, ctx *Context) (mat *Materialized, err error) {
+	label := opLabel(op)
+	defer containPanic(label, &err)
 	if err := op.Open(ctx); err != nil {
 		op.Close()
 		return nil, err
 	}
 	out := &Materialized{Schema: op.Schema()}
 	for {
+		if err := ctx.Err(); err != nil {
+			op.Close()
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			op.Close()
@@ -223,6 +300,10 @@ func Drain(op Operator, ctx *Context) (*Materialized, error) {
 		}
 		if b == nil {
 			break
+		}
+		if err := ctx.charge(label, batchBytes(b)); err != nil {
+			op.Close()
+			return nil, err
 		}
 		out.Append(b)
 	}

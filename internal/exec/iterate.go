@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 
+	"lambdadb/internal/faultinject"
 	"lambdadb/internal/plan"
 	"lambdadb/internal/types"
 )
@@ -47,6 +48,15 @@ func (i *iterateOp) Open(ctx *Context) error {
 	}()
 
 	for depth := 0; ; depth++ {
+		// One cancellation check per round: a cancelled ITERATE aborts
+		// before starting the next iteration, and the deferred restore above
+		// unbinds the working table so the context stays reusable.
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := faultinject.Fire("exec.iterate.round"); err != nil {
+			return err
+		}
 		if depth >= i.node.MaxDepth {
 			return fmt.Errorf("iterate: exceeded %d iterations (possible infinite loop)", i.node.MaxDepth)
 		}
@@ -64,7 +74,10 @@ func (i *iterateOp) Open(ctx *Context) error {
 			return fmt.Errorf("iterate step: %w", err)
 		}
 		// Non-appending: the previous working table is dropped here; at
-		// most two iterations' worth of tuples are alive at once.
+		// most two iterations' worth of tuples are alive at once. Return its
+		// bytes to the memory budget so long loops with bounded working sets
+		// never trip the limit.
+		ctx.release(matBytes(working))
 		working = next
 	}
 	i.it = matIterator{mat: working}
@@ -135,6 +148,12 @@ func (r *recursiveOp) Open(ctx *Context) error {
 	}()
 
 	for depth := 0; working.NumRows > 0; depth++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if err := faultinject.Fire("exec.iterate.round"); err != nil {
+			return err
+		}
 		if depth >= r.node.MaxDepth {
 			return fmt.Errorf("recursive CTE %s: exceeded %d iterations (possible infinite loop)",
 				r.node.Name, r.node.MaxDepth)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"lambdadb/internal/expr"
+	"lambdadb/internal/faultinject"
 	"lambdadb/internal/plan"
 	"lambdadb/internal/types"
 )
@@ -26,13 +27,21 @@ type hashTable struct {
 
 func (ht *hashTable) lookup(h uint64) []rowRef { return ht.parts[h&ht.mask][h] }
 
+// hashTableBytesPerRow is the accounting estimate for one build-side row's
+// hash-table footprint: a rowRef plus amortized map bucket overhead.
+const hashTableBytesPerRow = 48
+
 // buildHashTable constructs the table; when the build side is large enough
-// and workers > 1 it builds in parallel: one pass hashes every row's keys
-// (parallel over batches), then each partition worker inserts its own slice
-// of the hash space.
-func buildHashTable(mat *Materialized, keyCols []int, workers int) *hashTable {
-	if workers > 1 && mat.NumRows >= 2*minRowsPerWorker {
-		return buildHashTableParallel(mat, keyCols, workers)
+// and the context allows parallelism it builds in parallel: one pass hashes
+// every row's keys (parallel over batches), then each partition worker
+// inserts its own slice of the hash space. The table's footprint is charged
+// against the query memory budget.
+func buildHashTable(mat *Materialized, keyCols []int, ctx *Context) (*hashTable, error) {
+	if err := ctx.charge("join", int64(mat.NumRows)*hashTableBytesPerRow); err != nil {
+		return nil, err
+	}
+	if ctx.workers() > 1 && mat.NumRows >= 2*minRowsPerWorker {
+		return buildHashTableParallel(mat, keyCols, ctx)
 	}
 	ht := &hashTable{mat: mat, keyCols: keyCols,
 		parts: []map[uint64][]rowRef{make(map[uint64][]rowRef, mat.NumRows)}}
@@ -46,12 +55,12 @@ func buildHashTable(mat *Materialized, keyCols []int, workers int) *hashTable {
 			ht.parts[0][h] = append(ht.parts[0][h], rowRef{bi, i})
 		}
 	}
-	return ht
+	return ht, nil
 }
 
-func buildHashTableParallel(mat *Materialized, keyCols []int, workers int) *hashTable {
+func buildHashTableParallel(mat *Materialized, keyCols []int, ctx *Context) (*hashTable, error) {
 	p := 1
-	for p < workers {
+	for p < ctx.workers() {
 		p <<= 1
 	}
 	ht := &hashTable{mat: mat, keyCols: keyCols,
@@ -60,7 +69,7 @@ func buildHashTableParallel(mat *Materialized, keyCols []int, workers int) *hash
 	// key marks the row invalid.
 	hashes := make([][]uint64, len(mat.Batches))
 	valid := make([][]bool, len(mat.Batches))
-	runParts(len(mat.Batches), workers, func(bi int) error {
+	if err := runParts(ctx, len(mat.Batches), func(bi int) error {
 		b := mat.Batches[bi]
 		n := b.Len()
 		hs := make([]uint64, n)
@@ -70,12 +79,14 @@ func buildHashTableParallel(mat *Materialized, keyCols []int, workers int) *hash
 		}
 		hashes[bi], valid[bi] = hs, ok
 		return nil
-	})
+	}); err != nil {
+		return nil, err
+	}
 	// Pass 2: each partition worker scans the precomputed hashes and keeps
 	// only its share. Insertion order within a partition matches row order,
 	// so probe results are deterministic.
 	est := mat.NumRows / p
-	runParts(p, workers, func(pi int) error {
+	if err := runParts(ctx, p, func(pi int) error {
 		part := make(map[uint64][]rowRef, est)
 		target := uint64(pi)
 		for bi, hs := range hashes {
@@ -88,8 +99,10 @@ func buildHashTableParallel(mat *Materialized, keyCols []int, workers int) *hash
 		}
 		ht.parts[pi] = part
 		return nil
-	})
-	return ht
+	}); err != nil {
+		return nil, err
+	}
+	return ht, nil
 }
 
 // rowKeyHash hashes the key columns of row i; ok is false when any key is
@@ -195,15 +208,21 @@ func (j *joinOp) openHash(ctx *Context) error {
 		buildPlan, buildKeys = j.node.R, j.node.EquiRight
 		probePlan = j.node.L
 	}
+	if err := faultinject.Fire("exec.join.build"); err != nil {
+		return err
+	}
 	mat, err := drainPipeline(buildPlan, ctx)
 	if err != nil {
 		return err
 	}
-	j.ht = buildHashTable(mat, buildKeys, ctx.workers())
+	j.ht, err = buildHashTable(mat, buildKeys, ctx)
+	if err != nil {
+		return err
+	}
 
 	if parts := splitParallel(probePlan, ctx.workers(), ctx); len(parts) > 1 {
 		outs := make([][]*types.Batch, len(parts))
-		err := runParts(len(parts), ctx.workers(), func(i int) error {
+		err := runParts(ctx, len(parts), func(i int) error {
 			pr, err := j.newProber()
 			if err != nil {
 				return err
@@ -218,6 +237,12 @@ func (j *joinOp) openHash(ctx *Context) error {
 			}
 			defer op.Close()
 			for {
+				if err := faultinject.Fire("exec.join.probe"); err != nil {
+					return err
+				}
+				if err := ctx.Err(); err != nil {
+					return err
+				}
 				pb, err := op.Next()
 				if err != nil {
 					return err
@@ -228,6 +253,11 @@ func (j *joinOp) openHash(ctx *Context) error {
 				bs, err := pr.probeBatch(pb)
 				if err != nil {
 					return err
+				}
+				for _, b := range bs {
+					if err := ctx.charge("join", batchBytes(b)); err != nil {
+						return err
+					}
 				}
 				outs[i] = append(outs[i], bs...)
 			}
@@ -312,6 +342,9 @@ func (j *joinOp) hashNext() (*types.Batch, error) {
 			b := j.pendingOut[0]
 			j.pendingOut = j.pendingOut[1:]
 			return b, nil
+		}
+		if err := faultinject.Fire("exec.join.probe"); err != nil {
+			return nil, err
 		}
 		pb, err := j.probe.Next()
 		if err != nil || pb == nil {

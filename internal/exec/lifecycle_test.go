@@ -1,0 +1,278 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"lambdadb/internal/expr"
+	"lambdadb/internal/faultinject"
+	"lambdadb/internal/plan"
+	"lambdadb/internal/storage"
+	"lambdadb/internal/types"
+)
+
+// lifecycleCtx returns an exec context with the given parallelism attached
+// to a cancellable Go context.
+func lifecycleCtx(workers int) (*Context, context.CancelFunc) {
+	goCtx, cancel := context.WithCancel(context.Background())
+	ctx := NewContext()
+	ctx.Workers = workers
+	ctx.AttachContext(goCtx)
+	return ctx, cancel
+}
+
+func TestCancelBeforeRun(t *testing.T) {
+	s, tbl := bigTable(t, 100_000, 1000)
+	ctx, cancel := lifecycleCtx(4)
+	cancel()
+	_, err := Run(plan.NewScan(tbl, "", s.Snapshot()), ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestCancelDuringParallelOperators cancels mid-flight while the morsel
+// worker pool is running a parallel join, sort, and aggregation, under
+// every worker count the pool distinguishes. The fault hook blocks the
+// scan producers until cancel has fired, so the query is guaranteed to be
+// in flight when cancellation lands (no sleep-based racing).
+func TestCancelDuringParallelOperators(t *testing.T) {
+	s := storage.NewStore()
+	l := nullableTable(t, s, "l", 60_000, 30_000, 0)
+	r := nullableTable(t, s, "r", 60_000, 30_000, 0)
+	plans := map[string]func() plan.Node{
+		"join": func() plan.Node {
+			return &plan.Join{
+				Type:      plan.InnerJoin,
+				L:         plan.NewScan(l, "l", s.Snapshot()),
+				R:         plan.NewScan(r, "r", s.Snapshot()),
+				EquiLeft:  []int{0},
+				EquiRight: []int{0},
+			}
+		},
+		"sort": func() plan.Node {
+			return &plan.Sort{
+				Child: plan.NewScan(l, "", s.Snapshot()),
+				Keys:  []plan.SortKey{{Col: 1, Desc: true}},
+				TopK:  -1,
+			}
+		},
+		"aggregate": func() plan.Node {
+			return &plan.Aggregate{
+				Child:    plan.NewScan(r, "", s.Snapshot()),
+				Keys:     []expr.Expr{colRef("k", 0, types.Int64)},
+				KeyNames: []string{"k"},
+				Aggs: []plan.AggSpec{{Func: plan.AggSum,
+					Arg: colRef("v", 1, types.Float64), Type: types.Float64, Name: "sum(v)"}},
+			}
+		},
+	}
+	for name, mk := range plans {
+		for _, workers := range []int{1, 8} {
+			t.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(t *testing.T) {
+				defer faultinject.Reset()
+				ctx, cancel := lifecycleCtx(workers)
+				released := make(chan struct{})
+				var once sync.Once
+				faultinject.Set("exec.scan.batch", func() error {
+					once.Do(func() {
+						cancel()
+						close(released)
+					})
+					<-released
+					return nil
+				})
+				_, err := Run(mk(), ctx)
+				if !errors.Is(err, context.Canceled) {
+					t.Fatalf("want context.Canceled, got %v", err)
+				}
+			})
+		}
+	}
+}
+
+func TestDeadlineExceededSurfaces(t *testing.T) {
+	s, tbl := bigTable(t, 100_000, 1000)
+	goCtx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Second))
+	defer cancel()
+	ctx := NewContext()
+	ctx.AttachContext(goCtx)
+	_, err := Run(plan.NewScan(tbl, "", s.Snapshot()), ctx)
+	if !errors.Is(err, context.DeadlineExceeded) {
+		t.Fatalf("want context.DeadlineExceeded, got %v", err)
+	}
+}
+
+func TestMemoryLimitScan(t *testing.T) {
+	s, tbl := bigTable(t, 100_000, 1000)
+	ctx := NewContext()
+	ctx.SetMemoryLimit(4 << 10) // far below the ~1.6 MB the scan holds
+	_, err := Run(plan.NewScan(tbl, "", s.Snapshot()), ctx)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *ResourceError, got %v", err)
+	}
+	if re.Operator == "" || re.Limit != 4<<10 || re.Requested <= re.Limit {
+		t.Fatalf("malformed ResourceError: %+v", re)
+	}
+}
+
+func TestMemoryLimitNamesJoinBuild(t *testing.T) {
+	s := storage.NewStore()
+	l := nullableTable(t, s, "l", 40_000, 20_000, 0)
+	r := nullableTable(t, s, "r", 40_000, 20_000, 0)
+	join := &plan.Join{
+		Type:      plan.InnerJoin,
+		L:         plan.NewScan(l, "l", s.Snapshot()),
+		R:         plan.NewScan(r, "r", s.Snapshot()),
+		EquiLeft:  []int{0},
+		EquiRight: []int{0},
+	}
+	ctx := NewContext()
+	// Enough for the build-side batches but not the hash table on top.
+	ctx.SetMemoryLimit(int64(40_000*16) + hashTableBytesPerRow)
+	_, err := Run(join, ctx)
+	var re *ResourceError
+	if !errors.As(err, &re) {
+		t.Fatalf("want *ResourceError, got %v", err)
+	}
+	if re.Operator != "join" {
+		t.Fatalf("ResourceError.Operator = %q, want %q", re.Operator, "join")
+	}
+}
+
+func TestMemoryLimitUnlimitedByDefault(t *testing.T) {
+	s, tbl := bigTable(t, 50_000, 1000)
+	ctx := NewContext()
+	if _, err := Run(plan.NewScan(tbl, "", s.Snapshot()), ctx); err != nil {
+		t.Fatalf("no limit set, query must pass: %v", err)
+	}
+	if got := ctx.MemoryUsed(); got != 0 {
+		t.Fatalf("MemoryUsed without a limit = %d, want 0", got)
+	}
+}
+
+func TestIterateReleasesWorkingTables(t *testing.T) {
+	// A long non-appending loop whose working table is one small row: with
+	// per-round release of the dropped working table, hundreds of rounds fit
+	// in a 4 KB budget. If rounds accumulated, the budget would trip long
+	// before MaxDepth.
+	one := &plan.Values{
+		Sch:  types.Schema{{Name: "x", Type: types.Int64}},
+		Rows: [][]types.Value{{types.NewInt(0)}},
+	}
+	sch := one.Sch
+	it := &plan.Iterate{
+		Init:     one,
+		Step:     &plan.WorkingScan{Name: "iterate", Sch: sch},
+		Stop:     &plan.Values{Sch: sch}, // no rows: never stops before MaxDepth
+		MaxDepth: 500,
+	}
+	ctx := NewContext()
+	ctx.SetMemoryLimit(1 << 12)
+	_, err := Run(it, ctx)
+	if errors.As(err, new(*ResourceError)) {
+		t.Fatalf("working tables not released: budget tripped with %v", err)
+	}
+	if err == nil || !strings.Contains(err.Error(), "exceeded 500 iterations") {
+		t.Fatalf("want MaxDepth exhaustion, got %v", err)
+	}
+}
+
+func TestPanicContainedSerial(t *testing.T) {
+	defer faultinject.Reset()
+	s, tbl := bigTable(t, 1000, 10)
+	faultinject.Set("exec.scan.batch", func() error { panic("injected operator panic") })
+	ctx := NewContext()
+	ctx.Workers = 1
+	_, err := Run(plan.NewScan(tbl, "", s.Snapshot()), ctx)
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InternalError, got %v", err)
+	}
+	if ie.Panic != "injected operator panic" || len(ie.Stack) == 0 {
+		t.Fatalf("malformed InternalError: panic=%v stack=%dB", ie.Panic, len(ie.Stack))
+	}
+}
+
+func TestPanicContainedInWorkerPool(t *testing.T) {
+	defer faultinject.Reset()
+	s := storage.NewStore()
+	tbl := nullableTable(t, s, "t", 60_000, 1000, 0)
+	faultinject.Set("exec.sort.run", func() error { panic("worker panic") })
+	srt := &plan.Sort{
+		Child: plan.NewScan(tbl, "", s.Snapshot()),
+		Keys:  []plan.SortKey{{Col: 0}},
+		TopK:  -1,
+	}
+	ctx := NewContext()
+	ctx.Workers = 8
+	_, err := Run(srt, ctx)
+	var ie *InternalError
+	if !errors.As(err, &ie) {
+		t.Fatalf("want *InternalError from worker pool, got %v", err)
+	}
+}
+
+// TestPanicDoesNotPoisonContext: after a contained panic the same Context
+// (fresh one per query, as the engine does) still executes queries.
+func TestPanicThenHealthyQuery(t *testing.T) {
+	defer faultinject.Reset()
+	s, tbl := bigTable(t, 10_000, 10)
+	faultinject.Set("exec.scan.batch", func() error { panic("boom") })
+	ctx := NewContext()
+	if _, err := Run(plan.NewScan(tbl, "", s.Snapshot()), ctx); err == nil {
+		t.Fatal("injected panic must fail the query")
+	}
+	faultinject.Reset()
+	out, err := Run(plan.NewScan(tbl, "", s.Snapshot()), NewContext())
+	if err != nil {
+		t.Fatalf("query after contained panic: %v", err)
+	}
+	if out.NumRows != 10_000 {
+		t.Fatalf("rows = %d, want 10000", out.NumRows)
+	}
+}
+
+func TestScanSentinelIsErrorsIsComparable(t *testing.T) {
+	wrapped := fmt.Errorf("outer: %w", errScanCancelled)
+	if !errors.Is(wrapped, errScanCancelled) {
+		t.Fatal("errScanCancelled must be comparable through wrapping via errors.Is")
+	}
+}
+
+// TestCancelRacesWorkerPool hammers cancellation against the parallel sort
+// pool from a separate goroutine (run under -race via make check): whatever
+// the interleaving, the query must return promptly with either a clean
+// result or context.Canceled — never hang or corrupt state.
+func TestCancelRacesWorkerPool(t *testing.T) {
+	s := storage.NewStore()
+	tbl := nullableTable(t, s, "t", 120_000, 5000, 0)
+	for i := 0; i < 6; i++ {
+		ctx, cancel := lifecycleCtx(8)
+		done := make(chan error, 1)
+		go func() {
+			_, err := Run(&plan.Sort{
+				Child: plan.NewScan(tbl, "", s.Snapshot()),
+				Keys:  []plan.SortKey{{Col: 1, Desc: true}},
+				TopK:  -1,
+			}, ctx)
+			done <- err
+		}()
+		time.Sleep(time.Duration(i) * 200 * time.Microsecond)
+		cancel()
+		select {
+		case err := <-done:
+			if err != nil && !errors.Is(err, context.Canceled) {
+				t.Fatalf("iteration %d: unexpected error %v", i, err)
+			}
+		case <-time.After(10 * time.Second):
+			t.Fatalf("iteration %d: cancelled query hung", i)
+		}
+	}
+}

@@ -1,0 +1,134 @@
+package exec
+
+import (
+	"sync/atomic"
+
+	"lambdadb/internal/types"
+)
+
+// memAccountant tracks the bytes a query holds in materializations against
+// a configured budget. Charges come from the points where the executor
+// retains data — Drain output, hash-join build tables, sort runs, and
+// ITERATE working tables — so a runaway query fails with a typed
+// ResourceError instead of driving the process out of memory. The counter
+// is a conservative high-water estimate: pipelined stages that hand a
+// materialization to their parent may be counted at both levels.
+type memAccountant struct {
+	limit int64
+	used  atomic.Int64
+}
+
+// charge reserves n bytes on behalf of op, failing with a *ResourceError
+// when the budget would be exceeded. A nil accountant (no limit) is free.
+func (a *memAccountant) charge(op string, n int64) error {
+	if a == nil || n <= 0 {
+		return nil
+	}
+	used := a.used.Add(n)
+	if used > a.limit {
+		a.used.Add(-n)
+		return &ResourceError{Operator: op, Limit: a.limit, Requested: used}
+	}
+	return nil
+}
+
+// release returns n bytes to the budget (dropped working tables).
+func (a *memAccountant) release(n int64) {
+	if a == nil || n <= 0 {
+		return
+	}
+	a.used.Add(-n)
+}
+
+// SetMemoryLimit caps the bytes this query may hold in materializations;
+// bytes <= 0 means unlimited (the default).
+func (c *Context) SetMemoryLimit(bytes int64) {
+	if bytes > 0 {
+		c.mem = &memAccountant{limit: bytes}
+	} else {
+		c.mem = nil
+	}
+}
+
+// MemoryUsed reports the bytes currently charged against the query budget
+// (0 when no limit is set).
+func (c *Context) MemoryUsed() int64 {
+	if c == nil || c.mem == nil {
+		return 0
+	}
+	return c.mem.used.Load()
+}
+
+// charge books n bytes against the query budget under the given operator
+// label; nil-safe for contexts without a limit.
+func (c *Context) charge(op string, n int64) error {
+	if c == nil {
+		return nil
+	}
+	return c.mem.charge(op, n)
+}
+
+// release returns n bytes to the query budget.
+func (c *Context) release(n int64) {
+	if c != nil && c.mem != nil {
+		c.mem.release(n)
+	}
+}
+
+// batchBytes estimates the resident size of a batch: fixed-width payloads
+// by type, string payloads by length plus header, one byte per row for a
+// null bitmap when present.
+func batchBytes(b *types.Batch) int64 {
+	if b == nil {
+		return 0
+	}
+	rows := b.Len()
+	var n int64
+	for _, c := range b.Cols {
+		switch c.T {
+		case types.Int64, types.Float64:
+			n += int64(rows) * 8
+		case types.Bool:
+			n += int64(rows)
+		case types.String:
+			strs := c.Strs
+			if len(strs) > rows {
+				strs = strs[:rows]
+			}
+			n += int64(len(strs)) * 16
+			for _, s := range strs {
+				n += int64(len(s))
+			}
+		}
+		if c.Nulls != nil {
+			n += int64(rows)
+		}
+	}
+	return n
+}
+
+// matBytes estimates the resident size of a materialized relation.
+func matBytes(m *Materialized) int64 {
+	if m == nil {
+		return 0
+	}
+	var n int64
+	for _, b := range m.Batches {
+		n += batchBytes(b)
+	}
+	return n
+}
+
+// rowsBytes estimates the resident size of value rows (sort runs).
+func rowsBytes(rows [][]types.Value) int64 {
+	var n int64
+	for _, r := range rows {
+		// One Value struct is ~48 bytes (type tag, scalar fields, string
+		// header); count string payloads on top.
+		n += int64(len(r)) * 48
+		for _, v := range r {
+			n += int64(len(v.S))
+		}
+	}
+	return n
+}

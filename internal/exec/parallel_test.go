@@ -366,7 +366,7 @@ func TestSplitPipelineDegenerate(t *testing.T) {
 func TestRunPartsPool(t *testing.T) {
 	const n = 1000
 	out := make([]int64, n)
-	err := runParts(n, 8, func(i int) error {
+	err := runParts(&Context{Workers: 8}, n, func(i int) error {
 		out[i] = int64(i) * 2
 		return nil
 	})
@@ -383,7 +383,7 @@ func TestRunPartsPool(t *testing.T) {
 func TestRunPartsErrorPropagation(t *testing.T) {
 	const n = 50
 	ran := make([]atomic.Bool, n)
-	err := runParts(n, 8, func(i int) error {
+	err := runParts(&Context{Workers: 8}, n, func(i int) error {
 		ran[i].Store(true)
 		if i == 7 || i == 23 {
 			return fmt.Errorf("part %d failed", i)

@@ -1,8 +1,10 @@
 package exec
 
 import (
+	"errors"
 	"fmt"
 
+	"lambdadb/internal/faultinject"
 	"lambdadb/internal/plan"
 	"lambdadb/internal/types"
 )
@@ -10,6 +12,7 @@ import (
 // tableScan reads a stored table (optionally a physical row range).
 type tableScan struct {
 	node    *plan.Scan
+	ctx     *Context
 	batches chan *types.Batch
 	errCh   chan error
 	done    chan struct{}
@@ -21,6 +24,7 @@ func newTableScan(n *plan.Scan) *tableScan { return &tableScan{node: n} }
 func (s *tableScan) Schema() types.Schema { return s.node.Schema() }
 
 func (s *tableScan) Open(ctx *Context) error {
+	s.ctx = ctx
 	s.batches = make(chan *types.Batch, 4)
 	s.errCh = make(chan error, 1)
 	s.done = make(chan struct{})
@@ -29,26 +33,39 @@ func (s *tableScan) Open(ctx *Context) error {
 	if hi < 0 {
 		hi = s.node.Rel.PhysicalRows()
 	}
+	cancelled := ctx.doneCh()
 	go func() {
 		defer close(s.batches)
-		err := s.node.Rel.ScanRange(s.node.Snapshot, lo, hi, func(b *types.Batch) error {
-			select {
-			case s.batches <- b:
-				return nil
-			case <-s.done:
-				return errScanCancelled
-			}
-		})
-		if err != nil && err != errScanCancelled {
+		// The producer runs outside the Drain/runParts containment
+		// boundaries, so it carries its own: a panic here becomes an
+		// *InternalError on errCh instead of killing the process.
+		err := func() (err error) {
+			defer containPanic("scan", &err)
+			return s.node.Rel.ScanRange(s.node.Snapshot, lo, hi, func(b *types.Batch) error {
+				if err := faultinject.Fire("exec.scan.batch"); err != nil {
+					return err
+				}
+				select {
+				case s.batches <- b:
+					return nil
+				case <-s.done:
+					return errScanCancelled
+				case <-cancelled:
+					return errScanCancelled
+				}
+			})
+		}()
+		if err != nil && !errors.Is(err, errScanCancelled) {
 			s.errCh <- err
 		}
 	}()
 	return nil
 }
 
-var errScanCancelled = fmt.Errorf("scan cancelled")
-
 func (s *tableScan) Next() (*types.Batch, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
 	select {
 	case err := <-s.errCh:
 		return nil, err
@@ -58,6 +75,11 @@ func (s *tableScan) Next() (*types.Batch, error) {
 			case err := <-s.errCh:
 				return nil, err
 			default:
+			}
+			// The producer also shuts down on cancellation; report that as
+			// the context error, never as a clean end of stream.
+			if err := s.ctx.Err(); err != nil {
+				return nil, err
 			}
 			return nil, nil
 		}
@@ -77,6 +99,7 @@ func (s *tableScan) Close() error {
 // execution context (ITERATE / recursive CTE bodies).
 type workingScan struct {
 	node *plan.WorkingScan
+	ctx  *Context
 	it   matIterator
 }
 
@@ -85,6 +108,7 @@ func newWorkingScan(n *plan.WorkingScan) *workingScan { return &workingScan{node
 func (s *workingScan) Schema() types.Schema { return s.node.Sch }
 
 func (s *workingScan) Open(ctx *Context) error {
+	s.ctx = ctx
 	mat, ok := ctx.Bindings[s.node.Name]
 	if !ok {
 		return fmt.Errorf("working table %q is not bound", s.node.Name)
@@ -97,8 +121,13 @@ func (s *workingScan) Open(ctx *Context) error {
 	return nil
 }
 
-func (s *workingScan) Next() (*types.Batch, error) { return s.it.next(), nil }
-func (s *workingScan) Close() error                { return nil }
+func (s *workingScan) Next() (*types.Batch, error) {
+	if err := s.ctx.Err(); err != nil {
+		return nil, err
+	}
+	return s.it.next(), nil
+}
+func (s *workingScan) Close() error { return nil }
 
 // valuesOp emits literal rows.
 type valuesOp struct {

@@ -51,19 +51,31 @@ func splitParallel(p plan.Node, parts int, ctx *Context) []plan.Node {
 	return plan.SplitPipeline(p, rows, parts, minRowsPerWorker)
 }
 
-// runParts executes fn(i) for i in [0, n) on at most `workers` goroutines.
-// Every part runs regardless of failures elsewhere; the lowest-indexed
-// error is returned so error reporting is deterministic.
-func runParts(n, workers int, fn func(i int) error) error {
+// runParts executes fn(i) for i in [0, n) on at most ctx.workers()
+// goroutines. It is the parallel executor boundary: each part checks for
+// cancellation before it starts and runs under panic containment, so one
+// worker's panic becomes an *InternalError instead of killing the process.
+// Every part runs (or observes cancellation) regardless of failures
+// elsewhere; the lowest-indexed error is returned so error reporting is
+// deterministic.
+func runParts(ctx *Context, n int, fn func(i int) error) error {
 	if n == 0 {
 		return nil
 	}
+	call := func(i int) (err error) {
+		defer containPanic("parallel-worker", &err)
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		return fn(i)
+	}
+	workers := ctx.workers()
 	if workers > n {
 		workers = n
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
+			if err := call(i); err != nil {
 				return err
 			}
 		}
@@ -81,7 +93,7 @@ func runParts(n, workers int, fn func(i int) error) error {
 				if i >= n {
 					return
 				}
-				errs[i] = fn(i)
+				errs[i] = call(i)
 			}
 		}()
 	}
@@ -98,7 +110,7 @@ func runParts(n, workers int, fn func(i int) error) error {
 // pool, returning the materialized results in part order.
 func drainParts(parts []plan.Node, ctx *Context) ([]*Materialized, error) {
 	mats := make([]*Materialized, len(parts))
-	err := runParts(len(parts), ctx.workers(), func(i int) error {
+	err := runParts(ctx, len(parts), func(i int) error {
 		op, err := Build(parts[i])
 		if err != nil {
 			return err

@@ -3,6 +3,7 @@ package exec
 import (
 	"sort"
 
+	"lambdadb/internal/faultinject"
 	"lambdadb/internal/plan"
 	"lambdadb/internal/types"
 )
@@ -49,7 +50,10 @@ func (s *sortOp) Open(ctx *Context) error {
 		// top-k each worker streams its morsel through a private bounded
 		// heap, so ORDER BY ... LIMIT never materializes the full input.
 		runs = make([][][]types.Value, len(parts))
-		err := runParts(len(parts), workers, func(i int) error {
+		err := runParts(ctx, len(parts), func(i int) error {
+			if err := faultinject.Fire("exec.sort.run"); err != nil {
+				return err
+			}
 			op, err := Build(parts[i])
 			if err != nil {
 				return err
@@ -85,7 +89,10 @@ func (s *sortOp) Open(ctx *Context) error {
 		}
 		rows := mat.Rows()
 		runs = chunkRuns(rows, workers)
-		err = runParts(len(runs), workers, func(i int) error {
+		err = runParts(ctx, len(runs), func(i int) error {
+			if err := faultinject.Fire("exec.sort.run"); err != nil {
+				return err
+			}
 			r := runs[i]
 			sort.SliceStable(r, func(a, b int) bool { return less(r[a], r[b]) })
 			return nil
@@ -116,7 +123,8 @@ func (s *sortOp) Open(ctx *Context) error {
 
 // drainSorted opens and drains op into a sorted row run. With k >= 0 the
 // rows stream through a bounded max-heap whose root is the worst kept row,
-// so only k rows are ever held.
+// so only k rows are ever held. Fully-retained runs (k < 0) are charged
+// against the query memory budget per input batch.
 func drainSorted(op Operator, ctx *Context, k int64, less func(a, b []types.Value) bool) ([][]types.Value, error) {
 	if err := op.Open(ctx); err != nil {
 		op.Close()
@@ -125,6 +133,10 @@ func drainSorted(op Operator, ctx *Context, k int64, less func(a, b []types.Valu
 	var rows [][]types.Value
 	h := &rowHeap{less: less}
 	for {
+		if err := ctx.Err(); err != nil {
+			op.Close()
+			return nil, err
+		}
 		b, err := op.Next()
 		if err != nil {
 			op.Close()
@@ -132,6 +144,12 @@ func drainSorted(op Operator, ctx *Context, k int64, less func(a, b []types.Valu
 		}
 		if b == nil {
 			break
+		}
+		if k < 0 {
+			if err := ctx.charge("sort", batchBytes(b)); err != nil {
+				op.Close()
+				return nil, err
+			}
 		}
 		n := b.Len()
 		for i := 0; i < n; i++ {

@@ -1,0 +1,88 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestFireUnarmedIsNil(t *testing.T) {
+	Reset()
+	if err := Fire("any.point"); err != nil {
+		t.Fatalf("unarmed Fire = %v, want nil", err)
+	}
+}
+
+func TestSetAndClear(t *testing.T) {
+	defer Reset()
+	boom := errors.New("boom")
+	Set("p", func() error { return boom })
+	if err := Fire("p"); !errors.Is(err, boom) {
+		t.Fatalf("Fire = %v, want boom", err)
+	}
+	if err := Fire("other"); err != nil {
+		t.Fatalf("unregistered point fired: %v", err)
+	}
+	Clear("p")
+	if err := Fire("p"); err != nil {
+		t.Fatalf("cleared point fired: %v", err)
+	}
+}
+
+func TestFailOnce(t *testing.T) {
+	defer Reset()
+	boom := errors.New("once")
+	FailOnce("p", boom)
+	if err := Fire("p"); !errors.Is(err, boom) {
+		t.Fatalf("first Fire = %v, want once", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := Fire("p"); err != nil {
+			t.Fatalf("Fire after first = %v, want nil", err)
+		}
+	}
+}
+
+func TestFailAfter(t *testing.T) {
+	defer Reset()
+	boom := errors.New("later")
+	FailAfter("p", 2, boom)
+	for i := 0; i < 2; i++ {
+		if err := Fire("p"); err != nil {
+			t.Fatalf("Fire %d = %v, want nil", i, err)
+		}
+	}
+	if err := Fire("p"); !errors.Is(err, boom) {
+		t.Fatalf("third Fire = %v, want later", err)
+	}
+	if err := Fire("p"); !errors.Is(err, boom) {
+		t.Fatalf("fourth Fire = %v, want later", err)
+	}
+}
+
+func TestResetDisarms(t *testing.T) {
+	Set("p", func() error { return errors.New("x") })
+	Reset()
+	if err := Fire("p"); err != nil {
+		t.Fatalf("Fire after Reset = %v, want nil", err)
+	}
+}
+
+// TestConcurrentFire exercises the armed fast path and hook map under
+// concurrent readers (run under -race via make check).
+func TestConcurrentFire(t *testing.T) {
+	defer Reset()
+	Set("p", func() error { return nil })
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				Fire("p")
+				Fire("q")
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+}

@@ -24,8 +24,10 @@ import (
 	"io"
 	"math"
 	"os"
+	"path/filepath"
 	"sort"
 
+	"lambdadb/internal/faultinject"
 	"lambdadb/internal/storage"
 	"lambdadb/internal/types"
 )
@@ -57,23 +59,54 @@ func Save(store *storage.Store, w io.Writer) error {
 	return bw.Flush()
 }
 
-// SaveFile writes the snapshot to a file, atomically via a temp file.
+// SaveFile writes the snapshot to a file, crash-safely: the image is
+// written to a temp file which is fsynced before the atomic rename, and the
+// parent directory is fsynced after it so the rename itself is durable. A
+// failure at any point leaves the previous snapshot at path untouched and
+// removes the temp file.
 func SaveFile(store *storage.Store, path string) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
 		return err
 	}
-	if err := Save(store, f); err != nil {
+	fail := func(err error) error {
 		f.Close()
 		os.Remove(tmp)
 		return err
+	}
+	if err := Save(store, f); err != nil {
+		return fail(err)
+	}
+	if err := faultinject.Fire("persist.save.write"); err != nil {
+		return fail(err)
+	}
+	if err := f.Sync(); err != nil {
+		return fail(err)
 	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return err
 	}
-	return os.Rename(tmp, path)
+	if err := faultinject.Fire("persist.save.rename"); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return syncDir(filepath.Dir(path))
+}
+
+// syncDir fsyncs a directory so a just-committed rename survives a crash.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
 }
 
 func saveTable(w *bufio.Writer, tbl *storage.Table, snapshot uint64) error {

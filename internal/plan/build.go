@@ -26,6 +26,10 @@ func (a *Alias) Explain() string      { return fmt.Sprintf("Alias %s", a.Name) }
 type Builder struct {
 	Catalog  catalog.Catalog
 	Snapshot uint64
+	// MaxDepth bounds ITERATE / recursive-CTE rounds in the plans this
+	// builder produces (runaway-loop protection); NewBuilder sets the
+	// default, engines may lower it per deployment.
+	MaxDepth int
 
 	ctes map[string]*cteBinding
 }
@@ -39,12 +43,22 @@ type cteBinding struct {
 
 // NewBuilder returns a Builder reading at the given snapshot.
 func NewBuilder(cat catalog.Catalog, snapshot uint64) *Builder {
-	return &Builder{Catalog: cat, Snapshot: snapshot, ctes: map[string]*cteBinding{}}
+	return &Builder{Catalog: cat, Snapshot: snapshot, MaxDepth: defaultMaxDepth,
+		ctes: map[string]*cteBinding{}}
 }
 
 // defaultMaxDepth bounds iterate/recursive executions; the paper notes the
 // system must detect and abort runaway loops.
 const defaultMaxDepth = 1_000_000
+
+// maxDepth returns the builder's iteration bound, defending against
+// zero-valued Builders constructed without NewBuilder.
+func (b *Builder) maxDepth() int {
+	if b.MaxDepth > 0 {
+		return b.MaxDepth
+	}
+	return defaultMaxDepth
+}
 
 // BuildSelect plans a full SELECT statement and applies the rule-based
 // optimizer.
@@ -178,7 +192,7 @@ func (b *Builder) buildCTE(cte sql.CTE) (Node, error) {
 		return nil, fmt.Errorf("recursive CTE %s: %w", cte.Name, err)
 	}
 	return &RecursiveCTE{Name: cte.Name, Init: init, Rec: rec, All: setop.All,
-		MaxDepth: defaultMaxDepth}, nil
+		MaxDepth: b.maxDepth()}, nil
 }
 
 func (b *Builder) applyCTEColumns(node Node, cte sql.CTE) (Node, error) {

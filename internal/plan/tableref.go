@@ -221,7 +221,7 @@ func (b *Builder) buildIterate(tf *sql.TableFunc) (Node, error) {
 	if err != nil {
 		return nil, fmt.Errorf("iterate stop: %w", err)
 	}
-	return &Iterate{Init: init, Step: step, Stop: stop, MaxDepth: defaultMaxDepth}, nil
+	return &Iterate{Init: init, Step: step, Stop: stop, MaxDepth: b.maxDepth()}, nil
 }
 
 // buildKMeans plans KMEANS((data), (centers) [, λ(a,b) dist] [, maxiter]) —
