@@ -1,9 +1,9 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench overhead
 
-## check: everything CI runs — vet, build, full tests, race on the executor
-check: vet build test race
+## check: everything CI runs — vet, build, full tests, race on the executor, telemetry-overhead smoke
+check: vet build test race overhead
 
 vet:
 	$(GO) vet ./...
@@ -17,6 +17,10 @@ test:
 ## race: the parallel executor, engine, and fault-injection registry under the race detector
 race:
 	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/
+
+## overhead: assert the disarmed telemetry path adds <2% to BenchmarkVectorizedFilterAgg
+overhead:
+	LAMBDADB_OVERHEAD_SMOKE=1 $(GO) test ./internal/exec/ -run TestTelemetryOverheadSmoke -v
 
 ## bench: refresh the parallel-operator scaling baseline (see BENCH_exec.json)
 bench:

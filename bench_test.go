@@ -47,7 +47,7 @@ func runKMeansBench(b *testing.B, cfg bench.KMeansConfig) {
 	for _, sys := range benchSystems {
 		b.Run(sys, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ds.Run(sys); err != nil {
+				if _, _, err := ds.Run(sys); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -94,7 +94,7 @@ func BenchmarkFig5PageRank(b *testing.B) {
 	for _, sys := range benchSystems {
 		b.Run(sys, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ds.Run(sys); err != nil {
+				if _, _, err := ds.Run(sys); err != nil {
 					b.Fatal(err)
 				}
 			}
@@ -110,7 +110,7 @@ func runNBBench(b *testing.B, cfg bench.NBConfig) {
 	for _, sys := range benchSystems {
 		b.Run(sys, func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				if _, err := ds.Run(sys); err != nil {
+				if _, _, err := ds.Run(sys); err != nil {
 					b.Fatal(err)
 				}
 			}

@@ -29,6 +29,7 @@ func main() {
 		maxEdges   = flag.Int("max-edges", bench.DefaultScale.MaxEdges, "cap on PageRank graph size (directed edges)")
 		systems    = flag.String("systems", "", "comma-separated subset of systems (default: all)")
 		verbose    = flag.Bool("v", false, "print per-measurement progress")
+		jsonPath   = flag.String("json", "", "also write a machine-readable report (per-operator stats, host info) to this path, e.g. BENCH_$(hostname).json")
 	)
 	flag.Parse()
 
@@ -60,6 +61,7 @@ func main() {
 	if *verbose {
 		progress = os.Stderr
 	}
+	var tables []*bench.Table
 	for _, id := range ids {
 		table, err := experiments[id](progress)
 		if err != nil {
@@ -67,5 +69,13 @@ func main() {
 			os.Exit(1)
 		}
 		table.Print(os.Stdout)
+		tables = append(tables, table)
+	}
+	if *jsonPath != "" {
+		if err := bench.NewReport(scale, tables).WriteJSON(*jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "writing %s: %v\n", *jsonPath, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %s\n", *jsonPath)
 	}
 }

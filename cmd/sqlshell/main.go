@@ -8,7 +8,8 @@
 //	sqlshell -f file.sql  # execute a script, print results
 //
 // Meta commands: \q quit, \d list tables, \explain SELECT ... show the
-// optimized plan.
+// optimized plan, \timing toggle per-statement timing, \stats show the
+// per-operator stats of the last statement.
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"time"
 
 	"lambdadb/internal/engine"
+	"lambdadb/internal/exec"
 )
 
 // interrupts routes SIGINT to the running statement: the first Ctrl-C
@@ -95,27 +97,35 @@ func main() {
 	}
 	session := db.NewSession()
 	defer session.Close()
+	// Arm per-operator stats so \stats always has a tree to show.
+	session.CollectStats(true)
 
 	in := &interrupts{}
 	in.watch()
 
+	state := &shellState{timing: *timing}
 	if *file != "" {
 		script, err := os.ReadFile(*file)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		if err := runText(in, session, string(script), *timing); err != nil {
+		if err := runText(in, session, string(script), state); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 		return
 	}
 
-	interactive(db, session, in, *timing)
+	interactive(db, session, in, state)
 }
 
-func runText(in *interrupts, s *engine.Session, text string, timing bool) error {
+// shellState holds the toggles shared between statements and meta commands.
+type shellState struct {
+	timing bool
+}
+
+func runText(in *interrupts, s *engine.Session, text string, state *shellState) error {
 	ctx, done := in.statementContext()
 	defer done()
 	start := time.Now()
@@ -126,15 +136,20 @@ func runText(in *interrupts, s *engine.Session, text string, timing bool) error 
 	if res != nil {
 		fmt.Print(res)
 	}
-	if timing {
-		fmt.Printf("time: %v\n", time.Since(start))
+	if state.timing {
+		rows := 0
+		if res != nil {
+			rows = len(res.Rows) + res.Affected
+		}
+		fmt.Printf("time: %v (%d rows)\n", time.Since(start), rows)
 	}
 	return nil
 }
 
-func interactive(db *engine.DB, session *engine.Session, in *interrupts, timing bool) {
+func interactive(db *engine.DB, session *engine.Session, in *interrupts, state *shellState) {
 	fmt.Println("lambdadb shell — SQL with ITERATE, KMEANS, PAGERANK, NAIVE_BAYES_* and λ-expressions")
 	fmt.Println(`type \q to quit, \d to list tables, \explain <select> for plans,`)
+	fmt.Println(`\timing to toggle timing, \stats for the last statement's operator stats,`)
 	fmt.Println(`\save <path> to snapshot the database; end statements with ;`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -151,7 +166,7 @@ func interactive(db *engine.DB, session *engine.Session, in *interrupts, timing 
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !metaCommand(db, session, trimmed) {
+			if !metaCommand(db, session, trimmed, state) {
 				return
 			}
 			prompt()
@@ -162,7 +177,7 @@ func interactive(db *engine.DB, session *engine.Session, in *interrupts, timing 
 		if strings.HasSuffix(trimmed, ";") {
 			text := buf.String()
 			buf.Reset()
-			if err := runText(in, session, text, timing); err != nil {
+			if err := runText(in, session, text, state); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}
@@ -171,10 +186,24 @@ func interactive(db *engine.DB, session *engine.Session, in *interrupts, timing 
 }
 
 // metaCommand handles backslash commands; it returns false to quit.
-func metaCommand(db *engine.DB, session *engine.Session, cmd string) bool {
+func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shellState) bool {
 	switch {
 	case cmd == `\q` || cmd == `\quit`:
 		return false
+	case cmd == `\timing`:
+		state.timing = !state.timing
+		if state.timing {
+			fmt.Println("timing on")
+		} else {
+			fmt.Println("timing off")
+		}
+	case cmd == `\stats`:
+		if st := session.LastStats(); st != nil {
+			fmt.Print(exec.FormatStatsTree(st))
+			fmt.Printf("peak memory: %s\n", exec.FormatBytes(session.LastPeakBytes()))
+		} else {
+			fmt.Println("no statement executed yet")
+		}
 	case cmd == `\d`:
 		names := db.Store().TableNames()
 		sort.Strings(names)

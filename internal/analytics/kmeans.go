@@ -39,6 +39,9 @@ type KMeansOptions struct {
 	// Distance is the metric; nil means squared Euclidean (the default
 	// lambda of the paper's Section 7).
 	Distance DistanceFn
+	// OnIteration, if set, is called after every iteration with the 1-based
+	// round number and how many assignments changed (telemetry hook).
+	OnIteration func(round, changed int)
 }
 
 // KMeans runs Lloyd's algorithm (paper Section 6.1) on n tuples of d
@@ -80,6 +83,9 @@ func KMeans(data []float64, n, d int, centers []float64, k int, opt KMeansOption
 		res.Iterations = iter + 1
 		changed := assignStep(data, n, d, cur, k, opt.Distance, assign, workers)
 		updateStep(data, n, d, cur, k, assign, workers)
+		if opt.OnIteration != nil {
+			opt.OnIteration(iter+1, changed)
+		}
 		if changed == 0 {
 			res.Converged = true
 			break

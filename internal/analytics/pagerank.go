@@ -19,6 +19,9 @@ type PageRankOptions struct {
 	MaxIter int
 	// Workers is the parallelism degree; 0 or 1 means serial.
 	Workers int
+	// OnIteration, if set, is called after every iteration with the 1-based
+	// round number and the L1 rank change (telemetry hook).
+	OnIteration func(round int, delta float64)
 }
 
 // PageRankResult reports ranks by dense vertex id plus run metadata.
@@ -151,6 +154,9 @@ func PageRank(g *graph.CSR, opt PageRankOptions) (*PageRankResult, error) {
 		var total float64
 		for _, d := range diffs {
 			total += d
+		}
+		if opt.OnIteration != nil {
+			opt.OnIteration(iter+1, total)
 		}
 		if opt.Epsilon > 0 && total <= opt.Epsilon {
 			res.Converged = true

@@ -10,6 +10,7 @@ import (
 	"lambdadb/internal/contender/singlecore"
 	"lambdadb/internal/contender/udf"
 	"lambdadb/internal/engine"
+	"lambdadb/internal/exec"
 	"lambdadb/internal/types"
 	"lambdadb/internal/workload"
 )
@@ -124,15 +125,25 @@ func loadCentersTable(db *engine.DB, table string, centers []float64, k, d int) 
 	return tx.Commit()
 }
 
-// timeQuery runs a SQL query and returns its wall time.
-func timeQuery(db *engine.DB, q string) (time.Duration, error) {
+// timeQuery runs a SQL query with per-operator telemetry armed, returning
+// its wall time and the rendered stats tree.
+func timeQuery(db *engine.DB, q string) (time.Duration, string, error) {
+	s := db.NewSession()
+	defer s.Close()
+	s.CollectStats(true)
 	start := time.Now()
-	_, err := db.Query(q)
-	return time.Since(start), err
+	_, err := s.Exec(q)
+	d := time.Since(start)
+	stats := ""
+	if st := s.LastStats(); st != nil {
+		stats = exec.FormatStatsTree(st)
+	}
+	return d, stats, err
 }
 
-// Run measures one system on the dataset, returning wall time.
-func (ds *KMeansDataset) Run(system string) (time.Duration, error) {
+// Run measures one system on the dataset, returning wall time and — for
+// the engine-backed systems — the per-operator stats tree.
+func (ds *KMeansDataset) Run(system string) (time.Duration, string, error) {
 	cfg := ds.Cfg
 	switch system {
 	case SysOperator:
@@ -148,13 +159,13 @@ func (ds *KMeansDataset) Run(system string) (time.Duration, error) {
 	case SysUDF:
 		return timeEngineKMeans(udf.New(runtime.GOMAXPROCS(0)), ds)
 	}
-	return 0, fmt.Errorf("unknown system %q", system)
+	return 0, "", fmt.Errorf("unknown system %q", system)
 }
 
-func timeEngineKMeans(e contender.Engine, ds *KMeansDataset) (time.Duration, error) {
+func timeEngineKMeans(e contender.Engine, ds *KMeansDataset) (time.Duration, string, error) {
 	start := time.Now()
 	_ = e.KMeans(ds.Data, ds.Cfg.N, ds.Cfg.D, ds.Centers, ds.Cfg.K, ds.Cfg.Iters)
-	return time.Since(start), nil
+	return time.Since(start), "", nil
 }
 
 // PageRankConfig parameterizes one PageRank experiment cell.
@@ -190,7 +201,7 @@ func PreparePageRank(cfg PageRankConfig) (*PageRankDataset, error) {
 }
 
 // Run measures one system on the graph.
-func (ds *PageRankDataset) Run(system string) (time.Duration, error) {
+func (ds *PageRankDataset) Run(system string) (time.Duration, string, error) {
 	cfg := ds.Cfg
 	switch system {
 	case SysOperator:
@@ -206,13 +217,13 @@ func (ds *PageRankDataset) Run(system string) (time.Duration, error) {
 	case SysUDF:
 		return timeEnginePR(udf.New(runtime.GOMAXPROCS(0)), ds)
 	}
-	return 0, fmt.Errorf("unknown system %q", system)
+	return 0, "", fmt.Errorf("unknown system %q", system)
 }
 
-func timeEnginePR(e contender.Engine, ds *PageRankDataset) (time.Duration, error) {
+func timeEnginePR(e contender.Engine, ds *PageRankDataset) (time.Duration, string, error) {
 	start := time.Now()
 	_ = e.PageRank(ds.Graph.Src, ds.Graph.Dst, ds.Cfg.Damping, ds.Cfg.Iters)
-	return time.Since(start), nil
+	return time.Since(start), "", nil
 }
 
 // NBConfig parameterizes one Naive Bayes training cell.
@@ -246,7 +257,7 @@ func PrepareNB(cfg NBConfig) (*NBDataset, error) {
 
 // Run measures one system. The iterate variant equals the SQL variant for
 // Naive Bayes (no iteration), matching the paper's Figure 5.
-func (ds *NBDataset) Run(system string) (time.Duration, error) {
+func (ds *NBDataset) Run(system string) (time.Duration, string, error) {
 	cfg := ds.Cfg
 	switch system {
 	case SysOperator:
@@ -260,11 +271,11 @@ func (ds *NBDataset) Run(system string) (time.Duration, error) {
 	case SysUDF:
 		return timeEngineNB(udf.New(runtime.GOMAXPROCS(0)), ds)
 	}
-	return 0, fmt.Errorf("unknown system %q", system)
+	return 0, "", fmt.Errorf("unknown system %q", system)
 }
 
-func timeEngineNB(e contender.Engine, ds *NBDataset) (time.Duration, error) {
+func timeEngineNB(e contender.Engine, ds *NBDataset) (time.Duration, string, error) {
 	start := time.Now()
 	_ = e.NBTrain(ds.Data, ds.Cfg.N, ds.Cfg.D, ds.Labels)
-	return time.Since(start), nil
+	return time.Since(start), "", nil
 }

@@ -157,7 +157,7 @@ func TestRunAllSystemsSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, sys := range AllSystems {
-		if _, err := km.Run(sys); err != nil {
+		if _, _, err := km.Run(sys); err != nil {
 			t.Errorf("kmeans %s: %v", sys, err)
 		}
 	}
@@ -166,7 +166,7 @@ func TestRunAllSystemsSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, sys := range AllSystems {
-		if _, err := pr.Run(sys); err != nil {
+		if _, _, err := pr.Run(sys); err != nil {
 			t.Errorf("pagerank %s: %v", sys, err)
 		}
 	}
@@ -175,7 +175,7 @@ func TestRunAllSystemsSmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, sys := range AllSystems {
-		if _, err := nb.Run(sys); err != nil {
+		if _, _, err := nb.Run(sys); err != nil {
 			t.Errorf("nb %s: %v", sys, err)
 		}
 	}

@@ -41,20 +41,23 @@ func (s Scale) systems() []string {
 	return AllSystems
 }
 
-// Row is one measured line of an experiment table.
+// Row is one measured line of an experiment table. Stats holds the
+// per-operator stats tree of engine-backed systems, keyed like Seconds
+// (present only in JSON reports; the fixed-width tables omit it).
 type Row struct {
-	Label   string
-	Seconds map[string]float64
+	Label   string             `json:"label"`
+	Seconds map[string]float64 `json:"seconds"`
+	Stats   map[string]string  `json:"stats,omitempty"`
 }
 
 // Table is the output of one experiment: the paper artifact it reproduces
 // plus measured rows.
 type Table struct {
-	ID      string // e.g. "fig4-tuples"
-	Title   string
-	Param   string // the swept parameter's column header
-	Systems []string
-	Rows    []Row
+	ID      string   `json:"id"` // e.g. "fig4-tuples"
+	Title   string   `json:"title"`
+	Param   string   `json:"param"` // the swept parameter's column header
+	Systems []string `json:"systems"`
+	Rows    []Row    `json:"rows"`
 }
 
 // Print renders the table in the fixed-width layout EXPERIMENTS.md embeds.
@@ -112,22 +115,23 @@ var sweepClusters = []int{3, 5, 10, 25, 50}
 
 // measure times one run; fast runs (<1s) are re-measured once and the
 // minimum is kept, so cold-start costs (first-touch page faults, parse
-// caches) do not distort sub-second measurements.
-func measure(run func() (time.Duration, error)) (float64, error) {
-	d1, err := run()
+// caches) do not distort sub-second measurements. The stats tree of the
+// kept run is returned alongside.
+func measure(run func() (time.Duration, string, error)) (float64, string, error) {
+	d1, stats, err := run()
 	if err != nil {
-		return 0, err
+		return 0, "", err
 	}
 	if d1 < time.Second {
-		d2, err := run()
+		d2, stats2, err := run()
 		if err != nil {
-			return 0, err
+			return 0, "", err
 		}
 		if d2 < d1 {
-			d1 = d2
+			d1, stats = d2, stats2
 		}
 	}
-	return d1.Seconds(), nil
+	return d1.Seconds(), stats, nil
 }
 
 // Fig4Tuples reproduces Figure 4 (left): k-Means runtime vs tuple count
@@ -191,16 +195,28 @@ func runKMeansCell(cfg KMeansConfig, scale Scale, label string, progress io.Writ
 	}
 	row := Row{Label: label, Seconds: map[string]float64{}}
 	for _, sys := range scale.systems() {
-		sec, err := measure(func() (time.Duration, error) { return ds.Run(sys) })
+		sec, stats, err := measure(func() (time.Duration, string, error) { return ds.Run(sys) })
 		if err != nil {
 			return Row{}, fmt.Errorf("kmeans %s (n=%d d=%d k=%d): %w", sys, cfg.N, cfg.D, cfg.K, err)
 		}
 		row.Seconds[sys] = sec
+		row.addStats(sys, stats)
 		if progress != nil {
 			fmt.Fprintf(progress, "  kmeans %-12s %-20s %8.3fs\n", label, sys, sec)
 		}
 	}
 	return row, nil
+}
+
+// addStats records a system's stats tree on the row (no-op when empty).
+func (r *Row) addStats(sys, stats string) {
+	if stats == "" {
+		return
+	}
+	if r.Stats == nil {
+		r.Stats = map[string]string{}
+	}
+	r.Stats[sys] = stats
 }
 
 // Fig5PageRank reproduces Figure 5 (left): PageRank on the LDBC-like
@@ -223,11 +239,12 @@ func Fig5PageRank(scale Scale, progress io.Writer) (*Table, error) {
 		label := fmt.Sprintf("%dv/%de", sc.Vertices, sc.DirectedEdges)
 		row := Row{Label: label, Seconds: map[string]float64{}}
 		for _, sys := range scale.systems() {
-			sec, err := measure(func() (time.Duration, error) { return ds.Run(sys) })
+			sec, stats, err := measure(func() (time.Duration, string, error) { return ds.Run(sys) })
 			if err != nil {
 				return nil, fmt.Errorf("pagerank %s (%s): %w", sys, sc.Name, err)
 			}
 			row.Seconds[sys] = sec
+			row.addStats(sys, stats)
 			if progress != nil {
 				fmt.Fprintf(progress, "  pagerank %-14s %-20s %8.3fs\n", label, sys, sec)
 			}
@@ -245,11 +262,12 @@ func Fig5PageRank(scale Scale, progress io.Writer) (*Table, error) {
 		row := Row{Label: fmt.Sprintf("%dv/%de", cfg.Vertices, cfg.DirectedEdges),
 			Seconds: map[string]float64{}}
 		for _, sys := range scale.systems() {
-			d, err := ds.Run(sys)
+			d, stats, err := ds.Run(sys)
 			if err != nil {
 				return nil, err
 			}
 			row.Seconds[sys] = d.Seconds()
+			row.addStats(sys, stats)
 		}
 		t.Rows = append(t.Rows, row)
 	}
@@ -298,11 +316,12 @@ func runNBCell(cfg NBConfig, scale Scale, label string, progress io.Writer) (Row
 	}
 	row := Row{Label: label, Seconds: map[string]float64{}}
 	for _, sys := range scale.systems() {
-		sec, err := measure(func() (time.Duration, error) { return ds.Run(sys) })
+		sec, stats, err := measure(func() (time.Duration, string, error) { return ds.Run(sys) })
 		if err != nil {
 			return Row{}, fmt.Errorf("nb %s (n=%d d=%d): %w", sys, cfg.N, cfg.D, err)
 		}
 		row.Seconds[sys] = sec
+		row.addStats(sys, stats)
 		if progress != nil {
 			fmt.Fprintf(progress, "  nb %-12s %-20s %8.3fs\n", label, sys, sec)
 		}
@@ -343,13 +362,15 @@ func IterateVsCTE(n, iters int, progress io.Writer) (*Table, error) {
 		{"iterate", iterQ, float64(2 * n)},                // current + next working table
 		{"recursive-cte", cteQ, float64(n * (iters + 1))}, // full accumulation
 	} {
-		start := time.Now()
-		if _, err := db.Query(v.q); err != nil {
+		d, stats, err := timeQuery(db, v.q)
+		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
-		sec := time.Since(start).Seconds()
-		t.Rows = append(t.Rows, Row{Label: v.name,
-			Seconds: map[string]float64{"seconds": sec, "peak_tuples": v.tuple}})
+		sec := d.Seconds()
+		row := Row{Label: v.name,
+			Seconds: map[string]float64{"seconds": sec, "peak_tuples": v.tuple}}
+		row.addStats("seconds", stats)
+		t.Rows = append(t.Rows, row)
 		if progress != nil {
 			fmt.Fprintf(progress, "  %-14s %8.3fs (peak %v tuples)\n", v.name, sec, v.tuple)
 		}
@@ -440,12 +461,14 @@ func LambdaVariants(n, d, k, iters int, progress io.Writer) (*Table, error) {
 		{"lambda-weighted", kmeansLambdaQuery(d, iters, weightedLambda(d))},
 	}
 	for _, v := range variants {
-		start := time.Now()
-		if _, err := ds.DB.Query(v.q); err != nil {
+		d, stats, err := timeQuery(ds.DB, v.q)
+		if err != nil {
 			return nil, fmt.Errorf("%s: %w", v.name, err)
 		}
-		sec := time.Since(start).Seconds()
-		t.Rows = append(t.Rows, Row{Label: v.name, Seconds: map[string]float64{"seconds": sec}})
+		sec := d.Seconds()
+		row := Row{Label: v.name, Seconds: map[string]float64{"seconds": sec}}
+		row.addStats("seconds", stats)
+		t.Rows = append(t.Rows, row)
 		if progress != nil {
 			fmt.Fprintf(progress, "  %-16s %8.3fs\n", v.name, sec)
 		}

@@ -1,11 +1,10 @@
 package engine
 
 import (
+	"context"
 	"fmt"
 
-	"lambdadb/internal/exec"
 	"lambdadb/internal/expr"
-	"lambdadb/internal/plan"
 	"lambdadb/internal/sql"
 	"lambdadb/internal/storage"
 	"lambdadb/internal/types"
@@ -28,7 +27,7 @@ func coerce(v types.Value, to types.Type) (types.Value, error) {
 	return types.Value{}, fmt.Errorf("cannot store %s value in %s column", v.T, to)
 }
 
-func (s *Session) execInsert(n *sql.Insert) (*Result, error) {
+func (s *Session) execInsert(ctx context.Context, n *sql.Insert) (*Result, error) {
 	tbl, err := s.db.store.Table(n.Table)
 	if err != nil {
 		return nil, err
@@ -92,14 +91,13 @@ func (s *Session) execInsert(n *sql.Insert) (*Result, error) {
 			}
 		}
 	case n.Query != nil:
-		b := plan.NewBuilder(s.db.store, s.snapshot())
-		node, err := b.BuildSelect(n.Query)
+		node, err := s.newBuilder().BuildSelect(n.Query)
 		if err != nil {
 			return nil, err
 		}
-		ctx := exec.NewContext()
-		ctx.Workers = s.db.workers
-		mat, err := exec.Run(node, ctx)
+		// runPlan applies the session timeout, memory limit, and telemetry,
+		// so an INSERT ... SELECT is governed like any SELECT.
+		mat, err := s.runPlan(ctx, node)
 		if err != nil {
 			return nil, err
 		}

@@ -6,9 +6,11 @@ package engine
 import (
 	"context"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"lambdadb/internal/exec"
@@ -17,6 +19,7 @@ import (
 	"lambdadb/internal/plan"
 	"lambdadb/internal/sql"
 	"lambdadb/internal/storage"
+	"lambdadb/internal/telemetry"
 	"lambdadb/internal/types"
 )
 
@@ -27,6 +30,12 @@ type DB struct {
 	memLimit    int64
 	stmtTimeout time.Duration
 	iterLimit   int
+
+	queryLog      *telemetry.QueryLog
+	metrics       *telemetry.Metrics
+	slowThreshold time.Duration
+	slowSink      io.Writer
+	slowMu        sync.Mutex // serializes slow-log writes
 }
 
 // Option configures a DB.
@@ -63,14 +72,40 @@ func WithIterationLimit(n int) Option {
 	return func(db *DB) { db.iterLimit = n }
 }
 
+// WithSlowQueryThreshold appends every statement that runs for at least d
+// to sink as one JSON line including its compact per-operator stats tree.
+// Setting a threshold arms statement telemetry for all statements (a few
+// percent overhead); d <= 0 or a nil sink disables the log.
+func WithSlowQueryThreshold(d time.Duration, sink io.Writer) Option {
+	return func(db *DB) {
+		if d > 0 && sink != nil {
+			db.slowThreshold = d
+			db.slowSink = sink
+		}
+	}
+}
+
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
-	db := &DB{store: storage.NewStore(), workers: runtime.GOMAXPROCS(0)}
+	db := &DB{
+		store:    storage.NewStore(),
+		workers:  runtime.GOMAXPROCS(0),
+		queryLog: telemetry.NewQueryLog(0),
+		metrics:  &telemetry.Metrics{},
+	}
 	for _, o := range opts {
 		o(db)
 	}
 	return db
 }
+
+// Metrics exposes the engine-wide cumulative counters (also queryable as
+// the virtual table system.metrics).
+func (db *DB) Metrics() *telemetry.Metrics { return db.metrics }
+
+// QueryLog returns the recent-statement log, oldest first (also queryable
+// as the virtual table system.query_log).
+func (db *DB) QueryLog() []telemetry.QueryLogEntry { return db.queryLog.Snapshot() }
 
 // Store exposes the underlying storage (tools and benchmarks use it for
 // bulk loading).
@@ -184,7 +219,7 @@ func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
 	}
 	s := db.NewSession()
 	defer s.Close()
-	return s.execSelect(ctx, sel)
+	return s.execLogged(ctx, strings.TrimSpace(text), sel)
 }
 
 // MustExec is Exec that panics on error (tests, examples).
@@ -203,7 +238,26 @@ func (db *DB) MustExec(text string) *Result {
 type Session struct {
 	db  *DB
 	txn *storage.Txn
+
+	collect   bool          // arm per-operator stats for every statement
+	lastStats *exec.OpStats // stats tree of the last armed statement
+	lastPeak  int64         // peak accounted bytes of the last armed statement
 }
+
+// CollectStats arms (or disarms) per-operator statistics collection for
+// every subsequent statement in this session; LastStats returns the tree.
+func (s *Session) CollectStats(on bool) { s.collect = on }
+
+// LastStats returns the per-operator stats tree of the most recent
+// statement executed with stats armed, or nil.
+func (s *Session) LastStats() *exec.OpStats { return s.lastStats }
+
+// LastPeakBytes returns the peak accounted memory of the most recent
+// statement executed with stats armed.
+func (s *Session) LastPeakBytes() int64 { return s.lastPeak }
+
+// statsArmed reports whether statement telemetry should be collected.
+func (s *Session) statsArmed() bool { return s.collect || s.db.slowSink != nil }
 
 // NewSession opens a session.
 func (db *DB) NewSession() *Session { return &Session{db: db} }
@@ -234,12 +288,22 @@ func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error)
 	if len(stmts) == 0 {
 		return &Result{}, nil
 	}
+	// Recover each statement's original text for the query log; fall back
+	// to the whole script if the split disagrees with the parse.
+	texts, err := sql.SplitStatements(text)
+	if err != nil || len(texts) != len(stmts) {
+		texts = nil
+	}
 	var last *Result
-	for _, st := range stmts {
+	for i, st := range stmts {
 		if err := ctx.Err(); err != nil {
 			return nil, err
 		}
-		r, err := s.execStatement(ctx, st)
+		stmtText := strings.TrimSpace(text)
+		if texts != nil {
+			stmtText = texts[i]
+		}
+		r, err := s.execLogged(ctx, stmtText, st)
 		if err != nil {
 			return nil, err
 		}
@@ -255,7 +319,7 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 	case *sql.DropTable:
 		return s.execDrop(n)
 	case *sql.Insert:
-		return s.execInsert(n)
+		return s.execInsert(ctx, n)
 	case *sql.Update:
 		return s.execUpdate(n)
 	case *sql.Delete:
@@ -285,16 +349,7 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 	case *sql.Copy:
 		return s.execCopy(n)
 	case *sql.Explain:
-		b := s.newBuilder()
-		node, err := b.BuildSelect(n.Query)
-		if err != nil {
-			return nil, err
-		}
-		res := &Result{Columns: []string{"plan"}}
-		for _, line := range strings.Split(strings.TrimRight(plan.ExplainTree(node), "\n"), "\n") {
-			res.Rows = append(res.Rows, []types.Value{types.NewString(line)})
-		}
-		return res, nil
+		return s.execExplain(ctx, n)
 	}
 	return nil, fmt.Errorf("unsupported statement %T", st)
 }
@@ -357,21 +412,21 @@ func (s *Session) execDrop(n *sql.DropTable) (*Result, error) {
 	return &Result{}, err
 }
 
-// newBuilder returns a plan builder configured with the session snapshot
-// and the DB's iteration limit.
+// newBuilder returns a plan builder configured with the session snapshot,
+// the DB's iteration limit, and the system virtual tables.
 func (s *Session) newBuilder() *plan.Builder {
-	b := plan.NewBuilder(s.db.store, s.snapshot())
+	b := plan.NewBuilder(systemCatalog{db: s.db}, s.snapshot())
 	if s.db.iterLimit > 0 {
 		b.MaxDepth = s.db.iterLimit
 	}
 	return b
 }
 
-func (s *Session) execSelect(ctx context.Context, sel *sql.Select) (*Result, error) {
-	node, err := s.newBuilder().BuildSelect(sel)
-	if err != nil {
-		return nil, err
-	}
+// runPlan executes a built plan under the session's execution settings
+// (workers, memory limit, statement timeout). When telemetry is armed it
+// records the per-operator stats tree and peak memory on the session —
+// including for failed statements, so cancelled work is observable too.
+func (s *Session) runPlan(ctx context.Context, node plan.Node) (*exec.Materialized, error) {
 	if s.db.stmtTimeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, s.db.stmtTimeout)
@@ -381,26 +436,43 @@ func (s *Session) execSelect(ctx context.Context, sel *sql.Select) (*Result, err
 	ectx.Workers = s.db.workers
 	ectx.AttachContext(ctx)
 	ectx.SetMemoryLimit(s.db.memLimit)
+	var sc *exec.StatsCollector
+	if s.statsArmed() {
+		sc = ectx.EnableStats()
+	}
 	mat, err := exec.Run(node, ectx)
+	if sc != nil {
+		s.lastStats = sc.Tree(node)
+		s.lastPeak = ectx.PeakBytes()
+	}
+	return mat, err
+}
+
+func (s *Session) execSelect(ctx context.Context, sel *sql.Select) (*Result, error) {
+	node, err := s.newBuilder().BuildSelect(sel)
+	if err != nil {
+		return nil, err
+	}
+	mat, err := s.runPlan(ctx, node)
 	if err != nil {
 		return nil, err
 	}
 	return &Result{Columns: mat.Schema.Names(), Rows: mat.Rows()}, nil
 }
 
-// Explain returns the optimized logical plan of a SELECT as text.
+// Explain returns the plan of a SELECT or DML statement as text without
+// executing it.
 func (s *Session) Explain(text string) (string, error) {
 	st, err := sql.ParseOne(text)
 	if err != nil {
 		return "", err
 	}
-	sel, ok := st.(*sql.Select)
-	if !ok {
-		return "", fmt.Errorf("EXPLAIN supports SELECT only")
+	if ex, ok := st.(*sql.Explain); ok {
+		st = ex.Stmt
 	}
-	node, err := s.newBuilder().BuildSelect(sel)
+	lines, err := s.explainLines(st)
 	if err != nil {
 		return "", err
 	}
-	return plan.ExplainTree(node), nil
+	return strings.Join(lines, "\n") + "\n", nil
 }

@@ -1,0 +1,81 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"time"
+
+	"lambdadb/internal/exec"
+	"lambdadb/internal/sql"
+	"lambdadb/internal/telemetry"
+)
+
+// execLogged runs one statement and folds its outcome into the engine
+// telemetry: cumulative counters (system.metrics), the recent-statement
+// ring (system.query_log), and — when the statement ran at least the
+// configured threshold — the slow-query log.
+func (s *Session) execLogged(ctx context.Context, text string, st sql.Statement) (*Result, error) {
+	s.lastStats, s.lastPeak = nil, 0
+	start := time.Now()
+	res, err := s.execStatement(ctx, st)
+	dur := time.Since(start)
+
+	status := telemetry.StatusOf(err)
+	var returned, affected int64
+	if res != nil {
+		returned = int64(len(res.Rows))
+		affected = int64(res.Affected)
+	}
+	errText := ""
+	if err != nil {
+		errText = err.Error()
+	}
+	db := s.db
+	db.metrics.RecordStatement(status, returned, affected, dur, s.lastPeak)
+	db.queryLog.Add(telemetry.QueryLogEntry{
+		Started:   start,
+		Statement: text,
+		Duration:  dur,
+		Rows:      returned + affected,
+		PeakBytes: s.lastPeak,
+		Status:    status,
+		Err:       errText,
+	})
+	if db.slowSink != nil && dur >= db.slowThreshold {
+		db.metrics.SlowQueries.Add(1)
+		s.emitSlowQuery(text, dur, returned+affected, status)
+	}
+	return res, err
+}
+
+// slowQueryRecord is one slow-log line. Stats is the per-operator tree of
+// the statement (nil for statements with no plan-driven execution, e.g.
+// VALUES inserts).
+type slowQueryRecord struct {
+	TS         string        `json:"ts"`
+	Statement  string        `json:"statement"`
+	DurationMS float64       `json:"duration_ms"`
+	Rows       int64         `json:"rows"`
+	Status     string        `json:"status"`
+	PeakBytes  int64         `json:"peak_bytes"`
+	Stats      *exec.OpStats `json:"stats,omitempty"`
+}
+
+func (s *Session) emitSlowQuery(text string, dur time.Duration, rows int64, status string) {
+	rec := slowQueryRecord{
+		TS:         time.Now().UTC().Format(time.RFC3339Nano),
+		Statement:  text,
+		DurationMS: float64(dur.Nanoseconds()) / 1e6,
+		Rows:       rows,
+		Status:     status,
+		PeakBytes:  s.lastPeak,
+		Stats:      s.lastStats,
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		return
+	}
+	s.db.slowMu.Lock()
+	defer s.db.slowMu.Unlock()
+	s.db.slowSink.Write(append(b, '\n'))
+}

@@ -1,0 +1,106 @@
+package engine
+
+import (
+	"time"
+
+	"lambdadb/internal/catalog"
+	"lambdadb/internal/types"
+)
+
+// systemCatalog decorates the store's catalog with the virtual tables
+// system.query_log and system.metrics. Virtual tables materialize their
+// rows at resolve time (plan build), so a statement never observes its own
+// log entry and scans are stable for the statement's lifetime.
+type systemCatalog struct {
+	db *DB
+}
+
+func (c systemCatalog) Resolve(name string) (catalog.Relation, error) {
+	switch name {
+	case "system.query_log":
+		return c.queryLogRelation(), nil
+	case "system.metrics":
+		return c.metricsRelation(), nil
+	}
+	return c.db.store.Resolve(name)
+}
+
+func (c systemCatalog) queryLogRelation() *memRelation {
+	schema := types.Schema{
+		{Name: "id", Type: types.Int64},
+		{Name: "started", Type: types.String},
+		{Name: "statement", Type: types.String},
+		{Name: "duration_ms", Type: types.Float64},
+		{Name: "rows", Type: types.Int64},
+		{Name: "peak_bytes", Type: types.Int64},
+		{Name: "status", Type: types.String},
+		{Name: "error", Type: types.String},
+	}
+	b := types.NewBatch(schema)
+	for _, e := range c.db.queryLog.Snapshot() {
+		b.AppendRow([]types.Value{
+			types.NewInt(e.ID),
+			types.NewString(e.Started.UTC().Format(time.RFC3339Nano)),
+			types.NewString(e.Statement),
+			types.NewFloat(float64(e.Duration.Nanoseconds()) / 1e6),
+			types.NewInt(e.Rows),
+			types.NewInt(e.PeakBytes),
+			types.NewString(e.Status),
+			types.NewString(e.Err),
+		})
+	}
+	return newMemRelation("system.query_log", schema, b)
+}
+
+func (c systemCatalog) metricsRelation() *memRelation {
+	schema := types.Schema{
+		{Name: "name", Type: types.String},
+		{Name: "value", Type: types.Int64},
+	}
+	b := types.NewBatch(schema)
+	for _, m := range c.db.metrics.Snapshot() {
+		b.AppendRow([]types.Value{types.NewString(m.Name), types.NewInt(m.Value)})
+	}
+	return newMemRelation("system.metrics", schema, b)
+}
+
+// memRelation is an immutable in-memory relation backing a virtual table.
+type memRelation struct {
+	name   string
+	schema types.Schema
+	batch  *types.Batch
+}
+
+func newMemRelation(name string, schema types.Schema, batch *types.Batch) *memRelation {
+	return &memRelation{name: name, schema: schema, batch: batch}
+}
+
+func (r *memRelation) Name() string         { return r.name }
+func (r *memRelation) Schema() types.Schema { return r.schema }
+func (r *memRelation) NumRows(_ uint64) int { return r.batch.Len() }
+func (r *memRelation) PhysicalRows() int    { return r.batch.Len() }
+
+func (r *memRelation) Scan(_ uint64, yield func(*types.Batch) error) error {
+	if r.batch.Len() == 0 {
+		return nil
+	}
+	return yield(r.batch)
+}
+
+func (r *memRelation) ScanRange(_ uint64, lo, hi int, yield func(*types.Batch) error) error {
+	n := r.batch.Len()
+	if hi < 0 || hi > n {
+		hi = n
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	if lo >= hi {
+		return nil
+	}
+	b := r.batch
+	if lo != 0 || hi != n {
+		b = b.Slice(lo, hi)
+	}
+	return yield(b)
+}

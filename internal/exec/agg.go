@@ -217,7 +217,7 @@ func (a *aggOp) Open(ctx *Context) error {
 }
 
 func (a *aggOp) aggregateSerial(ctx *Context, child plan.Node) (*aggHash, error) {
-	op, err := Build(child)
+	op, err := buildFor(child, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -227,7 +227,7 @@ func (a *aggOp) aggregateSerial(ctx *Context, child plan.Node) (*aggHash, error)
 func (a *aggOp) aggregateParallel(ctx *Context, parts []plan.Node) (*aggHash, error) {
 	results := make([]*aggHash, len(parts))
 	err := runParts(ctx, len(parts), func(i int) error {
-		op, err := Build(parts[i])
+		op, err := buildFor(parts[i], ctx)
 		if err != nil {
 			return err
 		}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"lambdadb/internal/analytics"
 	"lambdadb/internal/expr"
@@ -57,7 +58,7 @@ func drainFloatMatrix(p plan.Node, ctx *Context) (*floatMatrix, error) {
 }
 
 func drainFloatsSerial(p plan.Node, ctx *Context, d int) ([]float64, int, error) {
-	op, err := Build(p)
+	op, err := buildFor(p, ctx)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -131,8 +132,21 @@ func (k *kmeansOp) Open(ctx *Context) error {
 	if data.n == 0 {
 		return fmt.Errorf("kmeans: empty data input")
 	}
-	res, err := analytics.KMeans(data.data, data.n, data.d, centers.data, centers.n,
-		analytics.KMeansOptions{MaxIter: k.node.MaxIter, Workers: ctx.Workers, Distance: k.dist})
+	opts := analytics.KMeansOptions{MaxIter: k.node.MaxIter, Workers: ctx.Workers, Distance: k.dist}
+	if sc := ctx.statsCollector(); sc != nil {
+		last := time.Now()
+		opts.OnIteration = func(round, changed int) {
+			now := time.Now()
+			sc.AddIteration(k.node, IterationStat{
+				Round: round,
+				Rows:  int64(changed),
+				Delta: float64(changed),
+				Nanos: now.Sub(last).Nanoseconds(),
+			})
+			last = now
+		}
+	}
+	res, err := analytics.KMeans(data.data, data.n, data.d, centers.data, centers.n, opts)
 	if err != nil {
 		return err
 	}
@@ -255,12 +269,27 @@ func (p *pageRankOp) Open(ctx *Context) error {
 	if err != nil {
 		return err
 	}
-	res, err := analytics.PageRank(g, analytics.PageRankOptions{
+	opts := analytics.PageRankOptions{
 		Damping: p.node.Damping,
 		Epsilon: p.node.Epsilon,
 		MaxIter: p.node.MaxIter,
 		Workers: ctx.Workers,
-	})
+	}
+	if sc := ctx.statsCollector(); sc != nil {
+		nRanks := int64(g.N)
+		last := time.Now()
+		opts.OnIteration = func(round int, delta float64) {
+			now := time.Now()
+			sc.AddIteration(p.node, IterationStat{
+				Round: round,
+				Rows:  nRanks,
+				Delta: delta,
+				Nanos: now.Sub(last).Nanoseconds(),
+			})
+			last = now
+		}
+	}
+	res, err := analytics.PageRank(g, opts)
 	if err != nil {
 		return err
 	}
@@ -287,7 +316,7 @@ func (p *pageRankOp) Close() error                { return nil }
 // function, each edge tuple (as floats) is passed through it to produce
 // per-edge weights.
 func drainEdges(p plan.Node, ctx *Context, weight expr.FloatFn) (src, dst []int64, weights []float64, err error) {
-	op, err := Build(p)
+	op, err := buildFor(p, ctx)
 	if err != nil {
 		return nil, nil, nil, err
 	}

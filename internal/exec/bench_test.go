@@ -9,7 +9,7 @@ import (
 )
 
 // buildFilterAggPlan is σ(v > 0.5) → Γ(sum(v)) over the benchmark table.
-func buildFilterAggPlan(b *testing.B, rows int) plan.Node {
+func buildFilterAggPlan(b testing.TB, rows int) plan.Node {
 	s, tbl := bigTable(b, rows, 1000)
 	pred := &expr.BinOp{Op: expr.OpGt, Typ: types.Bool,
 		L: colRef("v", 1, types.Float64),

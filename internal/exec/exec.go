@@ -33,6 +33,10 @@ type Context struct {
 	goCtx context.Context
 	// mem is the per-query memory accountant; nil means unlimited.
 	mem *memAccountant
+	// stats is the per-query telemetry collector; nil means disarmed (the
+	// default), in which case buildWith constructs the exact seed operator
+	// tree with no wrappers.
+	stats *StatsCollector
 
 	// epoch counts iteration rounds of the innermost running ITERATE /
 	// recursive CTE; epoch-scoped Shared subplans are recomputed when it
@@ -69,6 +73,29 @@ func (c *Context) doneCh() <-chan struct{} {
 // materializations. The iterate and recursive-CTE operators call it once
 // per iteration.
 func (c *Context) BumpEpoch() { c.epoch++ }
+
+// EnableStats arms per-operator telemetry for this query and returns the
+// collector. It also ensures a memory accountant exists (with an effectively
+// unlimited budget when none was configured) so PeakBytes reports the
+// query's materialization high-water mark.
+func (c *Context) EnableStats() *StatsCollector {
+	if c.stats == nil {
+		c.stats = newStatsCollector()
+	}
+	if c.mem == nil {
+		c.mem = &memAccountant{limit: int64(^uint64(0) >> 1)}
+	}
+	return c.stats
+}
+
+// statsCollector returns the query's collector, nil when telemetry is
+// disarmed. Nil-safe so plan-splitting helpers can call it with no context.
+func (c *Context) statsCollector() *StatsCollector {
+	if c == nil {
+		return nil
+	}
+	return c.stats
+}
 
 // NewContext returns a Context with default parallelism.
 func NewContext() *Context {
@@ -179,61 +206,84 @@ func (m *Materialized) Scan(yield func(*types.Batch) error) error {
 // buildHook lets tests inject physical operators for test-only plan nodes.
 var buildHook func(plan.Node) (Operator, bool)
 
-// Build translates a logical plan into a physical operator tree.
-func Build(p plan.Node) (Operator, error) {
+// Build translates a logical plan into a physical operator tree with
+// telemetry disarmed.
+func Build(p plan.Node) (Operator, error) { return buildWith(p, nil) }
+
+// buildFor builds a plan for execution under ctx, wrapping operators with
+// telemetry when the query's collector is armed.
+func buildFor(p plan.Node, ctx *Context) (Operator, error) {
+	return buildWith(p, ctx.statsCollector())
+}
+
+// buildWith translates a logical plan into a physical operator tree. With a
+// nil collector the result is exactly the tree Build produced before the
+// telemetry layer existed; with a collector every operator (Alias nodes are
+// transparent) is wrapped in a statsOp keyed by its plan node.
+func buildWith(p plan.Node, sc *StatsCollector) (Operator, error) {
 	if buildHook != nil {
 		if op, ok := buildHook(p); ok {
 			return op, nil
 		}
 	}
+	var op Operator
+	var err error
 	switch n := p.(type) {
 	case *plan.Scan:
-		return newTableScan(n), nil
+		op = newTableScan(n)
 	case *plan.WorkingScan:
-		return newWorkingScan(n), nil
+		op = newWorkingScan(n)
 	case *plan.Values:
-		return newValuesOp(n), nil
+		op = newValuesOp(n)
 	case *plan.Alias:
-		return Build(n.Child)
+		return buildWith(n.Child, sc)
 	case *plan.Shared:
-		return newSharedOp(n), nil
+		op = newSharedOp(n)
 	case *plan.Filter:
-		return newFilterOp(n)
+		op, err = newFilterOp(n, sc)
 	case *plan.Project:
-		return newProjectOp(n)
+		op, err = newProjectOp(n, sc)
 	case *plan.Join:
-		return newJoinOp(n)
+		op, err = newJoinOp(n)
 	case *plan.Aggregate:
-		return newAggOp(n)
+		op, err = newAggOp(n)
 	case *plan.Sort:
-		return newSortOp(n)
+		op, err = newSortOp(n)
 	case *plan.Limit:
-		return newLimitOp(n)
+		op, err = newLimitOp(n, sc)
 	case *plan.Distinct:
-		return newDistinctOp(n)
+		op, err = newDistinctOp(n, sc)
 	case *plan.Union:
-		return newUnionOp(n)
+		op, err = newUnionOp(n, sc)
 	case *plan.Iterate:
-		return newIterateOp(n), nil
+		op = newIterateOp(n)
 	case *plan.RecursiveCTE:
-		return newRecursiveOp(n), nil
+		op = newRecursiveOp(n)
 	case *plan.KMeans:
-		return newKMeansOp(n)
+		op, err = newKMeansOp(n)
 	case *plan.KMeansAssign:
-		return newKMeansAssignOp(n)
+		op, err = newKMeansAssignOp(n)
 	case *plan.PageRank:
-		return newPageRankOp(n)
+		op, err = newPageRankOp(n)
 	case *plan.NaiveBayesTrain:
-		return newNBTrainOp(n), nil
+		op = newNBTrainOp(n)
 	case *plan.NaiveBayesPredict:
-		return newNBPredictOp(n), nil
+		op = newNBPredictOp(n)
+	default:
+		return nil, fmt.Errorf("exec: no physical operator for %T", p)
 	}
-	return nil, fmt.Errorf("exec: no physical operator for %T", p)
+	if err != nil {
+		return nil, err
+	}
+	if sc != nil {
+		op = &statsOp{inner: op, node: p, sc: sc}
+	}
+	return op, nil
 }
 
 // Run builds, executes, and materializes a plan.
 func Run(p plan.Node, ctx *Context) (*Materialized, error) {
-	op, err := Build(p)
+	op, err := buildFor(p, ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -243,7 +293,9 @@ func Run(p plan.Node, ctx *Context) (*Materialized, error) {
 // opLabel names an operator for error reporting (ResourceError.Operator,
 // panic containment).
 func opLabel(op Operator) string {
-	switch op.(type) {
+	switch o := op.(type) {
+	case *statsOp:
+		return opLabel(o.inner)
 	case *tableScan:
 		return "scan"
 	case *workingScan:

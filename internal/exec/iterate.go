@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"lambdadb/internal/faultinject"
 	"lambdadb/internal/plan"
@@ -47,6 +48,7 @@ func (i *iterateOp) Open(ctx *Context) error {
 		}
 	}()
 
+	sc := ctx.statsCollector()
 	for depth := 0; ; depth++ {
 		// One cancellation check per round: a cancelled ITERATE aborts
 		// before starting the next iteration, and the deferred restore above
@@ -60,6 +62,7 @@ func (i *iterateOp) Open(ctx *Context) error {
 		if depth >= i.node.MaxDepth {
 			return fmt.Errorf("iterate: exceeded %d iterations (possible infinite loop)", i.node.MaxDepth)
 		}
+		roundStart := time.Now()
 		ctx.BumpEpoch()
 		ctx.Bindings["iterate"] = working
 		stop, err := Run(i.node.Stop, ctx)
@@ -72,6 +75,14 @@ func (i *iterateOp) Open(ctx *Context) error {
 		next, err := Run(i.node.Step, ctx)
 		if err != nil {
 			return fmt.Errorf("iterate step: %w", err)
+		}
+		if sc != nil {
+			sc.AddIteration(i.node, IterationStat{
+				Round: depth + 1,
+				Rows:  int64(next.NumRows),
+				Delta: float64(next.NumRows - working.NumRows),
+				Nanos: time.Since(roundStart).Nanoseconds(),
+			})
 		}
 		// Non-appending: the previous working table is dropped here; at
 		// most two iterations' worth of tuples are alive at once. Return its
@@ -147,6 +158,7 @@ func (r *recursiveOp) Open(ctx *Context) error {
 		}
 	}()
 
+	sc := ctx.statsCollector()
 	for depth := 0; working.NumRows > 0; depth++ {
 		if err := ctx.Err(); err != nil {
 			return err
@@ -158,6 +170,7 @@ func (r *recursiveOp) Open(ctx *Context) error {
 			return fmt.Errorf("recursive CTE %s: exceeded %d iterations (possible infinite loop)",
 				r.node.Name, r.node.MaxDepth)
 		}
+		roundStart := time.Now()
 		ctx.BumpEpoch()
 		ctx.Bindings[r.node.Name] = working
 		delta, err := Run(r.node.Rec, ctx)
@@ -167,6 +180,14 @@ func (r *recursiveOp) Open(ctx *Context) error {
 		next := &Materialized{Schema: acc.Schema}
 		appendDeduped(delta, acc, next)
 		working = next
+		if sc != nil {
+			sc.AddIteration(r.node, IterationStat{
+				Round: depth + 1,
+				Rows:  int64(next.NumRows),
+				Delta: float64(next.NumRows),
+				Nanos: time.Since(roundStart).Nanoseconds(),
+			})
+		}
 	}
 	r.it = matIterator{mat: acc}
 	return nil

@@ -227,7 +227,7 @@ func (j *joinOp) openHash(ctx *Context) error {
 			if err != nil {
 				return err
 			}
-			op, err := Build(parts[i])
+			op, err := buildFor(parts[i], ctx)
 			if err != nil {
 				return err
 			}
@@ -281,7 +281,7 @@ func (j *joinOp) openHash(ctx *Context) error {
 		return err
 	}
 	j.pr = pr
-	op, err := Build(probePlan)
+	op, err := buildFor(probePlan, ctx)
 	if err != nil {
 		return err
 	}
@@ -292,7 +292,7 @@ func (j *joinOp) openHash(ctx *Context) error {
 // openLoop prepares the block nested-loop join: materialize the right side,
 // stream the left.
 func (j *joinOp) openLoop(ctx *Context) error {
-	l, err := Build(j.node.L)
+	l, err := buildFor(j.node.L, ctx)
 	if err != nil {
 		return err
 	}

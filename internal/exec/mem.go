@@ -16,6 +16,9 @@ import (
 type memAccountant struct {
 	limit int64
 	used  atomic.Int64
+	// peak is the high-water mark of used, kept for telemetry (EXPLAIN
+	// ANALYZE, system.query_log peak_bytes).
+	peak atomic.Int64
 }
 
 // charge reserves n bytes on behalf of op, failing with a *ResourceError
@@ -28,6 +31,12 @@ func (a *memAccountant) charge(op string, n int64) error {
 	if used > a.limit {
 		a.used.Add(-n)
 		return &ResourceError{Operator: op, Limit: a.limit, Requested: used}
+	}
+	for {
+		p := a.peak.Load()
+		if used <= p || a.peak.CompareAndSwap(p, used) {
+			break
+		}
 	}
 	return nil
 }
@@ -57,6 +66,16 @@ func (c *Context) MemoryUsed() int64 {
 		return 0
 	}
 	return c.mem.used.Load()
+}
+
+// PeakBytes reports the high-water mark of bytes charged against the query
+// budget (0 when neither a memory limit nor stats collection armed the
+// accountant).
+func (c *Context) PeakBytes() int64 {
+	if c == nil || c.mem == nil {
+		return 0
+	}
+	return c.mem.peak.Load()
 }
 
 // charge books n bytes against the query budget under the given operator

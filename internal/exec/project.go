@@ -13,8 +13,8 @@ type filterOp struct {
 	pred  expr.Evaluator
 }
 
-func newFilterOp(n *plan.Filter) (Operator, error) {
-	child, err := Build(n.Child)
+func newFilterOp(n *plan.Filter, sc *StatsCollector) (Operator, error) {
+	child, err := buildWith(n.Child, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -77,8 +77,8 @@ type projectOp struct {
 	schema types.Schema
 }
 
-func newProjectOp(n *plan.Project) (Operator, error) {
-	child, err := Build(n.Child)
+func newProjectOp(n *plan.Project, sc *StatsCollector) (Operator, error) {
+	child, err := buildWith(n.Child, sc)
 	if err != nil {
 		return nil, err
 	}

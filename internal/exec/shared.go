@@ -48,7 +48,15 @@ func splitParallel(p plan.Node, parts int, ctx *Context) []plan.Node {
 	default:
 		return nil
 	}
-	return plan.SplitPipeline(p, rows, parts, minRowsPerWorker)
+	split := plan.SplitPipeline(p, rows, parts, minRowsPerWorker)
+	if sc := ctx.statsCollector(); sc != nil {
+		// Register each clone's spine so per-morsel wrappers merge their
+		// counters into the original pipeline's records.
+		for _, part := range split {
+			sc.aliasPipeline(p, part)
+		}
+	}
+	return split
 }
 
 // runParts executes fn(i) for i in [0, n) on at most ctx.workers()
@@ -111,7 +119,7 @@ func runParts(ctx *Context, n int, fn func(i int) error) error {
 func drainParts(parts []plan.Node, ctx *Context) ([]*Materialized, error) {
 	mats := make([]*Materialized, len(parts))
 	err := runParts(ctx, len(parts), func(i int) error {
-		op, err := Build(parts[i])
+		op, err := buildFor(parts[i], ctx)
 		if err != nil {
 			return err
 		}

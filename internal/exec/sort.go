@@ -54,7 +54,7 @@ func (s *sortOp) Open(ctx *Context) error {
 			if err := faultinject.Fire("exec.sort.run"); err != nil {
 				return err
 			}
-			op, err := Build(parts[i])
+			op, err := buildFor(parts[i], ctx)
 			if err != nil {
 				return err
 			}
@@ -71,7 +71,7 @@ func (s *sortOp) Open(ctx *Context) error {
 	} else if topK >= 0 {
 		// Serial streamed top-k (unsplittable input): bounded heap, then
 		// sort the survivors.
-		op, err := Build(s.node.Child)
+		op, err := buildFor(s.node.Child, ctx)
 		if err != nil {
 			return err
 		}
@@ -214,8 +214,8 @@ type limitOp struct {
 	remaining int64
 }
 
-func newLimitOp(n *plan.Limit) (Operator, error) {
-	child, err := Build(n.Child)
+func newLimitOp(n *plan.Limit, sc *StatsCollector) (Operator, error) {
+	child, err := buildWith(n.Child, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -293,8 +293,8 @@ type distinctOp struct {
 	seen  *rowSet
 }
 
-func newDistinctOp(n *plan.Distinct) (Operator, error) {
-	child, err := Build(n.Child)
+func newDistinctOp(n *plan.Distinct, sc *StatsCollector) (Operator, error) {
+	child, err := buildWith(n.Child, sc)
 	if err != nil {
 		return nil, err
 	}
@@ -338,12 +338,12 @@ type unionOp struct {
 	seen    *rowSet
 }
 
-func newUnionOp(n *plan.Union) (Operator, error) {
-	l, err := Build(n.L)
+func newUnionOp(n *plan.Union, sc *StatsCollector) (Operator, error) {
+	l, err := buildWith(n.L, sc)
 	if err != nil {
 		return nil, err
 	}
-	r, err := Build(n.R)
+	r, err := buildWith(n.R, sc)
 	if err != nil {
 		return nil, err
 	}

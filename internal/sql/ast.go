@@ -84,10 +84,13 @@ type Copy struct {
 
 func (*Copy) stmtNode() {}
 
-// Explain is EXPLAIN <select>: it returns the optimized logical plan as
-// text instead of executing the query.
+// Explain is EXPLAIN [ANALYZE] <stmt>. Plain EXPLAIN returns the optimized
+// logical plan as text without executing; EXPLAIN ANALYZE executes the
+// statement and returns the physical tree annotated with per-operator
+// actuals. Stmt is a *Select, *Insert, *Update, or *Delete.
 type Explain struct {
-	Query *Select
+	Stmt    Statement
+	Analyze bool
 }
 
 func (*Explain) stmtNode() {}

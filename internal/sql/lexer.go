@@ -47,7 +47,7 @@ var keywords = map[string]bool{
 	"CAST": true, "IF": true, "BEGIN": true, "COMMIT": true,
 	"ROLLBACK": true, "LAMBDA": true, "ITERATE": true, "PRIMARY": true,
 	"KEY": true, "COPY": true, "HEADER": true, "DELIMITER": true,
-	"EXPLAIN": true,
+	"EXPLAIN": true, "ANALYZE": true,
 }
 
 // lexer turns SQL text into tokens.

@@ -128,11 +128,49 @@ func TestParseCopyStatement(t *testing.T) {
 func TestParseExplainStatement(t *testing.T) {
 	st := mustParseOne(t, `EXPLAIN SELECT 1`)
 	ex, ok := st.(*Explain)
-	if !ok || ex.Query == nil {
-		t.Fatalf("got %T", st)
+	if !ok || ex.Stmt == nil || ex.Analyze {
+		t.Fatalf("got %T %+v", st, st)
+	}
+	if _, ok := ex.Stmt.(*Select); !ok {
+		t.Fatalf("EXPLAIN wraps %T", ex.Stmt)
 	}
 	st = mustParseOne(t, `EXPLAIN WITH q AS (SELECT 1) SELECT * FROM q`)
 	if _, ok := st.(*Explain); !ok {
 		t.Fatalf("EXPLAIN WITH: got %T", st)
+	}
+
+	st = mustParseOne(t, `EXPLAIN ANALYZE SELECT 1`)
+	ex = st.(*Explain)
+	if !ex.Analyze {
+		t.Error("ANALYZE flag not set")
+	}
+	st = mustParseOne(t, `EXPLAIN ANALYZE INSERT INTO t SELECT * FROM u`)
+	ex = st.(*Explain)
+	if _, ok := ex.Stmt.(*Insert); !ok || !ex.Analyze {
+		t.Fatalf("EXPLAIN ANALYZE INSERT: got %T analyze=%v", ex.Stmt, ex.Analyze)
+	}
+	st = mustParseOne(t, `EXPLAIN DELETE FROM t WHERE x > 1`)
+	ex = st.(*Explain)
+	if _, ok := ex.Stmt.(*Delete); !ok {
+		t.Fatalf("EXPLAIN DELETE: got %T", ex.Stmt)
+	}
+	if _, err := Parse(`EXPLAIN CREATE TABLE t (x INT)`); err == nil {
+		t.Error("EXPLAIN CREATE should fail")
+	}
+}
+
+func TestSplitStatements(t *testing.T) {
+	parts, err := SplitStatements("SELECT 1; -- c\n INSERT INTO t VALUES (1);;")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"SELECT 1", "INSERT INTO t VALUES (1)"}
+	if len(parts) != len(want) {
+		t.Fatalf("parts = %q", parts)
+	}
+	for i := range want {
+		if parts[i] != want[i] {
+			t.Errorf("part %d = %q, want %q", i, parts[i], want[i])
+		}
 	}
 }

@@ -35,6 +35,39 @@ func Parse(src string) ([]Statement, error) {
 	}
 }
 
+// SplitStatements returns the source text of each non-empty statement in a
+// semicolon-separated script, in order, trimmed of surrounding whitespace
+// and trailing semicolons. Statement i corresponds to Parse(src)[i], which
+// lets callers (the engine's query log) attribute original text to each
+// parsed statement.
+func SplitStatements(src string) ([]string, error) {
+	toks, err := lexAll(src)
+	if err != nil {
+		return nil, err
+	}
+	var out []string
+	start := -1
+	for _, t := range toks {
+		if t.kind == tokEOF {
+			break
+		}
+		if t.kind == tokSymbol && t.text == ";" {
+			if start >= 0 {
+				out = append(out, strings.TrimSpace(src[start:t.pos]))
+				start = -1
+			}
+			continue
+		}
+		if start < 0 {
+			start = t.pos
+		}
+	}
+	if start >= 0 {
+		out = append(out, strings.TrimSpace(src[start:]))
+	}
+	return out, nil
+}
+
 // ParseOne parses exactly one statement.
 func ParseOne(src string) (Statement, error) {
 	stmts, err := Parse(src)
@@ -139,11 +172,17 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseCopy()
 	case "EXPLAIN":
 		p.advance()
-		sel, err := p.parseSelect()
+		analyze := p.matchKeyword("ANALYZE")
+		st, err := p.parseStatement()
 		if err != nil {
 			return nil, err
 		}
-		return &Explain{Query: sel.(*Select)}, nil
+		switch st.(type) {
+		case *Select, *Insert, *Update, *Delete:
+		default:
+			return nil, p.errorf("EXPLAIN supports SELECT, INSERT, UPDATE, and DELETE statements")
+		}
+		return &Explain{Stmt: st, Analyze: analyze}, nil
 	case "BEGIN":
 		p.advance()
 		return &Begin{}, nil
@@ -744,6 +783,16 @@ func (p *parser) parseTableFactor() (TableRef, error) {
 			return p.parseTableFuncArgs(name)
 		}
 		p.advance()
+		// Schema-qualified name (system.query_log): the dotted pair forms
+		// one table name, resolved by the engine's catalog.
+		if p.peek().kind == tokSymbol && p.peek().text == "." {
+			p.advance()
+			part, err := p.expectIdent()
+			if err != nil {
+				return nil, err
+			}
+			name = name + "." + part
+		}
 		tn := &TableName{Name: name}
 		tn.Alias = p.parseOptionalAlias()
 		return tn, nil

@@ -1,0 +1,155 @@
+// Package telemetry holds the engine-wide observability state: a ring
+// buffer of recently executed statements (surfaced as the virtual table
+// system.query_log) and cumulative engine counters (system.metrics).
+// Both are safe for concurrent use; metric counters are lock-free so
+// readers never stall running queries.
+package telemetry
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Statement statuses recorded in the query log.
+const (
+	StatusOK        = "ok"
+	StatusError     = "error"
+	StatusCancelled = "cancelled"
+	StatusTimeout   = "timeout"
+)
+
+// StatusOf classifies a statement outcome: context cancellation and
+// deadline expiry are distinguished from ordinary errors.
+func StatusOf(err error) string {
+	switch {
+	case err == nil:
+		return StatusOK
+	case errors.Is(err, context.DeadlineExceeded):
+		return StatusTimeout
+	case errors.Is(err, context.Canceled):
+		return StatusCancelled
+	default:
+		return StatusError
+	}
+}
+
+// QueryLogEntry is one executed statement.
+type QueryLogEntry struct {
+	ID        int64
+	Started   time.Time
+	Statement string
+	Duration  time.Duration
+	Rows      int64
+	PeakBytes int64
+	Status    string
+	Err       string
+}
+
+// DefaultQueryLogSize is the query-log ring capacity.
+const DefaultQueryLogSize = 512
+
+// QueryLog is a fixed-capacity ring buffer of recent statements.
+type QueryLog struct {
+	mu      sync.Mutex
+	entries []QueryLogEntry
+	next    int64 // total entries ever added; also the next ID
+	cap     int
+}
+
+// NewQueryLog returns a ring holding the most recent capacity entries
+// (DefaultQueryLogSize when capacity <= 0).
+func NewQueryLog(capacity int) *QueryLog {
+	if capacity <= 0 {
+		capacity = DefaultQueryLogSize
+	}
+	return &QueryLog{entries: make([]QueryLogEntry, 0, capacity), cap: capacity}
+}
+
+// Add appends an entry, assigning its ID and evicting the oldest entry when
+// the ring is full.
+func (l *QueryLog) Add(e QueryLogEntry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	e.ID = l.next
+	l.next++
+	if len(l.entries) < l.cap {
+		l.entries = append(l.entries, e)
+		return
+	}
+	copy(l.entries, l.entries[1:])
+	l.entries[len(l.entries)-1] = e
+}
+
+// Snapshot returns the logged entries, oldest first.
+func (l *QueryLog) Snapshot() []QueryLogEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return append([]QueryLogEntry(nil), l.entries...)
+}
+
+// Metrics is the engine-wide cumulative counter set. All fields are
+// updated atomically; Snapshot gives a consistent-enough view for
+// monitoring (individual counters are exact, cross-counter skew is
+// possible by design).
+type Metrics struct {
+	StatementsTotal     atomic.Int64
+	StatementsOK        atomic.Int64
+	StatementsError     atomic.Int64
+	StatementsCancelled atomic.Int64
+	StatementsTimeout   atomic.Int64
+	RowsReturned        atomic.Int64
+	RowsAffected        atomic.Int64
+	SlowQueries         atomic.Int64
+	ExecNanosTotal      atomic.Int64
+	PeakQueryBytes      atomic.Int64 // max over all statements
+}
+
+// RecordStatement folds one statement outcome into the counters.
+func (m *Metrics) RecordStatement(status string, returned, affected int64, d time.Duration, peakBytes int64) {
+	m.StatementsTotal.Add(1)
+	switch status {
+	case StatusOK:
+		m.StatementsOK.Add(1)
+	case StatusCancelled:
+		m.StatementsCancelled.Add(1)
+	case StatusTimeout:
+		m.StatementsTimeout.Add(1)
+	default:
+		m.StatementsError.Add(1)
+	}
+	m.RowsReturned.Add(returned)
+	m.RowsAffected.Add(affected)
+	m.ExecNanosTotal.Add(d.Nanoseconds())
+	for {
+		p := m.PeakQueryBytes.Load()
+		if peakBytes <= p || m.PeakQueryBytes.CompareAndSwap(p, peakBytes) {
+			break
+		}
+	}
+}
+
+// Counter is one named metric value.
+type Counter struct {
+	Name  string
+	Value int64
+}
+
+// Snapshot reads every counter in a stable order (the system.metrics row
+// order).
+func (m *Metrics) Snapshot() []Counter {
+	return []Counter{
+		{"statements_total", m.StatementsTotal.Load()},
+		{"statements_ok", m.StatementsOK.Load()},
+		{"statements_error", m.StatementsError.Load()},
+		{"statements_cancelled", m.StatementsCancelled.Load()},
+		{"statements_timeout", m.StatementsTimeout.Load()},
+		{"rows_returned", m.RowsReturned.Load()},
+		{"rows_affected", m.RowsAffected.Load()},
+		{"slow_queries", m.SlowQueries.Load()},
+		{"exec_nanos_total", m.ExecNanosTotal.Load()},
+		{"peak_query_bytes", m.PeakQueryBytes.Load()},
+	}
+}
