@@ -1,8 +1,8 @@
 GO ?= go
 
-.PHONY: check vet build test race bench overhead
+.PHONY: check vet build test race bench overhead server-smoke
 
-## check: everything CI runs — vet, build, full tests, race on the executor, telemetry-overhead smoke
+## check: everything CI runs except server-smoke — vet, build, full tests, race, telemetry-overhead smoke
 check: vet build test race overhead
 
 vet:
@@ -14,13 +14,17 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the parallel executor, engine, and fault-injection registry under the race detector
+## race: the concurrent subsystems — executor, engine, storage, network server — under the race detector
 race:
-	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/
+	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/
 
 ## overhead: assert the disarmed telemetry path adds <2% to BenchmarkVectorizedFilterAgg
 overhead:
 	LAMBDADB_OVERHEAD_SMOKE=1 $(GO) test ./internal/exec/ -run TestTelemetryOverheadSmoke -v
+
+## server-smoke: build lambdaserver + sqlshell, stress over TCP, SIGTERM drain must exit 0
+server-smoke:
+	LAMBDADB_SERVER_SMOKE=1 $(GO) test ./internal/server/ -run TestServerBinarySmoke -count=1 -v
 
 ## bench: refresh the parallel-operator scaling baseline (see BENCH_exec.json)
 bench:

@@ -1,0 +1,112 @@
+// Command lambdaserver serves a lambdadb engine over TCP, speaking the
+// length-prefixed text protocol of internal/server/wire. Each connection
+// gets its own session (and so its own BEGIN/COMMIT state); statements run
+// under the configured statement timeout and per-query memory budget, and
+// are cancelled when their client disconnects.
+//
+// Usage:
+//
+//	lambdaserver -addr :5433
+//	sqlshell -connect localhost:5433     # in another terminal
+//
+// SIGTERM or SIGINT drains gracefully: the server stops accepting, lets
+// in-flight statements finish for -grace, then cancels them (their error
+// responses are still delivered) and exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/server"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", ":5433", "TCP listen address")
+		image       = flag.String("db", "", "open this database snapshot image instead of starting empty")
+		initScript  = flag.String("init", "", "execute this SQL script before accepting connections")
+		workers     = flag.Int("workers", 0, "parallelism degree per query (0 = GOMAXPROCS)")
+		maxConns    = flag.Int("max-conns", 0, "max concurrent connections (0 = unlimited)")
+		stmtTimeout = flag.Duration("stmt-timeout", 0, "per-statement wall-clock timeout (0 = none)")
+		memLimit    = flag.Int64("mem-limit", 0, "per-query memory budget in bytes (0 = unlimited)")
+		grace       = flag.Duration("grace", server.DefaultDrainGrace, "how long a drain lets in-flight statements finish")
+	)
+	flag.Parse()
+
+	var opts []engine.Option
+	if *workers > 0 {
+		opts = append(opts, engine.WithWorkers(*workers))
+	}
+	if *stmtTimeout > 0 {
+		opts = append(opts, engine.WithStatementTimeout(*stmtTimeout))
+	}
+	if *memLimit > 0 {
+		opts = append(opts, engine.WithMemoryLimit(*memLimit))
+	}
+
+	var db *engine.DB
+	var err error
+	if *image != "" {
+		if db, err = engine.OpenFile(*image, opts...); err != nil {
+			fatal(err)
+		}
+	} else {
+		db = engine.Open(opts...)
+	}
+	if *initScript != "" {
+		script, err := os.ReadFile(*initScript)
+		if err != nil {
+			fatal(err)
+		}
+		if _, err := db.Exec(string(script)); err != nil {
+			fatal(fmt.Errorf("init script %s: %w", *initScript, err))
+		}
+	}
+
+	srv := server.New(db, server.Config{
+		Addr:       *addr,
+		MaxConns:   *maxConns,
+		DrainGrace: *grace,
+	})
+	if err := srv.Listen(); err != nil {
+		fatal(err)
+	}
+	// Stdout line is load-bearing: with -addr :0 it is how callers (the
+	// smoke test, scripts) learn the bound port.
+	fmt.Printf("lambdaserver listening on %s\n", srv.Addr())
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM, os.Interrupt)
+	select {
+	case err := <-serveErr:
+		if err != nil {
+			fatal(err)
+		}
+	case got := <-sig:
+		fmt.Fprintf(os.Stderr, "lambdaserver: %v received, draining (grace %v)\n", got, *grace)
+		ctx, cancel := context.WithTimeout(context.Background(), *grace+30*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			fatal(fmt.Errorf("drain: %w", err))
+		}
+		if err := <-serveErr; err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "lambdaserver: drained cleanly")
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "lambdaserver:", err)
+	os.Exit(1)
+}

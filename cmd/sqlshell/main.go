@@ -4,8 +4,9 @@
 //
 // Usage:
 //
-//	sqlshell              # interactive
-//	sqlshell -f file.sql  # execute a script, print results
+//	sqlshell                        # interactive, embedded engine
+//	sqlshell -f file.sql            # execute a script, print results
+//	sqlshell -connect localhost:5433  # talk to a running lambdaserver
 //
 // Meta commands: \q quit, \d list tables, \explain SELECT ... show the
 // optimized plan, \timing toggle per-statement timing, \stats show the
@@ -15,6 +16,7 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -26,6 +28,7 @@ import (
 
 	"lambdadb/internal/engine"
 	"lambdadb/internal/exec"
+	"lambdadb/internal/server/client"
 )
 
 // interrupts routes SIGINT to the running statement: the first Ctrl-C
@@ -72,14 +75,84 @@ func (in *interrupts) statementContext() (ctx context.Context, done func()) {
 	}
 }
 
+// executor is what the shell runs statements on: a local engine.Session,
+// or a remoteExec talking to a lambdaserver.
+type executor interface {
+	ExecContext(ctx context.Context, text string) (*engine.Result, error)
+}
+
+// remoteExec runs statements on a lambdaserver. The wire protocol cancels
+// by closing the connection, so after a Ctrl-C (or any transport failure)
+// the next statement transparently redials — note that also discards any
+// open BEGIN, since transactions live in the server-side session.
+type remoteExec struct {
+	addr string
+	conn *client.Conn
+}
+
+func (r *remoteExec) ExecContext(ctx context.Context, text string) (*engine.Result, error) {
+	if r.conn == nil {
+		c, err := client.Dial(r.addr)
+		if err != nil {
+			return nil, err
+		}
+		r.conn = c
+	}
+	res, err := r.conn.ExecContext(ctx, text)
+	if err != nil {
+		var se *client.ServerError
+		if !errors.As(err, &se) {
+			// Transport-level failure: the connection is dead. Drop it so
+			// the next statement redials.
+			r.conn.Close()
+			r.conn = nil
+		}
+		return nil, err
+	}
+	return &engine.Result{
+		Columns:  res.Columns,
+		Types:    res.Types,
+		Rows:     res.Rows,
+		Affected: res.Affected,
+	}, nil
+}
+
+func (r *remoteExec) close() {
+	if r.conn != nil {
+		r.conn.Close()
+		r.conn = nil
+	}
+}
+
 func main() {
 	var (
 		file    = flag.String("f", "", "execute this SQL script instead of reading stdin")
 		timing  = flag.Bool("timing", false, "print per-statement wall time")
 		workers = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
 		image   = flag.String("db", "", "open this database snapshot image (see \\save)")
+		connect = flag.String("connect", "", "connect to a lambdaserver at host:port instead of running an embedded engine")
 	)
 	flag.Parse()
+
+	in := &interrupts{}
+	in.watch()
+	state := &shellState{timing: *timing}
+
+	// Remote mode: no local engine at all; statements go over TCP.
+	if *connect != "" {
+		if *workers > 0 || *image != "" {
+			fmt.Fprintln(os.Stderr, "warning: -workers and -db configure the embedded engine and are ignored with -connect (set them on lambdaserver)")
+		}
+		remote := &remoteExec{addr: *connect}
+		defer remote.close()
+		if *file != "" {
+			runScript(in, remote, *file, state)
+			return
+		}
+		banner := fmt.Sprintf("lambdadb shell — connected to %s", *connect)
+		interactive(banner, nil, nil, remote, in, state)
+		return
+	}
 
 	var opts []engine.Option
 	if *workers > 0 {
@@ -100,24 +173,13 @@ func main() {
 	// Arm per-operator stats so \stats always has a tree to show.
 	session.CollectStats(true)
 
-	in := &interrupts{}
-	in.watch()
-
-	state := &shellState{timing: *timing}
 	if *file != "" {
-		script, err := os.ReadFile(*file)
-		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		if err := runText(in, session, string(script), state); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
+		runScript(in, session, *file, state)
 		return
 	}
 
-	interactive(db, session, in, state)
+	banner := "lambdadb shell — SQL with ITERATE, KMEANS, PAGERANK, NAIVE_BAYES_* and λ-expressions"
+	interactive(banner, db, session, session, in, state)
 }
 
 // shellState holds the toggles shared between statements and meta commands.
@@ -125,11 +187,23 @@ type shellState struct {
 	timing bool
 }
 
-func runText(in *interrupts, s *engine.Session, text string, state *shellState) error {
+func runScript(in *interrupts, ex executor, path string, state *shellState) {
+	script, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if err := runText(in, ex, string(script), state); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func runText(in *interrupts, ex executor, text string, state *shellState) error {
 	ctx, done := in.statementContext()
 	defer done()
 	start := time.Now()
-	res, err := s.ExecContext(ctx, text)
+	res, err := ex.ExecContext(ctx, text)
 	if err != nil {
 		return err
 	}
@@ -146,8 +220,10 @@ func runText(in *interrupts, s *engine.Session, text string, state *shellState) 
 	return nil
 }
 
-func interactive(db *engine.DB, session *engine.Session, in *interrupts, state *shellState) {
-	fmt.Println("lambdadb shell — SQL with ITERATE, KMEANS, PAGERANK, NAIVE_BAYES_* and λ-expressions")
+// interactive runs the prompt loop. db and session are nil in remote mode;
+// meta commands that need the local engine say so.
+func interactive(banner string, db *engine.DB, session *engine.Session, ex executor, in *interrupts, state *shellState) {
+	fmt.Println(banner)
 	fmt.Println(`type \q to quit, \d to list tables, \explain <select> for plans,`)
 	fmt.Println(`\timing to toggle timing, \stats for the last statement's operator stats,`)
 	fmt.Println(`\save <path> to snapshot the database; end statements with ;`)
@@ -177,7 +253,7 @@ func interactive(db *engine.DB, session *engine.Session, in *interrupts, state *
 		if strings.HasSuffix(trimmed, ";") {
 			text := buf.String()
 			buf.Reset()
-			if err := runText(in, session, text, state); err != nil {
+			if err := runText(in, ex, text, state); err != nil {
 				fmt.Fprintln(os.Stderr, "error:", err)
 			}
 		}
@@ -186,7 +262,15 @@ func interactive(db *engine.DB, session *engine.Session, in *interrupts, state *
 }
 
 // metaCommand handles backslash commands; it returns false to quit.
+// db and session are nil when connected to a remote server.
 func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shellState) bool {
+	local := func() bool {
+		if db == nil {
+			fmt.Fprintf(os.Stderr, "%s requires a local database (not available with -connect; query the system.* tables instead)\n", strings.Fields(cmd)[0])
+			return false
+		}
+		return true
+	}
 	switch {
 	case cmd == `\q` || cmd == `\quit`:
 		return false
@@ -198,6 +282,9 @@ func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shel
 			fmt.Println("timing off")
 		}
 	case cmd == `\stats`:
+		if !local() {
+			break
+		}
 		if st := session.LastStats(); st != nil {
 			fmt.Print(exec.FormatStatsTree(st))
 			fmt.Printf("peak memory: %s\n", exec.FormatBytes(session.LastPeakBytes()))
@@ -205,6 +292,9 @@ func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shel
 			fmt.Println("no statement executed yet")
 		}
 	case cmd == `\d`:
+		if !local() {
+			break
+		}
 		names := db.Store().TableNames()
 		sort.Strings(names)
 		for _, n := range names {
@@ -215,6 +305,9 @@ func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shel
 			fmt.Printf("%s %s (%d rows)\n", n, tbl.Schema(), tbl.NumRows(db.Store().Snapshot()))
 		}
 	case strings.HasPrefix(cmd, `\save `):
+		if !local() {
+			break
+		}
 		path := strings.TrimSpace(strings.TrimPrefix(cmd, `\save `))
 		if err := db.Save(path); err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)
@@ -222,6 +315,9 @@ func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shel
 			fmt.Printf("saved snapshot to %s\n", path)
 		}
 	case strings.HasPrefix(cmd, `\explain `):
+		if !local() {
+			break
+		}
 		out, err := session.Explain(strings.TrimPrefix(cmd, `\explain `))
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -132,6 +132,10 @@ func (db *DB) Workers() int { return db.workers }
 type Result struct {
 	// Columns names the result columns (empty for DML).
 	Columns []string
+	// Types holds the result column types, aligned with Columns. It may be
+	// empty for results not derived from a plan (e.g. EXPLAIN text);
+	// consumers that need types should fall back to inspecting row values.
+	Types []types.Type
 	// Rows holds the result rows (nil for DML).
 	Rows [][]types.Value
 	// Affected counts rows touched by DML.
@@ -235,9 +239,22 @@ func (db *DB) MustExec(text string) *Result {
 // Statements outside BEGIN...COMMIT autocommit. Within an explicit
 // transaction, reads see the snapshot taken at BEGIN; buffered writes
 // become visible at COMMIT (no read-your-own-writes).
+//
+// A failed statement aborts any open explicit transaction (it is rolled
+// back immediately, PostgreSQL-style, and the returned error says so), so
+// a script can never continue half-way through a transaction that silently
+// lost a statement.
+//
+// A Session executes one statement at a time, but Close is safe to call
+// concurrently with an in-flight ExecContext — the network server closes
+// sessions when clients drop mid-statement. After Close, statements fail
+// with a "session is closed" error.
 type Session struct {
-	db  *DB
-	txn *storage.Txn
+	db *DB
+
+	mu     sync.Mutex // guards txn and closed
+	txn    *storage.Txn
+	closed bool
 
 	collect   bool          // arm per-operator stats for every statement
 	lastStats *exec.OpStats // stats tree of the last armed statement
@@ -262,8 +279,13 @@ func (s *Session) statsArmed() bool { return s.collect || s.db.slowSink != nil }
 // NewSession opens a session.
 func (db *DB) NewSession() *Session { return &Session{db: db} }
 
-// Close rolls back any open transaction.
+// Close rolls back any open transaction and marks the session unusable.
+// It is safe to call concurrently with an in-flight ExecContext and safe to
+// call more than once.
 func (s *Session) Close() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.closed = true
 	if s.txn != nil {
 		s.txn.Rollback()
 		s.txn = nil
@@ -271,7 +293,28 @@ func (s *Session) Close() {
 }
 
 // InTransaction reports whether an explicit transaction is open.
-func (s *Session) InTransaction() bool { return s.txn != nil }
+func (s *Session) InTransaction() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.txn != nil
+}
+
+var errSessionClosed = fmt.Errorf("session is closed")
+
+// abortOnError enforces the abort-on-error rule: a failed statement rolls
+// back any open explicit transaction rather than leaving it silently open.
+// The returned error notes the rollback so the caller knows the
+// transaction is gone.
+func (s *Session) abortOnError(err error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.txn == nil {
+		return err
+	}
+	s.txn.Rollback()
+	s.txn = nil
+	return fmt.Errorf("%w (open transaction rolled back)", err)
+}
 
 // Exec executes one or more statements, returning the last result.
 func (s *Session) Exec(text string) (*Result, error) {
@@ -279,11 +322,13 @@ func (s *Session) Exec(text string) (*Result, error) {
 }
 
 // ExecContext is Exec governed by ctx; cancellation aborts the statement in
-// flight and skips any statements after it.
+// flight and skips any statements after it. Any error — parse failure,
+// statement failure, or cancellation — aborts an open explicit transaction
+// (see Session).
 func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error) {
 	stmts, err := sql.Parse(text)
 	if err != nil {
-		return nil, err
+		return nil, s.abortOnError(err)
 	}
 	if len(stmts) == 0 {
 		return &Result{}, nil
@@ -297,7 +342,10 @@ func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error)
 	var last *Result
 	for i, st := range stmts {
 		if err := ctx.Err(); err != nil {
-			return nil, err
+			return nil, s.abortOnError(err)
+		}
+		if s.isClosed() {
+			return nil, errSessionClosed
 		}
 		stmtText := strings.TrimSpace(text)
 		if texts != nil {
@@ -305,11 +353,18 @@ func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error)
 		}
 		r, err := s.execLogged(ctx, stmtText, st)
 		if err != nil {
-			return nil, err
+			return nil, s.abortOnError(err)
 		}
 		last = r
 	}
 	return last, nil
+}
+
+// isClosed reports whether Close has been called.
+func (s *Session) isClosed() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.closed
 }
 
 func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result, error) {
@@ -327,24 +382,36 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 	case *sql.Select:
 		return s.execSelect(ctx, n)
 	case *sql.Begin:
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return nil, errSessionClosed
+		}
 		if s.txn != nil {
+			s.mu.Unlock()
 			return nil, fmt.Errorf("transaction already open")
 		}
 		s.txn = s.db.store.Begin()
+		s.mu.Unlock()
 		return &Result{}, nil
 	case *sql.Commit:
-		if s.txn == nil {
+		s.mu.Lock()
+		tx := s.txn
+		s.txn = nil
+		s.mu.Unlock()
+		if tx == nil {
 			return nil, fmt.Errorf("no transaction open")
 		}
-		err := s.txn.Commit()
-		s.txn = nil
-		return &Result{}, err
+		return &Result{}, tx.Commit()
 	case *sql.Rollback:
-		if s.txn == nil {
+		s.mu.Lock()
+		tx := s.txn
+		s.txn = nil
+		s.mu.Unlock()
+		if tx == nil {
 			return nil, fmt.Errorf("no transaction open")
 		}
-		s.txn.Rollback()
-		s.txn = nil
+		tx.Rollback()
 		return &Result{}, nil
 	case *sql.Copy:
 		return s.execCopy(n)
@@ -356,7 +423,7 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 
 // execCopy bulk-loads a CSV file into a table (instant-loading style).
 func (s *Session) execCopy(n *sql.Copy) (*Result, error) {
-	if s.txn != nil {
+	if s.InTransaction() {
 		return nil, fmt.Errorf("COPY is not supported inside an explicit transaction")
 	}
 	f, err := os.Open(n.Path)
@@ -377,18 +444,31 @@ func (s *Session) execCopy(n *sql.Copy) (*Result, error) {
 
 // snapshot returns the read snapshot for the current statement.
 func (s *Session) snapshot() uint64 {
-	if s.txn != nil {
-		return s.txn.Snapshot()
+	s.mu.Lock()
+	tx := s.txn
+	s.mu.Unlock()
+	if tx != nil {
+		return tx.Snapshot()
 	}
 	return s.db.store.Snapshot()
 }
 
 // write runs fn against the session transaction, or an autocommit one.
 func (s *Session) write(fn func(tx *storage.Txn) error) error {
-	if s.txn != nil {
-		return fn(s.txn)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return errSessionClosed
 	}
-	tx := s.db.store.Begin()
+	tx := s.txn
+	s.mu.Unlock()
+	if tx != nil {
+		// A concurrent Close may roll tx back mid-statement; the Txn's own
+		// locking turns that into a clean "transaction already finished"
+		// error from the buffering calls.
+		return fn(tx)
+	}
+	tx = s.db.store.Begin()
 	if err := fn(tx); err != nil {
 		tx.Rollback()
 		return err
@@ -457,7 +537,11 @@ func (s *Session) execSelect(ctx context.Context, sel *sql.Select) (*Result, err
 	if err != nil {
 		return nil, err
 	}
-	return &Result{Columns: mat.Schema.Names(), Rows: mat.Rows()}, nil
+	colTypes := make([]types.Type, len(mat.Schema))
+	for i, c := range mat.Schema {
+		colTypes[i] = c.Type
+	}
+	return &Result{Columns: mat.Schema.Names(), Types: colTypes, Rows: mat.Rows()}, nil
 }
 
 // Explain returns the plan of a SELECT or DML statement as text without

@@ -1,0 +1,158 @@
+// Package client is a minimal Go client for lambdaserver's wire protocol
+// (see internal/server/wire). It is what sqlshell's -connect mode and the
+// server's stress tests are built on.
+package client
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+
+	"lambdadb/internal/server/wire"
+	"lambdadb/internal/types"
+)
+
+// Result is one request's outcome: either a typed result set (Columns,
+// Types, Rows) or an affected-row count.
+type Result struct {
+	Columns  []string
+	Types    []types.Type
+	Rows     [][]types.Value
+	Affected int
+}
+
+// ServerError is an error the server reported for one request. The
+// connection stays usable after a ServerError; any other error from Exec
+// poisons the connection.
+type ServerError struct {
+	Msg string
+}
+
+func (e *ServerError) Error() string { return e.Msg }
+
+// Conn is a client connection. It is safe for concurrent use: requests are
+// serialized (the protocol is strictly request/response), and Close may be
+// called at any time — including while a request is in flight, which
+// aborts it (the server sees the disconnect and cancels the statement).
+type Conn struct {
+	reqMu sync.Mutex // serializes requests; never held by Close
+	br    *bufio.Reader
+
+	mu     sync.Mutex // guards nc
+	nc     net.Conn
+	closed bool
+}
+
+// Dial connects to a lambdaserver at addr.
+func Dial(addr string) (*Conn, error) {
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &Conn{nc: nc, br: bufio.NewReader(nc)}, nil
+}
+
+// conn returns the live socket or an error after Close/failure.
+func (c *Conn) conn() (net.Conn, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.nc == nil {
+		return nil, fmt.Errorf("client: connection is closed")
+	}
+	return c.nc, nil
+}
+
+// Exec sends one request (one or more semicolon-separated statements) and
+// returns the server's single response — the last statement's result.
+func (c *Conn) Exec(text string) (*Result, error) {
+	return c.ExecContext(context.Background(), text)
+}
+
+// ExecContext is Exec bounded by ctx. The wire protocol has no out-of-band
+// cancel message, so cancellation closes the connection; the server
+// notices the disconnect and cancels the statement server-side. After a
+// cancelled call the Conn is closed and must be re-dialled.
+func (c *Conn) ExecContext(ctx context.Context, text string) (*Result, error) {
+	c.reqMu.Lock()
+	defer c.reqMu.Unlock()
+	nc, err := c.conn()
+	if err != nil {
+		return nil, err
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	if done := ctx.Done(); done != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-done:
+				nc.Close() // unblocks the write/read below
+			case <-stop:
+			}
+		}()
+	}
+	if err := wire.WriteFrame(nc, wire.Query, []byte(text)); err != nil {
+		return nil, c.fail(ctx, err)
+	}
+	typ, payload, err := wire.ReadFrame(c.br)
+	if err != nil {
+		return nil, c.fail(ctx, err)
+	}
+	switch typ {
+	case wire.Error:
+		return nil, &ServerError{Msg: string(payload)}
+	case wire.Affected:
+		n, err := strconv.Atoi(string(payload))
+		if err != nil {
+			return nil, c.fail(ctx, fmt.Errorf("client: bad affected count %q", payload))
+		}
+		return &Result{Affected: n}, nil
+	case wire.Result:
+		rs, err := wire.DecodeResultSet(payload)
+		if err != nil {
+			return nil, c.fail(ctx, err)
+		}
+		return &Result{Columns: rs.Columns, Types: rs.Types, Rows: rs.Rows}, nil
+	default:
+		return nil, c.fail(ctx, fmt.Errorf("client: unexpected frame type %q", typ))
+	}
+}
+
+// fail tears the connection down after a transport-level failure,
+// preferring the context's error when the failure was a cancellation and
+// a plain "closed" error when Close raced the request.
+func (c *Conn) fail(ctx context.Context, err error) error {
+	c.mu.Lock()
+	closed := c.closed
+	if c.nc != nil {
+		c.nc.Close()
+		c.nc = nil
+	}
+	c.mu.Unlock()
+	if cerr := ctx.Err(); cerr != nil {
+		return cerr
+	}
+	if closed {
+		return fmt.Errorf("client: connection closed during request")
+	}
+	return err
+}
+
+// Close closes the connection. It never blocks on an in-flight request
+// (the request fails instead) and is safe to call twice.
+func (c *Conn) Close() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	if c.nc == nil {
+		return nil
+	}
+	err := c.nc.Close()
+	c.nc = nil
+	return err
+}

@@ -1,0 +1,352 @@
+// Package server exposes an engine.DB over TCP: a concurrent network front
+// end speaking the length-prefixed text protocol of package wire.
+//
+// Each accepted connection gets its own engine.Session, so explicit
+// BEGIN/COMMIT transactions are per-connection, exactly like the embedded
+// shell. Statements run under the DB's lifecycle knobs (statement timeout,
+// memory budget) plus a per-connection context that is cancelled when the
+// client disconnects, so a dropped client never leaves a statement running.
+// Admission control caps concurrent connections; Shutdown drains gracefully
+// (stop accepting, let in-flight statements finish for a grace period, then
+// cancel them — their error responses are still delivered — and close).
+// Connection counters feed the engine's system.metrics virtual table, and
+// every statement lands in system.query_log like any other.
+package server
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"net"
+	"strconv"
+	"sync"
+	"time"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/server/wire"
+	"lambdadb/internal/types"
+)
+
+// DefaultDrainGrace is how long Shutdown lets in-flight statements run
+// before cancelling them when Config.DrainGrace is unset.
+const DefaultDrainGrace = 5 * time.Second
+
+// Config configures a Server.
+type Config struct {
+	// Addr is the TCP listen address, e.g. ":5433" or "127.0.0.1:0".
+	Addr string
+	// MaxConns caps concurrent connections; further clients are refused
+	// with an Error frame. <= 0 means unlimited.
+	MaxConns int
+	// DrainGrace is how long Shutdown lets in-flight statements finish
+	// before cancelling them. <= 0 means DefaultDrainGrace.
+	DrainGrace time.Duration
+}
+
+// Server serves an engine.DB over TCP.
+type Server struct {
+	db  *engine.DB
+	cfg Config
+
+	// baseCtx parents every connection's statement context; Shutdown
+	// cancels it when the drain grace expires.
+	baseCtx    context.Context
+	baseCancel context.CancelFunc
+
+	mu      sync.Mutex
+	lis     net.Listener
+	conns   map[*conn]struct{}
+	closing bool
+
+	wg sync.WaitGroup // one count per live connection
+}
+
+// New returns an unstarted server for db.
+func New(db *engine.DB, cfg Config) *Server {
+	if cfg.DrainGrace <= 0 {
+		cfg.DrainGrace = DefaultDrainGrace
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	return &Server{
+		db:         db,
+		cfg:        cfg,
+		baseCtx:    ctx,
+		baseCancel: cancel,
+		conns:      make(map[*conn]struct{}),
+	}
+}
+
+// Listen binds the configured address. After Listen, Addr reports the
+// bound address (useful with ":0").
+func (s *Server) Listen() error {
+	lis, err := net.Listen("tcp", s.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closing {
+		lis.Close()
+		return fmt.Errorf("server is shut down")
+	}
+	s.lis = lis
+	return nil
+}
+
+// Addr returns the bound listen address, or nil before Listen.
+func (s *Server) Addr() net.Addr {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.lis == nil {
+		return nil
+	}
+	return s.lis.Addr()
+}
+
+// ListenAndServe is Listen followed by Serve.
+func (s *Server) ListenAndServe() error {
+	if err := s.Listen(); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Serve accepts connections until Shutdown. It returns nil when the
+// listener was closed by Shutdown, otherwise the accept error.
+func (s *Server) Serve() error {
+	s.mu.Lock()
+	lis := s.lis
+	s.mu.Unlock()
+	if lis == nil {
+		return fmt.Errorf("server: Serve before Listen")
+	}
+	for {
+		nc, err := lis.Accept()
+		if err != nil {
+			s.mu.Lock()
+			closing := s.closing
+			s.mu.Unlock()
+			if closing {
+				return nil
+			}
+			return err
+		}
+		s.admit(nc)
+	}
+}
+
+// admit applies admission control and either starts serving the
+// connection or refuses it with an Error frame.
+func (s *Server) admit(nc net.Conn) {
+	m := s.db.Metrics()
+	s.mu.Lock()
+	refuse := ""
+	switch {
+	case s.closing:
+		refuse = "server is shutting down"
+	case s.cfg.MaxConns > 0 && len(s.conns) >= s.cfg.MaxConns:
+		refuse = fmt.Sprintf("server is at its connection limit (%d)", s.cfg.MaxConns)
+	}
+	if refuse != "" {
+		s.mu.Unlock()
+		m.ConnsRejected.Add(1)
+		_ = nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_ = wire.WriteFrame(nc, wire.Error, []byte(refuse))
+		nc.Close()
+		return
+	}
+	c := &conn{srv: s, nc: nc, sess: s.db.NewSession()}
+	s.conns[c] = struct{}{}
+	s.wg.Add(1)
+	s.mu.Unlock()
+	m.ConnsOpened.Add(1)
+	m.ConnsActive.Add(1)
+	go c.serve()
+}
+
+// Shutdown gracefully drains the server: stop accepting, close idle
+// connections, let in-flight statements finish for the configured
+// DrainGrace (their responses are still delivered), then cancel whatever
+// is left — cancelled statements still answer with an Error frame — and
+// wait for every connection to tear down. ctx bounds the whole wait.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	s.closing = true
+	lis := s.lis
+	conns := make([]*conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+
+	if lis != nil {
+		lis.Close()
+	}
+	for _, c := range conns {
+		c.drain()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	grace := time.NewTimer(s.cfg.DrainGrace)
+	defer grace.Stop()
+	select {
+	case <-done:
+		s.baseCancel()
+		return nil
+	case <-grace.C:
+	case <-ctx.Done():
+	}
+	// Grace expired (or the caller gave up waiting): cancel in-flight
+	// statements. Each still writes its error response before closing.
+	s.baseCancel()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// conn is one client connection: a session, the socket, and the drain
+// handshake state.
+type conn struct {
+	srv  *Server
+	nc   net.Conn
+	sess *engine.Session
+
+	mu       sync.Mutex
+	busy     bool // a statement is executing
+	draining bool // close as soon as the current response is written
+}
+
+// serve runs the request loop. Requests are read ahead on a separate
+// goroutine so a client disconnect cancels the statement it was waiting
+// on instead of leaving it running to completion.
+func (c *conn) serve() {
+	defer c.teardown()
+	ctx, cancel := context.WithCancel(c.srv.baseCtx)
+	defer cancel()
+
+	reqs := make(chan string)
+	go func() {
+		defer close(reqs)
+		br := bufio.NewReader(c.nc)
+		for {
+			typ, payload, err := wire.ReadFrame(br)
+			if err != nil || typ != wire.Query {
+				// Disconnect or protocol violation: abort whatever the
+				// connection is running and stop reading.
+				cancel()
+				return
+			}
+			select {
+			case reqs <- string(payload):
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+
+	bw := bufio.NewWriter(c.nc)
+	for text := range reqs {
+		if !c.beginStatement() {
+			return // draining: don't start new work
+		}
+		typ, payload := c.execute(ctx, text)
+		werr := wire.WriteFrame(bw, typ, payload)
+		if werr == nil {
+			werr = bw.Flush()
+		}
+		drained := c.endStatement()
+		if werr != nil || drained || ctx.Err() != nil {
+			return
+		}
+	}
+}
+
+// execute runs one request on the connection's session and encodes the
+// response frame.
+func (c *conn) execute(ctx context.Context, text string) (byte, []byte) {
+	res, err := c.sess.ExecContext(ctx, text)
+	if err != nil {
+		return wire.Error, []byte(err.Error())
+	}
+	if res == nil || len(res.Columns) == 0 {
+		affected := 0
+		if res != nil {
+			affected = res.Affected
+		}
+		return wire.Affected, strconv.AppendInt(nil, int64(affected), 10)
+	}
+	rs := &wire.ResultSet{Columns: res.Columns, Types: resultTypes(res), Rows: res.Rows}
+	return wire.Result, wire.EncodeResultSet(rs)
+}
+
+// resultTypes returns the column types of a result, falling back to the
+// first row's value types (then VARCHAR) for results that carry none,
+// e.g. EXPLAIN text.
+func resultTypes(res *engine.Result) []types.Type {
+	if len(res.Types) == len(res.Columns) {
+		return res.Types
+	}
+	out := make([]types.Type, len(res.Columns))
+	for i := range out {
+		if len(res.Rows) > 0 && i < len(res.Rows[0]) && res.Rows[0][i].T != types.Unknown {
+			out[i] = res.Rows[0][i].T
+		} else {
+			out[i] = types.String
+		}
+	}
+	return out
+}
+
+// beginStatement marks the connection busy; it reports false when the
+// server is draining and no new statement may start.
+func (c *conn) beginStatement() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.draining {
+		return false
+	}
+	c.busy = true
+	return true
+}
+
+// endStatement clears the busy flag and reports whether a drain request
+// arrived while the statement ran.
+func (c *conn) endStatement() bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.busy = false
+	return c.draining
+}
+
+// drain asks the connection to finish up: an idle connection closes
+// immediately, a busy one closes right after its response is written.
+func (c *conn) drain() {
+	c.mu.Lock()
+	busy := c.busy
+	c.draining = true
+	c.mu.Unlock()
+	if !busy {
+		c.nc.Close()
+	}
+}
+
+// teardown releases everything the connection holds.
+func (c *conn) teardown() {
+	c.sess.Close()
+	c.nc.Close()
+	s := c.srv
+	s.mu.Lock()
+	delete(s.conns, c)
+	s.mu.Unlock()
+	m := s.db.Metrics()
+	m.ConnsClosed.Add(1)
+	m.ConnsActive.Add(-1)
+	s.wg.Done()
+}

@@ -1,0 +1,501 @@
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/faultinject"
+	"lambdadb/internal/server/client"
+	"lambdadb/internal/types"
+)
+
+// startServer brings up a server on a loopback ephemeral port and returns
+// it with its DB and address. The server is drained at test end.
+func startServer(t *testing.T, cfg Config, opts ...engine.Option) (*Server, *engine.DB, string) {
+	t.Helper()
+	db := engine.Open(opts...)
+	cfg.Addr = "127.0.0.1:0"
+	srv := New(db, cfg)
+	if err := srv.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	serveDone := make(chan error, 1)
+	go func() { serveDone <- srv.Serve() }()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			t.Errorf("shutdown: %v", err)
+		}
+		if err := <-serveDone; err != nil {
+			t.Errorf("serve: %v", err)
+		}
+	})
+	return srv, db, srv.Addr().String()
+}
+
+func dial(t *testing.T, addr string) *client.Conn {
+	t.Helper()
+	c, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return c
+}
+
+// bulkLoad inserts n rows directly through the storage layer (building a
+// megabyte of INSERT text would only slow the test down).
+func bulkLoad(t *testing.T, db *engine.DB, table string, n int) {
+	t.Helper()
+	tbl, err := db.Store().Table(table)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Store().Begin()
+	b := types.NewBatch(tbl.Schema())
+	for i := 0; i < n; i++ {
+		b.AppendRow([]types.Value{types.NewInt(int64(i)), types.NewFloat(float64(i))})
+	}
+	if err := tx.Insert(tbl, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerBasicExec(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dial(t, addr)
+
+	if _, err := c.Exec(`CREATE TABLE t (n BIGINT, f DOUBLE, s VARCHAR, b BOOLEAN)`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Exec(`INSERT INTO t VALUES (1, 1.5, 'one', true), (2, 2.5, 'two', false)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Affected != 2 {
+		t.Errorf("affected = %d, want 2", r.Affected)
+	}
+	if _, err := c.Exec(`INSERT INTO t (n) VALUES (3)`); err != nil {
+		t.Fatal(err)
+	}
+
+	r, err = c.Exec(`SELECT n, f, s, b FROM t ORDER BY n`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantTypes := []types.Type{types.Int64, types.Float64, types.String, types.Bool}
+	for i, w := range wantTypes {
+		if r.Types[i] != w {
+			t.Errorf("column %d type = %s, want %s", i, r.Types[i], w)
+		}
+	}
+	if len(r.Rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(r.Rows))
+	}
+	if r.Rows[0][0].I != 1 || r.Rows[0][1].F != 1.5 || r.Rows[0][2].S != "one" || !r.Rows[0][3].B {
+		t.Errorf("row 0 = %v", r.Rows[0])
+	}
+	if !r.Rows[2][1].Null || !r.Rows[2][2].Null || !r.Rows[2][3].Null {
+		t.Errorf("row 2 should carry NULLs: %v", r.Rows[2])
+	}
+
+	// A server-side error keeps the connection usable.
+	_, err = c.Exec(`SELECT * FROM missing`)
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *client.ServerError", err)
+	}
+	if r, err = c.Exec(`SELECT count(*) FROM t`); err != nil {
+		t.Fatalf("connection unusable after server error: %v", err)
+	}
+	if r.Rows[0][0].I != 3 {
+		t.Errorf("count = %v", r.Rows[0][0])
+	}
+}
+
+// TestServerTransactionsPerConnection: BEGIN state is connection-local.
+func TestServerTransactionsPerConnection(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c1, c2 := dial(t, addr), dial(t, addr)
+
+	if _, err := c1.Exec(`CREATE TABLE t (n BIGINT); BEGIN; INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	// c2 must not see c1's uncommitted insert.
+	r, err := c2.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 0 {
+		t.Errorf("uncommitted row visible across connections: %v", r.Rows[0][0])
+	}
+	if _, err := c1.Exec(`COMMIT`); err != nil {
+		t.Fatal(err)
+	}
+	r, err = c2.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Rows[0][0].I != 1 {
+		t.Errorf("committed row missing: %v", r.Rows[0][0])
+	}
+	// A failed statement aborts c2's transaction server-side too.
+	if _, err := c2.Exec(`BEGIN; SELECT * FROM nope`); err == nil {
+		t.Fatal("want error")
+	}
+	if _, err := c2.Exec(`BEGIN`); err != nil {
+		t.Errorf("transaction left open after failed statement: %v", err)
+	}
+	if _, err := c2.Exec(`ROLLBACK`); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestServerConcurrentClients is the multi-client stress test: many
+// connections run mixed BEGIN/DML/SELECT traffic concurrently against the
+// same tables. Run under -race via `make race`. Serialization conflicts
+// are expected (first committer wins) — anything else fails the test.
+func TestServerConcurrentClients(t *testing.T) {
+	_, db, addr := startServer(t, Config{})
+	setup := dial(t, addr)
+	if _, err := setup.Exec(`CREATE TABLE acct (id BIGINT, bal DOUBLE); CREATE TABLE audit (id BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := setup.Exec(`INSERT INTO acct VALUES (1, 100), (2, 100), (3, 100), (4, 100)`); err != nil {
+		t.Fatal(err)
+	}
+
+	const clients = 10
+	const rounds = 40
+	var conflicts, commits atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < clients; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(w) + 99))
+			for i := 0; i < rounds; i++ {
+				id := 1 + rng.Intn(4)
+				var err error
+				switch rng.Intn(4) {
+				case 0: // read-only
+					_, err = c.Exec(`SELECT sum(bal), count(*) FROM acct`)
+				case 1: // autocommit DML
+					_, err = c.Exec(fmt.Sprintf(`INSERT INTO audit VALUES (%d)`, w*rounds+i))
+				case 2: // explicit transaction, update + read + commit
+					_, err = c.Exec(fmt.Sprintf(
+						`BEGIN; UPDATE acct SET bal = bal + 1 WHERE id = %d; SELECT bal FROM acct WHERE id = %d; COMMIT`, id, id))
+					if err == nil {
+						commits.Add(1)
+					}
+				default: // explicit transaction rolled back
+					_, err = c.Exec(fmt.Sprintf(
+						`BEGIN; UPDATE acct SET bal = bal - 1000 WHERE id = %d; ROLLBACK`, id))
+				}
+				if err != nil {
+					var se *client.ServerError
+					if errors.As(err, &se) && strings.Contains(se.Msg, "serialization conflict") {
+						conflicts.Add(1)
+						continue
+					}
+					t.Errorf("client %d: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	// Committed updates each added exactly 1; rolled-back ones nothing.
+	check := dial(t, addr)
+	r, err := check.Exec(`SELECT sum(bal) FROM acct`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 400 + float64(commits.Load())
+	if got := r.Rows[0][0].AsFloat(); got != want {
+		t.Errorf("sum(bal) = %v, want %v (%d commits, %d conflicts)", got, want, commits.Load(), conflicts.Load())
+	}
+	// Every client session was torn down except setup/check.
+	if got := db.Metrics().ConnsOpened.Load(); got < clients+2 {
+		t.Errorf("conns_opened = %d, want >= %d", got, clients+2)
+	}
+}
+
+func TestServerMaxConns(t *testing.T) {
+	_, db, addr := startServer(t, Config{MaxConns: 2})
+	c1, c2 := dial(t, addr), dial(t, addr)
+	if _, err := c1.Exec(`SELECT 1`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c2.Exec(`SELECT 1`); err != nil {
+		t.Fatal(err)
+	}
+
+	// The third connection is refused with an Error frame.
+	c3, err := client.Dial(addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c3.Close()
+	_, err = c3.Exec(`SELECT 1`)
+	var se *client.ServerError
+	if !errors.As(err, &se) || !strings.Contains(se.Msg, "connection limit") {
+		t.Fatalf("err = %v, want connection-limit ServerError", err)
+	}
+	if got := db.Metrics().ConnsRejected.Load(); got != 1 {
+		t.Errorf("conns_rejected = %d, want 1", got)
+	}
+
+	// Freeing a slot admits new clients again (teardown is async, poll).
+	c1.Close()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		c4, err := client.Dial(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, err = c4.Exec(`SELECT 1`)
+		c4.Close()
+		if err == nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("slot never freed: %v", err)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestServerMetricsOverWire: the server's own counters are queryable
+// through the server, and statements land in system.query_log.
+func TestServerMetricsOverWire(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	if _, err := c.Exec(`CREATE TABLE t (n BIGINT); INSERT INTO t VALUES (1)`); err != nil {
+		t.Fatal(err)
+	}
+	r, err := c.Exec(`SELECT name, value FROM system.metrics`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	vals := map[string]int64{}
+	for _, row := range r.Rows {
+		vals[row[0].S] = row[1].I
+	}
+	if vals["conns_opened"] < 1 || vals["conns_active"] < 1 {
+		t.Errorf("connection counters missing from system.metrics: %v", vals)
+	}
+	if vals["statements_total"] < 2 {
+		t.Errorf("statements_total = %d", vals["statements_total"])
+	}
+	r, err = c.Exec(`SELECT statement FROM system.query_log`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, row := range r.Rows {
+		if strings.Contains(row[0].S, "CREATE TABLE t") {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("CREATE TABLE statement missing from system.query_log")
+	}
+}
+
+// TestServerDrainDeliversInFlightResponse: Shutdown while a statement is
+// executing must deliver that statement's response before closing, and
+// must refuse new connections immediately.
+func TestServerDrainDeliversInFlightResponse(t *testing.T) {
+	defer faultinject.Reset()
+	srv, db, addr := startServer(t, Config{DrainGrace: 30 * time.Second})
+	c := dial(t, addr)
+	if _, err := c.Exec(`CREATE TABLE big (n BIGINT, f DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	bulkLoad(t, db, "big", 8*types.BatchSize)
+
+	// First scan batch parks on a channel: the statement is reliably
+	// in-flight while we start the drain.
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var once sync.Once
+	faultinject.Set("exec.scan.batch", func() error {
+		once.Do(func() {
+			close(entered)
+			<-release
+		})
+		return nil
+	})
+
+	type outcome struct {
+		res *client.Result
+		err error
+	}
+	resCh := make(chan outcome, 1)
+	go func() {
+		r, err := c.Exec(`SELECT sum(f) FROM big`)
+		resCh <- outcome{r, err}
+	}()
+	<-entered
+
+	shutdownDone := make(chan error, 1)
+	go func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		shutdownDone <- srv.Shutdown(ctx)
+	}()
+
+	// New clients are refused while the drain waits for the statement.
+	refusedBy := time.Now().Add(5 * time.Second)
+	for {
+		nc, err := client.Dial(addr)
+		if err != nil {
+			break // listener closed: also a refusal
+		}
+		_, err = nc.Exec(`SELECT 1`)
+		nc.Close()
+		if err != nil {
+			break
+		}
+		if time.Now().After(refusedBy) {
+			t.Fatal("server kept serving new connections during drain")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+
+	close(release)
+	got := <-resCh
+	if got.err != nil {
+		t.Fatalf("in-flight statement's response dropped during drain: %v", got.err)
+	}
+	if len(got.res.Rows) != 1 {
+		t.Fatalf("rows = %d", len(got.res.Rows))
+	}
+	if err := <-shutdownDone; err != nil {
+		t.Fatalf("drain failed: %v", err)
+	}
+}
+
+// TestServerDrainCancelsAfterGrace: a statement still running when the
+// grace expires is cancelled, and its *error* response is still delivered.
+func TestServerDrainCancelsAfterGrace(t *testing.T) {
+	defer faultinject.Reset()
+	srv, db, addr := startServer(t, Config{DrainGrace: 100 * time.Millisecond})
+	c := dial(t, addr)
+	if _, err := c.Exec(`CREATE TABLE big (n BIGINT, f DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	bulkLoad(t, db, "big", 64*types.BatchSize)
+
+	entered := make(chan struct{})
+	var once sync.Once
+	faultinject.Set("exec.scan.batch", func() error {
+		once.Do(func() { close(entered) })
+		time.Sleep(20 * time.Millisecond) // ~64 batches -> far beyond the grace
+		return nil
+	})
+
+	errCh := make(chan error, 1)
+	go func() {
+		_, err := c.Exec(`SELECT sum(f) FROM big`)
+		errCh <- err
+	}()
+	<-entered
+
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	err := <-errCh
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("cancelled statement's response not delivered: %v", err)
+	}
+	if !strings.Contains(strings.ToLower(se.Msg), "cancel") {
+		t.Errorf("error does not look like a cancellation: %q", se.Msg)
+	}
+	if got := db.Metrics().StatementsCancelled.Load(); got < 1 {
+		t.Errorf("statements_cancelled = %d, want >= 1", got)
+	}
+}
+
+// TestServerDisconnectCancelsStatement: a client dropping mid-statement
+// cancels the statement server-side instead of letting it run on.
+func TestServerDisconnectCancelsStatement(t *testing.T) {
+	defer faultinject.Reset()
+	_, db, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	if _, err := c.Exec(`CREATE TABLE big (n BIGINT, f DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	bulkLoad(t, db, "big", 256*types.BatchSize)
+
+	entered := make(chan struct{})
+	var once sync.Once
+	faultinject.Set("exec.scan.batch", func() error {
+		once.Do(func() { close(entered) })
+		time.Sleep(10 * time.Millisecond) // ~256 batches: seconds of work if never cancelled
+		return nil
+	})
+
+	go func() {
+		_, _ = c.Exec(`SELECT sum(f) FROM big`)
+	}()
+	<-entered
+	c.Close()
+
+	deadline := time.Now().Add(10 * time.Second)
+	for db.Metrics().StatementsCancelled.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("statement was not cancelled after client disconnect")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// TestClientContextCancellation: cancelling the client context closes the
+// connection and surfaces context.Canceled.
+func TestClientContextCancellation(t *testing.T) {
+	defer faultinject.Reset()
+	_, db, addr := startServer(t, Config{})
+	c := dial(t, addr)
+	if _, err := c.Exec(`CREATE TABLE big (n BIGINT, f DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	bulkLoad(t, db, "big", 256*types.BatchSize)
+	faultinject.Set("exec.scan.batch", func() error {
+		time.Sleep(10 * time.Millisecond)
+		return nil
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel()
+	}()
+	_, err := c.ExecContext(ctx, `SELECT sum(f) FROM big`)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+}

@@ -1,0 +1,160 @@
+package server
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"lambdadb/internal/server/client"
+)
+
+// TestServerBinarySmoke is the end-to-end smoke run used by `make
+// server-smoke` and CI: build the real lambdaserver and sqlshell binaries,
+// start the server, hammer it with concurrent remote clients plus a
+// sqlshell -connect script, then SIGTERM it and require a clean exit 0.
+// It is gated behind LAMBDADB_SERVER_SMOKE=1 because it builds binaries
+// and forks processes, which the ordinary unit-test run should not.
+func TestServerBinarySmoke(t *testing.T) {
+	if os.Getenv("LAMBDADB_SERVER_SMOKE") != "1" {
+		t.Skip("set LAMBDADB_SERVER_SMOKE=1 to run the binary smoke test")
+	}
+
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "lambdaserver")
+	shellBin := filepath.Join(dir, "sqlshell")
+	for bin, pkg := range map[string]string{
+		serverBin: "lambdadb/cmd/lambdaserver",
+		shellBin:  "lambdadb/cmd/sqlshell",
+	} {
+		out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput()
+		if err != nil {
+			t.Fatalf("go build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	initSQL := filepath.Join(dir, "init.sql")
+	if err := os.WriteFile(initSQL, []byte(
+		"CREATE TABLE kv (k BIGINT, v BIGINT);\n"+
+			"INSERT INTO kv VALUES (1, 100), (2, 200), (3, 300);\n",
+	), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	srv := exec.Command(serverBin, "-addr", "127.0.0.1:0", "-init", initSQL, "-grace", "5s")
+	stdout, err := srv.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stderr bytes.Buffer
+	srv.Stderr = &stderr
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Process.Kill()
+
+	// The first stdout line announces the bound address.
+	addr := ""
+	sc := bufio.NewScanner(stdout)
+	if sc.Scan() {
+		line := sc.Text()
+		const prefix = "lambdaserver listening on "
+		if !strings.HasPrefix(line, prefix) {
+			t.Fatalf("unexpected startup line %q", line)
+		}
+		addr = strings.TrimPrefix(line, prefix)
+	}
+	if addr == "" {
+		t.Fatalf("server never announced its address; stderr:\n%s", stderr.String())
+	}
+	go func() { // drain any further stdout so the child never blocks
+		for sc.Scan() {
+		}
+	}()
+
+	// Concurrent remote clients doing mixed reads, writes, and transactions.
+	const clients = 8
+	var wg sync.WaitGroup
+	errs := make(chan error, clients)
+	for i := 0; i < clients; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			c, err := client.Dial(addr)
+			if err != nil {
+				errs <- fmt.Errorf("client %d dial: %w", id, err)
+				return
+			}
+			defer c.Close()
+			rng := rand.New(rand.NewSource(int64(id)))
+			for round := 0; round < 30; round++ {
+				var err error
+				switch rng.Intn(3) {
+				case 0:
+					_, err = c.Exec("SELECT k, v FROM kv")
+				case 1:
+					_, err = c.Exec(fmt.Sprintf("INSERT INTO kv VALUES (%d, %d)", 100+id, round))
+				default:
+					_, err = c.Exec(fmt.Sprintf(
+						"BEGIN; UPDATE kv SET v = v + 1 WHERE k = %d; COMMIT", 1+rng.Intn(3)))
+				}
+				if err != nil {
+					var se *client.ServerError
+					if errors.As(err, &se) && strings.Contains(se.Msg, "conflict") {
+						continue // serialization conflicts are expected under contention
+					}
+					errs <- fmt.Errorf("client %d round %d: %w", id, round, err)
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+
+	// sqlshell -connect runs a script against the live server.
+	script := filepath.Join(dir, "probe.sql")
+	if err := os.WriteFile(script, []byte("SELECT COUNT(*) AS n FROM kv;\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	out, err := exec.Command(shellBin, "-connect", addr, "-f", script).CombinedOutput()
+	if err != nil {
+		t.Fatalf("sqlshell -connect: %v\n%s", err, out)
+	}
+	if !strings.Contains(string(out), "n") {
+		t.Errorf("sqlshell output missing result column:\n%s", out)
+	}
+
+	// Graceful shutdown: SIGTERM must drain and exit 0.
+	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	waitCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- srv.Wait() }()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("server exited non-zero after SIGTERM: %v\nstderr:\n%s", err, stderr.String())
+		}
+	case <-waitCtx.Done():
+		t.Fatalf("server did not exit within 30s of SIGTERM; stderr:\n%s", stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "drained cleanly") {
+		t.Errorf("server stderr missing drain confirmation:\n%s", stderr.String())
+	}
+}

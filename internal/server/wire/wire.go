@@ -1,0 +1,263 @@
+// Package wire implements the length-prefixed text protocol spoken between
+// lambdaserver and its clients.
+//
+// Every frame is [1-byte type][4-byte big-endian payload length][payload],
+// payloads are UTF-8 text. The client sends Query frames, each carrying one
+// or more semicolon-separated SQL statements; the server answers every
+// Query with exactly one frame — Result (a typed result set), Affected (a
+// decimal row count), or Error (a message; the connection stays usable).
+//
+// A Result payload is newline-separated lines: a header line of "name:TYPE"
+// fields joined by tabs, then one line per row of tab-separated encoded
+// values. Value text escapes backslash, tab, newline, and carriage return
+// as '\\', '\t', '\n', '\r', and spells NULL as '\N', so every string value
+// round-trips and the separators stay unambiguous.
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"lambdadb/internal/types"
+)
+
+// Frame types.
+const (
+	Query    byte = 'Q' // client -> server: SQL text
+	Result   byte = 'R' // server -> client: typed result set
+	Affected byte = 'A' // server -> client: affected-row count
+	Error    byte = 'E' // server -> client: error message
+)
+
+// MaxFrame bounds a frame payload; oversized frames are a protocol error,
+// so a corrupt or malicious length prefix cannot drive an allocation.
+const MaxFrame = 16 << 20
+
+// WriteFrame writes one frame.
+func WriteFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("wire: %d-byte payload exceeds the %d-byte frame limit", len(payload), MaxFrame)
+	}
+	var hdr [5]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one frame.
+func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	var hdr [5]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("wire: %d-byte frame exceeds the %d-byte limit", n, MaxFrame)
+	}
+	payload = make([]byte, n)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], payload, nil
+}
+
+// ResultSet is the decoded form of a Result frame.
+type ResultSet struct {
+	Columns []string
+	Types   []types.Type
+	Rows    [][]types.Value
+}
+
+// EncodeResultSet renders a result set as a Result payload.
+func EncodeResultSet(rs *ResultSet) []byte {
+	var b []byte
+	for i, name := range rs.Columns {
+		if i > 0 {
+			b = append(b, '\t')
+		}
+		b = appendEscaped(b, name)
+		b = append(b, ':')
+		b = append(b, rs.Types[i].String()...)
+	}
+	for _, row := range rs.Rows {
+		b = append(b, '\n')
+		for i, v := range row {
+			if i > 0 {
+				b = append(b, '\t')
+			}
+			b = appendValue(b, v)
+		}
+	}
+	return b
+}
+
+// DecodeResultSet parses a Result payload.
+func DecodeResultSet(payload []byte) (*ResultSet, error) {
+	lines := strings.Split(string(payload), "\n")
+	header := strings.Split(lines[0], "\t")
+	rs := &ResultSet{
+		Columns: make([]string, len(header)),
+		Types:   make([]types.Type, len(header)),
+	}
+	for i, h := range header {
+		colon := strings.LastIndexByte(h, ':')
+		if colon < 0 {
+			return nil, fmt.Errorf("wire: malformed result header field %q", h)
+		}
+		name, _, err := unescape(h[:colon])
+		if err != nil {
+			return nil, err
+		}
+		rs.Columns[i] = name
+		rs.Types[i] = typeFromName(h[colon+1:])
+	}
+	rs.Rows = make([][]types.Value, 0, len(lines)-1)
+	for _, line := range lines[1:] {
+		fields := strings.Split(line, "\t")
+		if len(fields) != len(header) {
+			return nil, fmt.Errorf("wire: row has %d fields, header has %d", len(fields), len(header))
+		}
+		row := make([]types.Value, len(fields))
+		for i, f := range fields {
+			v, err := decodeValue(f, rs.Types[i])
+			if err != nil {
+				return nil, fmt.Errorf("wire: column %q: %w", rs.Columns[i], err)
+			}
+			row[i] = v
+		}
+		rs.Rows = append(rs.Rows, row)
+	}
+	return rs, nil
+}
+
+// typeFromName maps the SQL spelling produced by types.Type.String back to
+// the type; unrecognized names decode as strings.
+func typeFromName(s string) types.Type {
+	switch s {
+	case "BIGINT":
+		return types.Int64
+	case "DOUBLE":
+		return types.Float64
+	case "VARCHAR":
+		return types.String
+	case "BOOLEAN":
+		return types.Bool
+	}
+	return types.Unknown
+}
+
+// appendValue encodes one value.
+func appendValue(b []byte, v types.Value) []byte {
+	if v.Null {
+		return append(b, '\\', 'N')
+	}
+	switch v.T {
+	case types.Int64:
+		return strconv.AppendInt(b, v.I, 10)
+	case types.Float64:
+		return strconv.AppendFloat(b, v.F, 'g', -1, 64)
+	case types.Bool:
+		return strconv.AppendBool(b, v.B)
+	default:
+		return appendEscaped(b, v.String())
+	}
+}
+
+// decodeValue parses one encoded value as type t. Unknown-typed columns
+// decode as strings.
+func decodeValue(s string, t types.Type) (types.Value, error) {
+	text, isNull, err := unescape(s)
+	if err != nil {
+		return types.Value{}, err
+	}
+	if isNull {
+		return types.NewNull(t), nil
+	}
+	switch t {
+	case types.Int64:
+		n, err := strconv.ParseInt(text, 10, 64)
+		if err != nil {
+			return types.Value{}, fmt.Errorf("bad BIGINT %q", text)
+		}
+		return types.NewInt(n), nil
+	case types.Float64:
+		f, err := strconv.ParseFloat(text, 64)
+		if err != nil {
+			return types.Value{}, fmt.Errorf("bad DOUBLE %q", text)
+		}
+		return types.NewFloat(f), nil
+	case types.Bool:
+		switch text {
+		case "true":
+			return types.NewBool(true), nil
+		case "false":
+			return types.NewBool(false), nil
+		}
+		return types.Value{}, fmt.Errorf("bad BOOLEAN %q", text)
+	default:
+		return types.NewString(text), nil
+	}
+}
+
+// appendEscaped writes s with the protocol's separator characters escaped.
+func appendEscaped(b []byte, s string) []byte {
+	for i := 0; i < len(s); i++ {
+		switch c := s[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '\t':
+			b = append(b, '\\', 't')
+		case '\n':
+			b = append(b, '\\', 'n')
+		case '\r':
+			b = append(b, '\\', 'r')
+		default:
+			b = append(b, c)
+		}
+	}
+	return b
+}
+
+// unescape reverses appendEscaped; the bare token `\N` decodes as NULL
+// (a literal backslash-N string value arrives as `\\N`).
+func unescape(s string) (text string, isNull bool, err error) {
+	if s == `\N` {
+		return "", true, nil
+	}
+	if !strings.ContainsRune(s, '\\') {
+		return s, false, nil
+	}
+	var b strings.Builder
+	b.Grow(len(s))
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c != '\\' {
+			b.WriteByte(c)
+			continue
+		}
+		i++
+		if i >= len(s) {
+			return "", false, fmt.Errorf("wire: dangling escape in %q", s)
+		}
+		switch s[i] {
+		case '\\':
+			b.WriteByte('\\')
+		case 't':
+			b.WriteByte('\t')
+		case 'n':
+			b.WriteByte('\n')
+		case 'r':
+			b.WriteByte('\r')
+		default:
+			return "", false, fmt.Errorf("wire: bad escape \\%c in %q", s[i], s)
+		}
+	}
+	return b.String(), false, nil
+}

@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"bytes"
+	"math"
+	"reflect"
+	"testing"
+
+	"lambdadb/internal/types"
+)
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	payloads := [][]byte{[]byte("SELECT 1"), {}, []byte("x")}
+	for _, p := range payloads {
+		if err := WriteFrame(&buf, Query, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, want := range payloads {
+		typ, got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if typ != Query || !bytes.Equal(got, want) {
+			t.Errorf("frame = (%c, %q), want (Q, %q)", typ, got, want)
+		}
+	}
+}
+
+func TestFrameLimit(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, Query, make([]byte, MaxFrame+1)); err == nil {
+		t.Error("oversized write should fail")
+	}
+	// A corrupt length prefix must error out, not allocate.
+	buf.Write([]byte{Query, 0xff, 0xff, 0xff, 0xff})
+	if _, _, err := ReadFrame(&buf); err == nil {
+		t.Error("oversized read should fail")
+	}
+}
+
+func TestResultSetRoundTrip(t *testing.T) {
+	rs := &ResultSet{
+		Columns: []string{"n", "f", "s", "b"},
+		Types:   []types.Type{types.Int64, types.Float64, types.String, types.Bool},
+		Rows: [][]types.Value{
+			{types.NewInt(-42), types.NewFloat(math.Pi), types.NewString("plain"), types.NewBool(true)},
+			{types.NewNull(types.Int64), types.NewNull(types.Float64), types.NewNull(types.String), types.NewNull(types.Bool)},
+			{types.NewInt(0), types.NewFloat(-0.5), types.NewString("tab\tnewline\nback\\slash\rend"), types.NewBool(false)},
+			{types.NewInt(math.MaxInt64), types.NewFloat(1e-300), types.NewString(`\N`), types.NewBool(true)},
+			{types.NewInt(7), types.NewFloat(2), types.NewString(""), types.NewBool(false)},
+		},
+	}
+	got, err := DecodeResultSet(EncodeResultSet(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, rs) {
+		t.Errorf("round trip mismatch:\n got %+v\nwant %+v", got, rs)
+	}
+}
+
+func TestResultSetEmptyRows(t *testing.T) {
+	rs := &ResultSet{
+		Columns: []string{"only"},
+		Types:   []types.Type{types.String},
+		Rows:    [][]types.Value{},
+	}
+	got, err := DecodeResultSet(EncodeResultSet(rs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Rows) != 0 || got.Columns[0] != "only" || got.Types[0] != types.String {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestDecodeRejectsMalformed(t *testing.T) {
+	for _, payload := range []string{
+		"noheadercolon",
+		"a:BIGINT\n1\t2",    // too many fields
+		"a:BIGINT\nnotanum", // bad int
+		"a:BOOLEAN\nmaybe",  // bad bool
+		"a:BIGINT\n\\x",     // bad escape
+	} {
+		if _, err := DecodeResultSet([]byte(payload)); err == nil {
+			t.Errorf("payload %q decoded without error", payload)
+		}
+	}
+}

@@ -89,11 +89,17 @@ func (s *Store) Begin() *Txn {
 // Txn is a transaction: a snapshot for reads plus buffered writes that are
 // validated and applied atomically at commit. Write-write conflicts follow
 // first-committer-wins.
+//
+// A Txn is built by one statement executor at a time, but Commit and
+// Rollback may race with each other (a connection teardown rolling back
+// while a commit is in flight): the internal mutex makes that safe, and
+// whichever finishes the transaction first wins.
 type Txn struct {
 	store    *Store
 	snapshot uint64
-	done     bool
 
+	mu      sync.Mutex
+	done    bool
 	inserts []bufferedInsert
 	deletes []bufferedDelete
 }
@@ -111,8 +117,12 @@ type bufferedDelete struct {
 // Snapshot returns the transaction's read snapshot.
 func (tx *Txn) Snapshot() uint64 { return tx.snapshot }
 
-// Insert buffers rows for insertion into table at commit.
+// Insert buffers rows for insertion into table at commit. The batch must
+// match the table's column count and column types exactly: a mis-typed
+// batch would corrupt the column store when its vectors are bulk-appended.
 func (tx *Txn) Insert(table *Table, b *types.Batch) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	if tx.done {
 		return errTxnDone
 	}
@@ -120,12 +130,24 @@ func (tx *Txn) Insert(table *Table, b *types.Batch) error {
 		return fmt.Errorf("insert into %s: got %d columns, want %d",
 			table.name, len(b.Cols), len(table.schema))
 	}
+	for j, col := range table.schema {
+		if got := b.Cols[j].T; got != col.Type {
+			return &TypeMismatchError{
+				Table: table.name, Column: col.Name, Got: got, Want: col.Type,
+			}
+		}
+	}
 	tx.inserts = append(tx.inserts, bufferedInsert{table, b})
 	return nil
 }
 
-// Delete buffers the deletion of a physical row.
+// Delete buffers the deletion of a physical row. Buffering the same row
+// more than once is allowed (scans do not see the transaction's own
+// buffered deletes, so an UPDATE followed by a DELETE targets the same
+// physical rows twice); Commit deduplicates.
 func (tx *Txn) Delete(table *Table, row int) error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	if tx.done {
 		return errTxnDone
 	}
@@ -136,12 +158,25 @@ func (tx *Txn) Delete(table *Table, row int) error {
 // Commit validates and applies all buffered writes atomically, returning a
 // ConflictError if another transaction deleted one of our target rows after
 // our snapshot.
+//
+// Commit either publishes everything or publishes nothing: the commit
+// timestamp is only advanced after every buffered write applied, and a
+// failed commit unwinds any delete stamps it placed, so a later committer
+// can never accidentally publish a failed transaction's writes by reusing
+// its timestamp.
 func (tx *Txn) Commit() error {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	if tx.done {
 		return errTxnDone
 	}
 	tx.done = true
-	if len(tx.inserts) == 0 && len(tx.deletes) == 0 {
+	// One transaction may buffer the same physical row for deletion more
+	// than once (UPDATE then DELETE, or DELETE twice — scans never see the
+	// transaction's own buffered deletes). Deduplicate so the apply loop
+	// below stamps each row exactly once.
+	deletes := dedupeDeletes(tx.deletes)
+	if len(tx.inserts) == 0 && len(deletes) == 0 {
 		return nil
 	}
 	s := tx.store
@@ -149,19 +184,27 @@ func (tx *Txn) Commit() error {
 	defer s.commitMu.Unlock()
 
 	// Validate deletes first (first-committer-wins): any target row deleted
-	// after our snapshot is a conflict.
-	for _, d := range tx.deletes {
-		_, del := d.table.rowVersion(d.row)
+	// after our snapshot is a conflict. Bounds are checked here too, so an
+	// invalid row index fails the commit before anything is stamped.
+	for _, d := range deletes {
+		_, del, err := d.table.rowVersion(d.row)
+		if err != nil {
+			return err
+		}
 		if del != 0 && del > tx.snapshot {
 			return &ConflictError{Table: d.table.name, Row: d.row}
 		}
 	}
 
 	ts := s.clock.Load() + 1
-	for _, d := range tx.deletes {
+	for k, d := range deletes {
 		if err := d.table.deleteRow(d.row, ts, tx.snapshot); err != nil {
-			// Cannot happen after validation while holding commitMu, but
-			// surface it rather than hide it.
+			// Cannot happen after validation while holding commitMu, but if
+			// it ever does, unwind the stamps already placed: ts was never
+			// published, and the next committer will reuse it.
+			for _, u := range deletes[:k] {
+				u.table.undeleteRow(u.row, ts)
+			}
 			return err
 		}
 	}
@@ -173,8 +216,34 @@ func (tx *Txn) Commit() error {
 	return nil
 }
 
+// dedupeDeletes drops repeated (table, row) targets, keeping first
+// occurrence order. The common cases (no deletes, a single delete) return
+// the slice untouched.
+func dedupeDeletes(ds []bufferedDelete) []bufferedDelete {
+	if len(ds) < 2 {
+		return ds
+	}
+	type target struct {
+		t   *Table
+		row int
+	}
+	seen := make(map[target]struct{}, len(ds))
+	out := ds[:0]
+	for _, d := range ds {
+		k := target{d.table, d.row}
+		if _, dup := seen[k]; dup {
+			continue
+		}
+		seen[k] = struct{}{}
+		out = append(out, d)
+	}
+	return out
+}
+
 // Rollback discards all buffered writes.
 func (tx *Txn) Rollback() {
+	tx.mu.Lock()
+	defer tx.mu.Unlock()
 	tx.done = true
 	tx.inserts = nil
 	tx.deletes = nil

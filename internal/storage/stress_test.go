@@ -1,0 +1,177 @@
+package storage
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"lambdadb/internal/types"
+)
+
+// TestParallelCommitters hammers the transaction layer with concurrent
+// insert/delete/conflict traffic and asserts the commit-clock invariants:
+// the clock is monotone, every successful commit with writes advances it by
+// exactly one (no timestamp reuse, no lost advance), no row ever carries a
+// timestamp newer than the published clock, and NumRows matches the
+// effective insert/delete balance. Run under -race this also exercises the
+// locking of the store, tables, and transactions.
+func TestParallelCommitters(t *testing.T) {
+	s := NewStore()
+	tbl, _ := s.CreateTable("t", testSchema())
+
+	// Contended rows: every worker tries to delete these; first committer
+	// wins, the rest must either conflict or no-op.
+	insertRows(t, s, tbl, [][2]float64{{-1, 0}, {-2, 0}, {-3, 0}, {-4, 0}})
+	const contended = 4
+
+	const workers = 8
+	const rounds = 150
+	clock0 := s.Snapshot()
+
+	var (
+		commits     atomic.Int64 // successful commits with buffered writes
+		inserted    atomic.Int64 // rows inserted by successful commits
+		clockErrs   atomic.Int64
+		stopMonitor = make(chan struct{})
+		monitorDone = make(chan struct{})
+	)
+
+	// Monitor: the clock must never move backwards.
+	go func() {
+		defer close(monitorDone)
+		last := s.Snapshot()
+		for {
+			select {
+			case <-stopMonitor:
+				return
+			default:
+			}
+			now := s.Snapshot()
+			if now < last {
+				clockErrs.Add(1)
+				return
+			}
+			last = now
+		}
+	}()
+
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(w) + 1))
+			var ownRows []int // physical indices of rows this worker inserted
+			for i := 0; i < rounds; i++ {
+				switch op := rng.Intn(4); {
+				case op <= 1: // insert 1-3 rows
+					tx := s.Begin()
+					b := types.NewBatch(tbl.Schema())
+					n := 1 + rng.Intn(3)
+					for k := 0; k < n; k++ {
+						b.AppendRow([]types.Value{
+							types.NewInt(int64(w*1_000_000 + i*10 + k)),
+							types.NewFloat(float64(i)),
+						})
+					}
+					if err := tx.Insert(tbl, b); err != nil {
+						t.Error(err)
+						return
+					}
+					before := tbl.PhysicalRows()
+					if err := tx.Commit(); err != nil {
+						t.Errorf("insert commit: %v", err)
+						return
+					}
+					// Concurrent appends may land between `before` and our
+					// rows, so these indices are only *probably* ours — good
+					// enough: deleting another worker's row is still a valid
+					// operation, it just may conflict.
+					for k := 0; k < n; k++ {
+						ownRows = append(ownRows, before+k)
+					}
+					commits.Add(1)
+					inserted.Add(int64(n))
+				case op == 2 && len(ownRows) > 0: // delete a row believed ours
+					row := ownRows[rng.Intn(len(ownRows))]
+					tx := s.Begin()
+					if err := tx.Delete(tbl, row); err != nil {
+						t.Error(err)
+						return
+					}
+					// Duplicate the target sometimes: must never break commit.
+					if rng.Intn(2) == 0 {
+						if err := tx.Delete(tbl, row); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+					err := tx.Commit()
+					var conflict *ConflictError
+					switch {
+					case err == nil:
+						commits.Add(1)
+					case errors.As(err, &conflict):
+						// another worker's delete won on this row
+					default:
+						t.Errorf("delete commit: %v", err)
+						return
+					}
+				default: // fight over a contended row
+					tx := s.Begin()
+					if err := tx.Delete(tbl, rng.Intn(contended)); err != nil {
+						t.Error(err)
+						return
+					}
+					err := tx.Commit()
+					var conflict *ConflictError
+					switch {
+					case err == nil:
+						commits.Add(1)
+					case errors.As(err, &conflict):
+					default:
+						t.Errorf("contended commit: %v", err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopMonitor)
+	<-monitorDone
+	if clockErrs.Load() != 0 {
+		t.Fatal("commit clock moved backwards")
+	}
+
+	clockEnd := s.Snapshot()
+	if got, want := clockEnd-clock0, uint64(commits.Load()); got != want {
+		t.Errorf("clock advanced %d, want %d (one tick per successful commit)", got, want)
+	}
+
+	// No row may carry a timestamp newer than the published clock, and the
+	// live-row count must reconcile with the version metadata.
+	tbl.mu.RLock()
+	live := 0
+	for i := range tbl.createdAt {
+		if tbl.createdAt[i] > clockEnd {
+			t.Errorf("row %d createdAt %d > clock %d (unpublished timestamp)", i, tbl.createdAt[i], clockEnd)
+		}
+		if d := tbl.deletedAt[i]; d > clockEnd {
+			t.Errorf("row %d deletedAt %d > clock %d (unpublished timestamp)", i, d, clockEnd)
+		} else if d == 0 {
+			live++
+		}
+	}
+	phys := len(tbl.createdAt)
+	tbl.mu.RUnlock()
+
+	if got := tbl.NumRows(clockEnd); got != live {
+		t.Errorf("NumRows = %d, want %d (version metadata)", got, live)
+	}
+	if want := int(inserted.Load()) + contended; phys != want {
+		t.Errorf("physical rows = %d, want %d", phys, want)
+	}
+}

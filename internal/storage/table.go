@@ -170,6 +170,13 @@ func (t *Table) deleteRow(i int, ts, snapshot uint64) error {
 		return fmt.Errorf("storage: delete of out-of-range row %d in %s", i, t.name)
 	}
 	if d := t.deletedAt[i]; d != 0 {
+		if d == ts {
+			// Already stamped by this very commit (a duplicate buffered
+			// delete). Commit deduplicates, but a same-timestamp stamp must
+			// never read as a conflict: that would fail the commit after
+			// earlier stamps were placed.
+			return nil
+		}
 		if d > snapshot {
 			return &ConflictError{Table: t.name, Row: i}
 		}
@@ -183,11 +190,27 @@ func (t *Table) deleteRow(i int, ts, snapshot uint64) error {
 	return nil
 }
 
-// rowVersion returns (createdAt, deletedAt) of physical row i.
-func (t *Table) rowVersion(i int) (uint64, uint64) {
+// undeleteRow reverts a deleteRow stamp placed with ts by a commit that
+// subsequently failed, restoring the row's live status. Stamps placed by
+// other timestamps are left untouched.
+func (t *Table) undeleteRow(i int, ts uint64) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i >= 0 && i < len(t.deletedAt) && t.deletedAt[i] == ts {
+		t.deletedAt[i] = 0
+		t.liveRows++
+	}
+}
+
+// rowVersion returns (createdAt, deletedAt) of physical row i, or an error
+// when i is not a physical row of the table.
+func (t *Table) rowVersion(i int) (uint64, uint64, error) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
-	return t.createdAt[i], t.deletedAt[i]
+	if i < 0 || i >= len(t.createdAt) {
+		return 0, 0, fmt.Errorf("storage: version of out-of-range row %d in %s", i, t.name)
+	}
+	return t.createdAt[i], t.deletedAt[i], nil
 }
 
 // ConflictError reports a write-write conflict (first-committer-wins).
@@ -198,4 +221,18 @@ type ConflictError struct {
 
 func (e *ConflictError) Error() string {
 	return fmt.Sprintf("serialization conflict on table %q row %d", e.Table, e.Row)
+}
+
+// TypeMismatchError reports an insert batch whose column type does not
+// match the table schema.
+type TypeMismatchError struct {
+	Table  string
+	Column string
+	Got    types.Type
+	Want   types.Type
+}
+
+func (e *TypeMismatchError) Error() string {
+	return fmt.Sprintf("type mismatch inserting into %q: column %q holds %s, batch provides %s",
+		e.Table, e.Column, e.Want, e.Got)
 }

@@ -1,0 +1,166 @@
+package storage
+
+import (
+	"errors"
+	"testing"
+
+	"lambdadb/internal/types"
+)
+
+// TestDoubleDeleteSameTxnCommits is the regression test for the commit
+// atomicity bug: a transaction buffering the same physical row for deletion
+// twice (UPDATE-then-DELETE or DELETE-twice, since scans never see the
+// transaction's own buffered deletes) used to pass validation, stamp the
+// row, then fail on the duplicate with a ConflictError — leaving delete
+// stamps carrying a commit timestamp that was never published.
+func TestDoubleDeleteSameTxnCommits(t *testing.T) {
+	s := NewStore()
+	tbl, _ := s.CreateTable("t", testSchema())
+	insertRows(t, s, tbl, [][2]float64{{1, 1}, {2, 2}})
+	clock0 := s.Snapshot()
+
+	tx := s.Begin()
+	for _, row := range []int{0, 0, 1, 0} {
+		if err := tx.Delete(tbl, row); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("double-delete commit failed: %v", err)
+	}
+	if got := s.Snapshot(); got != clock0+1 {
+		t.Errorf("clock = %d, want %d (exactly one advance per commit)", got, clock0+1)
+	}
+	if got := tbl.NumRows(s.Snapshot()); got != 0 {
+		t.Errorf("NumRows = %d, want 0", got)
+	}
+	// The pre-commit snapshot still sees both rows.
+	if got := tbl.NumRows(clock0); got != 2 {
+		t.Errorf("NumRows at old snapshot = %d, want 2", got)
+	}
+}
+
+// TestFailedCommitPublishesNothing asserts the commit invariant directly: a
+// commit that fails must not advance the clock and must not leave any
+// delete stamp behind, so the next committer's timestamp cannot publish a
+// failed transaction's writes.
+func TestFailedCommitPublishesNothing(t *testing.T) {
+	s := NewStore()
+	tbl, _ := s.CreateTable("t", testSchema())
+	insertRows(t, s, tbl, [][2]float64{{1, 1}, {2, 2}})
+	clock0 := s.Snapshot()
+
+	tx := s.Begin()
+	if err := tx.Delete(tbl, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(tbl, 99); err != nil { // out-of-range: commit must fail
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit with an out-of-range delete should fail")
+	}
+	if got := s.Snapshot(); got != clock0 {
+		t.Errorf("failed commit advanced the clock: %d -> %d", clock0, got)
+	}
+	// Row 0 must still be live: no stamp from the failed commit survives.
+	if _, del, err := tbl.rowVersion(0); err != nil || del != 0 {
+		t.Errorf("row 0 deletedAt = %d (err %v), want 0 after failed commit", del, err)
+	}
+	// The next committer reuses the failed commit's timestamp; it must not
+	// resurrect the failed delete.
+	insertRows(t, s, tbl, [][2]float64{{3, 3}})
+	if got := tbl.NumRows(s.Snapshot()); got != 3 {
+		t.Errorf("NumRows after next commit = %d, want 3 (phantom delete published)", got)
+	}
+}
+
+// TestCommitUnwindsPartialDeletes forces a mid-apply failure across two
+// tables and checks the earlier table's stamp is unwound.
+func TestCommitUnwindsPartialDeletes(t *testing.T) {
+	s := NewStore()
+	a, _ := s.CreateTable("a", testSchema())
+	b, _ := s.CreateTable("b", testSchema())
+	insertRows(t, s, a, [][2]float64{{1, 1}})
+	insertRows(t, s, b, [][2]float64{{2, 2}})
+	clock0 := s.Snapshot()
+
+	tx := s.Begin()
+	if err := tx.Delete(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Delete(b, 42); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err == nil {
+		t.Fatal("commit should fail on the out-of-range delete")
+	}
+	if got := s.Snapshot(); got != clock0 {
+		t.Errorf("clock moved on failed commit: %d -> %d", clock0, got)
+	}
+	if _, del, _ := a.rowVersion(0); del != 0 {
+		t.Errorf("table a row 0 deletedAt = %d, want 0", del)
+	}
+}
+
+func TestInsertTypeMismatch(t *testing.T) {
+	s := NewStore()
+	tbl, _ := s.CreateTable("t", testSchema()) // (id BIGINT, v DOUBLE)
+	tx := s.Begin()
+	bad := types.NewBatch(types.Schema{
+		{Name: "id", Type: types.Int64},
+		{Name: "v", Type: types.String}, // wrong: table column is DOUBLE
+	})
+	bad.AppendRow([]types.Value{types.NewInt(1), types.NewString("oops")})
+	err := tx.Insert(tbl, bad)
+	var mismatch *TypeMismatchError
+	if !errors.As(err, &mismatch) {
+		t.Fatalf("mis-typed insert: err = %v, want *TypeMismatchError", err)
+	}
+	if mismatch.Column != "v" || mismatch.Got != types.String || mismatch.Want != types.Float64 {
+		t.Errorf("mismatch detail = %+v", mismatch)
+	}
+	tx.Rollback()
+
+	// A correctly typed batch still inserts.
+	tx = s.Begin()
+	ok := types.NewBatch(tbl.Schema())
+	ok.AppendRow([]types.Value{types.NewInt(1), types.NewFloat(1.5)})
+	if err := tx.Insert(tbl, ok); err != nil {
+		t.Fatal(err)
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if got := tbl.NumRows(s.Snapshot()); got != 1 {
+		t.Errorf("NumRows = %d, want 1", got)
+	}
+}
+
+func TestRollbackRacesCommit(t *testing.T) {
+	s := NewStore()
+	tbl, _ := s.CreateTable("t", testSchema())
+	// Commit and Rollback racing on the same Txn must be safe; exactly one
+	// outcome wins.
+	for i := 0; i < 50; i++ {
+		tx := s.Begin()
+		b := types.NewBatch(tbl.Schema())
+		b.AppendRow([]types.Value{types.NewInt(int64(i)), types.NewFloat(0)})
+		if err := tx.Insert(tbl, b); err != nil {
+			t.Fatal(err)
+		}
+		done := make(chan struct{})
+		go func() {
+			tx.Rollback()
+			close(done)
+		}()
+		_ = tx.Commit() // either commits or reports the txn finished
+		<-done
+	}
+	// Every row that is visible was committed; the count is whatever the
+	// races produced, but the scan must be internally consistent.
+	n := tbl.NumRows(s.Snapshot())
+	if n < 0 || n > 50 {
+		t.Errorf("NumRows = %d out of range", n)
+	}
+}

@@ -105,6 +105,13 @@ type Metrics struct {
 	SlowQueries         atomic.Int64
 	ExecNanosTotal      atomic.Int64
 	PeakQueryBytes      atomic.Int64 // max over all statements
+
+	// Network-server connection counters (populated by internal/server;
+	// zero when the engine runs embedded).
+	ConnsOpened   atomic.Int64
+	ConnsClosed   atomic.Int64
+	ConnsRejected atomic.Int64 // refused by admission control or drain
+	ConnsActive   atomic.Int64 // gauge: currently open connections
 }
 
 // RecordStatement folds one statement outcome into the counters.
@@ -151,5 +158,9 @@ func (m *Metrics) Snapshot() []Counter {
 		{"slow_queries", m.SlowQueries.Load()},
 		{"exec_nanos_total", m.ExecNanosTotal.Load()},
 		{"peak_query_bytes", m.PeakQueryBytes.Load()},
+		{"conns_opened", m.ConnsOpened.Load()},
+		{"conns_closed", m.ConnsClosed.Load()},
+		{"conns_rejected", m.ConnsRejected.Load()},
+		{"conns_active", m.ConnsActive.Load()},
 	}
 }
