@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check vet build test race bench overhead server-smoke
+.PHONY: check vet build test race bench overhead server-smoke crash bench-wal
 
 ## check: everything CI runs except server-smoke — vet, build, full tests, race, telemetry-overhead smoke
 check: vet build test race overhead
@@ -14,9 +14,9 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the concurrent subsystems — executor, engine, storage, network server — under the race detector
+## race: the concurrent subsystems — executor, engine, storage, network server, WAL — under the race detector
 race:
-	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/
+	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/ ./internal/wal/
 
 ## overhead: assert the disarmed telemetry path adds <2% to BenchmarkVectorizedFilterAgg
 overhead:
@@ -29,3 +29,11 @@ server-smoke:
 ## bench: refresh the parallel-operator scaling baseline (see BENCH_exec.json)
 bench:
 	$(GO) test ./internal/exec/ -run xxx -bench 'BenchmarkParallel(Join|Sort|TopK|Agg)Scaling' -benchtime 3x
+
+## crash: kill -9 a durable engine repeatedly, verify zero acked-commit loss and no phantom effects
+crash:
+	LAMBDADB_CRASH=1 $(GO) test ./internal/wal/ -run TestCrashRecovery -count=1 -v
+
+## bench-wal: refresh the group-commit baseline (see BENCH_wal.json); asserts < 1 fsync per commit under concurrency
+bench-wal:
+	LAMBDADB_WAL_BENCH=1 $(GO) test ./internal/wal/ -run TestGroupCommitBench -count=1 -v

@@ -31,6 +31,8 @@ func main() {
 	var (
 		addr        = flag.String("addr", ":5433", "TCP listen address")
 		image       = flag.String("db", "", "open this database snapshot image instead of starting empty")
+		dataDir     = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty = in-memory")
+		ckptEvery   = flag.Duration("checkpoint-interval", 0, "checkpoint the data directory this often (0 = manual CHECKPOINT only)")
 		initScript  = flag.String("init", "", "execute this SQL script before accepting connections")
 		workers     = flag.Int("workers", 0, "parallelism degree per query (0 = GOMAXPROCS)")
 		maxConns    = flag.Int("max-conns", 0, "max concurrent connections (0 = unlimited)")
@@ -50,14 +52,28 @@ func main() {
 	if *memLimit > 0 {
 		opts = append(opts, engine.WithMemoryLimit(*memLimit))
 	}
+	if *ckptEvery > 0 {
+		opts = append(opts, engine.WithCheckpointInterval(*ckptEvery))
+	}
 
 	var db *engine.DB
 	var err error
-	if *image != "" {
+	switch {
+	case *dataDir != "":
+		if *image != "" {
+			fatal(fmt.Errorf("-db and -data-dir are mutually exclusive"))
+		}
+		if db, err = engine.OpenDir(*dataDir, opts...); err != nil {
+			fatal(err)
+		}
+		if summary, ok := db.RecoverySummary(); ok {
+			fmt.Fprintf(os.Stderr, "lambdaserver: %s: %s\n", *dataDir, summary)
+		}
+	case *image != "":
 		if db, err = engine.OpenFile(*image, opts...); err != nil {
 			fatal(err)
 		}
-	} else {
+	default:
 		db = engine.Open(opts...)
 	}
 	if *initScript != "" {
@@ -101,6 +117,11 @@ func main() {
 		}
 		if err := <-serveErr; err != nil {
 			fatal(err)
+		}
+		// Drained: every acknowledged commit is already fsynced; Close flushes
+		// the log so the next start needs no replay.
+		if err := db.Close(); err != nil {
+			fatal(fmt.Errorf("close data directory: %w", err))
 		}
 		fmt.Fprintln(os.Stderr, "lambdaserver: drained cleanly")
 	}

@@ -130,6 +130,7 @@ func main() {
 		timing  = flag.Bool("timing", false, "print per-statement wall time")
 		workers = flag.Int("workers", 0, "parallelism degree (0 = GOMAXPROCS)")
 		image   = flag.String("db", "", "open this database snapshot image (see \\save)")
+		dataDir = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty = in-memory")
 		connect = flag.String("connect", "", "connect to a lambdaserver at host:port instead of running an embedded engine")
 	)
 	flag.Parse()
@@ -140,8 +141,8 @@ func main() {
 
 	// Remote mode: no local engine at all; statements go over TCP.
 	if *connect != "" {
-		if *workers > 0 || *image != "" {
-			fmt.Fprintln(os.Stderr, "warning: -workers and -db configure the embedded engine and are ignored with -connect (set them on lambdaserver)")
+		if *workers > 0 || *image != "" || *dataDir != "" {
+			fmt.Fprintln(os.Stderr, "warning: -workers, -db and -data-dir configure the embedded engine and are ignored with -connect (set them on lambdaserver)")
 		}
 		remote := &remoteExec{addr: *connect}
 		defer remote.close()
@@ -159,13 +160,28 @@ func main() {
 		opts = append(opts, engine.WithWorkers(*workers))
 	}
 	var db *engine.DB
-	if *image != "" {
+	switch {
+	case *dataDir != "":
+		if *image != "" {
+			fmt.Fprintln(os.Stderr, "-db and -data-dir are mutually exclusive")
+			os.Exit(1)
+		}
+		var err error
+		if db, err = engine.OpenDir(*dataDir, opts...); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if summary, ok := db.RecoverySummary(); ok {
+			fmt.Fprintf(os.Stderr, "%s: %s\n", *dataDir, summary)
+		}
+		defer db.Close()
+	case *image != "":
 		var err error
 		if db, err = engine.OpenFile(*image, opts...); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-	} else {
+	default:
 		db = engine.Open(opts...)
 	}
 	session := db.NewSession()
@@ -226,7 +242,8 @@ func interactive(banner string, db *engine.DB, session *engine.Session, ex execu
 	fmt.Println(banner)
 	fmt.Println(`type \q to quit, \d to list tables, \explain <select> for plans,`)
 	fmt.Println(`\timing to toggle timing, \stats for the last statement's operator stats,`)
-	fmt.Println(`\save <path> to snapshot the database; end statements with ;`)
+	fmt.Println(`\save <path> to snapshot the database, \checkpoint to checkpoint a`)
+	fmt.Println(`durable one (-data-dir); end statements with ;`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -303,6 +320,17 @@ func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shel
 				continue
 			}
 			fmt.Printf("%s %s (%d rows)\n", n, tbl.Schema(), tbl.NumRows(db.Store().Snapshot()))
+		}
+	case cmd == `\checkpoint`:
+		if !local() {
+			break
+		}
+		stats, err := db.Checkpoint()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Printf("checkpoint at clock %d (%d old log segment(s) removed)\n",
+				stats.Clock, stats.SegmentsRemoved)
 		}
 	case strings.HasPrefix(cmd, `\save `):
 		if !local() {

@@ -21,6 +21,7 @@ import (
 	"lambdadb/internal/storage"
 	"lambdadb/internal/telemetry"
 	"lambdadb/internal/types"
+	"lambdadb/internal/wal"
 )
 
 // DB is a main-memory database instance.
@@ -36,6 +37,13 @@ type DB struct {
 	slowThreshold time.Duration
 	slowSink      io.Writer
 	slowMu        sync.Mutex // serializes slow-log writes
+
+	// Durability state, set by OpenDir; all nil/zero for an in-memory DB.
+	wal             *wal.Manager
+	checkpointEvery time.Duration
+	checkpointStop  chan struct{}
+	checkpointDone  chan struct{}
+	closeOnce       sync.Once
 }
 
 // Option configures a DB.
@@ -85,6 +93,14 @@ func WithSlowQueryThreshold(d time.Duration, sink io.Writer) Option {
 	}
 }
 
+// WithCheckpointInterval makes a durable DB (OpenDir) checkpoint itself in
+// the background every d: a snapshot image is written and the redo log
+// truncated behind it, bounding recovery time. d <= 0 (the default) leaves
+// checkpointing manual (the CHECKPOINT statement). Ignored by Open.
+func WithCheckpointInterval(d time.Duration) Option {
+	return func(db *DB) { db.checkpointEvery = d }
+}
+
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
 	db := &DB{
@@ -123,6 +139,83 @@ func OpenFile(path string, opts ...Option) (*DB, error) {
 	db := Open(opts...)
 	db.store = store
 	return db, nil
+}
+
+// OpenDir opens a durable database backed by a data directory: the latest
+// checkpoint image is loaded, the write-ahead log replayed (recovering
+// from a crash if there was one), and from then on every commit is made
+// durable — acknowledged only after its redo record is fsynced, with
+// concurrent commits sharing one sync (group commit). The directory is
+// created if missing. Call Close before exiting to flush the log; after a
+// crash the next OpenDir recovers instead.
+func OpenDir(dir string, opts ...Option) (*DB, error) {
+	db := Open(opts...)
+	store, mgr, err := wal.Open(dir, wal.Options{Metrics: db.metrics})
+	if err != nil {
+		return nil, err
+	}
+	db.store = store
+	db.wal = mgr
+	if db.checkpointEvery > 0 {
+		db.checkpointStop = make(chan struct{})
+		db.checkpointDone = make(chan struct{})
+		go db.checkpointLoop()
+	}
+	return db, nil
+}
+
+// checkpointLoop checkpoints every checkpointEvery until Close.
+func (db *DB) checkpointLoop() {
+	defer close(db.checkpointDone)
+	t := time.NewTicker(db.checkpointEvery)
+	defer t.Stop()
+	for {
+		select {
+		case <-db.checkpointStop:
+			return
+		case <-t.C:
+			if _, err := db.Checkpoint(); err != nil {
+				fmt.Fprintf(os.Stderr, "lambdadb: background checkpoint: %v\n", err)
+			}
+		}
+	}
+}
+
+// Checkpoint writes a durable snapshot image and truncates the redo log
+// behind it. It fails on an in-memory DB (no data directory).
+func (db *DB) Checkpoint() (wal.CheckpointStats, error) {
+	if db.wal == nil {
+		return wal.CheckpointStats{}, fmt.Errorf("CHECKPOINT requires a database opened with a data directory")
+	}
+	return db.wal.Checkpoint()
+}
+
+// RecoverySummary reports what startup recovery found and did, and whether
+// this DB is durable at all (false for Open/OpenFile databases).
+func (db *DB) RecoverySummary() (wal.RecoverySummary, bool) {
+	if db.wal == nil {
+		return wal.RecoverySummary{}, false
+	}
+	return db.wal.Summary(), true
+}
+
+// Close flushes and closes the write-ahead log (and stops the background
+// checkpointer), so a clean shutdown loses nothing and needs no replay on
+// the next start. It does not checkpoint — restart replays the log tail.
+// Close is a no-op on an in-memory DB and safe to call more than once;
+// commits attempted after Close fail.
+func (db *DB) Close() error {
+	var err error
+	db.closeOnce.Do(func() {
+		if db.checkpointStop != nil {
+			close(db.checkpointStop)
+			<-db.checkpointDone
+		}
+		if db.wal != nil {
+			err = db.wal.Close()
+		}
+	})
+	return err
 }
 
 // Workers returns the configured parallelism degree.
@@ -417,6 +510,19 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 		return s.execCopy(n)
 	case *sql.Explain:
 		return s.execExplain(ctx, n)
+	case *sql.Checkpoint:
+		stats, err := s.db.Checkpoint()
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Columns: []string{"clock", "segments_removed"},
+			Types:   []types.Type{types.Int64, types.Int64},
+			Rows: [][]types.Value{{
+				types.NewInt(int64(stats.Clock)),
+				types.NewInt(int64(stats.SegmentsRemoved)),
+			}},
+		}, nil
 	}
 	return nil, fmt.Errorf("unsupported statement %T", st)
 }

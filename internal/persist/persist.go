@@ -3,24 +3,49 @@
 // paper's introduction counts "recovery procedures" among the DBMS
 // features that make the one-system approach attractive; this package is
 // the corresponding substrate (snapshot-based recovery in the HyPer
-// tradition — here an explicit binary image; deleted row versions are
-// compacted away on save).
+// tradition — binary images paired with the redo log in internal/wal).
 //
-// Format (little endian):
+// Two image kinds share one container format:
 //
-//	magic "LMDB1\n"
+//   - logical images (Save/SaveFile) hold the rows visible at the current
+//     snapshot, with deleted row versions compacted away. They are the
+//     user-facing \save / -db images; loading one replays it as a single
+//     commit into a fresh store.
+//   - physical images (SavePhysical/SavePhysicalFile) hold the physical
+//     row prefix as of an explicit commit-clock cut, including dead rows
+//     and their per-row version stamps plus table incarnation IDs. They
+//     are checkpoint images: redo-log records reference physical row
+//     indexes, so recovery needs the exact pre-crash layout.
+//
+// Container format v2 (little endian):
+//
+//	magic "LMDB2\n"
+//	u8  kind (1 = logical, 2 = physical)
+//	u64 clock (physical: the image's commit-clock cut; logical: 0)
 //	u32 table count
 //	per table:
 //	  string name
+//	  u64 incarnation ID
 //	  u32 column count, per column: string name, u8 type
 //	  batches: u32 row count (0 terminates), then per column:
-//	    u8 hasNulls (+ rowCount null bytes), then the typed payload
+//	    u8 hasNulls (+ rowCount null bytes), then the typed payload;
+//	    physical images append rowCount createdAt + rowCount deletedAt u64s
+//	u32 CRC-32 (IEEE) of every preceding byte
+//
+// Legacy v1 images ("LMDB1\n", no ID/clock/CRC) still load. Any decode
+// failure — bad magic, truncation, checksum mismatch, invalid structure —
+// surfaces as a *CorruptImageError naming the byte offset, never as a raw
+// decode error, so callers can reliably distinguish "damaged image" from
+// "no image" (see LoadFile).
 package persist
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
+	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -32,39 +57,118 @@ import (
 	"lambdadb/internal/types"
 )
 
-var magic = []byte("LMDB1\n")
+var (
+	magicV1 = []byte("LMDB1\n")
+	magicV2 = []byte("LMDB2\n")
+)
 
-// Save writes a snapshot of every table (rows visible at the current
-// snapshot) to w.
+const (
+	kindLogical  byte = 1
+	kindPhysical byte = 2
+)
+
+// CorruptImageError reports a snapshot image that could not be decoded:
+// truncated, checksum-mismatched, or structurally invalid. Offset is the
+// byte position at which decoding failed.
+type CorruptImageError struct {
+	Path   string // empty when loading from a stream
+	Offset int64
+	Reason string
+}
+
+func (e *CorruptImageError) Error() string {
+	where := "image"
+	if e.Path != "" {
+		where = e.Path
+	}
+	return fmt.Sprintf("corrupt database image %s at byte %d: %s", where, e.Offset, e.Reason)
+}
+
+// Writer is the byte-oriented sink the image and redo-record encoders
+// write to. *bufio.Writer and *bytes.Buffer both satisfy it.
+type Writer interface {
+	io.Writer
+	io.ByteWriter
+	io.StringWriter
+}
+
+// Reader is the byte-oriented source the decoders read from.
+// *bufio.Reader and *bytes.Reader both satisfy it.
+type Reader interface {
+	io.Reader
+	io.ByteReader
+}
+
+// Save writes a logical snapshot of every table (rows visible at the
+// current snapshot, deleted versions compacted away) to w.
 func Save(store *storage.Store, w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := bw.Write(magic); err != nil {
+	return saveImage(store, w, kindLogical, store.Snapshot())
+}
+
+// SavePhysical writes a physical snapshot of every table as of the given
+// commit clock: the physical row prefix created at or before clock, with
+// per-row version stamps and table incarnation IDs. Recovery loads it with
+// the exact pre-crash row layout so redo-log records resolve correctly.
+func SavePhysical(store *storage.Store, w io.Writer, clock uint64) error {
+	return saveImage(store, w, kindPhysical, clock)
+}
+
+func saveImage(store *storage.Store, w io.Writer, kind byte, clock uint64) error {
+	crc := crc32.NewIEEE()
+	bw := bufio.NewWriter(io.MultiWriter(w, crc))
+	if _, err := bw.Write(magicV2); err != nil {
+		return err
+	}
+	if err := bw.WriteByte(kind); err != nil {
+		return err
+	}
+	hdrClock := uint64(0)
+	if kind == kindPhysical {
+		hdrClock = clock
+	}
+	if err := WriteU64(bw, hdrClock); err != nil {
 		return err
 	}
 	names := store.TableNames()
 	sort.Strings(names)
-	if err := writeU32(bw, uint32(len(names))); err != nil {
+	if err := WriteU32(bw, uint32(len(names))); err != nil {
 		return err
 	}
-	snapshot := store.Snapshot()
 	for _, name := range names {
 		tbl, err := store.Table(name)
 		if err != nil {
 			return err
 		}
-		if err := saveTable(bw, tbl, snapshot); err != nil {
+		if err := saveTable(bw, tbl, kind, clock); err != nil {
 			return fmt.Errorf("table %q: %w", name, err)
 		}
 	}
-	return bw.Flush()
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	// The CRC trailer covers everything flushed so far and is written
+	// straight to w, outside the hashed stream.
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	_, err := w.Write(tail[:])
+	return err
 }
 
-// SaveFile writes the snapshot to a file, crash-safely: the image is
+// SaveFile writes a logical snapshot to a file, crash-safely: the image is
 // written to a temp file which is fsynced before the atomic rename, and the
 // parent directory is fsynced after it so the rename itself is durable. A
 // failure at any point leaves the previous snapshot at path untouched and
 // removes the temp file.
 func SaveFile(store *storage.Store, path string) error {
+	return saveFileAtomic(path, func(w io.Writer) error { return Save(store, w) })
+}
+
+// SavePhysicalFile is SaveFile for a physical snapshot as of clock.
+func SavePhysicalFile(store *storage.Store, path string, clock uint64) error {
+	return saveFileAtomic(path, func(w io.Writer) error { return SavePhysical(store, w, clock) })
+}
+
+func saveFileAtomic(path string, write func(io.Writer) error) error {
 	tmp := path + ".tmp"
 	f, err := os.Create(tmp)
 	if err != nil {
@@ -75,7 +179,7 @@ func SaveFile(store *storage.Store, path string) error {
 		os.Remove(tmp)
 		return err
 	}
-	if err := Save(store, f); err != nil {
+	if err := write(f); err != nil {
 		return fail(err)
 	}
 	if err := faultinject.Fire("persist.save.write"); err != nil {
@@ -109,38 +213,106 @@ func syncDir(dir string) error {
 	return d.Sync()
 }
 
-func saveTable(w *bufio.Writer, tbl *storage.Table, snapshot uint64) error {
-	if err := writeString(w, tbl.Name()); err != nil {
+func saveTable(w *bufio.Writer, tbl *storage.Table, kind byte, clock uint64) error {
+	if err := WriteString(w, tbl.Name()); err != nil {
 		return err
 	}
-	schema := tbl.Schema()
-	if err := writeU32(w, uint32(len(schema))); err != nil {
+	if err := WriteU64(w, tbl.ID()); err != nil {
+		return err
+	}
+	if err := WriteSchema(w, tbl.Schema()); err != nil {
+		return err
+	}
+	var err error
+	if kind == kindPhysical {
+		err = tbl.ScanPhysical(clock, func(b *types.Batch, createdAt, deletedAt []uint64) error {
+			if b.Len() == 0 {
+				return nil
+			}
+			if err := WriteBatch(w, b); err != nil {
+				return err
+			}
+			for _, ts := range createdAt {
+				if err := WriteU64(w, ts); err != nil {
+					return err
+				}
+			}
+			for _, ts := range deletedAt {
+				if err := WriteU64(w, ts); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+	} else {
+		err = tbl.Scan(clock, func(b *types.Batch) error {
+			if b.Len() == 0 {
+				return nil
+			}
+			return WriteBatch(w, b)
+		})
+	}
+	if err != nil {
+		return err
+	}
+	return WriteU32(w, 0) // batch terminator
+}
+
+// WriteSchema writes a column-count-prefixed schema (names and types).
+func WriteSchema(w Writer, schema types.Schema) error {
+	if err := WriteU32(w, uint32(len(schema))); err != nil {
 		return err
 	}
 	for _, c := range schema {
-		if err := writeString(w, c.Name); err != nil {
+		if err := WriteString(w, c.Name); err != nil {
 			return err
 		}
 		if err := w.WriteByte(byte(c.Type)); err != nil {
 			return err
 		}
 	}
-	err := tbl.Scan(snapshot, func(b *types.Batch) error {
-		return writeBatch(w, b)
-	})
-	if err != nil {
-		return err
-	}
-	return writeU32(w, 0) // batch terminator
+	return nil
 }
 
-func writeBatch(w *bufio.Writer, b *types.Batch) error {
+// ReadSchema reads a schema written by WriteSchema.
+func ReadSchema(r Reader) (types.Schema, error) {
+	ncols, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if ncols > maxColumns {
+		return nil, fmt.Errorf("schema with %d columns", ncols)
+	}
+	schema := make(types.Schema, ncols)
+	for i := range schema {
+		cname, err := ReadString(r)
+		if err != nil {
+			return nil, err
+		}
+		tb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		ct := types.Type(tb)
+		switch ct {
+		case types.Int64, types.Float64, types.String, types.Bool:
+		default:
+			return nil, fmt.Errorf("bad column type %d", tb)
+		}
+		schema[i] = types.ColumnInfo{Name: cname, Type: ct}
+	}
+	return schema, nil
+}
+
+// WriteBatch writes a row-count-prefixed batch (columns only, no schema).
+// The redo log shares this encoding for insert payloads.
+func WriteBatch(w Writer, b *types.Batch) error {
 	n := b.Len()
+	if err := WriteU32(w, uint32(n)); err != nil {
+		return err
+	}
 	if n == 0 {
 		return nil
-	}
-	if err := writeU32(w, uint32(n)); err != nil {
-		return err
 	}
 	for _, c := range b.Cols {
 		if err := writeColumn(w, c, n); err != nil {
@@ -150,7 +322,30 @@ func writeBatch(w *bufio.Writer, b *types.Batch) error {
 	return nil
 }
 
-func writeColumn(w *bufio.Writer, c *types.Column, n int) error {
+// ReadBatch reads a batch written by WriteBatch into columns of the given
+// schema (only the column types matter for decoding).
+func ReadBatch(r Reader, schema types.Schema) (*types.Batch, error) {
+	n, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	return readBatchRows(r, schema, n)
+}
+
+func readBatchRows(r Reader, schema types.Schema, n uint32) (*types.Batch, error) {
+	if n > maxBatchRows {
+		return nil, fmt.Errorf("batch with %d rows", n)
+	}
+	b := types.NewBatch(schema)
+	for j := range schema {
+		if err := readColumn(r, b.Cols[j], int(n)); err != nil {
+			return nil, fmt.Errorf("column %q: %w", schema[j].Name, err)
+		}
+	}
+	return b, nil
+}
+
+func writeColumn(w Writer, c *types.Column, n int) error {
 	if c.Nulls != nil {
 		if err := w.WriteByte(1); err != nil {
 			return err
@@ -170,19 +365,19 @@ func writeColumn(w *bufio.Writer, c *types.Column, n int) error {
 	switch c.T {
 	case types.Int64:
 		for _, v := range c.Ints[:n] {
-			if err := writeU64(w, uint64(v)); err != nil {
+			if err := WriteU64(w, uint64(v)); err != nil {
 				return err
 			}
 		}
 	case types.Float64:
 		for _, v := range c.Floats[:n] {
-			if err := writeU64(w, math.Float64bits(v)); err != nil {
+			if err := WriteU64(w, math.Float64bits(v)); err != nil {
 				return err
 			}
 		}
 	case types.String:
 		for _, v := range c.Strs[:n] {
-			if err := writeString(w, v); err != nil {
+			if err := WriteString(w, v); err != nil {
 				return err
 			}
 		}
@@ -202,84 +397,199 @@ func writeColumn(w *bufio.Writer, c *types.Column, n int) error {
 	return nil
 }
 
-// Load reads a snapshot image into a fresh store.
+// Load reads a snapshot image into a fresh store. It accepts both v2
+// (CRC-checked, logical or physical) and legacy v1 images; failures are
+// *CorruptImageError.
 func Load(r io.Reader) (*storage.Store, error) {
-	br := bufio.NewReader(r)
-	head := make([]byte, len(magic))
-	if _, err := io.ReadFull(br, head); err != nil {
-		return nil, err
-	}
-	if string(head) != string(magic) {
-		return nil, fmt.Errorf("not a database image (bad magic)")
-	}
-	count, err := readU32(br)
+	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, err
 	}
-	store := storage.NewStore()
-	for t := uint32(0); t < count; t++ {
-		if err := loadTable(br, store); err != nil {
-			return nil, err
-		}
-	}
-	return store, nil
+	return loadImage(data, "")
 }
 
-// LoadFile reads a snapshot image from a file.
+// LoadFile reads a snapshot image from a file. A missing file is reported
+// as the os.Open error (errors.Is(err, fs.ErrNotExist)), so callers can
+// treat "no image yet" as a fresh start; any other failure — unreadable
+// file, bad magic, truncation, checksum mismatch — is a hard error (a
+// *CorruptImageError for decode failures), so startup can never silently
+// reinitialize over a damaged image.
 func LoadFile(path string) (*storage.Store, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	return Load(f)
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, err
+	}
+	return loadImage(data, path)
 }
 
-func loadTable(r *bufio.Reader, store *storage.Store) error {
-	name, err := readString(r)
+func loadImage(data []byte, path string) (*storage.Store, error) {
+	corrupt := func(off int64, format string, args ...any) error {
+		return &CorruptImageError{Path: path, Offset: off, Reason: fmt.Sprintf(format, args...)}
+	}
+	if len(data) < len(magicV2) {
+		return nil, corrupt(int64(len(data)), "truncated before magic (%d bytes)", len(data))
+	}
+	legacy := bytes.Equal(data[:len(magicV1)], magicV1)
+	if !legacy && !bytes.Equal(data[:len(magicV2)], magicV2) {
+		return nil, corrupt(0, "not a database image (bad magic)")
+	}
+
+	body := data[len(magicV2):]
+	kind := kindLogical
+	clock := uint64(0)
+	if !legacy {
+		// Verify the CRC trailer before trusting any structure.
+		if len(data) < len(magicV2)+1+8+4+4 {
+			return nil, corrupt(int64(len(data)), "truncated header")
+		}
+		payload, tail := data[:len(data)-4], data[len(data)-4:]
+		want := binary.LittleEndian.Uint32(tail)
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return nil, corrupt(int64(len(payload)),
+				"checksum mismatch (stored %08x, computed %08x; truncated or corrupted image)", want, got)
+		}
+		body = payload[len(magicV2):]
+		kind = body[0]
+		if kind != kindLogical && kind != kindPhysical {
+			return nil, corrupt(int64(len(magicV2)), "unknown image kind %d", kind)
+		}
+		clock = binary.LittleEndian.Uint64(body[1:9])
+		body = body[9:]
+	}
+
+	r := &offsetReader{data: body, base: int64(len(data)) - int64(len(body)) - trailerLen(legacy)}
+	store := storage.NewStore()
+	count, err := ReadU32(r)
+	if err != nil {
+		return nil, corrupt(r.offset(), "table count: %v", err)
+	}
+	for t := uint32(0); t < count; t++ {
+		if err := loadTable(r, store, legacy, kind); err != nil {
+			var ce *CorruptImageError
+			if errors.As(err, &ce) {
+				return nil, err
+			}
+			return nil, corrupt(r.offset(), "table %d/%d: %v", t+1, count, err)
+		}
+	}
+	if r.len() != 0 {
+		return nil, corrupt(r.offset(), "%d trailing bytes after last table", r.len())
+	}
+	if kind == kindPhysical {
+		store.RestoreClock(clock)
+	}
+	return store, nil
+}
+
+func trailerLen(legacy bool) int64 {
+	if legacy {
+		return 0
+	}
+	return 4
+}
+
+// offsetReader reads from an in-memory image while tracking the absolute
+// byte offset for error reports.
+type offsetReader struct {
+	data []byte
+	pos  int
+	base int64 // offset of data[0] within the original file
+}
+
+func (r *offsetReader) Read(p []byte) (int, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, r.data[r.pos:])
+	r.pos += n
+	return n, nil
+}
+
+func (r *offsetReader) ReadByte() (byte, error) {
+	if r.pos >= len(r.data) {
+		return 0, io.EOF
+	}
+	b := r.data[r.pos]
+	r.pos++
+	return b, nil
+}
+
+func (r *offsetReader) offset() int64 { return r.base + int64(r.pos) }
+func (r *offsetReader) len() int      { return len(r.data) - r.pos }
+
+func loadTable(r *offsetReader, store *storage.Store, legacy bool, kind byte) error {
+	name, err := ReadString(r)
 	if err != nil {
 		return err
 	}
-	ncols, err := readU32(r)
+	id := uint64(0)
+	if !legacy {
+		if id, err = ReadU64(r); err != nil {
+			return err
+		}
+	}
+	schema, err := ReadSchema(r)
 	if err != nil {
-		return err
+		return fmt.Errorf("table %q: %w", name, err)
 	}
-	schema := make(types.Schema, ncols)
-	for i := range schema {
-		cname, err := readString(r)
+
+	if kind == kindPhysical {
+		tbl, err := store.CreateTableWithID(name, schema, id)
 		if err != nil {
 			return err
 		}
-		tb, err := r.ReadByte()
-		if err != nil {
-			return err
+		for {
+			n, err := ReadU32(r)
+			if err != nil {
+				return err
+			}
+			if n == 0 {
+				return nil
+			}
+			b, err := readBatchRows(r, schema, n)
+			if err != nil {
+				return fmt.Errorf("table %q: %w", name, err)
+			}
+			createdAt := make([]uint64, n)
+			deletedAt := make([]uint64, n)
+			for i := range createdAt {
+				if createdAt[i], err = ReadU64(r); err != nil {
+					return err
+				}
+			}
+			for i := range deletedAt {
+				if deletedAt[i], err = ReadU64(r); err != nil {
+					return err
+				}
+			}
+			if err := tbl.RestoreRows(b, createdAt, deletedAt); err != nil {
+				return err
+			}
 		}
-		ct := types.Type(tb)
-		switch ct {
-		case types.Int64, types.Float64, types.String, types.Bool:
-		default:
-			return fmt.Errorf("table %q: bad column type %d", name, tb)
-		}
-		schema[i] = types.ColumnInfo{Name: cname, Type: ct}
 	}
+
+	// Logical image: replay the rows as one ordinary commit.
 	tbl, err := store.CreateTable(name, schema)
 	if err != nil {
 		return err
 	}
 	tx := store.Begin()
 	for {
-		n, err := readU32(r)
+		n, err := ReadU32(r)
 		if err != nil {
 			return err
 		}
 		if n == 0 {
 			break
 		}
-		b := types.NewBatch(schema)
-		for j := range schema {
-			if err := readColumn(r, b.Cols[j], int(n)); err != nil {
-				return fmt.Errorf("table %q column %q: %w", name, schema[j].Name, err)
-			}
+		b, err := readBatchRows(r, schema, n)
+		if err != nil {
+			return fmt.Errorf("table %q: %w", name, err)
 		}
 		if err := tx.Insert(tbl, b); err != nil {
 			tx.Rollback()
@@ -289,13 +599,15 @@ func loadTable(r *bufio.Reader, store *storage.Store) error {
 	return tx.Commit()
 }
 
-func readColumn(r *bufio.Reader, c *types.Column, n int) error {
+func readColumn(r Reader, c *types.Column, n int) error {
 	hasNulls, err := r.ReadByte()
 	if err != nil {
 		return err
 	}
 	var nulls []bool
-	if hasNulls == 1 {
+	switch hasNulls {
+	case 0:
+	case 1:
 		nulls = make([]bool, n)
 		for i := range nulls {
 			b, err := r.ReadByte()
@@ -304,23 +616,25 @@ func readColumn(r *bufio.Reader, c *types.Column, n int) error {
 			}
 			nulls[i] = b == 1
 		}
+	default:
+		return fmt.Errorf("bad null marker %d", hasNulls)
 	}
 	for i := 0; i < n; i++ {
 		switch c.T {
 		case types.Int64:
-			v, err := readU64(r)
+			v, err := ReadU64(r)
 			if err != nil {
 				return err
 			}
 			c.AppendInt(int64(v))
 		case types.Float64:
-			v, err := readU64(r)
+			v, err := ReadU64(r)
 			if err != nil {
 				return err
 			}
 			c.AppendFloat(math.Float64frombits(v))
 		case types.String:
-			s, err := readString(r)
+			s, err := ReadString(r)
 			if err != nil {
 				return err
 			}
@@ -341,29 +655,39 @@ func readColumn(r *bufio.Reader, c *types.Column, n int) error {
 
 // ---- primitive encoding ----
 
-func writeU32(w *bufio.Writer, v uint32) error {
+const (
+	maxStringLen = 1 << 30
+	maxColumns   = 1 << 16
+	maxBatchRows = 1 << 24
+)
+
+// WriteU32 writes a little-endian uint32.
+func WriteU32(w Writer, v uint32) error {
 	var buf [4]byte
 	binary.LittleEndian.PutUint32(buf[:], v)
 	_, err := w.Write(buf[:])
 	return err
 }
 
-func writeU64(w *bufio.Writer, v uint64) error {
+// WriteU64 writes a little-endian uint64.
+func WriteU64(w Writer, v uint64) error {
 	var buf [8]byte
 	binary.LittleEndian.PutUint64(buf[:], v)
 	_, err := w.Write(buf[:])
 	return err
 }
 
-func writeString(w *bufio.Writer, s string) error {
-	if err := writeU32(w, uint32(len(s))); err != nil {
+// WriteString writes a length-prefixed string.
+func WriteString(w Writer, s string) error {
+	if err := WriteU32(w, uint32(len(s))); err != nil {
 		return err
 	}
 	_, err := w.WriteString(s)
 	return err
 }
 
-func readU32(r *bufio.Reader) (uint32, error) {
+// ReadU32 reads a little-endian uint32.
+func ReadU32(r Reader) (uint32, error) {
 	var buf [4]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return 0, err
@@ -371,7 +695,8 @@ func readU32(r *bufio.Reader) (uint32, error) {
 	return binary.LittleEndian.Uint32(buf[:]), nil
 }
 
-func readU64(r *bufio.Reader) (uint64, error) {
+// ReadU64 reads a little-endian uint64.
+func ReadU64(r Reader) (uint64, error) {
 	var buf [8]byte
 	if _, err := io.ReadFull(r, buf[:]); err != nil {
 		return 0, err
@@ -379,10 +704,9 @@ func readU64(r *bufio.Reader) (uint64, error) {
 	return binary.LittleEndian.Uint64(buf[:]), nil
 }
 
-const maxStringLen = 1 << 30
-
-func readString(r *bufio.Reader) (string, error) {
-	n, err := readU32(r)
+// ReadString reads a length-prefixed string.
+func ReadString(r Reader) (string, error) {
+	n, err := ReadU32(r)
 	if err != nil {
 		return "", err
 	}

@@ -73,6 +73,13 @@ type Rollback struct{}
 
 func (*Rollback) stmtNode() {}
 
+// Checkpoint forces a durability checkpoint: a snapshot image is written
+// and the redo log truncated behind it. Only meaningful when the engine
+// was opened with a data directory.
+type Checkpoint struct{}
+
+func (*Checkpoint) stmtNode() {}
+
 // Copy is COPY table FROM 'path' [WITH HEADER] [DELIMITER 'c'] — bulk CSV
 // ingestion.
 type Copy struct {

@@ -47,7 +47,7 @@ var keywords = map[string]bool{
 	"CAST": true, "IF": true, "BEGIN": true, "COMMIT": true,
 	"ROLLBACK": true, "LAMBDA": true, "ITERATE": true, "PRIMARY": true,
 	"KEY": true, "COPY": true, "HEADER": true, "DELIMITER": true,
-	"EXPLAIN": true, "ANALYZE": true,
+	"EXPLAIN": true, "ANALYZE": true, "CHECKPOINT": true,
 }
 
 // lexer turns SQL text into tokens.

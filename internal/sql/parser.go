@@ -192,6 +192,9 @@ func (p *parser) parseStatement() (Statement, error) {
 	case "ROLLBACK":
 		p.advance()
 		return &Rollback{}, nil
+	case "CHECKPOINT":
+		p.advance()
+		return &Checkpoint{}, nil
 	}
 	return nil, p.errorf("unsupported statement %q", t.text)
 }

@@ -15,13 +15,70 @@ type Store struct {
 	mu     sync.RWMutex
 	tables map[string]*Table
 
+	// nextTableID is the last table ID handed out. IDs distinguish
+	// incarnations of a table name across DROP + CREATE, so a redo log can
+	// tell whether a record still targets the incarnation it was written
+	// against. Guarded by mu.
+	nextTableID uint64
+
 	// clock is the last assigned commit timestamp. A snapshot is simply a
 	// clock reading: all rows committed at or before it are visible.
 	clock atomic.Uint64
 
 	// commitMu serializes commits so validation and apply are atomic.
 	commitMu sync.Mutex
+
+	// logger, when set, observes every committing transaction and schema
+	// change before it is applied (write-ahead logging). nil in the default,
+	// non-durable configuration; the commit path takes no logging branch and
+	// performs no extra allocation then.
+	logger CommitLogger
 }
+
+// CommitInsert is one table's inserted batch within a CommitData.
+type CommitInsert struct {
+	Table   string
+	TableID uint64
+	Batch   *types.Batch
+}
+
+// CommitDelete is one physical-row deletion within a CommitData.
+type CommitDelete struct {
+	Table   string
+	TableID uint64
+	Row     int
+}
+
+// CommitData describes one committing transaction for the CommitLogger: the
+// commit timestamp it will publish plus every buffered write. The batches
+// are shared with the transaction — loggers must encode them synchronously
+// and not retain them.
+type CommitData struct {
+	TS      uint64
+	Inserts []CommitInsert
+	Deletes []CommitDelete
+}
+
+// CommitLogger is the storage layer's durability hook (write-ahead log).
+//
+// Log* methods are called while the relevant store lock is held — LogCommit
+// under the commit lock after validation and before apply, the DDL hooks
+// under the table-map lock — so log order equals apply order. They must
+// only buffer the record and return quickly; returning a non-nil error
+// fails the operation before anything is applied. The returned wait
+// function is called after the locks are released and blocks until the
+// record is durable; its error means the change is applied in memory but
+// its durability is unconfirmed (the caller must not acknowledge it).
+type CommitLogger interface {
+	LogCommit(c *CommitData) (wait func() error, err error)
+	LogCreateTable(name string, schema types.Schema, id uint64) (wait func() error, err error)
+	LogDropTable(name string, id uint64) (wait func() error, err error)
+}
+
+// SetCommitLogger installs the durability hook. It must be called before
+// the store is shared between goroutines (recovery installs it before the
+// engine starts serving); passing nil disables logging.
+func (s *Store) SetCommitLogger(l CommitLogger) { s.logger = l }
 
 // NewStore returns an empty store.
 func NewStore() *Store {
@@ -31,11 +88,47 @@ func NewStore() *Store {
 // CreateTable creates a new table. It fails if the name is taken.
 func (s *Store) CreateTable(name string, schema types.Schema) (*Table, error) {
 	s.mu.Lock()
+	if _, ok := s.tables[name]; ok {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("table %q already exists", name)
+	}
+	t := NewTable(name, schema)
+	t.id = s.nextTableID + 1
+	var wait func() error
+	if lg := s.logger; lg != nil {
+		w, err := lg.LogCreateTable(name, schema, t.id)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		wait = w
+	}
+	s.nextTableID = t.id
+	s.tables[name] = t
+	s.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return nil, fmt.Errorf("CREATE TABLE applied but not confirmed durable: %w", err)
+		}
+	}
+	return t, nil
+}
+
+// CreateTableWithID creates a table carrying an explicit incarnation ID.
+// It is a recovery-only API (snapshot load and log replay, before a
+// CommitLogger is installed): the ID must come from the image or log so
+// later log records can be matched against the right incarnation.
+func (s *Store) CreateTableWithID(name string, schema types.Schema, id uint64) (*Table, error) {
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	if _, ok := s.tables[name]; ok {
 		return nil, fmt.Errorf("table %q already exists", name)
 	}
 	t := NewTable(name, schema)
+	t.id = id
+	if id > s.nextTableID {
+		s.nextTableID = id
+	}
 	s.tables[name] = t
 	return t, nil
 }
@@ -43,11 +136,27 @@ func (s *Store) CreateTable(name string, schema types.Schema) (*Table, error) {
 // DropTable removes a table.
 func (s *Store) DropTable(name string) error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if _, ok := s.tables[name]; !ok {
+	t, ok := s.tables[name]
+	if !ok {
+		s.mu.Unlock()
 		return &catalog.ErrNoSuchTable{Name: name}
 	}
+	var wait func() error
+	if lg := s.logger; lg != nil {
+		w, err := lg.LogDropTable(name, t.id)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		wait = w
+	}
 	delete(s.tables, name)
+	s.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("DROP TABLE applied but not confirmed durable: %w", err)
+		}
+	}
 	return nil
 }
 
@@ -80,6 +189,76 @@ func (s *Store) TableNames() []string {
 
 // Snapshot returns the current snapshot timestamp.
 func (s *Store) Snapshot() uint64 { return s.clock.Load() }
+
+// WithCommitLock runs fn while holding the commit lock, so no commit is in
+// flight and the clock cannot move. fn receives the current clock value.
+// The checkpointer uses it to rotate the redo log exactly at a clock
+// boundary: every record written before the rotation has a timestamp at or
+// below the received clock, every record after it a higher one.
+func (s *Store) WithCommitLock(fn func(clock uint64)) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	fn(s.clock.Load())
+}
+
+// RestoreClock forces the commit clock during recovery (snapshot load).
+// It must not be used on a live store.
+func (s *Store) RestoreClock(ts uint64) { s.clock.Store(ts) }
+
+// lookupForReplay resolves a logged table reference. It returns nil when
+// the name is gone or now names a different incarnation — the record then
+// targeted a table that was concurrently dropped, and had no visible
+// effect, so replay skips it.
+func (s *Store) lookupForReplay(name string, id uint64) *Table {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	t := s.tables[name]
+	if t == nil || t.id != id {
+		return nil
+	}
+	return t
+}
+
+// ApplyLoggedCommit re-applies one logged commit during recovery. Commit
+// timestamps are contiguous (every logged commit advanced the clock by
+// exactly one), so the record's timestamp must be exactly clock+1; a gap
+// means a log record is missing and recovery must not guess.
+func (s *Store) ApplyLoggedCommit(c *CommitData) error {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	ts := s.clock.Load() + 1
+	if c.TS != ts {
+		return fmt.Errorf("storage: replayed commit has timestamp %d, want %d (log record missing or duplicated)", c.TS, ts)
+	}
+	for _, d := range c.Deletes {
+		t := s.lookupForReplay(d.Table, d.TableID)
+		if t == nil {
+			continue
+		}
+		if err := t.replayDelete(d.Row, ts); err != nil {
+			return err
+		}
+	}
+	for _, in := range c.Inserts {
+		t := s.lookupForReplay(in.Table, in.TableID)
+		if t == nil {
+			continue
+		}
+		if len(in.Batch.Cols) != len(t.schema) {
+			return fmt.Errorf("storage: replayed insert into %s has %d columns, table has %d",
+				in.Table, len(in.Batch.Cols), len(t.schema))
+		}
+		for j, col := range t.schema {
+			if got := in.Batch.Cols[j].T; got != col.Type {
+				return fmt.Errorf("storage: replayed insert into %s column %q has type %s, table has %s",
+					in.Table, col.Name, got, col.Type)
+			}
+		}
+		t.appendRows(in.Batch, ts)
+	}
+	s.clock.Store(ts)
+	return nil
+}
 
 // Begin starts a transaction reading at the current snapshot.
 func (s *Store) Begin() *Txn {
@@ -165,10 +344,31 @@ func (tx *Txn) Delete(table *Table, row int) error {
 // can never accidentally publish a failed transaction's writes by reusing
 // its timestamp.
 func (tx *Txn) Commit() error {
+	wait, err := tx.commit()
+	if err != nil {
+		return err
+	}
+	if wait != nil {
+		// Block until the write-ahead record is durable, outside every lock
+		// so concurrent committers batch into one fsync (group commit). An
+		// error here means the commit is applied in memory but its record
+		// may not have reached disk: the caller must treat the transaction
+		// as failed (it was never acknowledged), and the log has latched
+		// the failure so no later commit can be acknowledged past the gap.
+		if err := wait(); err != nil {
+			return fmt.Errorf("commit applied but not confirmed durable: %w", err)
+		}
+	}
+	return nil
+}
+
+// commit validates, logs, and applies the transaction under the commit
+// lock, returning the logger's durability wait (nil without a logger).
+func (tx *Txn) commit() (wait func() error, err error) {
 	tx.mu.Lock()
 	defer tx.mu.Unlock()
 	if tx.done {
-		return errTxnDone
+		return nil, errTxnDone
 	}
 	tx.done = true
 	// One transaction may buffer the same physical row for deletion more
@@ -177,7 +377,7 @@ func (tx *Txn) Commit() error {
 	// below stamps each row exactly once.
 	deletes := dedupeDeletes(tx.deletes)
 	if len(tx.inserts) == 0 && len(deletes) == 0 {
-		return nil
+		return nil, nil
 	}
 	s := tx.store
 	s.commitMu.Lock()
@@ -189,14 +389,38 @@ func (tx *Txn) Commit() error {
 	for _, d := range deletes {
 		_, del, err := d.table.rowVersion(d.row)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if del != 0 && del > tx.snapshot {
-			return &ConflictError{Table: d.table.name, Row: d.row}
+			return nil, &ConflictError{Table: d.table.name, Row: d.row}
 		}
 	}
 
 	ts := s.clock.Load() + 1
+
+	// Write-ahead: hand the validated commit to the logger before anything
+	// is applied. Appends are ordered by the commit lock, so log order is
+	// commit order; a logging failure fails the commit with nothing stamped.
+	if lg := s.logger; lg != nil {
+		c := &CommitData{TS: ts}
+		for _, in := range tx.inserts {
+			if in.batch.Len() == 0 {
+				continue
+			}
+			c.Inserts = append(c.Inserts, CommitInsert{
+				Table: in.table.name, TableID: in.table.id, Batch: in.batch,
+			})
+		}
+		for _, d := range deletes {
+			c.Deletes = append(c.Deletes, CommitDelete{
+				Table: d.table.name, TableID: d.table.id, Row: d.row,
+			})
+		}
+		if wait, err = lg.LogCommit(c); err != nil {
+			return nil, err
+		}
+	}
+
 	for k, d := range deletes {
 		if err := d.table.deleteRow(d.row, ts, tx.snapshot); err != nil {
 			// Cannot happen after validation while holding commitMu, but if
@@ -205,7 +429,7 @@ func (tx *Txn) Commit() error {
 			for _, u := range deletes[:k] {
 				u.table.undeleteRow(u.row, ts)
 			}
-			return err
+			return nil, err
 		}
 	}
 	for _, in := range tx.inserts {
@@ -213,7 +437,7 @@ func (tx *Txn) Commit() error {
 	}
 	// Publish: rows become visible to snapshots taken from now on.
 	s.clock.Store(ts)
-	return nil
+	return wait, nil
 }
 
 // dedupeDeletes drops repeated (table, row) targets, keeping first

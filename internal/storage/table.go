@@ -12,6 +12,7 @@ package storage
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	"lambdadb/internal/types"
@@ -21,6 +22,7 @@ import (
 type Table struct {
 	name   string
 	schema types.Schema
+	id     uint64 // incarnation ID, unique across DROP + re-CREATE (see Store)
 
 	mu        sync.RWMutex
 	cols      []*types.Column
@@ -42,6 +44,11 @@ func NewTable(name string, schema types.Schema) *Table {
 
 // Name returns the table name.
 func (t *Table) Name() string { return t.name }
+
+// ID returns the table's incarnation ID (0 for tables created outside a
+// Store). Redo-log records carry it so replay can tell a record that
+// targeted a dropped incarnation from one targeting the current table.
+func (t *Table) ID() uint64 { return t.id }
 
 // Schema returns the table schema.
 func (t *Table) Schema() types.Schema { return t.schema }
@@ -186,6 +193,111 @@ func (t *Table) deleteRow(i int, ts, snapshot uint64) error {
 	t.liveRows--
 	if ts > t.maxTS {
 		t.maxTS = ts
+	}
+	return nil
+}
+
+// replayDelete re-applies a logged deletion during recovery. The original
+// commit already validated it, so any disagreement with the table's state
+// (row out of range, or already deleted by a different timestamp) means the
+// log and image diverged, and recovery must stop rather than guess.
+func (t *Table) replayDelete(i int, ts uint64) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if i < 0 || i >= len(t.deletedAt) {
+		return fmt.Errorf("storage: replayed delete of out-of-range row %d in %s (have %d physical rows)",
+			i, t.name, len(t.deletedAt))
+	}
+	switch d := t.deletedAt[i]; d {
+	case 0:
+		t.deletedAt[i] = ts
+		t.liveRows--
+	case ts:
+		// duplicate within the record; harmless
+	default:
+		return fmt.Errorf("storage: replayed delete of row %d in %s at ts %d, but row already deleted at ts %d",
+			i, t.name, ts, d)
+	}
+	if ts > t.maxTS {
+		t.maxTS = ts
+	}
+	return nil
+}
+
+// RestoreRows bulk-appends physical rows with explicit version stamps. It
+// is a recovery-only API used to load a physical snapshot image: the rows
+// keep their original physical positions, creation and deletion
+// timestamps, so redo-log records that reference physical row indexes
+// resolve exactly as they did before the crash.
+func (t *Table) RestoreRows(b *types.Batch, createdAt, deletedAt []uint64) error {
+	n := b.Len()
+	if len(createdAt) != n || len(deletedAt) != n {
+		return fmt.Errorf("storage: restore of %d rows in %s with %d/%d version stamps",
+			n, t.name, len(createdAt), len(deletedAt))
+	}
+	if len(b.Cols) != len(t.schema) {
+		return fmt.Errorf("storage: restore into %s: got %d columns, want %d",
+			t.name, len(b.Cols), len(t.schema))
+	}
+	for j, col := range t.schema {
+		if got := b.Cols[j].T; got != col.Type {
+			return fmt.Errorf("storage: restore into %s column %q: got type %s, want %s",
+				t.name, col.Name, got, col.Type)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for j, c := range t.cols {
+		c.AppendColumn(b.Cols[j])
+	}
+	for i := 0; i < n; i++ {
+		t.createdAt = append(t.createdAt, createdAt[i])
+		t.deletedAt = append(t.deletedAt, deletedAt[i])
+		if deletedAt[i] == 0 {
+			t.liveRows++
+		}
+		if createdAt[i] > t.maxTS {
+			t.maxTS = createdAt[i]
+		}
+		if deletedAt[i] > t.maxTS {
+			t.maxTS = deletedAt[i]
+		}
+	}
+	return nil
+}
+
+// ScanPhysical yields the physical row prefix created at or before clock,
+// in physical order and with per-row version stamps; deletions stamped
+// after clock are reported as live (0). Commit timestamps are assigned
+// under the commit lock and rows append at the tail, so createdAt is
+// non-decreasing and the rows at or before clock are exactly a prefix.
+// Checkpointing uses this to write a consistent physical image of the
+// store as of clock while commits continue.
+func (t *Table) ScanPhysical(clock uint64, yield func(b *types.Batch, createdAt, deletedAt []uint64) error) error {
+	t.mu.RLock()
+	n := sort.Search(len(t.createdAt), func(i int) bool { return t.createdAt[i] > clock })
+	t.mu.RUnlock()
+	for start := 0; start < n; start += types.BatchSize {
+		end := start + types.BatchSize
+		if end > n {
+			end = n
+		}
+		t.mu.RLock()
+		b := &types.Batch{Schema: t.schema, Cols: make([]*types.Column, len(t.cols))}
+		for j, c := range t.cols {
+			b.Cols[j] = c.Slice(start, end)
+		}
+		created := append([]uint64(nil), t.createdAt[start:end]...)
+		deleted := make([]uint64, end-start)
+		for i := range deleted {
+			if d := t.deletedAt[start+i]; d != 0 && d <= clock {
+				deleted[i] = d
+			}
+		}
+		t.mu.RUnlock()
+		if err := yield(b, created, deleted); err != nil {
+			return err
+		}
 	}
 	return nil
 }

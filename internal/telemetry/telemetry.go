@@ -112,6 +112,14 @@ type Metrics struct {
 	ConnsClosed   atomic.Int64
 	ConnsRejected atomic.Int64 // refused by admission control or drain
 	ConnsActive   atomic.Int64 // gauge: currently open connections
+
+	// Durability counters (populated by internal/wal; zero without a data
+	// directory). WalFsyncs < WalAppends under concurrency is group commit
+	// working: many commits amortized into one disk sync.
+	WalAppends  atomic.Int64 // redo records appended
+	WalFsyncs   atomic.Int64 // fsync syscalls issued by the group-commit flusher
+	WalBytes    atomic.Int64 // bytes written to the redo log
+	Checkpoints atomic.Int64 // completed checkpoints
 }
 
 // RecordStatement folds one statement outcome into the counters.
@@ -162,5 +170,9 @@ func (m *Metrics) Snapshot() []Counter {
 		{"conns_closed", m.ConnsClosed.Load()},
 		{"conns_rejected", m.ConnsRejected.Load()},
 		{"conns_active", m.ConnsActive.Load()},
+		{"wal_appends", m.WalAppends.Load()},
+		{"wal_fsyncs", m.WalFsyncs.Load()},
+		{"wal_bytes", m.WalBytes.Load()},
+		{"checkpoints", m.Checkpoints.Load()},
 	}
 }

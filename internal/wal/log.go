@@ -1,0 +1,430 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"lambdadb/internal/faultinject"
+	"lambdadb/internal/telemetry"
+)
+
+// Log file layout: numbered segment files wal-<seq>.log in the data
+// directory. Each segment starts with a header (magic + u64 sequence
+// number) followed by records framed as
+//
+//	u32 payload length | u32 CRC-32 (IEEE) of payload | payload
+//
+// A checkpoint rotates to a fresh segment and, once the snapshot is
+// durable, deletes the older ones; recovery replays all remaining segments
+// in sequence order.
+var segMagic = []byte("LWAL1\n")
+
+const (
+	segHeaderLen = 6 + 8      // magic + sequence number
+	frameHeader  = 8          // length + CRC
+	maxRecordLen = 1 << 30    // plausibility bound while scanning
+	segPrefix    = "wal-"     // segment file name: wal-<08d>.log
+	segSuffix    = ".log"
+)
+
+func segmentPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("%s%08d%s", segPrefix, seq, segSuffix))
+}
+
+// AmbiguousStateError reports an on-disk state recovery refuses to guess
+// about: a damaged record before the tail of the log, a sequence gap
+// between segments, or a log that contradicts the snapshot. Recovering
+// past it could silently drop or invent acknowledged commits, so startup
+// fails instead.
+type AmbiguousStateError struct {
+	Dir     string
+	Segment string // file name, empty for directory-level problems
+	Offset  int64
+	Reason  string
+}
+
+func (e *AmbiguousStateError) Error() string {
+	if e.Segment == "" {
+		return fmt.Sprintf("ambiguous WAL state in %s: %s", e.Dir, e.Reason)
+	}
+	return fmt.Sprintf("ambiguous WAL state in %s: segment %s at byte %d: %s",
+		e.Dir, e.Segment, e.Offset, e.Reason)
+}
+
+// log is the append side of the write-ahead log: an active segment file,
+// an in-memory frame buffer, and the group-commit flusher goroutine.
+//
+// Appends (ordered by the caller's locks) only buffer the framed record
+// and bump the append LSN; the flusher picks up whatever has accumulated,
+// writes it with one write+fsync, and advances the durable LSN. Committers
+// park in WaitDurable until their LSN is covered, so N concurrent
+// committers share one fsync instead of paying one each.
+type log struct {
+	dir     string
+	metrics *telemetry.Metrics
+
+	mu         sync.Mutex
+	f          *os.File
+	seq        uint64
+	buf        []byte // framed records not yet handed to the flusher
+	appendLSN  uint64 // records appended (logical end of log)
+	durableLSN uint64 // records confirmed on disk
+	err        error  // sticky: first write/fsync failure latches the log failed
+	closed     bool
+	writing    bool // flusher is in write+fsync outside mu
+
+	work    *sync.Cond // signals the flusher: buffered bytes or close
+	durable *sync.Cond // signals waiters: durable LSN advanced or failure
+
+	flusherDone chan struct{}
+}
+
+// openLog opens (or creates) the segment with the given sequence number
+// for appending and starts the flusher. The caller has already scanned and
+// truncated the segment, so the file is either empty or ends at a clean
+// record boundary.
+func openLog(dir string, seq uint64, metrics *telemetry.Metrics) (*log, error) {
+	path := segmentPath(dir, seq)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if st.Size() == 0 {
+		if err := writeSegmentHeader(f, seq); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if err := syncDir(dir); err != nil {
+			f.Close()
+			return nil, err
+		}
+	}
+	l := &log{dir: dir, metrics: metrics, f: f, seq: seq, flusherDone: make(chan struct{})}
+	l.work = sync.NewCond(&l.mu)
+	l.durable = sync.NewCond(&l.mu)
+	go l.flushLoop()
+	return l, nil
+}
+
+func writeSegmentHeader(f *os.File, seq uint64) error {
+	hdr := make([]byte, segHeaderLen)
+	copy(hdr, segMagic)
+	binary.LittleEndian.PutUint64(hdr[6:], seq)
+	if _, err := f.Write(hdr); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	return d.Sync()
+}
+
+// append frames the payload and buffers it, returning the record's LSN to
+// wait on. Callers serialize appends through the store's locks, so the
+// buffer order is the commit order.
+func (l *log) append(payload []byte) (uint64, error) {
+	if err := faultinject.Fire("wal.append"); err != nil {
+		return 0, err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.err != nil {
+		return 0, l.err
+	}
+	if l.closed {
+		return 0, fmt.Errorf("wal: log is closed")
+	}
+	var hdr [frameHeader]byte
+	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
+	binary.LittleEndian.PutUint32(hdr[4:], crc32.ChecksumIEEE(payload))
+	l.buf = append(l.buf, hdr[:]...)
+	l.buf = append(l.buf, payload...)
+	l.appendLSN++
+	l.metrics.WalAppends.Add(1)
+	l.work.Signal()
+	return l.appendLSN, nil
+}
+
+// waitDurable blocks until the record at lsn is fsynced (group commit), or
+// the log has failed or been closed with the record still pending.
+func (l *log) waitDurable(lsn uint64) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for l.durableLSN < lsn && l.err == nil && !(l.closed && len(l.buf) == 0 && !l.writing) {
+		l.durable.Wait()
+	}
+	if l.durableLSN >= lsn {
+		return nil
+	}
+	if l.err != nil {
+		return l.err
+	}
+	return fmt.Errorf("wal: log closed before record became durable")
+}
+
+// flushLoop is the group-commit flusher: it takes whatever frames have
+// accumulated, writes them with a single write+fsync, and wakes every
+// committer whose record the batch covered.
+func (l *log) flushLoop() {
+	l.mu.Lock()
+	for {
+		for !l.closed && len(l.buf) == 0 {
+			l.work.Wait()
+		}
+		if len(l.buf) == 0 {
+			break // closed and drained
+		}
+		buf, target, f := l.buf, l.appendLSN, l.f
+		l.buf = nil
+		l.writing = true
+		l.mu.Unlock()
+
+		err := writeAndSync(f, buf)
+
+		l.mu.Lock()
+		l.writing = false
+		if err != nil {
+			if l.err == nil {
+				l.err = fmt.Errorf("wal: flush: %w", err)
+			}
+		} else {
+			l.durableLSN = target
+			l.metrics.WalFsyncs.Add(1)
+			l.metrics.WalBytes.Add(int64(len(buf)))
+		}
+		l.durable.Broadcast()
+	}
+	l.mu.Unlock()
+	close(l.flusherDone)
+}
+
+// writeAndSync writes one flush batch and makes it durable. The wal.torn
+// fault hooks let the crash harness leave a genuinely torn record on disk:
+// when armed, half the batch is written and synced, then a second hook
+// gets the chance to SIGKILL the process; unarmed, both halves are written
+// and the batch is whole.
+func writeAndSync(f *os.File, buf []byte) error {
+	if err := faultinject.Fire("wal.write"); err != nil {
+		return err
+	}
+	if faultinject.Fire("wal.torn") != nil && len(buf) > 1 {
+		half := len(buf) / 2
+		if _, err := f.Write(buf[:half]); err != nil {
+			return err
+		}
+		if err := f.Sync(); err != nil {
+			return err
+		}
+		faultinject.Fire("wal.torn.kill")
+		buf = buf[half:]
+	}
+	if _, err := f.Write(buf); err != nil {
+		return err
+	}
+	if err := faultinject.Fire("wal.fsync"); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+// rotate drains the pending buffer into the current segment, makes it
+// durable, and switches appends to a fresh segment with the next sequence
+// number. The caller holds the store's commit lock, so no commit record
+// can straddle the rotation; DDL records may slip in during the drain and
+// land on either side, which replay tolerates (DDL replay is idempotent).
+func (l *log) rotate() error {
+	if err := faultinject.Fire("wal.rotate"); err != nil {
+		return err
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return fmt.Errorf("wal: log is closed")
+	}
+	for (len(l.buf) > 0 || l.writing) && l.err == nil {
+		l.work.Signal()
+		l.durable.Wait()
+	}
+	if l.err != nil {
+		return l.err
+	}
+	next := l.seq + 1
+	nf, err := os.OpenFile(segmentPath(l.dir, next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if err := writeSegmentHeader(nf, next); err != nil {
+		nf.Close()
+		os.Remove(segmentPath(l.dir, next))
+		return err
+	}
+	if err := syncDir(l.dir); err != nil {
+		nf.Close()
+		return err
+	}
+	old := l.f
+	l.f, l.seq = nf, next
+	// The drain loop above already fsynced everything in the old segment.
+	return old.Close()
+}
+
+// activeSeq returns the sequence number appends currently go to.
+func (l *log) activeSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.seq
+}
+
+// close drains and fsyncs the log, stops the flusher, and closes the
+// segment file. Appends after close fail cleanly.
+func (l *log) close() error {
+	l.mu.Lock()
+	if l.closed {
+		l.mu.Unlock()
+		return nil
+	}
+	l.closed = true
+	l.work.Broadcast()
+	l.durable.Broadcast()
+	l.mu.Unlock()
+	<-l.flusherDone
+	if l.err != nil {
+		l.f.Close()
+		return l.err
+	}
+	if err := l.f.Sync(); err != nil {
+		l.f.Close()
+		return err
+	}
+	return l.f.Close()
+}
+
+// segmentInfo names one on-disk segment.
+type segmentInfo struct {
+	seq  uint64
+	path string
+}
+
+// listSegments returns the data directory's segments sorted by sequence
+// number, verifying the numbering is contiguous (checkpoints delete a
+// prefix; a hole inside the remaining run means a missing segment).
+func listSegments(dir string) ([]segmentInfo, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var segs []segmentInfo
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || len(name) <= len(segPrefix)+len(segSuffix) ||
+			name[:len(segPrefix)] != segPrefix || name[len(name)-len(segSuffix):] != segSuffix {
+			continue
+		}
+		var seq uint64
+		if _, err := fmt.Sscanf(name[len(segPrefix):len(name)-len(segSuffix)], "%d", &seq); err != nil {
+			continue
+		}
+		segs = append(segs, segmentInfo{seq: seq, path: filepath.Join(dir, name)})
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i].seq < segs[j].seq })
+	for i := 1; i < len(segs); i++ {
+		if segs[i].seq != segs[i-1].seq+1 {
+			return nil, &AmbiguousStateError{
+				Dir:    dir,
+				Reason: fmt.Sprintf("segment sequence gap: %d followed by %d", segs[i-1].seq, segs[i].seq),
+			}
+		}
+	}
+	return segs, nil
+}
+
+// scanResult summarizes one segment scan.
+type scanResult struct {
+	records    int   // records successfully applied
+	goodOffset int64 // end of the last whole record (truncation point)
+	torn       bool  // the segment ended in a torn/invalid record
+	tornReason string
+}
+
+// scanSegment reads one segment, applying every whole, checksum-valid
+// record in order. A torn record — short frame, implausible length,
+// truncated payload, or CRC mismatch — ends the scan: tolerated (reported
+// in the result) when this is the final segment, since a crash mid-append
+// legitimately tears the tail; fatal as an *AmbiguousStateError anywhere
+// else, because rotated segments were fsynced whole and damage inside one
+// means acknowledged commits may be unreadable.
+func scanSegment(dir string, seg segmentInfo, last bool, apply func(payload []byte) error) (scanResult, error) {
+	data, err := os.ReadFile(seg.path)
+	if err != nil {
+		return scanResult{}, err
+	}
+	name := filepath.Base(seg.path)
+	var res scanResult
+
+	torn := func(off int64, reason string) (scanResult, error) {
+		if !last {
+			return scanResult{}, &AmbiguousStateError{Dir: dir, Segment: name, Offset: off, Reason: reason}
+		}
+		res.torn, res.goodOffset, res.tornReason = true, off, reason
+		return res, nil
+	}
+
+	if len(data) < segHeaderLen {
+		return torn(0, fmt.Sprintf("truncated segment header (%d bytes)", len(data)))
+	}
+	if string(data[:len(segMagic)]) != string(segMagic) {
+		// A bad magic is never a torn tail: the header is the first thing
+		// written and fsynced when a segment is created.
+		return scanResult{}, &AmbiguousStateError{Dir: dir, Segment: name, Offset: 0, Reason: "bad segment magic"}
+	}
+	if got := binary.LittleEndian.Uint64(data[6:segHeaderLen]); got != seg.seq {
+		return scanResult{}, &AmbiguousStateError{
+			Dir: dir, Segment: name, Offset: 6,
+			Reason: fmt.Sprintf("segment header claims sequence %d, file name says %d", got, seg.seq),
+		}
+	}
+
+	off := int64(segHeaderLen)
+	res.goodOffset = off
+	for int(off) < len(data) {
+		remaining := int64(len(data)) - off
+		if remaining < frameHeader {
+			return torn(off, fmt.Sprintf("%d trailing bytes, too short for a record header", remaining))
+		}
+		length := int64(binary.LittleEndian.Uint32(data[off:]))
+		want := binary.LittleEndian.Uint32(data[off+4:])
+		if length > maxRecordLen {
+			return torn(off, fmt.Sprintf("implausible record length %d", length))
+		}
+		if remaining-frameHeader < length {
+			return torn(off, fmt.Sprintf("record length %d but only %d bytes remain", length, remaining-frameHeader))
+		}
+		payload := data[off+frameHeader : off+frameHeader+length]
+		if got := crc32.ChecksumIEEE(payload); got != want {
+			return torn(off, fmt.Sprintf("record checksum mismatch (stored %08x, computed %08x)", want, got))
+		}
+		if err := apply(payload); err != nil {
+			return scanResult{}, err
+		}
+		off += frameHeader + length
+		res.goodOffset = off
+		res.records++
+	}
+	return res, nil
+}

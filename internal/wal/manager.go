@@ -1,0 +1,336 @@
+package wal
+
+import (
+	"errors"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"lambdadb/internal/faultinject"
+	"lambdadb/internal/persist"
+	"lambdadb/internal/storage"
+	"lambdadb/internal/telemetry"
+	"lambdadb/internal/types"
+)
+
+// snapshotFile is the checkpoint image's name within the data directory.
+const snapshotFile = "snapshot.db"
+
+// Options configures Open.
+type Options struct {
+	// Metrics receives the durability counters (wal_appends, wal_fsyncs,
+	// wal_bytes, checkpoints). A nil Metrics gets a private, unobserved set.
+	Metrics *telemetry.Metrics
+}
+
+// RecoverySummary reports what Open found and did while recovering a data
+// directory. The server and shell surface it at startup so an operator can
+// see at a glance whether a crash was recovered from and how.
+type RecoverySummary struct {
+	SnapshotLoaded    bool   // a checkpoint image was loaded
+	SnapshotClock     uint64 // the image's commit-clock cut (0 when fresh)
+	Segments          int    // log segments scanned
+	CommitsReplayed   int    // commit records re-applied
+	DDLReplayed       int    // CREATE/DROP TABLE records re-applied
+	RecordsSkipped    int    // records already covered by the snapshot or a dead incarnation
+	TornTailTruncated bool   // the final segment ended in a torn record and was truncated
+	TornSegment       string // segment file name of the torn tail
+	TornOffset        int64  // byte offset the segment was truncated to
+	TornReason        string // why the tail record was rejected
+}
+
+// String renders the summary as one human-readable line.
+func (s RecoverySummary) String() string {
+	if !s.SnapshotLoaded && s.Segments == 0 {
+		return "fresh data directory (no snapshot, no log)"
+	}
+	out := fmt.Sprintf("recovered: snapshot clock %d, %d segment(s), %d commit(s) and %d DDL replayed, %d record(s) skipped",
+		s.SnapshotClock, s.Segments, s.CommitsReplayed, s.DDLReplayed, s.RecordsSkipped)
+	if s.TornTailTruncated {
+		out += fmt.Sprintf("; torn tail in %s truncated to byte %d (%s)", s.TornSegment, s.TornOffset, s.TornReason)
+	}
+	return out
+}
+
+// CheckpointStats reports one completed checkpoint.
+type CheckpointStats struct {
+	Clock           uint64 // the commit clock the image captures
+	SegmentsRemoved int    // old log segments pruned
+}
+
+// Manager owns a data directory: the active redo log, the checkpoint
+// image, and the recovery summary. It implements storage.CommitLogger, so
+// installing it on a store makes every commit and schema change durable.
+type Manager struct {
+	dir     string
+	store   *storage.Store
+	metrics *telemetry.Metrics
+	summary RecoverySummary
+
+	mu     sync.Mutex // serializes Checkpoint and Close
+	closed bool
+
+	log *log
+}
+
+// Open recovers the data directory and returns the recovered store with a
+// Manager installed as its commit logger:
+//
+//  1. load the checkpoint image, if any (a missing image is a fresh start;
+//     an unreadable or corrupt one is a hard error — never silently
+//     reinitialized over),
+//  2. replay the log segments in sequence order, skipping records the
+//     image already covers and enforcing commit-timestamp contiguity,
+//  3. truncate a torn final record (a crash mid-append is expected;
+//     damage anywhere else is an *AmbiguousStateError),
+//  4. reopen the last segment for appending.
+func Open(dir string, opts Options) (*storage.Store, *Manager, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	metrics := opts.Metrics
+	if metrics == nil {
+		metrics = &telemetry.Metrics{}
+	}
+
+	var summary RecoverySummary
+	store, err := persist.LoadFile(filepath.Join(dir, snapshotFile))
+	switch {
+	case err == nil:
+		summary.SnapshotLoaded = true
+		summary.SnapshotClock = store.Snapshot()
+	case errors.Is(err, fs.ErrNotExist):
+		store = storage.NewStore()
+	default:
+		return nil, nil, fmt.Errorf("wal: load checkpoint image: %w", err)
+	}
+
+	segs, err := listSegments(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	summary.Segments = len(segs)
+
+	for i, seg := range segs {
+		last := i == len(segs)-1
+		res, err := scanSegment(dir, seg, last, func(payload []byte) error {
+			return replayRecord(dir, seg, store, summary.SnapshotClock, &summary, payload)
+		})
+		if err != nil {
+			return nil, nil, err
+		}
+		if res.torn {
+			// A crash mid-append legitimately tears the tail of the last
+			// segment: drop the torn record and make the truncation durable
+			// before any new append can land after it.
+			if err := truncateSegment(dir, seg.path, res.goodOffset); err != nil {
+				return nil, nil, err
+			}
+			summary.TornTailTruncated = true
+			summary.TornSegment = filepath.Base(seg.path)
+			summary.TornOffset = res.goodOffset
+			summary.TornReason = res.tornReason
+		}
+	}
+
+	activeSeq := uint64(1)
+	if len(segs) > 0 {
+		activeSeq = segs[len(segs)-1].seq
+	}
+	l, err := openLog(dir, activeSeq, metrics)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	m := &Manager{dir: dir, store: store, metrics: metrics, summary: summary, log: l}
+	store.SetCommitLogger(m)
+	return store, m, nil
+}
+
+// replayRecord decodes and re-applies one log record during recovery.
+func replayRecord(dir string, seg segmentInfo, store *storage.Store, snapClock uint64, summary *RecoverySummary, payload []byte) error {
+	if err := faultinject.Fire("wal.replay.record"); err != nil {
+		return err
+	}
+	rec, err := decodeRecord(payload)
+	if err != nil {
+		// The payload passed its CRC, so this is a format disagreement, not
+		// disk damage — refusing is the only safe move.
+		return fmt.Errorf("wal: segment %s: undecodable record: %w", filepath.Base(seg.path), err)
+	}
+	segName := filepath.Base(seg.path)
+	switch rec.kind {
+	case recCommit:
+		if rec.commit.TS <= snapClock {
+			// Already captured by the checkpoint image.
+			summary.RecordsSkipped++
+			return nil
+		}
+		if err := store.ApplyLoggedCommit(rec.commit); err != nil {
+			return &AmbiguousStateError{Dir: dir, Segment: segName, Reason: err.Error()}
+		}
+		summary.CommitsReplayed++
+	case recCreateTable:
+		// DDL records carry no timestamp; a CREATE logged just before the
+		// checkpoint image was cut is both in the image and in the log, so
+		// replay is idempotent on the incarnation ID.
+		if t, err := store.Table(rec.name); err == nil {
+			if t.ID() == rec.id {
+				summary.RecordsSkipped++
+				return nil
+			}
+			return &AmbiguousStateError{
+				Dir: dir, Segment: segName,
+				Reason: fmt.Sprintf("logged CREATE TABLE %q id %d, but the store holds incarnation %d",
+					rec.name, rec.id, t.ID()),
+			}
+		}
+		if _, err := store.CreateTableWithID(rec.name, rec.schema, rec.id); err != nil {
+			return &AmbiguousStateError{Dir: dir, Segment: segName, Reason: err.Error()}
+		}
+		summary.DDLReplayed++
+	case recDropTable:
+		t, err := store.Table(rec.name)
+		if err != nil || t.ID() != rec.id {
+			// The incarnation is already gone (image cut after the drop).
+			summary.RecordsSkipped++
+			return nil
+		}
+		if err := store.DropTable(rec.name); err != nil {
+			return &AmbiguousStateError{Dir: dir, Segment: segName, Reason: err.Error()}
+		}
+		summary.DDLReplayed++
+	}
+	return nil
+}
+
+// truncateSegment cuts a segment back to off and makes the cut durable.
+func truncateSegment(dir, path string, off int64) error {
+	if err := os.Truncate(path, off); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// Summary returns what recovery found and did.
+func (m *Manager) Summary() RecoverySummary { return m.summary }
+
+// LogCommit implements storage.CommitLogger: it appends the commit's redo
+// record (called under the commit lock, so append order is commit order)
+// and returns the group-commit durability wait.
+func (m *Manager) LogCommit(c *storage.CommitData) (func() error, error) {
+	lsn, err := m.log.append(encodeCommit(c))
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return m.log.waitDurable(lsn) }, nil
+}
+
+// LogCreateTable implements storage.CommitLogger.
+func (m *Manager) LogCreateTable(name string, schema types.Schema, id uint64) (func() error, error) {
+	lsn, err := m.log.append(encodeCreateTable(name, schema, id))
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return m.log.waitDurable(lsn) }, nil
+}
+
+// LogDropTable implements storage.CommitLogger.
+func (m *Manager) LogDropTable(name string, id uint64) (func() error, error) {
+	lsn, err := m.log.append(encodeDropTable(name, id))
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return m.log.waitDurable(lsn) }, nil
+}
+
+// Checkpoint writes a durable physical snapshot and prunes the log behind
+// it:
+//
+//  1. rotate the log under the store's commit lock, capturing the commit
+//     clock C — every record with a timestamp at or below C now sits in a
+//     sealed segment, every later record in the new one,
+//  2. write the physical image as of C (atomic tmp+fsync+rename, so the
+//     previous image survives any failure),
+//  3. prune the sealed segments, oldest first with the directory fsynced
+//     after each removal, so a crash mid-prune leaves a contiguous run.
+//
+// A crash between any two steps recovers: the image and the log overlap
+// rather than gap, and replay skips records the image already covers.
+func (m *Manager) Checkpoint() (CheckpointStats, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return CheckpointStats{}, fmt.Errorf("wal: manager is closed")
+	}
+	if err := faultinject.Fire("wal.checkpoint"); err != nil {
+		return CheckpointStats{}, err
+	}
+
+	var clock uint64
+	var rerr error
+	m.store.WithCommitLock(func(c uint64) {
+		clock = c
+		rerr = m.log.rotate()
+	})
+	if rerr != nil {
+		return CheckpointStats{}, fmt.Errorf("wal: rotate log: %w", rerr)
+	}
+
+	if err := faultinject.Fire("wal.checkpoint.snapshot"); err != nil {
+		return CheckpointStats{}, err
+	}
+	if err := persist.SavePhysicalFile(m.store, filepath.Join(m.dir, snapshotFile), clock); err != nil {
+		return CheckpointStats{}, fmt.Errorf("wal: write checkpoint image: %w", err)
+	}
+
+	if err := faultinject.Fire("wal.checkpoint.prune"); err != nil {
+		return CheckpointStats{}, err
+	}
+	segs, err := listSegments(m.dir)
+	if err != nil {
+		return CheckpointStats{}, err
+	}
+	active := m.log.activeSeq()
+	removed := 0
+	for _, seg := range segs {
+		if seg.seq >= active {
+			break
+		}
+		if err := os.Remove(seg.path); err != nil {
+			return CheckpointStats{}, err
+		}
+		if err := syncDir(m.dir); err != nil {
+			return CheckpointStats{}, err
+		}
+		removed++
+	}
+	m.metrics.Checkpoints.Add(1)
+	return CheckpointStats{Clock: clock, SegmentsRemoved: removed}, nil
+}
+
+// Close drains and fsyncs the log and stops the flusher. The manager stays
+// installed as the store's commit logger, so a commit attempted after
+// Close fails cleanly instead of silently skipping durability.
+func (m *Manager) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.closed {
+		return nil
+	}
+	m.closed = true
+	return m.log.close()
+}
