@@ -89,8 +89,26 @@ type log struct {
 // truncated the segment, so the file is either empty or ends at a clean
 // record boundary.
 func openLog(dir string, seq uint64, metrics *telemetry.Metrics) (*log, error) {
-	path := segmentPath(dir, seq)
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	f, err := openSegmentFile(dir, seq)
+	if err != nil {
+		return nil, err
+	}
+	l := &log{dir: dir, metrics: metrics, f: f, seq: seq, flusherDone: make(chan struct{})}
+	l.work = sync.NewCond(&l.mu)
+	l.durable = sync.NewCond(&l.mu)
+	go l.flushLoop()
+	return l, nil
+}
+
+// openSegmentFile opens (or creates) the segment file for appending and
+// writes its header only when the file does not already carry one. A file
+// left behind by an earlier failed attempt (e.g. rotate dying in syncDir
+// after the header write) keeps its header; writing a second one would be
+// parsed as a frame on recovery and read as a mid-segment tear. A partial
+// header (shorter than segHeaderLen) can only come from a failed write and
+// is safely rewritten from the start.
+func openSegmentFile(dir string, seq uint64) (*os.File, error) {
+	f, err := os.OpenFile(segmentPath(dir, seq), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
 		return nil, err
 	}
@@ -99,7 +117,13 @@ func openLog(dir string, seq uint64, metrics *telemetry.Metrics) (*log, error) {
 		f.Close()
 		return nil, err
 	}
-	if st.Size() == 0 {
+	if st.Size() < segHeaderLen {
+		if st.Size() != 0 {
+			if err := f.Truncate(0); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
 		if err := writeSegmentHeader(f, seq); err != nil {
 			f.Close()
 			return nil, err
@@ -109,11 +133,7 @@ func openLog(dir string, seq uint64, metrics *telemetry.Metrics) (*log, error) {
 			return nil, err
 		}
 	}
-	l := &log{dir: dir, metrics: metrics, f: f, seq: seq, flusherDone: make(chan struct{})}
-	l.work = sync.NewCond(&l.mu)
-	l.durable = sync.NewCond(&l.mu)
-	go l.flushLoop()
-	return l, nil
+	return f, nil
 }
 
 func writeSegmentHeader(f *os.File, seq uint64) error {
@@ -149,6 +169,13 @@ func (l *log) append(payload []byte) (uint64, error) {
 	}
 	if l.closed {
 		return 0, fmt.Errorf("wal: log is closed")
+	}
+	if len(payload) > maxRecordLen {
+		// Recovery rejects any record longer than maxRecordLen as
+		// implausible (and a length >= 4GiB would not even survive the u32
+		// frame header). Refusing here turns an un-loggable commit into an
+		// error instead of an acknowledged commit that replay drops.
+		return 0, fmt.Errorf("wal: record payload is %d bytes, limit is %d", len(payload), maxRecordLen)
 	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -186,6 +213,20 @@ func (l *log) flushLoop() {
 	for {
 		for !l.closed && len(l.buf) == 0 {
 			l.work.Wait()
+		}
+		if l.err != nil {
+			// The failure is latched: never write again. The failed batch
+			// may be partially on disk, so writing later frames after it
+			// would both let durableLSN advance over the failed records
+			// (acknowledging commits whose bytes never made it) and leave a
+			// mid-segment tear that recovery truncates — along with every
+			// record behind it. Drop the buffer and fail all waiters.
+			l.buf = nil
+			l.durable.Broadcast()
+			if l.closed {
+				break
+			}
+			continue
 		}
 		if len(l.buf) == 0 {
 			break // closed and drained
@@ -265,17 +306,8 @@ func (l *log) rotate() error {
 		return l.err
 	}
 	next := l.seq + 1
-	nf, err := os.OpenFile(segmentPath(l.dir, next), os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	nf, err := openSegmentFile(l.dir, next)
 	if err != nil {
-		return err
-	}
-	if err := writeSegmentHeader(nf, next); err != nil {
-		nf.Close()
-		os.Remove(segmentPath(l.dir, next))
-		return err
-	}
-	if err := syncDir(l.dir); err != nil {
-		nf.Close()
 		return err
 	}
 	old := l.f

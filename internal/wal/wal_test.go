@@ -8,10 +8,12 @@ import (
 	"path/filepath"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"lambdadb/internal/faultinject"
 	"lambdadb/internal/storage"
+	"lambdadb/internal/telemetry"
 	"lambdadb/internal/types"
 )
 
@@ -387,6 +389,154 @@ func TestFsyncFaultLatchesLogFailed(t *testing.T) {
 		t.Fatal("commit after a durability failure succeeded; the log must stay failed")
 	}
 	mgr.Close()
+}
+
+// TestFlusherNeverWritesPastLatchedFailure pins the group-commit flusher's
+// failure contract: once a write/fsync fails, records buffered behind the
+// failed batch must never reach disk. If the flusher wrote them anyway,
+// durableLSN would advance over the failed batch's LSNs (acknowledging
+// commits whose bytes never made it) and the segment would carry frames
+// behind a gap, which recovery reads as a mid-segment tear.
+func TestFlusherNeverWritesPastLatchedFailure(t *testing.T) {
+	defer faultinject.Reset()
+	dir := t.TempDir()
+	l, err := openLog(dir, 1, &telemetry.Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var calls atomic.Int32
+	faultinject.Set("wal.write", func() error {
+		if calls.Add(1) == 1 {
+			close(entered)
+			<-release
+			return errBoom
+		}
+		return nil
+	})
+
+	lsnA, err := l.append([]byte("record-A"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-entered // the flusher holds batch A and is about to fail its write
+
+	// B is buffered before the failure latches; it must be dropped, never
+	// written behind the failed batch.
+	lsnB, err := l.append([]byte("record-B"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+
+	if err := l.waitDurable(lsnA); !errors.Is(err, errBoom) {
+		t.Errorf("waitDurable(A) = %v, want errBoom", err)
+	}
+	if err := l.waitDurable(lsnB); !errors.Is(err, errBoom) {
+		t.Errorf("waitDurable(B) = %v, want errBoom (B must not be acknowledged past the failed batch)", err)
+	}
+	if _, err := l.append([]byte("record-C")); !errors.Is(err, errBoom) {
+		t.Errorf("append after failure = %v, want errBoom", err)
+	}
+	if err := l.close(); !errors.Is(err, errBoom) {
+		t.Errorf("close = %v, want the latched errBoom", err)
+	}
+
+	// Nothing after the segment header may be on disk: the failed batch was
+	// rejected before writing, and the flusher must not have written B.
+	data, err := os.ReadFile(segmentPath(dir, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) != segHeaderLen {
+		t.Errorf("segment holds %d bytes, want the bare header (%d): the flusher wrote past a latched failure", len(data), segHeaderLen)
+	}
+}
+
+// TestAppendRejectsOversizedPayload: a payload recovery would reject as
+// implausible must fail at append time instead of being acknowledged
+// durable and then dropped by replay.
+func TestAppendRejectsOversizedPayload(t *testing.T) {
+	dir := t.TempDir()
+	l, err := openLog(dir, 1, &telemetry.Metrics{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := l.append(make([]byte, maxRecordLen+1)); err == nil {
+		t.Fatal("append accepted a payload larger than maxRecordLen")
+	}
+	// The rejection is a per-record error, not a log failure: the log keeps
+	// accepting ordinary appends.
+	lsn, err := l.append([]byte("small"))
+	if err != nil {
+		t.Fatalf("append after oversize rejection: %v", err)
+	}
+	if err := l.waitDurable(lsn); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRotateToleratesLeftoverNextSegment simulates a rotate/checkpoint that
+// died after creating the next segment file (empty, a partial header, or a
+// complete header — e.g. failing in syncDir): the retried rotate must reuse
+// the file without appending a second header, which recovery would parse as
+// a torn frame and use to truncate acknowledged records behind it.
+func TestRotateToleratesLeftoverNextSegment(t *testing.T) {
+	cases := []struct {
+		name    string
+		content func(t *testing.T, path string)
+	}{
+		{"empty-file", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, nil, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"partial-header", func(t *testing.T, path string) {
+			if err := os.WriteFile(path, segMagic[:3], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"full-header", func(t *testing.T, path string) {
+			f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer f.Close()
+			if err := writeSegmentHeader(f, 2); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			dir := t.TempDir()
+			store, mgr := mustOpen(t, dir)
+			if _, err := store.CreateTable("t", intSchema()); err != nil {
+				t.Fatal(err)
+			}
+			commitInsert(t, store, "t", 1)
+
+			c.content(t, segmentPath(dir, 2))
+			if _, err := mgr.Checkpoint(); err != nil { // rotates into segment 2
+				t.Fatal(err)
+			}
+			commitInsert(t, store, "t", 2)
+			if err := mgr.Close(); err != nil {
+				t.Fatal(err)
+			}
+
+			store2, mgr2 := mustOpen(t, dir)
+			defer mgr2.Close()
+			if s := mgr2.Summary(); s.TornTailTruncated {
+				t.Errorf("leftover segment file read as torn after rotate: %+v", s)
+			}
+			wantRows(t, store2, "t", 1, 2)
+		})
+	}
 }
 
 // segments with several committed records, used by the torn-tail tests.
