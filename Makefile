@@ -1,9 +1,17 @@
 GO ?= go
 
-.PHONY: check vet build test race bench overhead server-smoke crash bench-wal
+.PHONY: check lint vet build test race bench overhead server-smoke crash bench-wal
 
-## check: everything CI runs except server-smoke — vet, build, full tests, race, telemetry-overhead smoke
-check: vet build test race overhead
+## check: everything CI runs except server-smoke — lint, build, full tests, race, telemetry-overhead smoke
+check: lint build test race overhead
+
+## lint: go vet always; staticcheck when installed (CI pins and installs it; locally it is optional)
+lint: vet
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not installed; skipping (CI runs it)"; \
+	fi
 
 vet:
 	$(GO) vet ./...

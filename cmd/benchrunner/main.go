@@ -57,6 +57,14 @@ func main() {
 		ids = []string{*exp}
 	}
 
+	host := bench.Host()
+	fmt.Printf("host: %s/%s %s, %d visible core(s), GOMAXPROCS=%d\n",
+		host.OS, host.Arch, host.GoVersion, host.VisibleCores, host.GoMaxProcs)
+	if host.VisibleCores == 1 {
+		fmt.Println("note: single-core host — parallel scaling numbers are invalid here" +
+			" (they measure coordination overhead); reports carry scaling_valid=false")
+	}
+
 	var progress *os.File
 	if *verbose {
 		progress = os.Stderr

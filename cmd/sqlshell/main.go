@@ -8,9 +8,10 @@
 //	sqlshell -f file.sql            # execute a script, print results
 //	sqlshell -connect localhost:5433  # talk to a running lambdaserver
 //
-// Meta commands: \q quit, \d list tables, \explain SELECT ... show the
-// optimized plan, \timing toggle per-statement timing, \stats show the
-// per-operator stats of the last statement.
+// Meta commands: \q quit, \d list tables, \d <table> show columns +
+// indexes + ANALYZE statistics (works over -connect too), \explain
+// SELECT ... show the optimized plan, \timing toggle per-statement
+// timing, \stats show the per-operator stats of the last statement.
 package main
 
 import (
@@ -203,6 +204,58 @@ type shellState struct {
 	timing bool
 }
 
+// describeTable prints a table's columns, indexes, and last-ANALYZE
+// statistics. It is built on plain SQL against the table and the
+// system.indexes / system.table_stats virtual tables, so it works both
+// embedded and over -connect.
+func describeTable(ex executor, table string) {
+	run := func(text string) (*engine.Result, error) {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		return ex.ExecContext(ctx, text)
+	}
+	head, err := run(fmt.Sprintf(`SELECT * FROM %s LIMIT 0`, table))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	fmt.Printf("Table %s\n", table)
+	for i, col := range head.Columns {
+		fmt.Printf("  %-16s %s\n", col, head.Types[i])
+	}
+
+	lit := strings.ReplaceAll(table, "'", "''")
+	idx, err := run(fmt.Sprintf(`SELECT index_name, column_name, kind, keys, entries
+		FROM system.indexes WHERE table_name = '%s' ORDER BY index_name`, lit))
+	switch {
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "error:", err)
+	case len(idx.Rows) == 0:
+		fmt.Println("Indexes: none")
+	default:
+		fmt.Println("Indexes:")
+		for _, r := range idx.Rows {
+			fmt.Printf("  %s ON (%s) USING %s — %d keys, %d entries\n",
+				r[0].S, r[1].S, r[2].S, r[3].I, r[4].I)
+		}
+	}
+
+	st, err := run(fmt.Sprintf(`SELECT column_name, row_count, null_count, ndv, min, max, hist_buckets
+		FROM system.table_stats WHERE table_name = '%s' ORDER BY column_name`, lit))
+	switch {
+	case err != nil:
+		fmt.Fprintln(os.Stderr, "error:", err)
+	case len(st.Rows) == 0:
+		fmt.Printf("Statistics: none (run ANALYZE %s)\n", table)
+	default:
+		fmt.Printf("Statistics (%d rows at last ANALYZE):\n", st.Rows[0][1].I)
+		for _, r := range st.Rows {
+			fmt.Printf("  %-16s ndv=%d nulls=%d min=%s max=%s hist=%d\n",
+				r[0].S, r[3].I, r[2].I, r[4].S, r[5].S, r[6].I)
+		}
+	}
+}
+
 func runScript(in *interrupts, ex executor, path string, state *shellState) {
 	script, err := os.ReadFile(path)
 	if err != nil {
@@ -240,7 +293,8 @@ func runText(in *interrupts, ex executor, text string, state *shellState) error 
 // meta commands that need the local engine say so.
 func interactive(banner string, db *engine.DB, session *engine.Session, ex executor, in *interrupts, state *shellState) {
 	fmt.Println(banner)
-	fmt.Println(`type \q to quit, \d to list tables, \explain <select> for plans,`)
+	fmt.Println(`type \q to quit, \d to list tables, \d <table> for indexes and stats,`)
+	fmt.Println(`\explain <select> for plans,`)
 	fmt.Println(`\timing to toggle timing, \stats for the last statement's operator stats,`)
 	fmt.Println(`\save <path> to snapshot the database, \checkpoint to checkpoint a`)
 	fmt.Println(`durable one (-data-dir); end statements with ;`)
@@ -259,7 +313,7 @@ func interactive(banner string, db *engine.DB, session *engine.Session, ex execu
 		line := scanner.Text()
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
-			if !metaCommand(db, session, trimmed, state) {
+			if !metaCommand(db, session, ex, trimmed, state) {
 				return
 			}
 			prompt()
@@ -279,8 +333,9 @@ func interactive(banner string, db *engine.DB, session *engine.Session, ex execu
 }
 
 // metaCommand handles backslash commands; it returns false to quit.
-// db and session are nil when connected to a remote server.
-func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shellState) bool {
+// db and session are nil when connected to a remote server; ex always works
+// (it is the remote executor in that case), so \d <table> runs everywhere.
+func metaCommand(db *engine.DB, session *engine.Session, ex executor, cmd string, state *shellState) bool {
 	local := func() bool {
 		if db == nil {
 			fmt.Fprintf(os.Stderr, "%s requires a local database (not available with -connect; query the system.* tables instead)\n", strings.Fields(cmd)[0])
@@ -321,6 +376,8 @@ func metaCommand(db *engine.DB, session *engine.Session, cmd string, state *shel
 			}
 			fmt.Printf("%s %s (%d rows)\n", n, tbl.Schema(), tbl.NumRows(db.Store().Snapshot()))
 		}
+	case strings.HasPrefix(cmd, `\d `):
+		describeTable(ex, strings.TrimSpace(strings.TrimPrefix(cmd, `\d `)))
 	case cmd == `\checkpoint`:
 		if !local() {
 			break

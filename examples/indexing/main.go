@@ -1,0 +1,111 @@
+// Indexing: secondary indexes, ANALYZE statistics, and the cost-based
+// planner — watch EXPLAIN switch from a full scan to an IndexScan, see
+// the planner reorder a join chain, and time the difference.
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"lambdadb/internal/engine"
+)
+
+func main() {
+	db := engine.Open()
+
+	// A small star: orders (fact), customers (mid), regions (dim).
+	mustExec(db, `CREATE TABLE regions (id BIGINT, name VARCHAR)`)
+	mustExec(db, `INSERT INTO regions VALUES
+		(0,'north'),(1,'south'),(2,'east'),(3,'west')`)
+	mustExec(db, `CREATE TABLE customers (id BIGINT, region BIGINT)`)
+	loadRows(db, "customers", 5_000, func(i int) string {
+		return fmt.Sprintf("(%d, %d)", i, i%4)
+	})
+	mustExec(db, `CREATE TABLE orders (id BIGINT, customer BIGINT, amount DOUBLE)`)
+	loadRows(db, "orders", 100_000, func(i int) string {
+		return fmt.Sprintf("(%d, %d, %g)", i, i%5_000, float64(i%997)*1.5)
+	})
+
+	// Without an index and without statistics, a point query scans.
+	q := `SELECT amount FROM orders WHERE id = 73500`
+	fmt.Println("-- before: EXPLAIN of a point query --")
+	mustPrint(db, "EXPLAIN "+q)
+	before := timeQuery(db, q)
+
+	// An ordered index serves point and range probes; ANALYZE gives the
+	// planner real row counts, NDVs, and histograms.
+	mustExec(db, `CREATE INDEX orders_id ON orders(id)`)
+	mustExec(db, `CREATE INDEX orders_cust ON orders(customer) USING HASH`)
+	mustExec(db, `ANALYZE`)
+
+	fmt.Println("-- after CREATE INDEX + ANALYZE --")
+	mustPrint(db, "EXPLAIN "+q)
+	after := timeQuery(db, q)
+	fmt.Printf("point query: %v unindexed, %v indexed\n\n", before, after)
+
+	// Range probes use the ordered index once statistics exist.
+	fmt.Println("-- range probe --")
+	mustPrint(db, `EXPLAIN SELECT count(*) FROM orders WHERE id >= 500 AND id < 600`)
+
+	// The planner reorders the join chain to start from the selective
+	// region filter instead of the 100k-row fact table the query leads with.
+	fmt.Println("-- join order: written fact-first, planned dim-first --")
+	mustPrint(db, `EXPLAIN SELECT count(*)
+		FROM orders
+		JOIN customers ON orders.customer = customers.id
+		JOIN regions   ON customers.region = regions.id
+		WHERE regions.id = 2`)
+
+	// EXPLAIN ANALYZE shows estimated vs. actual rows per operator.
+	fmt.Println("-- EXPLAIN ANALYZE: est vs. actual --")
+	mustPrint(db, `EXPLAIN ANALYZE SELECT amount FROM orders WHERE id = 73500`)
+
+	// The catalog: indexes and collected statistics are ordinary tables.
+	fmt.Println("-- system.indexes --")
+	mustPrint(db, `SELECT * FROM system.indexes`)
+	fmt.Println("-- system.table_stats for orders --")
+	mustPrint(db, `SELECT column_name, row_count, ndv, min, max
+		FROM system.table_stats WHERE table_name = 'orders'`)
+}
+
+// loadRows inserts n generated rows in chunks (one giant statement is slow
+// to parse; 5k-row chunks keep this example snappy).
+func loadRows(db *engine.DB, table string, n int, row func(i int) string) {
+	const chunk = 5_000
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		vals := make([]string, 0, hi-lo)
+		for i := lo; i < hi; i++ {
+			vals = append(vals, row(i))
+		}
+		mustExec(db, fmt.Sprintf("INSERT INTO %s VALUES %s", table, strings.Join(vals, ", ")))
+	}
+}
+
+func timeQuery(db *engine.DB, q string) time.Duration {
+	start := time.Now()
+	if _, err := db.Query(q); err != nil {
+		log.Fatalf("%v\nquery: %s", err, q)
+	}
+	return time.Since(start)
+}
+
+func mustExec(db *engine.DB, q string) {
+	if _, err := db.Exec(q); err != nil {
+		log.Fatalf("%v\nquery: %s", err, q)
+	}
+}
+
+func mustPrint(db *engine.DB, q string) {
+	res, err := db.Exec(q)
+	if err != nil {
+		log.Fatalf("%v\nquery: %s", err, q)
+	}
+	fmt.Print(res)
+	fmt.Println()
+}

@@ -34,18 +34,25 @@ func Host() HostInfo {
 type Report struct {
 	GeneratedAt string   `json:"generated_at"`
 	Host        HostInfo `json:"host"`
-	Scale       Scale    `json:"scale"`
-	Tables      []*Table `json:"tables"`
+	// ScalingValid is false when the host exposes a single core: parallel
+	// speedup is physically impossible there, so worker-sweep numbers
+	// measure coordination overhead, not scaling. Consumers should not
+	// compare multi-worker ratios from such a report against targets.
+	ScalingValid bool     `json:"scaling_valid"`
+	Scale        Scale    `json:"scale"`
+	Tables       []*Table `json:"tables"`
 }
 
 // NewReport assembles a report for the given tables, stamping the host
 // block and generation time.
 func NewReport(scale Scale, tables []*Table) *Report {
+	host := Host()
 	return &Report{
-		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
-		Host:        Host(),
-		Scale:       scale,
-		Tables:      tables,
+		GeneratedAt:  time.Now().UTC().Format(time.RFC3339),
+		Host:         host,
+		ScalingValid: host.VisibleCores > 1,
+		Scale:        scale,
+		Tables:       tables,
 	}
 }
 

@@ -29,6 +29,26 @@ type Relation interface {
 	PhysicalRows() int
 }
 
+// IndexInfo describes one secondary index for planning and introspection.
+type IndexInfo struct {
+	Name    string
+	Column  string
+	Kind    string // "HASH" or "ORDERED"
+	Keys    int    // distinct keys indexed (approximate between merges)
+	Entries int    // postings: physical rows indexed, dead versions included
+}
+
+// IndexedRelation is a Relation whose backing store maintains secondary
+// indexes. Probes yield batches of rows visible at snapshot whose indexed
+// column satisfies the probe, in physical row order; a nil bound pointer
+// leaves that side of a range unbounded.
+type IndexedRelation interface {
+	Relation
+	Indexes() []IndexInfo
+	IndexLookupEq(index string, key types.Value, snapshot uint64, yield func(*types.Batch) error) error
+	IndexLookupRange(index string, lo, hi *types.Value, loInc, hiInc bool, snapshot uint64, yield func(*types.Batch) error) error
+}
+
 // Catalog resolves table names to relations.
 type Catalog interface {
 	Resolve(name string) (Relation, error)

@@ -34,6 +34,7 @@ type DB struct {
 
 	queryLog      *telemetry.QueryLog
 	metrics       *telemetry.Metrics
+	stats         statsRegistry
 	slowThreshold time.Duration
 	slowSink      io.Writer
 	slowMu        sync.Mutex // serializes slow-log writes
@@ -108,6 +109,7 @@ func Open(opts ...Option) *DB {
 		workers:  runtime.GOMAXPROCS(0),
 		queryLog: telemetry.NewQueryLog(0),
 		metrics:  &telemetry.Metrics{},
+		stats:    statsRegistry{m: map[string]*plan.TableStats{}},
 	}
 	for _, o := range opts {
 		o(db)
@@ -182,12 +184,17 @@ func (db *DB) checkpointLoop() {
 }
 
 // Checkpoint writes a durable snapshot image and truncates the redo log
-// behind it. It fails on an in-memory DB (no data directory).
+// behind it, then refreshes the statistics of every analyzed table. It
+// fails on an in-memory DB (no data directory).
 func (db *DB) Checkpoint() (wal.CheckpointStats, error) {
 	if db.wal == nil {
 		return wal.CheckpointStats{}, fmt.Errorf("CHECKPOINT requires a database opened with a data directory")
 	}
-	return db.wal.Checkpoint()
+	stats, err := db.wal.Checkpoint()
+	if err == nil {
+		db.refreshStats()
+	}
+	return stats, err
 }
 
 // RecoverySummary reports what startup recovery found and did, and whether
@@ -506,6 +513,12 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 		}
 		tx.Rollback()
 		return &Result{}, nil
+	case *sql.CreateIndex:
+		return s.execCreateIndex(n)
+	case *sql.DropIndex:
+		return s.execDropIndex(n)
+	case *sql.Analyze:
+		return s.execAnalyze(n)
 	case *sql.Copy:
 		return s.execCopy(n)
 	case *sql.Explain:
@@ -592,6 +605,9 @@ func (s *Session) execCreate(n *sql.CreateTable) (*Result, error) {
 
 func (s *Session) execDrop(n *sql.DropTable) (*Result, error) {
 	err := s.db.store.DropTable(n.Name)
+	if err == nil {
+		s.db.stats.drop(n.Name)
+	}
 	if err != nil && n.IfExists {
 		return &Result{}, nil
 	}
@@ -605,6 +621,7 @@ func (s *Session) newBuilder() *plan.Builder {
 	if s.db.iterLimit > 0 {
 		b.MaxDepth = s.db.iterLimit
 	}
+	b.Stats = &s.db.stats
 	return b
 }
 
@@ -622,6 +639,10 @@ func (s *Session) runPlan(ctx context.Context, node plan.Node) (*exec.Materializ
 	ectx.Workers = s.db.workers
 	ectx.AttachContext(ctx)
 	ectx.SetMemoryLimit(s.db.memLimit)
+	ectx.OnIndexProbe = func(rows int64) {
+		s.db.metrics.IndexScans.Add(1)
+		s.db.metrics.IndexRowsRead.Add(rows)
+	}
 	var sc *exec.StatsCollector
 	if s.statsArmed() {
 		sc = ectx.EnableStats()

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"sort"
 	"time"
 
 	"lambdadb/internal/catalog"
@@ -21,8 +22,80 @@ func (c systemCatalog) Resolve(name string) (catalog.Relation, error) {
 		return c.queryLogRelation(), nil
 	case "system.metrics":
 		return c.metricsRelation(), nil
+	case "system.table_stats":
+		return c.tableStatsRelation(), nil
+	case "system.indexes":
+		return c.indexesRelation(), nil
 	}
 	return c.db.store.Resolve(name)
+}
+
+// tableStatsRelation exposes the ANALYZE-collected per-column statistics.
+func (c systemCatalog) tableStatsRelation() *memRelation {
+	schema := types.Schema{
+		{Name: "table_name", Type: types.String},
+		{Name: "column_name", Type: types.String},
+		{Name: "row_count", Type: types.Int64},
+		{Name: "null_count", Type: types.Int64},
+		{Name: "ndv", Type: types.Int64},
+		{Name: "min", Type: types.String},
+		{Name: "max", Type: types.String},
+		{Name: "hist_buckets", Type: types.Int64},
+		{Name: "snapshot", Type: types.Int64},
+	}
+	b := types.NewBatch(schema)
+	for _, name := range c.db.stats.tables() {
+		ts, ok := c.db.stats.TableStats(name)
+		if !ok {
+			continue
+		}
+		for _, cs := range ts.Cols {
+			b.AppendRow([]types.Value{
+				types.NewString(ts.Table),
+				types.NewString(cs.Name),
+				types.NewInt(ts.RowCount),
+				types.NewInt(cs.NullCount),
+				types.NewInt(cs.NDV),
+				types.NewString(cs.Min.String()),
+				types.NewString(cs.Max.String()),
+				types.NewInt(int64(len(cs.Hist))),
+				types.NewInt(int64(ts.Snapshot)),
+			})
+		}
+	}
+	return newMemRelation("system.table_stats", schema, b)
+}
+
+// indexesRelation lists every secondary index with its size counters.
+func (c systemCatalog) indexesRelation() *memRelation {
+	schema := types.Schema{
+		{Name: "table_name", Type: types.String},
+		{Name: "index_name", Type: types.String},
+		{Name: "column_name", Type: types.String},
+		{Name: "kind", Type: types.String},
+		{Name: "keys", Type: types.Int64},
+		{Name: "entries", Type: types.Int64},
+	}
+	b := types.NewBatch(schema)
+	names := c.db.store.TableNames()
+	sort.Strings(names)
+	for _, tn := range names {
+		tbl, err := c.db.store.Table(tn)
+		if err != nil {
+			continue
+		}
+		for _, ix := range tbl.Indexes() {
+			b.AppendRow([]types.Value{
+				types.NewString(tn),
+				types.NewString(ix.Name),
+				types.NewString(ix.Column),
+				types.NewString(ix.Kind),
+				types.NewInt(int64(ix.Keys)),
+				types.NewInt(int64(ix.Entries)),
+			})
+		}
+	}
+	return newMemRelation("system.indexes", schema, b)
 }
 
 func (c systemCatalog) queryLogRelation() *memRelation {

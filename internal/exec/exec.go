@@ -25,6 +25,9 @@ type Context struct {
 	// Bindings maps working-table names (ITERATE, recursive CTEs) to their
 	// current contents.
 	Bindings map[string]*Materialized
+	// OnIndexProbe, when set, is invoked once per completed index-scan
+	// operator with the number of rows it produced (engine telemetry).
+	OnIndexProbe func(rows int64)
 
 	// goCtx governs cancellation and deadlines; nil means no cancellation
 	// (context.Background semantics). Operators check it at morsel
@@ -231,6 +234,8 @@ func buildWith(p plan.Node, sc *StatsCollector) (Operator, error) {
 	switch n := p.(type) {
 	case *plan.Scan:
 		op = newTableScan(n)
+	case *plan.IndexScan:
+		op = newIndexScan(n)
 	case *plan.WorkingScan:
 		op = newWorkingScan(n)
 	case *plan.Values:
@@ -298,6 +303,8 @@ func opLabel(op Operator) string {
 		return opLabel(o.inner)
 	case *tableScan:
 		return "scan"
+	case *indexScan:
+		return "index-scan"
 	case *workingScan:
 		return "working-scan"
 	case *valuesOp:

@@ -54,6 +54,10 @@ type OpStats struct {
 	RowsOut int64
 	Batches int64
 	Bytes   int64
+	// Est is the planner's cardinality estimate for the node (plan.Node.Card
+	// at explain time), rendered next to the actual row count so estimation
+	// errors are visible in EXPLAIN ANALYZE.
+	Est float64
 	// TimeNanos is cumulative busy time across all instances of the
 	// operator, inclusive of its children (for morsel-parallel fragments
 	// this is CPU-style work time, not elapsed wall time).
@@ -194,7 +198,7 @@ func (sc *StatsCollector) treeLocked(n plan.Node) *OpStats {
 	if a, ok := n.(*plan.Alias); ok {
 		return sc.treeLocked(a.Child)
 	}
-	out := &OpStats{Name: n.Explain()}
+	out := &OpStats{Name: n.Explain(), Est: n.Card()}
 	if r := sc.nodes[sc.resolveLocked(n)]; r != nil {
 		out.RowsOut = r.rows
 		out.Batches = r.batches
@@ -271,8 +275,8 @@ func writeStatsNode(b *strings.Builder, n *OpStats, depth int) {
 	if n.Instances == 0 {
 		fmt.Fprintf(b, "%s%s (not executed)\n", indent, n.Name)
 	} else {
-		fmt.Fprintf(b, "%s%s (rows=%d time=%s bytes=%s",
-			indent, n.Name, n.RowsOut, formatNanos(n.TimeNanos), FormatBytes(n.Bytes))
+		fmt.Fprintf(b, "%s%s (rows=%d est=%.0f time=%s bytes=%s",
+			indent, n.Name, n.RowsOut, n.Est, formatNanos(n.TimeNanos), FormatBytes(n.Bytes))
 		if n.Instances > 1 {
 			fmt.Fprintf(b, " instances=%d", n.Instances)
 		}

@@ -17,9 +17,9 @@
 //     are checkpoint images: redo-log records reference physical row
 //     indexes, so recovery needs the exact pre-crash layout.
 //
-// Container format v2 (little endian):
+// Container format v3 (little endian):
 //
-//	magic "LMDB2\n"
+//	magic "LMDB3\n"
 //	u8  kind (1 = logical, 2 = physical)
 //	u64 clock (physical: the image's commit-clock cut; logical: 0)
 //	u32 table count
@@ -27,12 +27,18 @@
 //	  string name
 //	  u64 incarnation ID
 //	  u32 column count, per column: string name, u8 type
+//	  u32 index count, per index: string name, string column, u8 kind
 //	  batches: u32 row count (0 terminates), then per column:
 //	    u8 hasNulls (+ rowCount null bytes), then the typed payload;
 //	    physical images append rowCount createdAt + rowCount deletedAt u64s
 //	u32 CRC-32 (IEEE) of every preceding byte
 //
-// Legacy v1 images ("LMDB1\n", no ID/clock/CRC) still load. Any decode
+// Only index definitions are persisted; index contents are rebuilt from the
+// restored rows at load time (index state is a pure function of the
+// physical rows, see internal/storage).
+//
+// Older images still load: v2 ("LMDB2\n") lacks the index-definition block,
+// legacy v1 ("LMDB1\n") additionally lacks ID/clock/CRC. Any decode
 // failure — bad magic, truncation, checksum mismatch, invalid structure —
 // surfaces as a *CorruptImageError naming the byte offset, never as a raw
 // decode error, so callers can reliably distinguish "damaged image" from
@@ -60,6 +66,7 @@ import (
 var (
 	magicV1 = []byte("LMDB1\n")
 	magicV2 = []byte("LMDB2\n")
+	magicV3 = []byte("LMDB3\n")
 )
 
 const (
@@ -116,7 +123,7 @@ func SavePhysical(store *storage.Store, w io.Writer, clock uint64) error {
 func saveImage(store *storage.Store, w io.Writer, kind byte, clock uint64) error {
 	crc := crc32.NewIEEE()
 	bw := bufio.NewWriter(io.MultiWriter(w, crc))
-	if _, err := bw.Write(magicV2); err != nil {
+	if _, err := bw.Write(magicV3); err != nil {
 		return err
 	}
 	if err := bw.WriteByte(kind); err != nil {
@@ -222,6 +229,21 @@ func saveTable(w *bufio.Writer, tbl *storage.Table, kind byte, clock uint64) err
 	}
 	if err := WriteSchema(w, tbl.Schema()); err != nil {
 		return err
+	}
+	defs := tbl.IndexDefs()
+	if err := WriteU32(w, uint32(len(defs))); err != nil {
+		return err
+	}
+	for _, def := range defs {
+		if err := WriteString(w, def.Name); err != nil {
+			return err
+		}
+		if err := WriteString(w, def.Column); err != nil {
+			return err
+		}
+		if err := w.WriteByte(byte(def.Kind)); err != nil {
+			return err
+		}
 	}
 	var err error
 	if kind == kindPhysical {
@@ -431,13 +453,21 @@ func loadImage(data []byte, path string) (*storage.Store, error) {
 	corrupt := func(off int64, format string, args ...any) error {
 		return &CorruptImageError{Path: path, Offset: off, Reason: fmt.Sprintf(format, args...)}
 	}
-	if len(data) < len(magicV2) {
+	if len(data) < len(magicV3) {
 		return nil, corrupt(int64(len(data)), "truncated before magic (%d bytes)", len(data))
 	}
-	legacy := bytes.Equal(data[:len(magicV1)], magicV1)
-	if !legacy && !bytes.Equal(data[:len(magicV2)], magicV2) {
+	var ver int
+	switch {
+	case bytes.Equal(data[:len(magicV1)], magicV1):
+		ver = 1
+	case bytes.Equal(data[:len(magicV2)], magicV2):
+		ver = 2
+	case bytes.Equal(data[:len(magicV3)], magicV3):
+		ver = 3
+	default:
 		return nil, corrupt(0, "not a database image (bad magic)")
 	}
+	legacy := ver == 1
 
 	body := data[len(magicV2):]
 	kind := kindLogical
@@ -469,7 +499,7 @@ func loadImage(data []byte, path string) (*storage.Store, error) {
 		return nil, corrupt(r.offset(), "table count: %v", err)
 	}
 	for t := uint32(0); t < count; t++ {
-		if err := loadTable(r, store, legacy, kind); err != nil {
+		if err := loadTable(r, store, ver, kind); err != nil {
 			var ce *CorruptImageError
 			if errors.As(err, &ce) {
 				return nil, err
@@ -522,13 +552,13 @@ func (r *offsetReader) ReadByte() (byte, error) {
 func (r *offsetReader) offset() int64 { return r.base + int64(r.pos) }
 func (r *offsetReader) len() int      { return len(r.data) - r.pos }
 
-func loadTable(r *offsetReader, store *storage.Store, legacy bool, kind byte) error {
+func loadTable(r *offsetReader, store *storage.Store, ver int, kind byte) error {
 	name, err := ReadString(r)
 	if err != nil {
 		return err
 	}
 	id := uint64(0)
-	if !legacy {
+	if ver >= 2 {
 		if id, err = ReadU64(r); err != nil {
 			return err
 		}
@@ -536,6 +566,12 @@ func loadTable(r *offsetReader, store *storage.Store, legacy bool, kind byte) er
 	schema, err := ReadSchema(r)
 	if err != nil {
 		return fmt.Errorf("table %q: %w", name, err)
+	}
+	var defs []storage.IndexDef
+	if ver >= 3 {
+		if defs, err = readIndexDefs(r, name); err != nil {
+			return err
+		}
 	}
 
 	if kind == kindPhysical {
@@ -549,7 +585,7 @@ func loadTable(r *offsetReader, store *storage.Store, legacy bool, kind byte) er
 				return err
 			}
 			if n == 0 {
-				return nil
+				return buildIndexes(tbl, defs)
 			}
 			b, err := readBatchRows(r, schema, n)
 			if err != nil {
@@ -596,7 +632,59 @@ func loadTable(r *offsetReader, store *storage.Store, legacy bool, kind byte) er
 			return err
 		}
 	}
-	return tx.Commit()
+	if err := tx.Commit(); err != nil {
+		return err
+	}
+	return buildIndexes(tbl, defs)
+}
+
+// maxIndexes bounds the per-table index count during decode.
+const maxIndexes = 1 << 12
+
+// readIndexDefs reads a table's index-definition block (v3 images).
+func readIndexDefs(r *offsetReader, table string) ([]storage.IndexDef, error) {
+	n, err := ReadU32(r)
+	if err != nil {
+		return nil, err
+	}
+	if n > maxIndexes {
+		return nil, fmt.Errorf("table %q: %d indexes", table, n)
+	}
+	defs := make([]storage.IndexDef, 0, n)
+	for i := uint32(0); i < n; i++ {
+		var def storage.IndexDef
+		def.Table = table
+		if def.Name, err = ReadString(r); err != nil {
+			return nil, err
+		}
+		if def.Column, err = ReadString(r); err != nil {
+			return nil, err
+		}
+		kb, err := r.ReadByte()
+		if err != nil {
+			return nil, err
+		}
+		switch storage.IndexKind(kb) {
+		case storage.HashIndex, storage.OrderedIndex:
+			def.Kind = storage.IndexKind(kb)
+		default:
+			return nil, fmt.Errorf("table %q index %q: bad index kind %d", table, def.Name, kb)
+		}
+		defs = append(defs, def)
+	}
+	return defs, nil
+}
+
+// buildIndexes rebuilds a table's indexes from its restored rows. Contents
+// are never persisted: index state is a pure function of the physical rows,
+// so rebuild-at-load always converges with the pre-crash state.
+func buildIndexes(tbl *storage.Table, defs []storage.IndexDef) error {
+	for _, def := range defs {
+		if err := tbl.AddIndex(def); err != nil {
+			return fmt.Errorf("table %q: rebuild index %q: %w", tbl.Name(), def.Name, err)
+		}
+	}
+	return nil
 }
 
 func readColumn(r Reader, c *types.Column, n int) error {

@@ -30,6 +30,9 @@ type Builder struct {
 	// builder produces (runaway-loop protection); NewBuilder sets the
 	// default, engines may lower it per deployment.
 	MaxDepth int
+	// Stats supplies ANALYZE-collected table statistics to the cost-based
+	// access pass; nil means plan on shape heuristics and index metadata.
+	Stats StatsProvider
 
 	ctes map[string]*cteBinding
 }
@@ -60,14 +63,15 @@ func (b *Builder) maxDepth() int {
 	return defaultMaxDepth
 }
 
-// BuildSelect plans a full SELECT statement and applies the rule-based
-// optimizer.
+// BuildSelect plans a full SELECT statement, applying the rule-based
+// optimizer followed by the cost-based access pass (join order, build
+// sides, index scans).
 func (b *Builder) BuildSelect(sel *sql.Select) (Node, error) {
 	n, err := b.buildSelect(sel)
 	if err != nil {
 		return nil, err
 	}
-	return Optimize(n), nil
+	return OptimizeAccess(Optimize(n), b.Stats), nil
 }
 
 func (b *Builder) buildSelect(sel *sql.Select) (Node, error) {

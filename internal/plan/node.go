@@ -63,6 +63,59 @@ func uniformQuals(n int, q string) []string {
 	return out
 }
 
+// IndexScan probes a secondary index instead of scanning the table: either
+// an equality probe (Eq set) or a range probe (Lo/Hi bounds, nil =
+// unbounded). The output schema is the full table schema — residual
+// predicate work stays in a Filter above. Chosen by OptimizeAccess when the
+// estimated selectivity clears the threshold.
+type IndexScan struct {
+	Rel      catalog.IndexedRelation
+	Alias    string
+	Snapshot uint64
+	Index    string // index name
+	Column   string // indexed column (display)
+	Kind     string // "HASH" or "ORDERED" (display)
+
+	Eq           *types.Value // equality probe key; nil for range probes
+	Lo, Hi       *types.Value // range bounds; nil = unbounded
+	LoInc, HiInc bool
+
+	EstRows float64
+}
+
+func (s *IndexScan) Schema() types.Schema { return s.Rel.Schema() }
+func (s *IndexScan) Quals() []string      { return uniformQuals(len(s.Rel.Schema()), s.Alias) }
+func (s *IndexScan) Card() float64        { return s.EstRows }
+func (s *IndexScan) Children() []Node     { return nil }
+func (s *IndexScan) Explain() string {
+	return fmt.Sprintf("IndexScan %s using %s (%s) est=%.0f", s.Alias, s.Index, s.probeString(), s.EstRows)
+}
+
+// probeString renders the probe condition, e.g. "id = 42" or
+// "10 <= ts < 20".
+func (s *IndexScan) probeString() string {
+	if s.Eq != nil {
+		return fmt.Sprintf("%s = %s", s.Column, s.Eq)
+	}
+	var sb strings.Builder
+	if s.Lo != nil {
+		op := "<"
+		if s.LoInc {
+			op = "<="
+		}
+		fmt.Fprintf(&sb, "%s %s ", s.Lo, op)
+	}
+	sb.WriteString(s.Column)
+	if s.Hi != nil {
+		op := "<"
+		if s.HiInc {
+			op = "<="
+		}
+		fmt.Fprintf(&sb, " %s %s", op, s.Hi)
+	}
+	return sb.String()
+}
+
 // WorkingScan reads the current working table of an enclosing ITERATE or
 // recursive CTE, identified by name. The executor resolves it through its
 // binding context. Lo/Hi restrict the row range for morsel-parallel
@@ -104,13 +157,22 @@ func (v *Values) Explain() string      { return fmt.Sprintf("Values (%d rows)", 
 type Filter struct {
 	Child Node
 	Pred  expr.Expr
+	// Sel, when > 0, is a statistics-derived selectivity set by
+	// OptimizeAccess; it overrides the shape heuristic in Card.
+	Sel float64
 }
 
 func (f *Filter) Schema() types.Schema { return f.Child.Schema() }
 func (f *Filter) Quals() []string      { return f.Child.Quals() }
-func (f *Filter) Card() float64        { return f.Child.Card() * selectivity(f.Pred) }
-func (f *Filter) Children() []Node     { return []Node{f.Child} }
-func (f *Filter) Explain() string      { return fmt.Sprintf("Filter %s", f.Pred) }
+func (f *Filter) Card() float64 {
+	s := f.Sel
+	if s <= 0 {
+		s = selectivity(f.Pred)
+	}
+	return f.Child.Card() * s
+}
+func (f *Filter) Children() []Node { return []Node{f.Child} }
+func (f *Filter) Explain() string  { return fmt.Sprintf("Filter %s", f.Pred) }
 
 // selectivity is a coarse textbook heuristic keyed on the predicate shape.
 func selectivity(e expr.Expr) float64 {

@@ -28,12 +28,14 @@ func Fold(e expr.Expr) expr.Expr {
 	})
 }
 
-// Optimize applies the rule-based optimizer: predicate pushdown, filter
-// merging, and hash-join build-side selection. As the paper observes
-// (Section 5.2), selections cannot be pushed through analytical operators
-// because their results depend on the whole input; pushdown therefore stops
-// at Iterate, KMeans, PageRank, Naive Bayes, Aggregate, and RecursiveCTE
-// boundaries.
+// Optimize applies the rule-based optimizer: predicate pushdown and filter
+// merging. As the paper observes (Section 5.2), selections cannot be pushed
+// through analytical operators because their results depend on the whole
+// input; pushdown therefore stops at Iterate, KMeans, PageRank, Naive
+// Bayes, Aggregate, and RecursiveCTE boundaries. Cost-based decisions
+// (join order, build sides, index scans) follow in OptimizeAccess, which
+// BuildSelect runs right after — build-side swaps insert restoring
+// Projects that would otherwise hide join trees from the reordering pass.
 func Optimize(n Node) Node {
 	// Two passes: filters freed by one rule (e.g. hoisted through a
 	// projection) become candidates for the next (e.g. join pushdown).
@@ -45,7 +47,6 @@ func Optimize(n Node) Node {
 		n = rewriteTree(n, pushFilterThroughUnion)
 		n = rewriteTree(n, mergeFilters)
 	}
-	n = rewriteTree(n, chooseBuildSide)
 	n = rewriteTree(n, fuseTopK)
 	return n
 }

@@ -25,6 +25,35 @@ type DropTable struct {
 
 func (*DropTable) stmtNode() {}
 
+// CreateIndex is CREATE INDEX [IF NOT EXISTS] name ON table(col)
+// [USING HASH|ORDERED]. Kind is the USING spelling ("HASH" or "ORDERED");
+// empty means the default (ordered — it serves both point and range probes).
+type CreateIndex struct {
+	Name        string
+	Table       string
+	Column      string
+	Kind        string
+	IfNotExists bool
+}
+
+func (*CreateIndex) stmtNode() {}
+
+// DropIndex is DROP INDEX [IF EXISTS] name.
+type DropIndex struct {
+	Name     string
+	IfExists bool
+}
+
+func (*DropIndex) stmtNode() {}
+
+// Analyze is ANALYZE [table]: collect per-column statistics for the named
+// table, or for every table when none is given.
+type Analyze struct {
+	Table string // empty = all tables
+}
+
+func (*Analyze) stmtNode() {}
+
 // Insert is INSERT INTO name [(cols)] VALUES (...),... | SELECT ...
 type Insert struct {
 	Table   string

@@ -48,6 +48,7 @@ var keywords = map[string]bool{
 	"ROLLBACK": true, "LAMBDA": true, "ITERATE": true, "PRIMARY": true,
 	"KEY": true, "COPY": true, "HEADER": true, "DELIMITER": true,
 	"EXPLAIN": true, "ANALYZE": true, "CHECKPOINT": true,
+	"INDEX": true, "USING": true,
 }
 
 // lexer turns SQL text into tokens.

@@ -157,9 +157,23 @@ func (p *parser) parseStatement() (Statement, error) {
 	}
 	switch t.text {
 	case "CREATE":
+		if n := p.peek2(); n.kind == tokKeyword && n.text == "INDEX" {
+			return p.parseCreateIndex()
+		}
 		return p.parseCreateTable()
 	case "DROP":
+		if n := p.peek2(); n.kind == tokKeyword && n.text == "INDEX" {
+			return p.parseDropIndex()
+		}
 		return p.parseDropTable()
+	case "ANALYZE":
+		p.advance()
+		a := &Analyze{}
+		if t := p.peek(); t.kind == tokIdent || t.kind == tokQuotedIdent {
+			a.Table = t.text
+			p.advance()
+		}
+		return a, nil
 	case "INSERT":
 		return p.parseInsert()
 	case "UPDATE":
@@ -341,6 +355,80 @@ func (p *parser) parseDropTable() (Statement, error) {
 		return nil, err
 	}
 	return &DropTable{Name: name, IfExists: ifExists}, nil
+}
+
+// parseCreateIndex parses CREATE INDEX [IF NOT EXISTS] name ON table(col)
+// [USING HASH|ORDERED].
+func (p *parser) parseCreateIndex() (Statement, error) {
+	p.advance() // CREATE
+	p.advance() // INDEX
+	ifNotExists := false
+	if p.matchKeyword("IF") {
+		if err := p.expectKeyword("NOT"); err != nil {
+			return nil, err
+		}
+		if !p.matchKeyword("EXISTS") {
+			return nil, p.errorf("expected EXISTS")
+		}
+		ifNotExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("ON"); err != nil {
+		return nil, err
+	}
+	table, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol("("); err != nil {
+		return nil, err
+	}
+	column, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	if err := p.expectSymbol(")"); err != nil {
+		return nil, err
+	}
+	kind := ""
+	if p.matchKeyword("USING") {
+		t := p.peek()
+		if t.kind != tokIdent && t.kind != tokKeyword {
+			return nil, p.errorf("expected index kind after USING, got %q", t.text)
+		}
+		switch strings.ToUpper(t.text) {
+		case "HASH", "ORDERED", "BTREE":
+			kind = strings.ToUpper(t.text)
+			if kind == "BTREE" {
+				kind = "ORDERED" // accepted as a synonym
+			}
+		default:
+			return nil, p.errorf("unknown index kind %q (want HASH or ORDERED)", t.text)
+		}
+		p.advance()
+	}
+	return &CreateIndex{Name: name, Table: table, Column: column, Kind: kind, IfNotExists: ifNotExists}, nil
+}
+
+// parseDropIndex parses DROP INDEX [IF EXISTS] name.
+func (p *parser) parseDropIndex() (Statement, error) {
+	p.advance() // DROP
+	p.advance() // INDEX
+	ifExists := false
+	if p.matchKeyword("IF") {
+		if !p.matchKeyword("EXISTS") {
+			return nil, p.errorf("expected EXISTS")
+		}
+		ifExists = true
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &DropIndex{Name: name, IfExists: ifExists}, nil
 }
 
 func (p *parser) parseInsert() (Statement, error) {

@@ -1,0 +1,480 @@
+package storage
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"lambdadb/internal/types"
+)
+
+// ---------------------------------------------------------------------------
+// Secondary indexes
+//
+// An index covers every physical row of its table, dead versions included:
+// a row deleted at timestamp D is still visible to snapshots below D, so the
+// index must keep serving it. Probes therefore return candidate physical row
+// IDs which the table filters per-row against the read snapshot — exactly
+// the visibility check a scan performs, applied to a much smaller set. This
+// also makes index content a pure function of (physical rows × column):
+// deletes need no index maintenance, and rebuild-from-rows during recovery
+// is guaranteed to converge with the pre-crash state.
+//
+// Two structures are provided. A hash index maps native keys to row-ID
+// postings and serves equality probes in O(1). An ordered index keeps a
+// (key, row) array sorted by key with a small unsorted tail — appends are
+// O(1) amortized, the tail is merged once it outgrows a fraction of the
+// sorted prefix — and serves both equality and range probes by binary
+// search plus a linear walk of the tail.
+// ---------------------------------------------------------------------------
+
+// IndexKind selects the index structure.
+type IndexKind uint8
+
+// Supported index kinds.
+const (
+	HashIndex    IndexKind = 1 // equality probes only
+	OrderedIndex IndexKind = 2 // equality and range probes
+)
+
+// String returns the SQL spelling of the kind.
+func (k IndexKind) String() string {
+	switch k {
+	case HashIndex:
+		return "HASH"
+	case OrderedIndex:
+		return "ORDERED"
+	default:
+		return "UNKNOWN"
+	}
+}
+
+// IndexDef identifies one secondary index.
+type IndexDef struct {
+	Name   string
+	Table  string
+	Column string
+	Kind   IndexKind
+}
+
+// indexImpl is the typed index structure behind a tableIndex. Implementations
+// are not safe for concurrent use; the owning table's mutex guards them
+// (write lock for insert, read lock for probes — probes never mutate).
+type indexImpl interface {
+	// insert adds the column's rows as physical rows base, base+1, ….
+	// NULL keys are skipped: the predicates an index serves (=, <, <=, >,
+	// >=) are NULL-rejecting, so a NULL row can never be a probe hit.
+	insert(c *types.Column, base int)
+	// probeEq appends the row IDs whose key equals v to out.
+	probeEq(v types.Value, out []int32) []int32
+	// probeRange appends the row IDs whose key falls within the bounds
+	// (nil pointer = unbounded side). ok is false when the structure does
+	// not support range probes (hash indexes).
+	probeRange(lo, hi *types.Value, loInc, hiInc bool, out []int32) (res []int32, ok bool)
+	// keys and entries report distinct-key and posting counts.
+	keys() int
+	entries() int
+}
+
+// newIndexImpl builds the structure for a column type. Bool columns are
+// rejected at CREATE INDEX, so only Int64, Float64, and String appear here.
+func newIndexImpl(kind IndexKind, t types.Type) (indexImpl, error) {
+	switch kind {
+	case HashIndex:
+		switch t {
+		case types.Int64:
+			return &hashIdx[int64, intCodec]{m: map[int64][]int32{}}, nil
+		case types.Float64:
+			return &hashIdx[float64, floatCodec]{m: map[float64][]int32{}}, nil
+		case types.String:
+			return &hashIdx[string, stringCodec]{m: map[string][]int32{}}, nil
+		}
+	case OrderedIndex:
+		switch t {
+		case types.Int64:
+			return &orderedIdx[int64, intCodec]{}, nil
+		case types.Float64:
+			return &orderedIdx[float64, floatCodec]{}, nil
+		case types.String:
+			return &orderedIdx[string, stringCodec]{}, nil
+		}
+	}
+	return nil, fmt.Errorf("storage: no %s index over %s columns", kind, t)
+}
+
+// ---------------------------------------------------------------------------
+// Key codecs: column/probe value → native key conversion.
+//
+// Probe coercion is total — a probe value that cannot possibly match any
+// key (a non-integral float equality against an integer column, NaN, a
+// cross-type string probe) yields an empty result, never an error, so the
+// planner may hand any constant to any index and keep scan semantics.
+// ---------------------------------------------------------------------------
+
+type codec[K any] interface {
+	// at extracts row i's key; false means NULL (or NaN) — not indexed.
+	at(c *types.Column, i int) (K, bool)
+	// eqKey converts an equality probe; false means nothing can match.
+	eqKey(v types.Value) (K, bool)
+	// loKey converts a lower bound to (key, inclusive); false means the
+	// range is empty (bound above every representable key).
+	loKey(v types.Value, inc bool) (K, bool, bool)
+	// hiKey converts an upper bound; false means the range is empty.
+	hiKey(v types.Value, inc bool) (K, bool, bool)
+	less(a, b K) bool
+}
+
+// maxI64f is 2^63 as a float64 (exact). Floats at or beyond ±2^63 are
+// outside int64 range.
+const maxI64f = float64(1 << 63)
+
+type intCodec struct{}
+
+func (intCodec) at(c *types.Column, i int) (int64, bool) {
+	if c.IsNull(i) {
+		return 0, false
+	}
+	return c.Ints[i], true
+}
+
+func (intCodec) eqKey(v types.Value) (int64, bool) {
+	switch v.T {
+	case types.Int64:
+		return v.I, true
+	case types.Float64:
+		f := v.F
+		if math.IsNaN(f) || f != math.Trunc(f) || f < -maxI64f || f >= maxI64f {
+			return 0, false
+		}
+		return int64(f), true
+	}
+	return 0, false
+}
+
+func (intCodec) loKey(v types.Value, inc bool) (int64, bool, bool) {
+	switch v.T {
+	case types.Int64:
+		return v.I, inc, true
+	case types.Float64:
+		f := v.F
+		if math.IsNaN(f) || f >= maxI64f {
+			return 0, false, false
+		}
+		if f < -maxI64f {
+			return math.MinInt64, true, true
+		}
+		if f == math.Trunc(f) {
+			return int64(f), inc, true
+		}
+		// Non-integral bound: round up; the rounded key strictly exceeds
+		// the bound, so the comparison becomes inclusive.
+		cf := math.Ceil(f)
+		if cf >= maxI64f {
+			return 0, false, false
+		}
+		return int64(cf), true, true
+	}
+	return 0, false, false
+}
+
+func (intCodec) hiKey(v types.Value, inc bool) (int64, bool, bool) {
+	switch v.T {
+	case types.Int64:
+		return v.I, inc, true
+	case types.Float64:
+		f := v.F
+		if math.IsNaN(f) || f < -maxI64f {
+			return 0, false, false
+		}
+		if f >= maxI64f {
+			return math.MaxInt64, true, true
+		}
+		if f == math.Trunc(f) {
+			return int64(f), inc, true
+		}
+		return int64(math.Floor(f)), true, true
+	}
+	return 0, false, false
+}
+
+func (intCodec) less(a, b int64) bool { return a < b }
+
+type floatCodec struct{}
+
+func (floatCodec) at(c *types.Column, i int) (float64, bool) {
+	if c.IsNull(i) {
+		return 0, false
+	}
+	f := c.Floats[i]
+	if math.IsNaN(f) {
+		// NaN compares false against everything, so a NaN row can never be
+		// an =, <, <=, >, or >= probe hit; keeping it out of the index also
+		// keeps the ordered structure's sort invariant intact.
+		return 0, false
+	}
+	return f, true
+}
+
+func (floatCodec) eqKey(v types.Value) (float64, bool) {
+	switch v.T {
+	case types.Int64:
+		return float64(v.I), true
+	case types.Float64:
+		if math.IsNaN(v.F) {
+			return 0, false
+		}
+		if v.F == 0 {
+			return 0, true // normalize -0.0 so it matches +0.0 keys
+		}
+		return v.F, true
+	}
+	return 0, false
+}
+
+func (floatCodec) loKey(v types.Value, inc bool) (float64, bool, bool) {
+	k, ok := floatCodec{}.eqKey(v)
+	return k, inc, ok
+}
+
+func (floatCodec) hiKey(v types.Value, inc bool) (float64, bool, bool) {
+	k, ok := floatCodec{}.eqKey(v)
+	return k, inc, ok
+}
+
+func (floatCodec) less(a, b float64) bool { return a < b }
+
+type stringCodec struct{}
+
+func (stringCodec) at(c *types.Column, i int) (string, bool) {
+	if c.IsNull(i) {
+		return "", false
+	}
+	return c.Strs[i], true
+}
+
+func (stringCodec) eqKey(v types.Value) (string, bool) {
+	if v.T != types.String {
+		return "", false
+	}
+	return v.S, true
+}
+
+func (stringCodec) loKey(v types.Value, inc bool) (string, bool, bool) {
+	k, ok := stringCodec{}.eqKey(v)
+	return k, inc, ok
+}
+
+func (stringCodec) hiKey(v types.Value, inc bool) (string, bool, bool) {
+	k, ok := stringCodec{}.eqKey(v)
+	return k, inc, ok
+}
+
+func (stringCodec) less(a, b string) bool { return a < b }
+
+// normalizeFloatKey folds -0.0 into +0.0 on the insert path, mirroring
+// eqKey's probe-side normalization.
+func normalizeFloatKey(f float64) float64 {
+	if f == 0 {
+		return 0
+	}
+	return f
+}
+
+// ---------------------------------------------------------------------------
+// Hash index
+// ---------------------------------------------------------------------------
+
+type hashIdx[K comparable, C codec[K]] struct {
+	cd C
+	m  map[K][]int32
+	n  int
+}
+
+func (h *hashIdx[K, C]) insert(c *types.Column, base int) {
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		k, ok := h.cd.at(c, i)
+		if !ok {
+			continue
+		}
+		if f, isF := any(k).(float64); isF {
+			k = any(normalizeFloatKey(f)).(K)
+		}
+		h.m[k] = append(h.m[k], int32(base+i))
+		h.n++
+	}
+}
+
+func (h *hashIdx[K, C]) probeEq(v types.Value, out []int32) []int32 {
+	k, ok := h.cd.eqKey(v)
+	if !ok {
+		return out
+	}
+	return append(out, h.m[k]...)
+}
+
+func (h *hashIdx[K, C]) probeRange(lo, hi *types.Value, loInc, hiInc bool, out []int32) ([]int32, bool) {
+	return out, false
+}
+
+func (h *hashIdx[K, C]) keys() int    { return len(h.m) }
+func (h *hashIdx[K, C]) entries() int { return h.n }
+
+// ---------------------------------------------------------------------------
+// Ordered index
+// ---------------------------------------------------------------------------
+
+// minTailMerge is the smallest unsorted tail worth merging; below it the
+// linear tail walk is cheaper than re-sorting.
+const minTailMerge = 256
+
+type orderedIdx[K any, C codec[K]] struct {
+	cd     C
+	ks     []K
+	rows   []int32
+	sorted int // prefix [0, sorted) is sorted by key
+	nkeys  int // distinct keys in the sorted prefix (tail counted lazily)
+}
+
+func (o *orderedIdx[K, C]) insert(c *types.Column, base int) {
+	n := c.Len()
+	for i := 0; i < n; i++ {
+		k, ok := o.cd.at(c, i)
+		if !ok {
+			continue
+		}
+		if f, isF := any(k).(float64); isF {
+			k = any(normalizeFloatKey(f)).(K)
+		}
+		o.ks = append(o.ks, k)
+		o.rows = append(o.rows, int32(base+i))
+	}
+	if tail := len(o.ks) - o.sorted; tail >= minTailMerge && tail >= o.sorted/16 {
+		o.merge()
+	}
+}
+
+// merge re-sorts the whole (key, row) array and recounts distinct keys. The
+// tail threshold keeps this amortized: the array must grow by ~6% (or by
+// minTailMerge entries) between merges.
+func (o *orderedIdx[K, C]) merge() {
+	sort.Sort(&keyRowSort[K, C]{o})
+	o.sorted = len(o.ks)
+	o.nkeys = 0
+	for i := range o.ks {
+		if i == 0 || o.cd.less(o.ks[i-1], o.ks[i]) {
+			o.nkeys++
+		}
+	}
+}
+
+// keyRowSort sorts ks and rows in lockstep by key.
+type keyRowSort[K any, C codec[K]] struct{ o *orderedIdx[K, C] }
+
+func (s *keyRowSort[K, C]) Len() int { return len(s.o.ks) }
+func (s *keyRowSort[K, C]) Less(i, j int) bool {
+	return s.o.cd.less(s.o.ks[i], s.o.ks[j])
+}
+func (s *keyRowSort[K, C]) Swap(i, j int) {
+	s.o.ks[i], s.o.ks[j] = s.o.ks[j], s.o.ks[i]
+	s.o.rows[i], s.o.rows[j] = s.o.rows[j], s.o.rows[i]
+}
+
+func (o *orderedIdx[K, C]) probeEq(v types.Value, out []int32) []int32 {
+	k, ok := o.cd.eqKey(v)
+	if !ok {
+		return out
+	}
+	// Sorted prefix: the run of equal keys starting at the first key ≥ k.
+	lo := sort.Search(o.sorted, func(i int) bool { return !o.cd.less(o.ks[i], k) })
+	for i := lo; i < o.sorted && !o.cd.less(k, o.ks[i]); i++ {
+		out = append(out, o.rows[i])
+	}
+	// Unsorted tail: linear walk.
+	for i := o.sorted; i < len(o.ks); i++ {
+		if !o.cd.less(o.ks[i], k) && !o.cd.less(k, o.ks[i]) {
+			out = append(out, o.rows[i])
+		}
+	}
+	return out
+}
+
+func (o *orderedIdx[K, C]) probeRange(lo, hi *types.Value, loInc, hiInc bool, out []int32) ([]int32, bool) {
+	var (
+		lk, hk         K
+		haveLo, haveHi bool
+		li, hi2        bool
+	)
+	if lo != nil {
+		var ok bool
+		lk, li, ok = o.cd.loKey(*lo, loInc)
+		if !ok {
+			return out, true // empty range
+		}
+		haveLo = true
+	}
+	if hi != nil {
+		var ok bool
+		hk, hi2, ok = o.cd.hiKey(*hi, hiInc)
+		if !ok {
+			return out, true
+		}
+		haveHi = true
+	}
+	inRange := func(k K) bool {
+		if haveLo {
+			if o.cd.less(k, lk) {
+				return false
+			}
+			if !li && !o.cd.less(lk, k) {
+				return false
+			}
+		}
+		if haveHi {
+			if o.cd.less(hk, k) {
+				return false
+			}
+			if !hi2 && !o.cd.less(k, hk) {
+				return false
+			}
+		}
+		return true
+	}
+	// Sorted prefix: binary-search both ends.
+	start := 0
+	if haveLo {
+		if li {
+			start = sort.Search(o.sorted, func(i int) bool { return !o.cd.less(o.ks[i], lk) })
+		} else {
+			start = sort.Search(o.sorted, func(i int) bool { return o.cd.less(lk, o.ks[i]) })
+		}
+	}
+	end := o.sorted
+	if haveHi {
+		if hi2 {
+			end = sort.Search(o.sorted, func(i int) bool { return o.cd.less(hk, o.ks[i]) })
+		} else {
+			end = sort.Search(o.sorted, func(i int) bool { return !o.cd.less(o.ks[i], hk) })
+		}
+	}
+	for i := start; i < end; i++ {
+		out = append(out, o.rows[i])
+	}
+	// Unsorted tail: linear walk.
+	for i := o.sorted; i < len(o.ks); i++ {
+		if inRange(o.ks[i]) {
+			out = append(out, o.rows[i])
+		}
+	}
+	return out, true
+}
+
+func (o *orderedIdx[K, C]) keys() int {
+	n := o.nkeys
+	// Tail keys are counted as distinct; the estimate self-corrects at the
+	// next merge, and stats only need the right order of magnitude.
+	n += len(o.ks) - o.sorted
+	return n
+}
+
+func (o *orderedIdx[K, C]) entries() int { return len(o.ks) }

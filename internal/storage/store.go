@@ -73,6 +73,8 @@ type CommitLogger interface {
 	LogCommit(c *CommitData) (wait func() error, err error)
 	LogCreateTable(name string, schema types.Schema, id uint64) (wait func() error, err error)
 	LogDropTable(name string, id uint64) (wait func() error, err error)
+	LogCreateIndex(def IndexDef, tableID uint64) (wait func() error, err error)
+	LogDropIndex(index, table string, tableID uint64) (wait func() error, err error)
 }
 
 // SetCommitLogger installs the durability hook. It must be called before
@@ -158,6 +160,103 @@ func (s *Store) DropTable(name string) error {
 		}
 	}
 	return nil
+}
+
+// CreateIndex creates a secondary index on an existing table. Index names
+// are globally unique (DROP INDEX takes only a name). The definition is
+// validated before it is logged, then built and installed atomically with
+// respect to commits: addIndex holds the table lock, so the structure covers
+// exactly the rows present at install time and the append hook covers every
+// later one.
+func (s *Store) CreateIndex(def IndexDef) error {
+	s.mu.Lock()
+	t, ok := s.tables[def.Table]
+	if !ok {
+		s.mu.Unlock()
+		return &catalog.ErrNoSuchTable{Name: def.Table}
+	}
+	for _, other := range s.tables {
+		if other.hasIndex(def.Name) {
+			s.mu.Unlock()
+			return fmt.Errorf("index %q already exists", def.Name)
+		}
+	}
+	// Validate column and type now: the log must never record an operation
+	// that cannot apply.
+	col := t.Schema().IndexOf(def.Column)
+	if col < 0 {
+		s.mu.Unlock()
+		return fmt.Errorf("table %q has no column %q", def.Table, def.Column)
+	}
+	if _, err := newIndexImpl(def.Kind, t.Schema()[col].Type); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	var wait func() error
+	if lg := s.logger; lg != nil {
+		w, err := lg.LogCreateIndex(def, t.id)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		wait = w
+	}
+	if err := t.AddIndex(def); err != nil {
+		s.mu.Unlock()
+		return err
+	}
+	s.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("CREATE INDEX applied but not confirmed durable: %w", err)
+		}
+	}
+	return nil
+}
+
+// DropIndex removes the named index from whichever table holds it.
+func (s *Store) DropIndex(name string) error {
+	s.mu.Lock()
+	var t *Table
+	for _, tb := range s.tables {
+		if tb.hasIndex(name) {
+			t = tb
+			break
+		}
+	}
+	if t == nil {
+		s.mu.Unlock()
+		return fmt.Errorf("index %q does not exist", name)
+	}
+	var wait func() error
+	if lg := s.logger; lg != nil {
+		w, err := lg.LogDropIndex(name, t.name, t.id)
+		if err != nil {
+			s.mu.Unlock()
+			return err
+		}
+		wait = w
+	}
+	t.dropIndex(name)
+	s.mu.Unlock()
+	if wait != nil {
+		if err := wait(); err != nil {
+			return fmt.Errorf("DROP INDEX applied but not confirmed durable: %w", err)
+		}
+	}
+	return nil
+}
+
+// HasIndex reports whether any table has an index with the given name.
+func (s *Store) HasIndex(name string) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	for _, t := range s.tables {
+		if t.hasIndex(name) {
+			return true
+		}
+	}
+	return false
 }
 
 // Table returns the named table.

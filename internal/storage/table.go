@@ -30,6 +30,7 @@ type Table struct {
 	deletedAt []uint64 // commit timestamp that deleted the row; 0 = live
 	liveRows  int      // rows with deletedAt == 0
 	maxTS     uint64   // newest commit timestamp that touched this table
+	indexes   []*tableIndex
 }
 
 // NewTable creates an empty table.
@@ -155,8 +156,12 @@ func (t *Table) appendRows(b *types.Batch, ts uint64) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	n := b.Len()
+	base := len(t.createdAt)
 	for j, c := range t.cols {
 		c.AppendColumn(b.Cols[j])
+	}
+	for _, ix := range t.indexes {
+		ix.impl.insert(b.Cols[ix.col], base)
 	}
 	for i := 0; i < n; i++ {
 		t.createdAt = append(t.createdAt, ts)
@@ -247,8 +252,12 @@ func (t *Table) RestoreRows(b *types.Batch, createdAt, deletedAt []uint64) error
 	}
 	t.mu.Lock()
 	defer t.mu.Unlock()
+	base := len(t.createdAt)
 	for j, c := range t.cols {
 		c.AppendColumn(b.Cols[j])
+	}
+	for _, ix := range t.indexes {
+		ix.impl.insert(b.Cols[ix.col], base)
 	}
 	for i := 0; i < n; i++ {
 		t.createdAt = append(t.createdAt, createdAt[i])

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"lambdadb/internal/catalog"
+	"lambdadb/internal/types"
+)
+
+// tableIndex binds an index definition to its structure and column ordinal.
+// Guarded by the owning table's mutex.
+type tableIndex struct {
+	def  IndexDef
+	col  int
+	impl indexImpl
+}
+
+// AddIndex validates def against the table, builds the structure over every
+// existing physical row, and installs it, all under the table lock so no
+// concurrent append can slip between build and install.
+//
+// It performs no logging: Store.CreateIndex is the transactional path.
+// Calling AddIndex directly is reserved for recovery (image load), where
+// the definition comes from the checkpoint image.
+func (t *Table) AddIndex(def IndexDef) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, ix := range t.indexes {
+		if ix.def.Name == def.Name {
+			return fmt.Errorf("storage: index %q already exists on table %q", def.Name, t.name)
+		}
+	}
+	col := t.schema.IndexOf(def.Column)
+	if col < 0 {
+		return fmt.Errorf("storage: table %q has no column %q", t.name, def.Column)
+	}
+	impl, err := newIndexImpl(def.Kind, t.schema[col].Type)
+	if err != nil {
+		return err
+	}
+	impl.insert(t.cols[col], 0)
+	def.Table = t.name
+	t.indexes = append(t.indexes, &tableIndex{def: def, col: col, impl: impl})
+	return nil
+}
+
+// dropIndex removes the named index; it reports whether it existed.
+func (t *Table) dropIndex(name string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for i, ix := range t.indexes {
+		if ix.def.Name == name {
+			t.indexes = append(t.indexes[:i], t.indexes[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// hasIndex reports whether the named index exists on this table.
+func (t *Table) hasIndex(name string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, ix := range t.indexes {
+		if ix.def.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// IndexDefs returns the table's index definitions, sorted by name (the
+// persist layer relies on the deterministic order).
+func (t *Table) IndexDefs() []IndexDef {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]IndexDef, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, ix.def)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Indexes implements catalog.IndexedRelation.
+func (t *Table) Indexes() []catalog.IndexInfo {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	out := make([]catalog.IndexInfo, 0, len(t.indexes))
+	for _, ix := range t.indexes {
+		out = append(out, catalog.IndexInfo{
+			Name:    ix.def.Name,
+			Column:  ix.def.Column,
+			Kind:    ix.def.Kind.String(),
+			Keys:    ix.impl.keys(),
+			Entries: ix.impl.entries(),
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// indexLocked returns the named index; the caller holds t.mu.
+func (t *Table) indexLocked(name string) *tableIndex {
+	for _, ix := range t.indexes {
+		if ix.def.Name == name {
+			return ix
+		}
+	}
+	return nil
+}
+
+// IndexLookupEq implements catalog.IndexedRelation: it yields batches of
+// rows visible at snapshot whose indexed column equals key.
+func (t *Table) IndexLookupEq(index string, key types.Value, snapshot uint64, yield func(*types.Batch) error) error {
+	rows, err := t.indexRows(index, snapshot, func(ix *tableIndex) ([]int32, error) {
+		return ix.impl.probeEq(key, nil), nil
+	})
+	if err != nil {
+		return err
+	}
+	return t.emitRows(rows, yield)
+}
+
+// IndexLookupRange implements catalog.IndexedRelation: it yields batches of
+// visible rows whose indexed column falls within the bounds (nil pointer =
+// unbounded side). The index must be ordered.
+func (t *Table) IndexLookupRange(index string, lo, hi *types.Value, loInc, hiInc bool, snapshot uint64, yield func(*types.Batch) error) error {
+	rows, err := t.indexRows(index, snapshot, func(ix *tableIndex) ([]int32, error) {
+		res, ok := ix.impl.probeRange(lo, hi, loInc, hiInc, nil)
+		if !ok {
+			return nil, fmt.Errorf("storage: index %q on table %q does not support range probes", index, t.name)
+		}
+		return res, nil
+	})
+	if err != nil {
+		return err
+	}
+	return t.emitRows(rows, yield)
+}
+
+// indexRows probes an index under the read lock, filters the candidate rows
+// by MVCC visibility at snapshot, and returns them in ascending physical
+// order. Probes never mutate the structure, so the read lock suffices.
+func (t *Table) indexRows(name string, snapshot uint64, probe func(*tableIndex) ([]int32, error)) ([]int, error) {
+	t.mu.RLock()
+	ix := t.indexLocked(name)
+	if ix == nil {
+		t.mu.RUnlock()
+		return nil, fmt.Errorf("storage: no index %q on table %q", name, t.name)
+	}
+	cand, err := probe(ix)
+	if err != nil {
+		t.mu.RUnlock()
+		return nil, err
+	}
+	vis := make([]int, 0, len(cand))
+	for _, r := range cand {
+		if t.visibleLocked(int(r), snapshot) {
+			vis = append(vis, int(r))
+		}
+	}
+	t.mu.RUnlock()
+	sort.Ints(vis)
+	return vis, nil
+}
+
+// emitRows gathers the given physical rows into batches, re-taking the read
+// lock per batch like ScanRange does (rows never move once appended).
+func (t *Table) emitRows(rows []int, yield func(*types.Batch) error) error {
+	for start := 0; start < len(rows); start += types.BatchSize {
+		end := start + types.BatchSize
+		if end > len(rows) {
+			end = len(rows)
+		}
+		t.mu.RLock()
+		b := &types.Batch{Schema: t.schema, Cols: make([]*types.Column, len(t.cols))}
+		for j, c := range t.cols {
+			b.Cols[j] = c.Gather(rows[start:end])
+		}
+		t.mu.RUnlock()
+		if err := yield(b); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -120,6 +120,11 @@ type Metrics struct {
 	WalFsyncs   atomic.Int64 // fsync syscalls issued by the group-commit flusher
 	WalBytes    atomic.Int64 // bytes written to the redo log
 	Checkpoints atomic.Int64 // completed checkpoints
+
+	// Index and statistics counters (populated by internal/engine).
+	IndexScans    atomic.Int64 // index-scan operators executed
+	IndexRowsRead atomic.Int64 // rows produced by index probes
+	AnalyzeRuns   atomic.Int64 // tables analyzed (ANALYZE and checkpoint refresh)
 }
 
 // RecordStatement folds one statement outcome into the counters.
@@ -174,5 +179,8 @@ func (m *Metrics) Snapshot() []Counter {
 		{"wal_fsyncs", m.WalFsyncs.Load()},
 		{"wal_bytes", m.WalBytes.Load()},
 		{"checkpoints", m.Checkpoints.Load()},
+		{"index_scans", m.IndexScans.Load()},
+		{"index_rows_read", m.IndexRowsRead.Load()},
+		{"analyze_runs", m.AnalyzeRuns.Load()},
 	}
 }

@@ -169,6 +169,31 @@ func verifyCrashDir(t *testing.T, dir string, round int) {
 			t.Errorf("round %d: PHANTOM ROW: id %d present but never attempted", round, id)
 		}
 	}
+
+	// The index DDL became durable before CHILD-READY, so recovery must
+	// rebuild it, and point probes through it must agree with the full dump.
+	idx, err := db.Exec("SELECT index_name FROM system.indexes WHERE table_name = 'crash'")
+	if err != nil {
+		t.Fatalf("round %d: system.indexes: %v", round, err)
+	}
+	if len(idx.Rows) != 1 || idx.Rows[0][0].S != "crash_id" {
+		t.Errorf("round %d: index did not survive recovery: %v", round, idx.Rows)
+	}
+	probed := 0
+	for id := range present {
+		if probed >= 20 {
+			break
+		}
+		probed++
+		res, err := db.Exec(fmt.Sprintf("SELECT count(*) FROM crash WHERE id = %d", id))
+		if err != nil {
+			t.Fatalf("round %d: probe %d: %v", round, id, err)
+		}
+		if res.Rows[0][0].I != 1 {
+			t.Errorf("round %d: index probe for present id %d returned %d rows",
+				round, id, res.Rows[0][0].I)
+		}
+	}
 	t.Logf("round %d: %d tried, %d acked, %d present — invariants hold",
 		round, len(tried), len(acked), len(present))
 }
@@ -242,6 +267,14 @@ func TestCrashChild(t *testing.T) {
 		t.Fatalf("child: recovery failed: %v", err)
 	}
 	if _, err := db.Exec("CREATE TABLE IF NOT EXISTS crash (id BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	// An index rides along so recovery also has to replay the DDL and
+	// rebuild the index contents; ANALYZE makes checkpoints refresh stats.
+	if _, err := db.Exec("CREATE INDEX IF NOT EXISTS crash_id ON crash (id)"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Exec("ANALYZE crash"); err != nil {
 		t.Fatal(err)
 	}
 

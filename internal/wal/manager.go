@@ -202,8 +202,61 @@ func replayRecord(dir string, seg segmentInfo, store *storage.Store, snapClock u
 			return &AmbiguousStateError{Dir: dir, Segment: segName, Reason: err.Error()}
 		}
 		summary.DDLReplayed++
+	case recCreateIndex:
+		t, err := store.Table(rec.name)
+		if err != nil || t.ID() != rec.id {
+			// The table incarnation is gone; the index died with it.
+			summary.RecordsSkipped++
+			return nil
+		}
+		// Index DDL carries no timestamp, so a CREATE INDEX logged around a
+		// checkpoint cut may be both in the image and in the log: replay is
+		// idempotent on an identical definition. A same-name index with a
+		// different definition means log and image diverged.
+		if existing, ok := findIndexDef(t, rec.index); ok {
+			if existing.Column == rec.column && existing.Kind == rec.ikind {
+				summary.RecordsSkipped++
+				return nil
+			}
+			return &AmbiguousStateError{
+				Dir: dir, Segment: segName,
+				Reason: fmt.Sprintf("logged CREATE INDEX %q on %s(%s) USING %s, but the store holds %s(%s) USING %s",
+					rec.index, rec.name, rec.column, rec.ikind,
+					existing.Table, existing.Column, existing.Kind),
+			}
+		}
+		def := storage.IndexDef{Name: rec.index, Table: rec.name, Column: rec.column, Kind: rec.ikind}
+		if err := store.CreateIndex(def); err != nil {
+			return &AmbiguousStateError{Dir: dir, Segment: segName, Reason: err.Error()}
+		}
+		summary.DDLReplayed++
+	case recDropIndex:
+		t, err := store.Table(rec.name)
+		if err != nil || t.ID() != rec.id {
+			summary.RecordsSkipped++
+			return nil
+		}
+		if _, ok := findIndexDef(t, rec.index); !ok {
+			// Already gone (image cut after the drop).
+			summary.RecordsSkipped++
+			return nil
+		}
+		if err := store.DropIndex(rec.index); err != nil {
+			return &AmbiguousStateError{Dir: dir, Segment: segName, Reason: err.Error()}
+		}
+		summary.DDLReplayed++
 	}
 	return nil
+}
+
+// findIndexDef returns the named index's definition on t, if present.
+func findIndexDef(t *storage.Table, name string) (storage.IndexDef, bool) {
+	for _, def := range t.IndexDefs() {
+		if def.Name == name {
+			return def, true
+		}
+	}
+	return storage.IndexDef{}, false
 }
 
 // truncateSegment cuts a segment back to off and makes the cut durable.
@@ -251,6 +304,24 @@ func (m *Manager) LogCreateTable(name string, schema types.Schema, id uint64) (f
 // LogDropTable implements storage.CommitLogger.
 func (m *Manager) LogDropTable(name string, id uint64) (func() error, error) {
 	lsn, err := m.log.append(encodeDropTable(name, id))
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return m.log.waitDurable(lsn) }, nil
+}
+
+// LogCreateIndex implements storage.CommitLogger.
+func (m *Manager) LogCreateIndex(def storage.IndexDef, tableID uint64) (func() error, error) {
+	lsn, err := m.log.append(encodeCreateIndex(def, tableID))
+	if err != nil {
+		return nil, err
+	}
+	return func() error { return m.log.waitDurable(lsn) }, nil
+}
+
+// LogDropIndex implements storage.CommitLogger.
+func (m *Manager) LogDropIndex(index, table string, tableID uint64) (func() error, error) {
+	lsn, err := m.log.append(encodeDropIndex(index, table, tableID))
 	if err != nil {
 		return nil, err
 	}

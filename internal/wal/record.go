@@ -28,15 +28,20 @@ const (
 	recCommit      byte = 1
 	recCreateTable byte = 2
 	recDropTable   byte = 3
+	recCreateIndex byte = 4
+	recDropIndex   byte = 5
 )
 
 // record is the decoded form of one log record.
 type record struct {
 	kind   byte
 	commit *storage.CommitData // recCommit
-	name   string              // recCreateTable / recDropTable
+	name   string              // table name (DDL records)
 	id     uint64              // table incarnation ID
 	schema types.Schema        // recCreateTable
+	index  string              // index name (recCreateIndex / recDropIndex)
+	column string              // indexed column (recCreateIndex)
+	ikind  storage.IndexKind   // index structure (recCreateIndex)
 }
 
 // encodeCommit serializes a committing transaction:
@@ -92,6 +97,30 @@ func encodeDropTable(name string, id uint64) []byte {
 	return b.Bytes()
 }
 
+// encodeCreateIndex serializes a CREATE INDEX: u8 kind, string index name,
+// string table name, string column, u8 index kind, u64 table id.
+func encodeCreateIndex(def storage.IndexDef, tableID uint64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(recCreateIndex)
+	persist.WriteString(&b, def.Name)
+	persist.WriteString(&b, def.Table)
+	persist.WriteString(&b, def.Column)
+	b.WriteByte(byte(def.Kind))
+	persist.WriteU64(&b, tableID)
+	return b.Bytes()
+}
+
+// encodeDropIndex serializes a DROP INDEX: u8 kind, string index name,
+// string table name, u64 table id.
+func encodeDropIndex(index, table string, tableID uint64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(recDropIndex)
+	persist.WriteString(&b, index)
+	persist.WriteString(&b, table)
+	persist.WriteU64(&b, tableID)
+	return b.Bytes()
+}
+
 // decodeRecord parses one record payload. The payload has already passed
 // its CRC check, so a decode failure here means the log and the code
 // disagree about the format — a hard error, never a torn tail.
@@ -114,6 +143,38 @@ func decodeRecord(payload []byte) (*record, error) {
 		}
 		rec.schema, err = persist.ReadSchema(r)
 	case recDropTable:
+		if rec.name, err = persist.ReadString(r); err != nil {
+			break
+		}
+		rec.id, err = persist.ReadU64(r)
+	case recCreateIndex:
+		if rec.index, err = persist.ReadString(r); err != nil {
+			break
+		}
+		if rec.name, err = persist.ReadString(r); err != nil {
+			break
+		}
+		if rec.column, err = persist.ReadString(r); err != nil {
+			break
+		}
+		var kb byte
+		if kb, err = r.ReadByte(); err != nil {
+			break
+		}
+		switch storage.IndexKind(kb) {
+		case storage.HashIndex, storage.OrderedIndex:
+			rec.ikind = storage.IndexKind(kb)
+		default:
+			err = fmt.Errorf("bad index kind %d", kb)
+		}
+		if err != nil {
+			break
+		}
+		rec.id, err = persist.ReadU64(r)
+	case recDropIndex:
+		if rec.index, err = persist.ReadString(r); err != nil {
+			break
+		}
 		if rec.name, err = persist.ReadString(r); err != nil {
 			break
 		}
