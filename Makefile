@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet build test race bench overhead server-smoke crash bench-wal
+.PHONY: check lint vet build test race bench overhead server-smoke crash chaos-repl bench-wal
 
 ## check: everything CI runs except server-smoke — lint, build, full tests, race, telemetry-overhead smoke
 check: lint build test race overhead
@@ -22,9 +22,9 @@ build:
 test:
 	$(GO) test ./...
 
-## race: the concurrent subsystems — executor, engine, storage, network server, WAL — under the race detector
+## race: the concurrent subsystems — executor, engine, storage, network server, WAL, replication — under the race detector
 race:
-	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/ ./internal/wal/
+	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/ ./internal/wal/ ./internal/repl/
 
 ## overhead: assert the disarmed telemetry path adds <2% to BenchmarkVectorizedFilterAgg
 overhead:
@@ -41,6 +41,10 @@ bench:
 ## crash: kill -9 a durable engine repeatedly, verify zero acked-commit loss and no phantom effects
 crash:
 	LAMBDADB_CRASH=1 $(GO) test ./internal/wal/ -run TestCrashRecovery -count=1 -v
+
+## chaos-repl: kill -9 primary/replica and sever streams repeatedly; verify zero acked-commit loss, convergence, resume vs resync, and promotion
+chaos-repl:
+	LAMBDADB_CHAOS_REPL=1 $(GO) test ./internal/repl/ -run TestReplChaos -count=1 -timeout 5m -v
 
 ## bench-wal: refresh the group-commit baseline (see BENCH_wal.json); asserts < 1 fsync per commit under concurrency
 bench-wal:

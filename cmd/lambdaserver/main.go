@@ -24,6 +24,7 @@ import (
 	"time"
 
 	"lambdadb/internal/engine"
+	"lambdadb/internal/repl"
 	"lambdadb/internal/server"
 )
 
@@ -32,6 +33,7 @@ func main() {
 		addr        = flag.String("addr", ":5433", "TCP listen address")
 		image       = flag.String("db", "", "open this database snapshot image instead of starting empty")
 		dataDir     = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty = in-memory")
+		replicaOf   = flag.String("replica-of", "", "run as a read replica streaming from this primary (host:port); requires -data-dir")
 		ckptEvery   = flag.Duration("checkpoint-interval", 0, "checkpoint the data directory this often (0 = manual CHECKPOINT only)")
 		initScript  = flag.String("init", "", "execute this SQL script before accepting connections")
 		workers     = flag.Int("workers", 0, "parallelism degree per query (0 = GOMAXPROCS)")
@@ -54,6 +56,15 @@ func main() {
 	}
 	if *ckptEvery > 0 {
 		opts = append(opts, engine.WithCheckpointInterval(*ckptEvery))
+	}
+	if *replicaOf != "" {
+		if *dataDir == "" {
+			fatal(fmt.Errorf("-replica-of requires -data-dir (the replica mirrors the primary's log there)"))
+		}
+		if *ckptEvery > 0 {
+			fatal(fmt.Errorf("-replica-of and -checkpoint-interval are mutually exclusive (a replica checkpoints at the stream's segment boundaries)"))
+		}
+		opts = append(opts, engine.WithReadReplica(*replicaOf))
 	}
 
 	var db *engine.DB
@@ -86,10 +97,31 @@ func main() {
 		}
 	}
 
+	// Replication role: a durable primary accepts replica streams; a
+	// replica mirrors its primary continuously and serves reads only.
+	var replica *repl.Replica
+	var replHandler server.ReplicationHandler
+	switch {
+	case *replicaOf != "":
+		r, err := repl.StartReplica(db, *replicaOf, repl.ReplicaConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		replica = r
+		fmt.Fprintf(os.Stderr, "lambdaserver: read replica of %s\n", *replicaOf)
+	case *dataDir != "":
+		p, err := repl.NewPrimary(db, repl.PrimaryConfig{})
+		if err != nil {
+			fatal(err)
+		}
+		replHandler = p
+	}
+
 	srv := server.New(db, server.Config{
-		Addr:       *addr,
-		MaxConns:   *maxConns,
-		DrainGrace: *grace,
+		Addr:        *addr,
+		MaxConns:    *maxConns,
+		DrainGrace:  *grace,
+		ReplHandler: replHandler,
 	})
 	if err := srv.Listen(); err != nil {
 		fatal(err)
@@ -117,6 +149,9 @@ func main() {
 		}
 		if err := <-serveErr; err != nil {
 			fatal(err)
+		}
+		if replica != nil {
+			replica.Close()
 		}
 		// Drained: every acknowledged commit is already fsynced; Close flushes
 		// the log so the next start needs no replay.

@@ -11,7 +11,8 @@
 // Meta commands: \q quit, \d list tables, \d <table> show columns +
 // indexes + ANALYZE statistics (works over -connect too), \explain
 // SELECT ... show the optimized plan, \timing toggle per-statement
-// timing, \stats show the per-operator stats of the last statement.
+// timing, \stats show the per-operator stats of the last statement,
+// \replication show replication role and progress (works over -connect).
 package main
 
 import (
@@ -297,7 +298,8 @@ func interactive(banner string, db *engine.DB, session *engine.Session, ex execu
 	fmt.Println(`\explain <select> for plans,`)
 	fmt.Println(`\timing to toggle timing, \stats for the last statement's operator stats,`)
 	fmt.Println(`\save <path> to snapshot the database, \checkpoint to checkpoint a`)
-	fmt.Println(`durable one (-data-dir); end statements with ;`)
+	fmt.Println(`durable one (-data-dir), \replication for replication status;`)
+	fmt.Println(`end statements with ;`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -398,6 +400,17 @@ func metaCommand(db *engine.DB, session *engine.Session, ex executor, cmd string
 			fmt.Fprintln(os.Stderr, "error:", err)
 		} else {
 			fmt.Printf("saved snapshot to %s\n", path)
+		}
+	case cmd == `\replication`:
+		// Plain SQL against system.replication, so it works both embedded
+		// and over -connect.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := ex.ExecContext(ctx, `SELECT * FROM system.replication`)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Print(res)
 		}
 	case strings.HasPrefix(cmd, `\explain `):
 		if !local() {

@@ -45,6 +45,11 @@ type DB struct {
 	checkpointStop  chan struct{}
 	checkpointDone  chan struct{}
 	closeOnce       sync.Once
+
+	// Replication state (see replica.go): replicaOf marks a read-only
+	// replica and names its primary; replReporter feeds system.replication.
+	replicaOf    string
+	replReporter ReplicationReporter
 }
 
 // Option configures a DB.
@@ -129,6 +134,10 @@ func (db *DB) QueryLog() []telemetry.QueryLogEntry { return db.queryLog.Snapshot
 // bulk loading).
 func (db *DB) Store() *storage.Store { return db.store }
 
+// WALManager exposes the durability manager of a DB opened with OpenDir
+// (nil otherwise). The replication layer ships from and mirrors into it.
+func (db *DB) WALManager() *wal.Manager { return db.wal }
+
 // Save writes a snapshot image of the database to path.
 func (db *DB) Save(path string) error { return persist.SaveFile(db.store, path) }
 
@@ -189,6 +198,11 @@ func (db *DB) checkpointLoop() {
 func (db *DB) Checkpoint() (wal.CheckpointStats, error) {
 	if db.wal == nil {
 		return wal.CheckpointStats{}, fmt.Errorf("CHECKPOINT requires a database opened with a data directory")
+	}
+	if db.replicaOf != "" {
+		// The replica's log mirrors the primary's; rotating it locally would
+		// break the mirror. Replica checkpoints happen at stream boundaries.
+		return wal.CheckpointStats{}, &ReadOnlyError{Primary: db.replicaOf, Statement: "CHECKPOINT"}
 	}
 	stats, err := db.wal.Checkpoint()
 	if err == nil {
@@ -468,6 +482,9 @@ func (s *Session) isClosed() bool {
 }
 
 func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result, error) {
+	if err := s.db.rejectOnReplica(st); err != nil {
+		return nil, err
+	}
 	switch n := st.(type) {
 	case *sql.CreateTable:
 		return s.execCreate(n)

@@ -1,0 +1,142 @@
+package engine
+
+import (
+	"fmt"
+
+	"lambdadb/internal/sql"
+	"lambdadb/internal/types"
+)
+
+// ReadOnlyError rejects a write on a read replica. It names the primary so
+// a client (or operator) knows where writes must go.
+type ReadOnlyError struct {
+	Primary   string // primary address the replica follows
+	Statement string // the rejected statement kind, e.g. "INSERT"
+}
+
+func (e *ReadOnlyError) Error() string {
+	return fmt.Sprintf("%s rejected: this is a read-only replica of %s", e.Statement, e.Primary)
+}
+
+// WithReadReplica marks the database a read-only replica following the
+// primary at addr: every statement that would change data or schema —
+// including CHECKPOINT, whose log rotation would break the mirrored log —
+// fails with a *ReadOnlyError naming the primary. Reads, transactions
+// around reads, ANALYZE, and EXPLAIN stay available.
+func WithReadReplica(addr string) Option {
+	return func(db *DB) { db.replicaOf = addr }
+}
+
+// ReplicaOf returns the primary address this DB follows, or "" when it is
+// not a replica.
+func (db *DB) ReplicaOf() string { return db.replicaOf }
+
+// rejectOnReplica returns the *ReadOnlyError for st when the DB is a
+// replica and st writes; nil otherwise.
+func (db *DB) rejectOnReplica(st sql.Statement) error {
+	if db.replicaOf == "" {
+		return nil
+	}
+	var kind string
+	switch st.(type) {
+	case *sql.Insert:
+		kind = "INSERT"
+	case *sql.Update:
+		kind = "UPDATE"
+	case *sql.Delete:
+		kind = "DELETE"
+	case *sql.CreateTable:
+		kind = "CREATE TABLE"
+	case *sql.DropTable:
+		kind = "DROP TABLE"
+	case *sql.CreateIndex:
+		kind = "CREATE INDEX"
+	case *sql.DropIndex:
+		kind = "DROP INDEX"
+	case *sql.Copy:
+		kind = "COPY"
+	case *sql.Checkpoint:
+		// The replica's log mirrors the primary's byte for byte; a local
+		// CHECKPOINT would rotate it out of alignment. The replica
+		// checkpoints itself at stream boundaries instead.
+		kind = "CHECKPOINT"
+	default:
+		return nil
+	}
+	return &ReadOnlyError{Primary: db.replicaOf, Statement: kind}
+}
+
+// ReplicationRow is one row of system.replication: the local role plus one
+// peer link — a replica reports its primary; a primary reports each
+// connected replica (and a placeholder row when none are connected).
+type ReplicationRow struct {
+	Role         string // "primary" or "replica"
+	Peer         string // remote address ("" when no peer is connected)
+	State        string // e.g. "streaming", "catchup", "connecting", "idle"
+	WalSeg       uint64 // durable log position: segment ...
+	WalOff       int64  // ... and offset (local on a replica, acked on a primary)
+	AppliedClock uint64 // commit clock applied locally (replica) / acked (primary)
+	PrimaryClock uint64 // latest commit clock known on the primary
+	LastContact  int64  // ms since the peer was last heard from (-1: never)
+}
+
+// ReplicationReporter feeds system.replication; internal/repl implements
+// it for both roles. The engine only defines the interface so it never
+// imports the replication layer.
+type ReplicationReporter interface {
+	ReplicationRows() []ReplicationRow
+}
+
+// SetReplicationReporter installs the system.replication source. It must
+// be set before the DB serves queries (the field is unguarded).
+func (db *DB) SetReplicationReporter(r ReplicationReporter) { db.replReporter = r }
+
+// replicationRelation materializes system.replication. Without a reporter
+// it still answers with the local role, so the table is always queryable.
+func (c systemCatalog) replicationRelation() *memRelation {
+	schema := types.Schema{
+		{Name: "role", Type: types.String},
+		{Name: "peer", Type: types.String},
+		{Name: "state", Type: types.String},
+		{Name: "wal_seg", Type: types.Int64},
+		{Name: "wal_off", Type: types.Int64},
+		{Name: "applied_clock", Type: types.Int64},
+		{Name: "primary_clock", Type: types.Int64},
+		{Name: "lag", Type: types.Int64},
+		{Name: "last_contact_ms", Type: types.Int64},
+	}
+	rows := []ReplicationRow{}
+	if rep := c.db.replReporter; rep != nil {
+		rows = rep.ReplicationRows()
+	}
+	if len(rows) == 0 {
+		role := "primary"
+		if c.db.replicaOf != "" {
+			role = "replica"
+		}
+		rows = []ReplicationRow{{
+			Role: role, Peer: c.db.replicaOf, State: "idle",
+			AppliedClock: c.db.store.Snapshot(), PrimaryClock: c.db.store.Snapshot(),
+			LastContact: -1,
+		}}
+	}
+	b := types.NewBatch(schema)
+	for _, r := range rows {
+		lag := int64(r.PrimaryClock) - int64(r.AppliedClock)
+		if lag < 0 {
+			lag = 0
+		}
+		b.AppendRow([]types.Value{
+			types.NewString(r.Role),
+			types.NewString(r.Peer),
+			types.NewString(r.State),
+			types.NewInt(int64(r.WalSeg)),
+			types.NewInt(r.WalOff),
+			types.NewInt(int64(r.AppliedClock)),
+			types.NewInt(int64(r.PrimaryClock)),
+			types.NewInt(lag),
+			types.NewInt(r.LastContact),
+		})
+	}
+	return newMemRelation("system.replication", schema, b)
+}

@@ -26,6 +26,8 @@ func (c systemCatalog) Resolve(name string) (catalog.Relation, error) {
 		return c.tableStatsRelation(), nil
 	case "system.indexes":
 		return c.indexesRelation(), nil
+	case "system.replication":
+		return c.replicationRelation(), nil
 	}
 	return c.db.store.Resolve(name)
 }

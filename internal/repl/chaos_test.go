@@ -1,0 +1,604 @@
+package repl_test
+
+// The replication chaos harness: a primary and a replica run as separate
+// processes (this test binary re-execed), a writer in the parent inserts
+// sequential ids over TCP and journals which commits the primary
+// acknowledged, and each round a randomized calamity hits the pair —
+// kill -9 of the replica mid-tail or mid-catch-up, kill -9 of the primary
+// mid-batch, or an injected stream fault (apply, ship, or ack path) that
+// severs a session partway through. After every round the dead process is
+// restarted and the harness asserts the replication contract:
+//
+//   - zero acked-commit loss: every insert the primary acknowledged is on
+//     the primary after recovery and reaches the replica,
+//   - convergence: the replica's table contents become identical to the
+//     primary's, and its replicated index answers point probes,
+//   - positional resume: a replica that restarts while the primary still
+//     retains its segments catches up without a snapshot resync,
+//   - resync: a replica left behind a pruned retention window converges
+//     via a full snapshot instead of failing,
+//   - promotion: after the primary dies for good, the replica restarted
+//     as a primary serves exactly the converged prefix and accepts writes.
+//
+// Gated behind LAMBDADB_CHAOS_REPL=1 (run via `make chaos-repl`) because it
+// forks processes and loops for a while.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"math/rand"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/faultinject"
+	"lambdadb/internal/repl"
+	"lambdadb/internal/server"
+	"lambdadb/internal/server/client"
+)
+
+const (
+	chaosEnvParent  = "LAMBDADB_CHAOS_REPL"
+	chaosEnvRole    = "LAMBDADB_CHAOS_REPL_ROLE"
+	chaosEnvDir     = "LAMBDADB_CHAOS_REPL_DIR"
+	chaosEnvAddr    = "LAMBDADB_CHAOS_REPL_ADDR"
+	chaosEnvPrimary = "LAMBDADB_CHAOS_REPL_PRIMARY"
+	chaosEnvFault   = "LAMBDADB_CHAOS_REPL_FAULT"
+)
+
+// ---------------------------------------------------------------- parent
+
+func TestReplChaos(t *testing.T) {
+	if os.Getenv(chaosEnvParent) != "1" {
+		t.Skip("set LAMBDADB_CHAOS_REPL=1 (make chaos-repl) to run the replication chaos harness")
+	}
+	rng := rand.New(rand.NewSource(time.Now().UnixNano()))
+	h := &chaosHarness{
+		t: t, rng: rng,
+		primaryDir:  filepath.Join(t.TempDir(), "primary"),
+		replicaDir:  filepath.Join(t.TempDir(), "replica"),
+		primaryAddr: freeAddr(t),
+		replicaAddr: freeAddr(t),
+		tried:       map[int64]bool{},
+		acked:       map[int64]bool{},
+	}
+
+	h.primary = h.startChild("primary", h.primaryDir, h.primaryAddr, "")
+	h.setupSchema()
+	h.replica = h.startChild("replica", h.replicaDir, h.replicaAddr, "")
+
+	// 20+ randomized rounds cycling through every calamity. "none" rounds
+	// keep plain streaming in the mix so steady-state convergence is also
+	// re-checked after each recovery.
+	scenarios := []string{
+		"none", "kill-replica", "kill-primary", "fault-apply",
+		"kill-replica-catchup", "fault-ship", "kill-primary", "fault-ack",
+		"kill-replica", "none", "kill-primary", "fault-apply",
+		"kill-replica-catchup", "fault-ship", "kill-replica", "kill-primary",
+		"fault-ack", "kill-replica", "none", "kill-primary", "prune-resync",
+	}
+	for round, sc := range scenarios {
+		t.Logf("round %d: %s", round, sc)
+		h.runRound(round, sc)
+		h.verifyRound(round, sc)
+	}
+
+	h.promote()
+}
+
+type chaosHarness struct {
+	t   *testing.T
+	rng *rand.Rand
+
+	primaryDir, replicaDir   string
+	primaryAddr, replicaAddr string
+	primary, replica         *chaosChild
+
+	mu    sync.Mutex
+	tried map[int64]bool // ids whose INSERT was sent
+	acked map[int64]bool // ids whose INSERT the primary acknowledged
+	next  int64
+}
+
+// chaosChild is one re-execed server process.
+type chaosChild struct {
+	cmd  *exec.Cmd
+	done chan error
+}
+
+// freeAddr grabs a loopback port and releases it for a child to bind. The
+// port must stay fixed across restarts of a role, so children cannot use
+// :0 themselves.
+func freeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startChild launches a role process and waits for it to accept queries.
+func (h *chaosHarness) startChild(role, dir, addr, fault string) *chaosChild {
+	h.t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestReplChaosChild$")
+	cmd.Env = append(os.Environ(),
+		chaosEnvRole+"="+role,
+		chaosEnvDir+"="+dir,
+		chaosEnvAddr+"="+addr,
+		chaosEnvPrimary+"="+h.primaryAddr,
+		chaosEnvFault+"="+fault,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		h.t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "CHILD-READY") {
+				close(ready)
+				break
+			}
+		}
+		for sc.Scan() { // drain
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		h.t.Fatalf("%s child never became ready", role)
+	}
+	c := &chaosChild{cmd: cmd, done: make(chan error, 1)}
+	go func() { c.done <- cmd.Wait() }()
+	return c
+}
+
+// killHard SIGKILLs the child and waits for it to die.
+func (c *chaosChild) killHard(t *testing.T) {
+	t.Helper()
+	c.cmd.Process.Signal(syscall.SIGKILL)
+	select {
+	case <-c.done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("child did not die after SIGKILL")
+	}
+}
+
+// stop SIGTERMs the child and requires a clean drain.
+func (c *chaosChild) stop(t *testing.T) {
+	t.Helper()
+	c.cmd.Process.Signal(syscall.SIGTERM)
+	select {
+	case err := <-c.done:
+		if err != nil {
+			t.Fatalf("child did not drain cleanly: %v", err)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("child did not exit after SIGTERM")
+	}
+}
+
+func (h *chaosHarness) setupSchema() {
+	h.t.Helper()
+	c := h.dialRetry(h.primaryAddr)
+	defer c.Close()
+	for _, sql := range []string{
+		"CREATE TABLE IF NOT EXISTS chaos (id BIGINT)",
+		"CREATE INDEX IF NOT EXISTS chaos_id ON chaos (id)",
+	} {
+		if _, err := c.Exec(sql); err != nil {
+			h.t.Fatalf("%s: %v", sql, err)
+		}
+	}
+}
+
+func (h *chaosHarness) dialRetry(addr string) *client.Conn {
+	h.t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		c, err := client.Dial(addr)
+		if err == nil {
+			return c
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatalf("dial %s: %v", addr, err)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}
+
+// writeBatch inserts n sequential ids against the primary, journaling
+// attempts and acknowledgements. Failures (the primary may be dead or
+// dying) skip the id — an unacked id may legitimately be present or absent
+// afterwards. Every ~50th statement is a CHECKPOINT so segment rotation
+// and prune/retention interact with the stream under fire.
+func (h *chaosHarness) writeBatch(n int) {
+	var c *client.Conn
+	defer func() {
+		if c != nil {
+			c.Close()
+		}
+	}()
+	for i := 0; i < n; i++ {
+		if c == nil {
+			var err error
+			if c, err = client.Dial(h.primaryAddr); err != nil {
+				time.Sleep(20 * time.Millisecond)
+				continue // the id budget shrinks while the primary is down
+			}
+		}
+		if i > 0 && i%50 == 0 {
+			if _, err := c.Exec("CHECKPOINT"); err != nil {
+				c.Close()
+				c = nil
+				continue
+			}
+		}
+		h.mu.Lock()
+		id := h.next
+		h.next++
+		h.tried[id] = true
+		h.mu.Unlock()
+		if _, err := c.Exec(fmt.Sprintf("INSERT INTO chaos VALUES (%d)", id)); err != nil {
+			c.Close()
+			c = nil
+			continue
+		}
+		h.mu.Lock()
+		h.acked[id] = true
+		h.mu.Unlock()
+	}
+}
+
+// runRound runs one scenario: writer traffic with a calamity in the middle,
+// then whatever died is brought back.
+func (h *chaosHarness) runRound(round int, scenario string) {
+	h.t.Helper()
+	if scenario == "prune-resync" {
+		// Take the replica offline, roll the primary's log past its
+		// retention window, and bring the replica back: it must detect the
+		// pruned resume position and converge via snapshot resync.
+		h.replica.killHard(h.t)
+		c := h.dialRetry(h.primaryAddr)
+		for i := 0; i < 12; i++ {
+			h.writeBatchOn(c, 5)
+			if _, err := c.Exec("CHECKPOINT"); err != nil {
+				h.t.Fatalf("prune-resync checkpoint: %v", err)
+			}
+		}
+		c.Close()
+		h.replica = h.startChild("replica", h.replicaDir, h.replicaAddr, "")
+		return
+	}
+
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		h.writeBatch(120 + h.rng.Intn(80))
+	}()
+	time.Sleep(time.Duration(10+h.rng.Intn(150)) * time.Millisecond)
+
+	switch scenario {
+	case "none":
+	case "kill-replica":
+		h.replica.killHard(h.t)
+		<-writerDone
+		h.replica = h.startChild("replica", h.replicaDir, h.replicaAddr, "")
+	case "kill-replica-catchup":
+		// Kill the replica, let the primary get ahead, then kill it AGAIN
+		// almost immediately after restart — mid-catch-up.
+		h.replica.killHard(h.t)
+		<-writerDone
+		h.replica = h.startChild("replica", h.replicaDir, h.replicaAddr, "")
+		time.Sleep(time.Duration(5+h.rng.Intn(40)) * time.Millisecond)
+		h.replica.killHard(h.t)
+		h.replica = h.startChild("replica", h.replicaDir, h.replicaAddr, "")
+	case "kill-primary":
+		h.primary.killHard(h.t)
+		<-writerDone
+		h.primary = h.startChild("primary", h.primaryDir, h.primaryAddr, "")
+	case "fault-apply", "fault-ship", "fault-ack":
+		// Stream faults sever one session partway through: the armed child
+		// is restarted with a one-shot fault that fires after a random
+		// number of records, forcing a reconnect-and-resume under traffic.
+		point := map[string]string{
+			"fault-apply": "repl.apply.record",
+			"fault-ship":  "repl.ship.record",
+			"fault-ack":   "repl.ack",
+		}[scenario]
+		fault := fmt.Sprintf("%s:%d", point, 3+h.rng.Intn(40))
+		if scenario == "fault-ship" {
+			h.primary.killHard(h.t)
+			h.primary = h.startChild("primary", h.primaryDir, h.primaryAddr, fault)
+		} else {
+			h.replica.killHard(h.t)
+			h.replica = h.startChild("replica", h.replicaDir, h.replicaAddr, fault)
+		}
+		<-writerDone
+	default:
+		h.t.Fatalf("unknown scenario %q", scenario)
+	}
+	<-writerDone
+}
+
+// writeBatchOn is writeBatch against an existing connection, failing the
+// test on error (used where the primary is known healthy).
+func (h *chaosHarness) writeBatchOn(c *client.Conn, n int) {
+	h.t.Helper()
+	for i := 0; i < n; i++ {
+		h.mu.Lock()
+		id := h.next
+		h.next++
+		h.tried[id] = true
+		h.mu.Unlock()
+		if _, err := c.Exec(fmt.Sprintf("INSERT INTO chaos VALUES (%d)", id)); err != nil {
+			h.t.Fatalf("insert %d: %v", id, err)
+		}
+		h.mu.Lock()
+		h.acked[id] = true
+		h.mu.Unlock()
+	}
+}
+
+// idSet dumps the chaos table from one server.
+func (h *chaosHarness) idSet(addr string) map[int64]bool {
+	h.t.Helper()
+	c := h.dialRetry(addr)
+	defer c.Close()
+	res, err := c.Exec("SELECT id FROM chaos")
+	if err != nil {
+		h.t.Fatalf("dump %s: %v", addr, err)
+	}
+	set := make(map[int64]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		set[row[0].I] = true
+	}
+	return set
+}
+
+func (h *chaosHarness) metric(addr, name string) int64 {
+	h.t.Helper()
+	c := h.dialRetry(addr)
+	defer c.Close()
+	res, err := c.Exec(fmt.Sprintf(
+		"SELECT value FROM system.metrics WHERE name = '%s'", name))
+	if err != nil || len(res.Rows) != 1 {
+		h.t.Fatalf("metric %s on %s: %v (%d rows)", name, addr, err, len(res.Rows))
+	}
+	return res.Rows[0][0].I
+}
+
+// verifyRound asserts the replication contract after a round's recovery.
+func (h *chaosHarness) verifyRound(round int, scenario string) {
+	h.t.Helper()
+	primarySet := h.idSet(h.primaryAddr)
+
+	h.mu.Lock()
+	acked := make([]int64, 0, len(h.acked))
+	for id := range h.acked {
+		acked = append(acked, id)
+	}
+	tried := make(map[int64]bool, len(h.tried))
+	for id := range h.tried {
+		tried[id] = true
+	}
+	h.mu.Unlock()
+
+	for _, id := range acked {
+		if !primarySet[id] {
+			h.t.Errorf("round %d (%s): ACKED COMMIT LOST on primary: id %d", round, scenario, id)
+		}
+	}
+	for id := range primarySet {
+		if !tried[id] {
+			h.t.Errorf("round %d (%s): PHANTOM ROW on primary: id %d", round, scenario, id)
+		}
+	}
+
+	// Convergence: the replica's contents become identical to the
+	// primary's. The primary is quiescent now, so equality is stable.
+	var replicaSet map[int64]bool
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		replicaSet = h.idSet(h.replicaAddr)
+		if setsEqual(primarySet, replicaSet) {
+			break
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatalf("round %d (%s): replica never converged: primary %d rows, replica %d rows",
+				round, scenario, len(primarySet), len(replicaSet))
+		}
+		time.Sleep(25 * time.Millisecond)
+	}
+
+	// The replicated index answers point probes on the replica.
+	c := h.dialRetry(h.replicaAddr)
+	probed := 0
+	for id := range primarySet {
+		if probed >= 5 {
+			break
+		}
+		probed++
+		res, err := c.Exec(fmt.Sprintf("SELECT COUNT(*) FROM chaos WHERE id = %d", id))
+		if err != nil || res.Rows[0][0].I != 1 {
+			h.t.Errorf("round %d (%s): replica index probe id %d: %v %v", round, scenario, id, err, res)
+		}
+	}
+	c.Close()
+
+	// Resume semantics: a restarted replica whose segments were retained
+	// converges positionally (its fresh process counts zero resyncs); one
+	// that outlived the retention window must have resynced.
+	switch scenario {
+	case "kill-replica", "kill-replica-catchup":
+		if n := h.metric(h.replicaAddr, "repl_resyncs"); n != 0 {
+			h.t.Errorf("round %d (%s): replica resynced %d times; retained segments should allow positional resume",
+				round, scenario, n)
+		}
+	case "prune-resync":
+		if n := h.metric(h.replicaAddr, "repl_resyncs"); n == 0 {
+			h.t.Errorf("round %d (%s): replica resumed without resync despite pruned retention window", round, scenario)
+		}
+	}
+	h.t.Logf("round %d (%s): %d tried, %d acked, %d rows converged",
+		round, scenario, len(tried), len(acked), len(primarySet))
+}
+
+func setsEqual(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// promote kills the primary for good and restarts the replica's directory
+// as a primary: it must serve exactly the converged (acked-inclusive)
+// prefix and accept writes.
+func (h *chaosHarness) promote() {
+	h.t.Helper()
+	converged := h.idSet(h.primaryAddr)
+	h.primary.killHard(h.t)
+	h.replica.stop(h.t) // clean drain: everything applied is durable
+
+	promoted := h.startChild("primary", h.replicaDir, h.replicaAddr, "")
+	defer promoted.stop(h.t)
+
+	got := h.idSet(h.replicaAddr)
+	if !setsEqual(converged, got) {
+		h.t.Fatalf("promotion: promoted replica serves %d rows, want the converged %d", len(got), len(converged))
+	}
+	c := h.dialRetry(h.replicaAddr)
+	defer c.Close()
+	if _, err := c.Exec("INSERT INTO chaos VALUES (-1)"); err != nil {
+		h.t.Fatalf("promotion: promoted replica rejected a write: %v", err)
+	}
+	res, err := c.Exec("SELECT COUNT(*) FROM chaos WHERE id = -1")
+	if err != nil || res.Rows[0][0].I != 1 {
+		h.t.Fatalf("promotion: write not visible: %v %v", err, res)
+	}
+	res, err = c.Exec("SELECT role FROM system.replication")
+	if err != nil || len(res.Rows) != 1 || res.Rows[0][0].S != "primary" {
+		h.t.Fatalf("promotion: system.replication = %v %v, want role primary", res, err)
+	}
+	h.t.Logf("promotion: %d rows served, writes accepted", len(got))
+}
+
+// ----------------------------------------------------------------- child
+
+// TestReplChaosChild is the re-execed server process; it never runs in a
+// normal test invocation. It serves one role until SIGKILLed by the parent
+// or drained by SIGTERM.
+func TestReplChaosChild(t *testing.T) {
+	role := os.Getenv(chaosEnvRole)
+	if role == "" {
+		t.Skip("replication-chaos child")
+	}
+	dir := os.Getenv(chaosEnvDir)
+	addr := os.Getenv(chaosEnvAddr)
+	primaryAddr := os.Getenv(chaosEnvPrimary)
+
+	// A fault spec "point:n" makes that injection point fail exactly once,
+	// on its n-th firing — a one-shot partition mid-stream.
+	if spec := os.Getenv(chaosEnvFault); spec != "" {
+		parts := strings.SplitN(spec, ":", 2)
+		n, err := strconv.ParseInt(parts[1], 10, 64)
+		if err != nil {
+			t.Fatalf("bad fault spec %q", spec)
+		}
+		var count int64
+		var mu sync.Mutex
+		faultinject.Set(parts[0], func() error {
+			mu.Lock()
+			defer mu.Unlock()
+			count++
+			if count == n {
+				return fmt.Errorf("injected chaos fault at %s #%d", parts[0], n)
+			}
+			return nil
+		})
+	}
+
+	var opts []engine.Option
+	if role == "replica" {
+		opts = append(opts, engine.WithReadReplica(primaryAddr))
+	}
+	db, err := engine.OpenDir(dir, opts...)
+	if err != nil {
+		t.Fatalf("child %s: recovery failed: %v", role, err)
+	}
+
+	cfg := server.Config{Addr: addr}
+	var replica *repl.Replica
+	switch role {
+	case "primary":
+		p, err := repl.NewPrimary(db, repl.PrimaryConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg.ReplHandler = p
+	case "replica":
+		r, err := repl.StartReplica(db, primaryAddr, repl.ReplicaConfig{
+			AckEvery:    10 * time.Millisecond,
+			BaseBackoff: 10 * time.Millisecond,
+			MaxBackoff:  250 * time.Millisecond,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		replica = r
+	default:
+		t.Fatalf("unknown role %q", role)
+	}
+
+	srv := server.New(db, cfg)
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("child %s: listen %s: %v", role, addr, err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	fmt.Println("CHILD-READY")
+	os.Stdout.Sync()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		t.Fatalf("child %s: serve: %v", role, err)
+	case <-sig:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("child %s: drain: %v", role, err)
+	}
+	<-serveErr
+	if replica != nil {
+		replica.Close()
+	}
+	if err := db.Close(); err != nil {
+		t.Fatalf("child %s: close db: %v", role, err)
+	}
+}

@@ -1,0 +1,379 @@
+package repl
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"sync"
+	"time"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/faultinject"
+	"lambdadb/internal/server/wire"
+	"lambdadb/internal/telemetry"
+	"lambdadb/internal/wal"
+)
+
+// PrimaryConfig tunes the shipping side.
+type PrimaryConfig struct {
+	// SendTimeout bounds every write toward a replica. A replica that stops
+	// draining its socket is disconnected once one write stalls this long —
+	// it reconnects and resumes later; it must never be able to wedge the
+	// primary. <= 0 means 10s.
+	SendTimeout time.Duration
+	// RetainSegments caps how many sealed segments checkpoints keep around
+	// for lagging replicas. A replica that falls further behind than this
+	// loses its resume window and is resynced with a full snapshot instead.
+	// <= 0 means 8.
+	RetainSegments uint64
+	// HeartbeatEvery is the idle-stream heartbeat interval (position +
+	// clock, so replicas can report staleness). <= 0 means 1s.
+	HeartbeatEvery time.Duration
+}
+
+func (c *PrimaryConfig) defaults() {
+	if c.SendTimeout <= 0 {
+		c.SendTimeout = 10 * time.Second
+	}
+	if c.RetainSegments == 0 {
+		c.RetainSegments = 8
+	}
+	if c.HeartbeatEvery <= 0 {
+		c.HeartbeatEvery = time.Second
+	}
+}
+
+// Primary ships the write-ahead log to connected replicas. It implements
+// server.ReplicationHandler (the server hands it ReplStart connections),
+// wal.SegmentRetainer (checkpoints keep segments replicas still need), and
+// engine.ReplicationReporter (system.replication rows).
+type Primary struct {
+	db      *engine.DB
+	mgr     *wal.Manager
+	metrics *telemetry.Metrics
+	cfg     PrimaryConfig
+
+	mu       sync.Mutex
+	replicas map[*replicaLink]struct{}
+}
+
+// replicaLink is the primary's view of one connected replica.
+type replicaLink struct {
+	peer string
+
+	mu          sync.Mutex
+	state       string // "catchup", "streaming", "resync"
+	acked       wal.Pos
+	ackedClock  uint64
+	lastContact time.Time
+
+	gone chan struct{} // closed when the ack reader sees the connection die
+}
+
+func (l *replicaLink) set(fn func(*replicaLink)) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fn(l)
+}
+
+// NewPrimary wires a durable DB for shipping: it installs itself as the
+// WAL's segment retainer and the engine's replication reporter, and is
+// then ready to be set as the server's ReplHandler.
+func NewPrimary(db *engine.DB, cfg PrimaryConfig) (*Primary, error) {
+	mgr := db.WALManager()
+	if mgr == nil {
+		return nil, fmt.Errorf("repl: replication requires a database opened with a data directory")
+	}
+	cfg.defaults()
+	p := &Primary{
+		db: db, mgr: mgr, metrics: db.Metrics(), cfg: cfg,
+		replicas: make(map[*replicaLink]struct{}),
+	}
+	mgr.SetSegmentRetainer(p)
+	db.SetReplicationReporter(p)
+	return p, nil
+}
+
+// MinSegment implements wal.SegmentRetainer. Checkpoints always retain the
+// last RetainSegments sealed segments so a briefly-offline replica can
+// resume positionally when it comes back; a replica offline longer than
+// that window loses it and is resynced with a snapshot. Connected replicas
+// extend retention below the window down to their acked position — they
+// are actively draining, and a wedged one is disconnected by the send
+// timeout, at which point the window cap applies again.
+func (p *Primary) MinSegment(active uint64) uint64 {
+	keep := uint64(1)
+	if active > p.cfg.RetainSegments {
+		keep = active - p.cfg.RetainSegments
+	}
+	p.mu.Lock()
+	for l := range p.replicas {
+		l.mu.Lock()
+		if s := l.acked.Seg; s > 0 && s < keep {
+			keep = s
+		}
+		l.mu.Unlock()
+	}
+	p.mu.Unlock()
+	return keep
+}
+
+// ReplicationRows implements engine.ReplicationReporter: one row per
+// connected replica.
+func (p *Primary) ReplicationRows() []engine.ReplicationRow {
+	clock := p.db.Store().Snapshot()
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	rows := make([]engine.ReplicationRow, 0, len(p.replicas))
+	for l := range p.replicas {
+		l.mu.Lock()
+		contact := int64(-1)
+		if !l.lastContact.IsZero() {
+			contact = time.Since(l.lastContact).Milliseconds()
+		}
+		rows = append(rows, engine.ReplicationRow{
+			Role: "primary", Peer: l.peer, State: l.state,
+			WalSeg: l.acked.Seg, WalOff: l.acked.Off,
+			AppliedClock: l.ackedClock, PrimaryClock: clock,
+			LastContact: contact,
+		})
+		l.mu.Unlock()
+	}
+	return rows
+}
+
+// ServeReplication implements server.ReplicationHandler: it owns the
+// connection from the ReplStart handshake until the stream ends.
+func (p *Primary) ServeReplication(ctx context.Context, nc net.Conn, br *bufio.Reader, start []byte) {
+	pos, clock, err := parseHandshake(start)
+	if err != nil {
+		_ = nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_ = wire.WriteFrame(nc, wire.Error, []byte(err.Error()))
+		return
+	}
+
+	link := &replicaLink{
+		peer: nc.RemoteAddr().String(), state: "catchup",
+		acked: pos, ackedClock: clock, lastContact: time.Now(),
+		gone: make(chan struct{}),
+	}
+	p.mu.Lock()
+	p.replicas[link] = struct{}{}
+	p.mu.Unlock()
+	p.metrics.ReplReplicasActive.Add(1)
+	defer func() {
+		p.mu.Lock()
+		delete(p.replicas, link)
+		p.mu.Unlock()
+		p.metrics.ReplReplicasActive.Add(-1)
+	}()
+
+	// Ack reader: the replica's only traffic after the handshake is ACK
+	// frames; their arrival advances the retention floor and lag row. Any
+	// read error means the replica is gone.
+	go func() {
+		defer close(link.gone)
+		for {
+			typ, payload, err := wire.ReadFrame(br)
+			if err != nil || typ != wire.ReplAck {
+				return
+			}
+			ackPos, ackClock, err := parsePosPayload("ACK", payload)
+			if err != nil {
+				return
+			}
+			link.set(func(l *replicaLink) {
+				l.acked, l.ackedClock, l.lastContact = ackPos, ackClock, time.Now()
+			})
+		}
+	}()
+
+	if err := p.stream(ctx, nc, link, pos); err != nil {
+		if isTimeout(err) {
+			p.metrics.ReplSlowKicks.Add(1)
+		}
+	}
+	nc.Close()
+	<-link.gone // the ack reader exits once the socket is closed
+}
+
+// isTimeout reports whether err is a write-deadline expiry.
+func isTimeout(err error) bool {
+	var ne net.Error
+	return errors.As(err, &ne) && ne.Timeout()
+}
+
+// deadlineWriter arms a write deadline before every underlying write, so a
+// stalled replica fails the stream after SendTimeout instead of blocking a
+// goroutine forever.
+type deadlineWriter struct {
+	nc      net.Conn
+	timeout time.Duration
+}
+
+func (w deadlineWriter) Write(b []byte) (int, error) {
+	if err := w.nc.SetWriteDeadline(time.Now().Add(w.timeout)); err != nil {
+		return 0, err
+	}
+	return w.nc.Write(b)
+}
+
+// stream ships the log from pos onward until the connection, the server,
+// or the log goes away. Catch-up and tailing are the same loop: ship
+// everything durable, then wait for the durable position to advance.
+func (p *Primary) stream(ctx context.Context, nc net.Conn, link *replicaLink, pos wal.Pos) error {
+	bw := bufio.NewWriterSize(deadlineWriter{nc: nc, timeout: p.cfg.SendTimeout}, 256<<10)
+
+	sub, cancelSub := p.mgr.SubscribeDurable()
+	defer cancelSub()
+	heartbeat := time.NewTicker(p.cfg.HeartbeatEvery)
+	defer heartbeat.Stop()
+
+	needResync := p.needsResync(pos)
+	sentSeg := uint64(0) // last ReplSeg announced; 0 = none yet
+	var frame []byte     // reused ReplRecord payload buffer
+
+	for {
+		if needResync {
+			newPos, err := p.resync(bw, link)
+			if err != nil {
+				return err
+			}
+			pos, needResync, sentSeg = newPos, false, 0
+			link.set(func(l *replicaLink) { l.state = "catchup" })
+		}
+
+		durable := p.mgr.DurablePos()
+		for pos.Less(durable) {
+			if sentSeg != pos.Seg {
+				if err := wire.WriteFrame(bw, wire.ReplSeg, encodeSeg(pos.Seg)); err != nil {
+					return err
+				}
+				sentSeg = pos.Seg
+			}
+			limit := int64(-1) // sealed segment: ship to its end
+			if pos.Seg == durable.Seg {
+				limit = durable.Off
+			}
+			next, err := wal.ReadSegmentRecords(p.mgr.Dir(), pos.Seg, pos.Off, limit,
+				func(payload []byte, end int64) error {
+					if err := faultinject.Fire("repl.ship.record"); err != nil {
+						return err
+					}
+					frame = appendRecordPayload(frame[:0], end, wal.RecordCRC(payload), payload)
+					if err := wire.WriteFrame(bw, wire.ReplRecord, frame); err != nil {
+						return err
+					}
+					p.metrics.ReplRecordsShipped.Add(1)
+					p.metrics.ReplBytesShipped.Add(int64(len(payload)))
+					return nil
+				})
+			pos.Off = next
+			if err != nil {
+				var amb *wal.AmbiguousStateError
+				if errors.Is(err, wal.ErrSegmentGone) || errors.As(err, &amb) {
+					// The replica's position no longer names readable log
+					// bytes — pruned behind it, or not on a record boundary
+					// of this log. Fall back to a full snapshot.
+					needResync = true
+					break
+				}
+				return err
+			}
+			if pos.Seg < durable.Seg {
+				pos = wal.SegmentStart(pos.Seg + 1)
+			}
+			durable = p.mgr.DurablePos()
+		}
+		if needResync {
+			continue
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		link.set(func(l *replicaLink) { l.state = "streaming" })
+
+		select {
+		case _, ok := <-sub:
+			if !ok {
+				return nil // log closed or failed; the stream ends cleanly
+			}
+		case <-heartbeat.C:
+			hb := encodePosPayload("POS", p.mgr.DurablePos(), p.db.Store().Snapshot())
+			if err := wire.WriteFrame(bw, wire.ReplPos, hb); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+		case <-ctx.Done():
+			return nil
+		case <-link.gone:
+			return nil
+		}
+	}
+}
+
+// needsResync decides whether a handshake position can be streamed from.
+func (p *Primary) needsResync(pos wal.Pos) bool {
+	if pos.IsZero() {
+		return true // fresh replica, or one that detected divergence
+	}
+	if pos.Off < wal.SegmentStart(pos.Seg).Off {
+		return true
+	}
+	// A position past our durable end cannot be ours: the replica mirrors
+	// only bytes we reported durable, so it followed a different history
+	// (e.g. this primary lost its directory and started over).
+	return p.mgr.DurablePos().Less(pos)
+}
+
+// resync ships a fresh snapshot: RESYNC header, the image in chunks, and
+// returns the position streaming resumes from. The replica's acked
+// position is reset under the WAL manager's lock (inside ShipState), so a
+// concurrent checkpoint cannot prune the restart segment.
+func (p *Primary) resync(bw *bufio.Writer, link *replicaLink) (wal.Pos, error) {
+	link.set(func(l *replicaLink) { l.state = "resync" })
+	var newPos wal.Pos
+	err := p.mgr.ShipState(func(path string, clock, startSeg uint64) error {
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		st, err := f.Stat()
+		if err != nil {
+			return err
+		}
+		if err := wire.WriteFrame(bw, wire.ReplResync, encodeResync(startSeg, st.Size(), clock)); err != nil {
+			return err
+		}
+		buf := make([]byte, chunkSize)
+		remaining := st.Size()
+		for remaining > 0 {
+			n := int64(len(buf))
+			if n > remaining {
+				n = remaining
+			}
+			if _, err := io.ReadFull(f, buf[:n]); err != nil {
+				return err
+			}
+			if err := wire.WriteFrame(bw, wire.ReplChunk, buf[:n]); err != nil {
+				return err
+			}
+			remaining -= n
+		}
+		if err := bw.Flush(); err != nil {
+			return err
+		}
+		newPos = wal.SegmentStart(startSeg)
+		link.set(func(l *replicaLink) { l.acked, l.ackedClock = newPos, clock })
+		p.metrics.ReplSnapshotsSent.Add(1)
+		return nil
+	})
+	return newPos, err
+}

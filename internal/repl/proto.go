@@ -1,0 +1,112 @@
+// Package repl implements WAL streaming replication over the wire
+// protocol: a primary ships durable redo records to read replicas, which
+// mirror them into a byte-identical local log, apply them continuously,
+// and serve snapshot-consistent read-only queries.
+//
+// The paper's host system scales analytical throughput by running queries
+// on consistent snapshots while transactions proceed; replication extends
+// the same idea across processes. A replica opens one ordinary server
+// connection, identifies itself with a ReplStart frame, and from then on
+// the connection is a one-way record stream (primary to replica) plus a
+// trickle of position acknowledgements (replica to primary):
+//
+//	replica  -> primary: ReplStart  "REPL1 seg=S off=O clock=C"  (resume position)
+//	primary  -> replica: ReplSeg    "SEG S"        records now belong to segment S
+//	primary  -> replica: ReplRecord u64 end | u32 crc | payload   one redo record
+//	primary  -> replica: ReplPos    "POS seg=S off=O clock=C"     heartbeat
+//	primary  -> replica: ReplResync "RESYNC seg=S size=N clock=C" snapshot follows
+//	primary  -> replica: ReplChunk  raw bytes                     snapshot data
+//	replica  -> primary: ReplAck    "ACK seg=S off=O clock=C"     durably applied
+//
+// Positions are physical (segment, offset) pairs into the primary's log;
+// because the replica's log is a byte mirror, the same position names the
+// same prefix on both sides, across restarts of either.
+package repl
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"lambdadb/internal/wal"
+)
+
+// chunkSize bounds one ReplChunk frame of a shipped snapshot.
+const chunkSize = 1 << 20
+
+// encodePosPayload renders a tagged position + clock control payload.
+func encodePosPayload(tag string, pos wal.Pos, clock uint64) []byte {
+	return []byte(fmt.Sprintf("%s seg=%d off=%d clock=%d", tag, pos.Seg, pos.Off, clock))
+}
+
+// parsePosPayload parses what encodePosPayload produced.
+func parsePosPayload(tag string, payload []byte) (wal.Pos, uint64, error) {
+	var pos wal.Pos
+	var clock uint64
+	got, err := fmt.Sscanf(string(payload), tag+" seg=%d off=%d clock=%d", &pos.Seg, &pos.Off, &clock)
+	if err != nil || got != 3 {
+		return wal.Pos{}, 0, fmt.Errorf("repl: malformed %s payload %q", tag, payload)
+	}
+	return pos, clock, nil
+}
+
+// Handshake payloads (ReplStart) carry the protocol version so a primary
+// can refuse a replica from a different build cleanly.
+func encodeHandshake(pos wal.Pos, clock uint64) []byte {
+	return encodePosPayload("REPL1", pos, clock)
+}
+
+func parseHandshake(payload []byte) (wal.Pos, uint64, error) {
+	return parsePosPayload("REPL1", payload)
+}
+
+// Segment-switch payloads (ReplSeg).
+func encodeSeg(seq uint64) []byte { return []byte(fmt.Sprintf("SEG %d", seq)) }
+
+func parseSeg(payload []byte) (uint64, error) {
+	var seq uint64
+	got, err := fmt.Sscanf(string(payload), "SEG %d", &seq)
+	if err != nil || got != 1 {
+		return 0, fmt.Errorf("repl: malformed SEG payload %q", payload)
+	}
+	return seq, nil
+}
+
+// Resync payloads (ReplResync): the snapshot's byte size, the image's
+// clock, and the segment the mirror restarts at.
+func encodeResync(startSeg uint64, size int64, clock uint64) []byte {
+	return []byte(fmt.Sprintf("RESYNC seg=%d size=%d clock=%d", startSeg, size, clock))
+}
+
+func parseResync(payload []byte) (startSeg uint64, size int64, clock uint64, err error) {
+	got, err := fmt.Sscanf(string(payload), "RESYNC seg=%d size=%d clock=%d", &startSeg, &size, &clock)
+	if err != nil || got != 3 {
+		return 0, 0, 0, fmt.Errorf("repl: malformed RESYNC payload %q", payload)
+	}
+	return startSeg, size, clock, nil
+}
+
+// recordHeader is the binary prefix of a ReplRecord payload: the offset
+// the record ends at in its segment plus the CRC the log frames it with.
+// The replica re-frames the payload identically and verifies both, so any
+// byte divergence between the two logs is caught at the record it starts.
+const recordHeader = 8 + 4
+
+// appendRecordPayload encodes one ReplRecord payload into buf.
+func appendRecordPayload(buf []byte, endOff int64, crc uint32, payload []byte) []byte {
+	var hdr [recordHeader]byte
+	binary.BigEndian.PutUint64(hdr[0:], uint64(endOff))
+	binary.BigEndian.PutUint32(hdr[8:], crc)
+	buf = append(buf, hdr[:]...)
+	return append(buf, payload...)
+}
+
+// parseRecordPayload decodes a ReplRecord payload. The returned record
+// bytes alias the frame payload.
+func parseRecordPayload(payload []byte) (endOff int64, crc uint32, rec []byte, err error) {
+	if len(payload) < recordHeader {
+		return 0, 0, nil, fmt.Errorf("repl: record frame is %d bytes, shorter than its header", len(payload))
+	}
+	endOff = int64(binary.BigEndian.Uint64(payload[0:]))
+	crc = binary.BigEndian.Uint32(payload[8:])
+	return endOff, crc, payload[recordHeader:], nil
+}

@@ -1,0 +1,65 @@
+// Package retry implements capped exponential backoff with jitter, shared
+// by the network client's bounded redial and the replication layer's
+// reconnect loop.
+//
+// The schedule doubles from Base up to Max, and each delay is jittered
+// uniformly in [delay/2, delay) so a fleet of disconnected replicas (or a
+// burst of failed clients) does not stampede the server in lockstep.
+package retry
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// Backoff computes the delay schedule. The zero value uses defaults
+// (Base 50ms, Max 5s).
+type Backoff struct {
+	Base time.Duration // first delay; <= 0 means 50ms
+	Max  time.Duration // delay cap; <= 0 means 5s
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// Delay returns the jittered delay for the given attempt (0-based): the
+// exponential delay Base<<attempt capped at Max, jittered to a uniform
+// value in [delay/2, delay).
+func (b *Backoff) Delay(attempt int) time.Duration {
+	base, max := b.Base, b.Max
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	if max <= 0 {
+		max = 5 * time.Second
+	}
+	d := base
+	for i := 0; i < attempt && d < max; i++ {
+		d *= 2
+	}
+	if d > max {
+		d = max
+	}
+	b.mu.Lock()
+	if b.rng == nil {
+		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
+	}
+	jittered := d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	b.mu.Unlock()
+	return jittered
+}
+
+// Sleep waits the attempt's jittered delay or until ctx is cancelled,
+// returning ctx's error in that case.
+func (b *Backoff) Sleep(ctx context.Context, attempt int) error {
+	t := time.NewTimer(b.Delay(attempt))
+	defer t.Stop()
+	select {
+	case <-t.C:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,59 @@
+package retry
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+func TestDelayBoundsAndGrowth(t *testing.T) {
+	b := &Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
+	// Expected un-jittered schedule: 10, 20, 40, 80, 80, ...
+	want := []time.Duration{10, 20, 40, 80, 80, 80}
+	for attempt, w := range want {
+		w *= time.Millisecond
+		for i := 0; i < 50; i++ {
+			d := b.Delay(attempt)
+			if d < w/2 || d > w {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, w/2, w)
+			}
+		}
+	}
+}
+
+func TestDelayDefaults(t *testing.T) {
+	b := &Backoff{}
+	if d := b.Delay(0); d < 25*time.Millisecond || d > 50*time.Millisecond {
+		t.Fatalf("default base delay %v outside [25ms, 50ms]", d)
+	}
+	if d := b.Delay(30); d > 5*time.Second {
+		t.Fatalf("delay %v exceeds default cap", d)
+	}
+}
+
+func TestDelayJitters(t *testing.T) {
+	b := &Backoff{Base: time.Second, Max: time.Second}
+	seen := map[time.Duration]bool{}
+	for i := 0; i < 20; i++ {
+		seen[b.Delay(0)] = true
+	}
+	if len(seen) < 2 {
+		t.Fatalf("20 delays produced %d distinct values; jitter looks broken", len(seen))
+	}
+}
+
+func TestSleepCancel(t *testing.T) {
+	b := &Backoff{Base: time.Minute, Max: time.Minute}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	if err := b.Sleep(ctx, 0); err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("Sleep did not return promptly on cancel")
+	}
+}

@@ -10,7 +10,9 @@ import (
 	"net"
 	"strconv"
 	"sync"
+	"time"
 
+	"lambdadb/internal/retry"
 	"lambdadb/internal/server/wire"
 	"lambdadb/internal/types"
 )
@@ -46,13 +48,76 @@ type Conn struct {
 	closed bool
 }
 
-// Dial connects to a lambdaserver at addr.
+// ConnError is a transport-level connection failure: the dial (including
+// every retry) failed, so no server ever answered. It wraps the last
+// attempt's error and reports how many attempts were made, so callers can
+// distinguish "server unreachable" from a statement the server rejected
+// (*ServerError) and surface the retry effort in their own messages.
+type ConnError struct {
+	Addr     string
+	Attempts int
+	Err      error
+}
+
+func (e *ConnError) Error() string {
+	return fmt.Sprintf("client: connect to %s failed after %d attempt(s): %v", e.Addr, e.Attempts, e.Err)
+}
+
+func (e *ConnError) Unwrap() error { return e.Err }
+
+// RetryConfig bounds DialRetry. The zero value means 5 attempts with a
+// 50ms-to-2s jittered exponential backoff between them.
+type RetryConfig struct {
+	MaxAttempts int           // total dial attempts; <= 0 means 5
+	BaseBackoff time.Duration // first retry delay; <= 0 means 50ms
+	MaxBackoff  time.Duration // retry delay cap; <= 0 means 2s
+}
+
+// Dial connects to a lambdaserver at addr with a single attempt.
 func Dial(addr string) (*Conn, error) {
 	nc, err := net.Dial("tcp", addr)
 	if err != nil {
-		return nil, err
+		return nil, &ConnError{Addr: addr, Attempts: 1, Err: err}
 	}
 	return &Conn{nc: nc, br: bufio.NewReader(nc)}, nil
+}
+
+// DialRetry connects to a lambdaserver at addr, retrying failed dials with
+// capped exponential backoff plus jitter up to cfg.MaxAttempts times. It
+// returns a *ConnError carrying the attempt count when every attempt
+// failed, or ctx's error when cancelled between attempts.
+func DialRetry(ctx context.Context, addr string, cfg RetryConfig) (*Conn, error) {
+	attempts := cfg.MaxAttempts
+	if attempts <= 0 {
+		attempts = 5
+	}
+	base := cfg.BaseBackoff
+	if base <= 0 {
+		base = 50 * time.Millisecond
+	}
+	max := cfg.MaxBackoff
+	if max <= 0 {
+		max = 2 * time.Second
+	}
+	bo := &retry.Backoff{Base: base, Max: max}
+	var d net.Dialer
+	var lastErr error
+	for attempt := 0; attempt < attempts; attempt++ {
+		if attempt > 0 {
+			if err := bo.Sleep(ctx, attempt-1); err != nil {
+				return nil, err
+			}
+		}
+		nc, err := d.DialContext(ctx, "tcp", addr)
+		if err == nil {
+			return &Conn{nc: nc, br: bufio.NewReader(nc)}, nil
+		}
+		lastErr = err
+		if ctx.Err() != nil {
+			return nil, ctx.Err()
+		}
+	}
+	return nil, &ConnError{Addr: addr, Attempts: attempts, Err: lastErr}
 }
 
 // conn returns the live socket or an error after Close/failure.

@@ -1,0 +1,94 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net"
+	"testing"
+	"time"
+)
+
+// unusedAddr returns a localhost address nothing is listening on.
+func unusedAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+func TestDialRetryReportsAttempts(t *testing.T) {
+	addr := unusedAddr(t)
+	_, err := DialRetry(context.Background(), addr, RetryConfig{
+		MaxAttempts: 3,
+		BaseBackoff: time.Millisecond,
+		MaxBackoff:  2 * time.Millisecond,
+	})
+	var ce *ConnError
+	if !errors.As(err, &ce) {
+		t.Fatalf("err = %v (%T), want *ConnError", err, err)
+	}
+	if ce.Attempts != 3 || ce.Addr != addr {
+		t.Errorf("ConnError = %+v, want Attempts=3 Addr=%s", ce, addr)
+	}
+	if ce.Unwrap() == nil {
+		t.Error("ConnError should wrap the last dial error")
+	}
+}
+
+func TestDialRetryEventualSuccess(t *testing.T) {
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	go func() {
+		for {
+			c, err := l.Accept()
+			if err != nil {
+				return
+			}
+			c.Close()
+		}
+	}()
+	c, err := DialRetry(context.Background(), l.Addr().String(), RetryConfig{MaxAttempts: 2})
+	if err != nil {
+		t.Fatalf("DialRetry against a live listener failed: %v", err)
+	}
+	c.Close()
+}
+
+func TestDialRetryCancelled(t *testing.T) {
+	addr := unusedAddr(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := DialRetry(ctx, addr, RetryConfig{
+		MaxAttempts: 100,
+		BaseBackoff: 50 * time.Millisecond,
+		MaxBackoff:  time.Second,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > 5*time.Second {
+		t.Fatal("DialRetry kept retrying after cancellation")
+	}
+}
+
+func TestDialSingleAttemptConnError(t *testing.T) {
+	_, err := Dial(unusedAddr(t))
+	var ce *ConnError
+	if !errors.As(err, &ce) {
+		t.Fatalf("Dial err = %v (%T), want *ConnError", err, err)
+	}
+	if ce.Attempts != 1 {
+		t.Errorf("Dial ConnError.Attempts = %d, want 1", ce.Attempts)
+	}
+}

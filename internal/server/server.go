@@ -41,6 +41,19 @@ type Config struct {
 	// DrainGrace is how long Shutdown lets in-flight statements finish
 	// before cancelling them. <= 0 means DefaultDrainGrace.
 	DrainGrace time.Duration
+	// ReplHandler, when set, accepts replication streams: a connection
+	// whose first frame is ReplStart is handed to it for the rest of its
+	// life instead of serving queries. When nil, a ReplStart is answered
+	// with an Error frame and the connection closed.
+	ReplHandler ReplicationHandler
+}
+
+// ReplicationHandler takes over a connection that identified itself as a
+// replica (first frame ReplStart). It owns the socket until it returns;
+// br carries any bytes already buffered past the handshake frame, and
+// start is the handshake payload. ctx is cancelled on server shutdown.
+type ReplicationHandler interface {
+	ServeReplication(ctx context.Context, nc net.Conn, br *bufio.Reader, start []byte)
 }
 
 // Server serves an engine.DB over TCP.
@@ -231,10 +244,38 @@ func (c *conn) serve() {
 	ctx, cancel := context.WithCancel(c.srv.baseCtx)
 	defer cancel()
 
+	// The first frame decides what the connection is: a Query starts an
+	// ordinary session, a ReplStart hands the socket to the replication
+	// layer for the rest of its life.
+	br := bufio.NewReader(c.nc)
+	first, firstPayload, err := wire.ReadFrame(br)
+	if err != nil {
+		return
+	}
+	if first == wire.ReplStart {
+		h := c.srv.cfg.ReplHandler
+		if h == nil {
+			_ = c.nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+			_ = wire.WriteFrame(c.nc, wire.Error, []byte("this server does not accept replicas"))
+			return
+		}
+		h.ServeReplication(ctx, c.nc, br, firstPayload)
+		return
+	}
+	if first != wire.Query {
+		return
+	}
+
 	reqs := make(chan string)
 	go func() {
 		defer close(reqs)
-		br := bufio.NewReader(c.nc)
+		// Deliver the already-read first request, then keep reading ahead so
+		// a client disconnect cancels the statement it was waiting on.
+		select {
+		case reqs <- string(firstPayload):
+		case <-ctx.Done():
+			return
+		}
 		for {
 			typ, payload, err := wire.ReadFrame(br)
 			if err != nil || typ != wire.Query {

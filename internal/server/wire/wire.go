@@ -30,16 +30,35 @@ const (
 	Result   byte = 'R' // server -> client: typed result set
 	Affected byte = 'A' // server -> client: affected-row count
 	Error    byte = 'E' // server -> client: error message
+
+	// Replication stream frames (see internal/repl). A replica opens an
+	// ordinary connection and sends ReplStart instead of a Query; from then
+	// on the connection is a replication stream, not a query session.
+	ReplStart  byte = 'S' // replica -> primary: handshake with resume position
+	ReplSeg    byte = 'G' // primary -> replica: following records belong to this segment
+	ReplRecord byte = 'W' // primary -> replica: one redo record (end offset + CRC + payload)
+	ReplPos    byte = 'L' // primary -> replica: heartbeat with durable position and clock
+	ReplResync byte = 'Y' // primary -> replica: discard local state; a snapshot follows
+	ReplChunk  byte = 'C' // primary -> replica: one chunk of the resync snapshot
+	ReplAck    byte = 'K' // replica -> primary: durably applied through this position
 )
 
-// MaxFrame bounds a frame payload; oversized frames are a protocol error,
-// so a corrupt or malicious length prefix cannot drive an allocation.
+// MaxFrame bounds a query-protocol frame payload; oversized frames are a
+// protocol error, so a corrupt or malicious length prefix cannot drive an
+// allocation.
 const MaxFrame = 16 << 20
 
-// WriteFrame writes one frame.
+// MaxReplFrame bounds a replication-stream frame: a ReplRecord carries one
+// WAL record payload, whose own plausibility bound is 1 GiB, plus a small
+// binary header.
+const MaxReplFrame = 1<<30 + 64
+
+// WriteFrame writes one frame. The write-side bound is MaxReplFrame (the
+// largest payload any frame type may carry); readers enforce the tighter
+// per-protocol limit.
 func WriteFrame(w io.Writer, typ byte, payload []byte) error {
-	if len(payload) > MaxFrame {
-		return fmt.Errorf("wire: %d-byte payload exceeds the %d-byte frame limit", len(payload), MaxFrame)
+	if len(payload) > MaxReplFrame {
+		return fmt.Errorf("wire: %d-byte payload exceeds the %d-byte frame limit", len(payload), MaxReplFrame)
 	}
 	var hdr [5]byte
 	hdr[0] = typ
@@ -51,15 +70,22 @@ func WriteFrame(w io.Writer, typ byte, payload []byte) error {
 	return err
 }
 
-// ReadFrame reads one frame.
+// ReadFrame reads one query-protocol frame (payloads bounded by MaxFrame).
 func ReadFrame(r io.Reader) (typ byte, payload []byte, err error) {
+	return ReadFrameLimit(r, MaxFrame)
+}
+
+// ReadFrameLimit reads one frame whose payload may be up to limit bytes.
+// Replication streams read with MaxReplFrame, the query protocol with
+// MaxFrame.
+func ReadFrameLimit(r io.Reader, limit int) (typ byte, payload []byte, err error) {
 	var hdr [5]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
 		return 0, nil, err
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
-	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("wire: %d-byte frame exceeds the %d-byte limit", n, MaxFrame)
+	if int64(n) > int64(limit) {
+		return 0, nil, fmt.Errorf("wire: %d-byte frame exceeds the %d-byte limit", n, limit)
 	}
 	payload = make([]byte, n)
 	if _, err := io.ReadFull(r, payload); err != nil {

@@ -29,13 +29,27 @@ func TestFrameRoundTrip(t *testing.T) {
 }
 
 func TestFrameLimit(t *testing.T) {
+	// The write-side bound is MaxReplFrame: a replication record bigger
+	// than any query frame still writes...
 	var buf bytes.Buffer
-	if err := WriteFrame(&buf, Query, make([]byte, MaxFrame+1)); err == nil {
-		t.Error("oversized write should fail")
+	if err := WriteFrame(&buf, ReplRecord, make([]byte, MaxFrame+1)); err != nil {
+		t.Fatalf("write of a repl-sized frame failed: %v", err)
+	}
+	// ...the query-protocol reader refuses it...
+	if _, _, err := ReadFrame(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("ReadFrame accepted a frame over MaxFrame")
+	}
+	// ...and the replication reader accepts it.
+	typ, got, err := ReadFrameLimit(bytes.NewReader(buf.Bytes()), MaxReplFrame)
+	if err != nil {
+		t.Fatalf("ReadFrameLimit: %v", err)
+	}
+	if typ != ReplRecord || len(got) != MaxFrame+1 {
+		t.Errorf("ReadFrameLimit = (%c, %d bytes), want (W, %d)", typ, len(got), MaxFrame+1)
 	}
 	// A corrupt length prefix must error out, not allocate.
-	buf.Write([]byte{Query, 0xff, 0xff, 0xff, 0xff})
-	if _, _, err := ReadFrame(&buf); err == nil {
+	rd := bytes.NewReader([]byte{Query, 0xff, 0xff, 0xff, 0xff})
+	if _, _, err := ReadFrame(rd); err == nil {
 		t.Error("oversized read should fail")
 	}
 }

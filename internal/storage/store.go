@@ -304,6 +304,23 @@ func (s *Store) WithCommitLock(fn func(clock uint64)) {
 // It must not be used on a live store.
 func (s *Store) RestoreClock(ts uint64) { s.clock.Store(ts) }
 
+// AdoptState replaces this store's contents — tables, table-ID counter,
+// and commit clock — with from's, in place, so every existing reference to
+// this store observes the new state. A replica uses it when a snapshot
+// resync replaces its entire database. from must be private to the caller
+// (freshly loaded, never shared). In-flight scans keep the table pointers
+// they already resolved and finish against the old state — a consistent,
+// if stale, snapshot.
+func (s *Store) AdoptState(from *Store) {
+	s.commitMu.Lock()
+	defer s.commitMu.Unlock()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.tables = from.tables
+	s.nextTableID = from.nextTableID
+	s.clock.Store(from.clock.Load())
+}
+
 // lookupForReplay resolves a logged table reference. It returns nil when
 // the name is gone or now names a different incarnation — the record then
 // targeted a table that was concurrently dropped, and had no visible

@@ -8,6 +8,7 @@ package telemetry
 import (
 	"context"
 	"errors"
+	"reflect"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -125,6 +126,24 @@ type Metrics struct {
 	IndexScans    atomic.Int64 // index-scan operators executed
 	IndexRowsRead atomic.Int64 // rows produced by index probes
 	AnalyzeRuns   atomic.Int64 // tables analyzed (ANALYZE and checkpoint refresh)
+
+	// WAL position gauges. WalDurableLsn is the record LSN the group-commit
+	// flusher has confirmed on disk this process lifetime; WalAppliedClock is
+	// the commit clock of the last replicated record a replica applied (zero
+	// on a primary or standalone engine).
+	WalDurableLsn   atomic.Int64
+	WalAppliedClock atomic.Int64
+
+	// Replication counters (populated by internal/repl; zero otherwise).
+	ReplRecordsShipped atomic.Int64 // redo records sent to replicas
+	ReplBytesShipped   atomic.Int64 // stream payload bytes sent to replicas
+	ReplRecordsApplied atomic.Int64 // redo records applied by this replica
+	ReplRecordsSkipped atomic.Int64 // already-applied records skipped on resume overlap
+	ReplReconnects     atomic.Int64 // replica reconnect attempts after a broken stream
+	ReplResyncs        atomic.Int64 // full-snapshot resyncs this replica performed
+	ReplSnapshotsSent  atomic.Int64 // full-snapshot resyncs served by this primary
+	ReplSlowKicks      atomic.Int64 // replicas disconnected for blocking the shipper
+	ReplReplicasActive atomic.Int64 // gauge: replication streams currently connected
 }
 
 // RecordStatement folds one statement outcome into the counters.
@@ -157,30 +176,59 @@ type Counter struct {
 	Value int64
 }
 
-// Snapshot reads every counter in a stable order (the system.metrics row
-// order).
-func (m *Metrics) Snapshot() []Counter {
-	return []Counter{
-		{"statements_total", m.StatementsTotal.Load()},
-		{"statements_ok", m.StatementsOK.Load()},
-		{"statements_error", m.StatementsError.Load()},
-		{"statements_cancelled", m.StatementsCancelled.Load()},
-		{"statements_timeout", m.StatementsTimeout.Load()},
-		{"rows_returned", m.RowsReturned.Load()},
-		{"rows_affected", m.RowsAffected.Load()},
-		{"slow_queries", m.SlowQueries.Load()},
-		{"exec_nanos_total", m.ExecNanosTotal.Load()},
-		{"peak_query_bytes", m.PeakQueryBytes.Load()},
-		{"conns_opened", m.ConnsOpened.Load()},
-		{"conns_closed", m.ConnsClosed.Load()},
-		{"conns_rejected", m.ConnsRejected.Load()},
-		{"conns_active", m.ConnsActive.Load()},
-		{"wal_appends", m.WalAppends.Load()},
-		{"wal_fsyncs", m.WalFsyncs.Load()},
-		{"wal_bytes", m.WalBytes.Load()},
-		{"checkpoints", m.Checkpoints.Load()},
-		{"index_scans", m.IndexScans.Load()},
-		{"index_rows_read", m.IndexRowsRead.Load()},
-		{"analyze_runs", m.AnalyzeRuns.Load()},
+// counterFields maps each atomic.Int64 field of Metrics, in declaration
+// order, to its snake_case metric name. It is computed once: adding a field
+// to Metrics is all it takes for the counter to appear in system.metrics —
+// no per-call-site registration.
+var counterFields = func() []counterField {
+	t := reflect.TypeOf(Metrics{})
+	atomicInt64 := reflect.TypeOf(atomic.Int64{})
+	var out []counterField
+	for i := 0; i < t.NumField(); i++ {
+		f := t.Field(i)
+		if f.Type != atomicInt64 {
+			continue
+		}
+		out = append(out, counterField{name: snakeCase(f.Name), index: i})
 	}
+	return out
+}()
+
+type counterField struct {
+	name  string
+	index int
+}
+
+// snakeCase converts a Go field name to its metric spelling, keeping runs
+// of capitals together: StatementsOK -> statements_ok, WalDurableLsn ->
+// wal_durable_lsn.
+func snakeCase(s string) string {
+	out := make([]byte, 0, len(s)+4)
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if c >= 'A' && c <= 'Z' {
+			// Start of a word unless the previous rune was also a capital
+			// (an acronym run stays one word).
+			if i > 0 && !(s[i-1] >= 'A' && s[i-1] <= 'Z') {
+				out = append(out, '_')
+			}
+			c += 'a' - 'A'
+		}
+		out = append(out, c)
+	}
+	return string(out)
+}
+
+// Snapshot reads every counter in a stable order (the system.metrics row
+// order, which is the Metrics field declaration order).
+func (m *Metrics) Snapshot() []Counter {
+	v := reflect.ValueOf(m).Elem()
+	out := make([]Counter, len(counterFields))
+	for i, cf := range counterFields {
+		out[i] = Counter{
+			Name:  cf.name,
+			Value: v.Field(cf.index).Addr().Interface().(*atomic.Int64).Load(),
+		}
+	}
+	return out
 }

@@ -1,0 +1,79 @@
+package telemetry
+
+import "testing"
+
+// TestSnapshotNames pins the metric naming: every counter that existed
+// before the reflection-based snapshot must keep its exact spelling (the
+// system.metrics virtual table is queried by name), and the new WAL and
+// replication counters must be present.
+func TestSnapshotNames(t *testing.T) {
+	m := &Metrics{}
+	got := map[string]bool{}
+	var order []string
+	for _, c := range m.Snapshot() {
+		if got[c.Name] {
+			t.Fatalf("duplicate metric name %q", c.Name)
+		}
+		got[c.Name] = true
+		order = append(order, c.Name)
+	}
+	want := []string{
+		// pre-existing names, pinned
+		"statements_total", "statements_ok", "statements_error",
+		"statements_cancelled", "statements_timeout",
+		"rows_returned", "rows_affected", "slow_queries",
+		"exec_nanos_total", "peak_query_bytes",
+		"conns_opened", "conns_closed", "conns_rejected", "conns_active",
+		"wal_appends", "wal_fsyncs", "wal_bytes", "checkpoints",
+		"index_scans", "index_rows_read", "analyze_runs",
+		// new in this PR
+		"wal_durable_lsn", "wal_applied_clock",
+		"repl_records_shipped", "repl_bytes_shipped",
+		"repl_records_applied", "repl_records_skipped",
+		"repl_reconnects", "repl_resyncs", "repl_snapshots_sent",
+		"repl_slow_kicks", "repl_replicas_active",
+	}
+	for _, name := range want {
+		if !got[name] {
+			t.Errorf("metric %q missing from Snapshot (have %v)", name, order)
+		}
+	}
+}
+
+// TestSnapshotReadsValues checks the reflection path actually reads the
+// right field for a sample of counters.
+func TestSnapshotReadsValues(t *testing.T) {
+	m := &Metrics{}
+	m.StatementsOK.Store(3)
+	m.WalDurableLsn.Store(42)
+	m.ReplRecordsApplied.Store(7)
+	vals := map[string]int64{}
+	for _, c := range m.Snapshot() {
+		vals[c.Name] = c.Value
+	}
+	for name, want := range map[string]int64{
+		"statements_ok":        3,
+		"wal_durable_lsn":      42,
+		"repl_records_applied": 7,
+		"statements_error":     0,
+	} {
+		if vals[name] != want {
+			t.Errorf("%s = %d, want %d", name, vals[name], want)
+		}
+	}
+}
+
+func TestSnakeCase(t *testing.T) {
+	for in, want := range map[string]string{
+		"StatementsOK":   "statements_ok",
+		"WalDurableLsn":  "wal_durable_lsn",
+		"PeakQueryBytes": "peak_query_bytes",
+		"ExecNanosTotal": "exec_nanos_total",
+		"ConnsActive":    "conns_active",
+		"Checkpoints":    "checkpoints",
+	} {
+		if got := snakeCase(in); got != want {
+			t.Errorf("snakeCase(%q) = %q, want %q", in, got, want)
+		}
+	}
+}

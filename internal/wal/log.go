@@ -74,12 +74,19 @@ type log struct {
 	buf        []byte // framed records not yet handed to the flusher
 	appendLSN  uint64 // records appended (logical end of log)
 	durableLSN uint64 // records confirmed on disk
+	appendOff  int64  // byte offset appends have reached in the active segment
+	durableOff int64  // byte offset confirmed on disk in the active segment
 	err        error  // sticky: first write/fsync failure latches the log failed
 	closed     bool
 	writing    bool // flusher is in write+fsync outside mu
 
 	work    *sync.Cond // signals the flusher: buffered bytes or close
 	durable *sync.Cond // signals waiters: durable LSN advanced or failure
+
+	// subs are durable-position subscribers (the replication shipper): each
+	// gets a non-blocking wakeup whenever the durable position advances, and
+	// is closed when the log closes or fails.
+	subs map[chan struct{}]struct{}
 
 	flusherDone chan struct{}
 }
@@ -93,7 +100,17 @@ func openLog(dir string, seq uint64, metrics *telemetry.Metrics) (*log, error) {
 	if err != nil {
 		return nil, err
 	}
-	l := &log{dir: dir, metrics: metrics, f: f, seq: seq, flusherDone: make(chan struct{})}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	l := &log{
+		dir: dir, metrics: metrics, f: f, seq: seq,
+		appendOff: st.Size(), durableOff: st.Size(),
+		subs:        make(map[chan struct{}]struct{}),
+		flusherDone: make(chan struct{}),
+	}
 	l.work = sync.NewCond(&l.mu)
 	l.durable = sync.NewCond(&l.mu)
 	go l.flushLoop()
@@ -156,26 +173,27 @@ func syncDir(dir string) error {
 }
 
 // append frames the payload and buffers it, returning the record's LSN to
-// wait on. Callers serialize appends through the store's locks, so the
-// buffer order is the commit order.
-func (l *log) append(payload []byte) (uint64, error) {
+// wait on and the byte offset the active segment will end at once the
+// record is flushed. Callers serialize appends through the store's locks,
+// so the buffer order is the commit order.
+func (l *log) append(payload []byte) (uint64, int64, error) {
 	if err := faultinject.Fire("wal.append"); err != nil {
-		return 0, err
+		return 0, 0, err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
-		return 0, l.err
+		return 0, 0, l.err
 	}
 	if l.closed {
-		return 0, fmt.Errorf("wal: log is closed")
+		return 0, 0, fmt.Errorf("wal: log is closed")
 	}
 	if len(payload) > maxRecordLen {
 		// Recovery rejects any record longer than maxRecordLen as
 		// implausible (and a length >= 4GiB would not even survive the u32
 		// frame header). Refusing here turns an un-loggable commit into an
 		// error instead of an acknowledged commit that replay drops.
-		return 0, fmt.Errorf("wal: record payload is %d bytes, limit is %d", len(payload), maxRecordLen)
+		return 0, 0, fmt.Errorf("wal: record payload is %d bytes, limit is %d", len(payload), maxRecordLen)
 	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -183,9 +201,66 @@ func (l *log) append(payload []byte) (uint64, error) {
 	l.buf = append(l.buf, hdr[:]...)
 	l.buf = append(l.buf, payload...)
 	l.appendLSN++
+	l.appendOff += int64(frameHeader + len(payload))
 	l.metrics.WalAppends.Add(1)
 	l.work.Signal()
-	return l.appendLSN, nil
+	return l.appendLSN, l.appendOff, nil
+}
+
+// durablePos returns the position (segment, byte offset) confirmed on
+// disk. Everything at or below it is immutable: flushed batches are never
+// rewritten and rotation only ever opens higher segments.
+func (l *log) durablePos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.seq, Off: l.durableOff}
+}
+
+// appendPos returns the logical end of the log: the position the active
+// segment will reach once every buffered record is flushed.
+func (l *log) appendPos() Pos {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return Pos{Seg: l.seq, Off: l.appendOff}
+}
+
+// subscribe registers a durable-position wakeup channel; cancel removes
+// it. The channel receives a (coalesced, non-blocking) signal whenever the
+// durable position advances and is closed when the log closes or fails.
+func (l *log) subscribe() (<-chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	l.mu.Lock()
+	if l.closed || l.err != nil {
+		close(ch)
+		l.mu.Unlock()
+		return ch, func() {}
+	}
+	l.subs[ch] = struct{}{}
+	l.mu.Unlock()
+	return ch, func() {
+		l.mu.Lock()
+		if _, ok := l.subs[ch]; ok {
+			delete(l.subs, ch)
+			close(ch)
+		}
+		l.mu.Unlock()
+	}
+}
+
+// notifySubsLocked wakes every durable-position subscriber; kill closes
+// the channels instead (log closed or failed).
+func (l *log) notifySubsLocked(kill bool) {
+	for ch := range l.subs {
+		if kill {
+			close(ch)
+			delete(l.subs, ch)
+			continue
+		}
+		select {
+		case ch <- struct{}{}:
+		default:
+		}
+	}
 }
 
 // waitDurable blocks until the record at lsn is fsynced (group commit), or
@@ -223,6 +298,7 @@ func (l *log) flushLoop() {
 			// record behind it. Drop the buffer and fail all waiters.
 			l.buf = nil
 			l.durable.Broadcast()
+			l.notifySubsLocked(true)
 			if l.closed {
 				break
 			}
@@ -246,11 +322,15 @@ func (l *log) flushLoop() {
 			}
 		} else {
 			l.durableLSN = target
+			l.durableOff += int64(len(buf))
 			l.metrics.WalFsyncs.Add(1)
 			l.metrics.WalBytes.Add(int64(len(buf)))
+			l.metrics.WalDurableLsn.Store(int64(target))
+			l.notifySubsLocked(false)
 		}
 		l.durable.Broadcast()
 	}
+	l.notifySubsLocked(true)
 	l.mu.Unlock()
 	close(l.flusherDone)
 }
@@ -310,8 +390,17 @@ func (l *log) rotate() error {
 	if err != nil {
 		return err
 	}
+	st, err := nf.Stat()
+	if err != nil {
+		nf.Close()
+		return err
+	}
 	old := l.f
 	l.f, l.seq = nf, next
+	// A leftover segment from an earlier failed rotate keeps its contents,
+	// so the append position resumes at its current size.
+	l.appendOff, l.durableOff = st.Size(), st.Size()
+	l.notifySubsLocked(false)
 	// The drain loop above already fsynced everything in the old segment.
 	return old.Close()
 }

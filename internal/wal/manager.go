@@ -69,10 +69,24 @@ type Manager struct {
 	metrics *telemetry.Metrics
 	summary RecoverySummary
 
-	mu     sync.Mutex // serializes Checkpoint and Close
+	mu     sync.Mutex // serializes Checkpoint, resync, and Close
 	closed bool
 
-	log *log
+	// retainer, when set, holds sealed segments back from checkpoint
+	// pruning while a replica still needs them (see SetSegmentRetainer).
+	retainer SegmentRetainer
+
+	// logMu guards the log pointer, which a replica's snapshot resync
+	// (ResetForResync) swaps while other goroutines read positions.
+	logMu sync.RWMutex
+	log   *log
+}
+
+// activeLog returns the current log under the pointer lock.
+func (m *Manager) activeLog() *log {
+	m.logMu.RLock()
+	defer m.logMu.RUnlock()
+	return m.log
 }
 
 // Open recovers the data directory and returns the recovered store with a
@@ -285,47 +299,47 @@ func (m *Manager) Summary() RecoverySummary { return m.summary }
 // record (called under the commit lock, so append order is commit order)
 // and returns the group-commit durability wait.
 func (m *Manager) LogCommit(c *storage.CommitData) (func() error, error) {
-	lsn, err := m.log.append(encodeCommit(c))
+	lsn, _, err := m.activeLog().append(encodeCommit(c))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.log.waitDurable(lsn) }, nil
+	return func() error { return m.activeLog().waitDurable(lsn) }, nil
 }
 
 // LogCreateTable implements storage.CommitLogger.
 func (m *Manager) LogCreateTable(name string, schema types.Schema, id uint64) (func() error, error) {
-	lsn, err := m.log.append(encodeCreateTable(name, schema, id))
+	lsn, _, err := m.activeLog().append(encodeCreateTable(name, schema, id))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.log.waitDurable(lsn) }, nil
+	return func() error { return m.activeLog().waitDurable(lsn) }, nil
 }
 
 // LogDropTable implements storage.CommitLogger.
 func (m *Manager) LogDropTable(name string, id uint64) (func() error, error) {
-	lsn, err := m.log.append(encodeDropTable(name, id))
+	lsn, _, err := m.activeLog().append(encodeDropTable(name, id))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.log.waitDurable(lsn) }, nil
+	return func() error { return m.activeLog().waitDurable(lsn) }, nil
 }
 
 // LogCreateIndex implements storage.CommitLogger.
 func (m *Manager) LogCreateIndex(def storage.IndexDef, tableID uint64) (func() error, error) {
-	lsn, err := m.log.append(encodeCreateIndex(def, tableID))
+	lsn, _, err := m.activeLog().append(encodeCreateIndex(def, tableID))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.log.waitDurable(lsn) }, nil
+	return func() error { return m.activeLog().waitDurable(lsn) }, nil
 }
 
 // LogDropIndex implements storage.CommitLogger.
 func (m *Manager) LogDropIndex(index, table string, tableID uint64) (func() error, error) {
-	lsn, err := m.log.append(encodeDropIndex(index, table, tableID))
+	lsn, _, err := m.activeLog().append(encodeDropIndex(index, table, tableID))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.log.waitDurable(lsn) }, nil
+	return func() error { return m.activeLog().waitDurable(lsn) }, nil
 }
 
 // Checkpoint writes a durable physical snapshot and prunes the log behind
@@ -355,7 +369,7 @@ func (m *Manager) Checkpoint() (CheckpointStats, error) {
 	var rerr error
 	m.store.WithCommitLock(func(c uint64) {
 		clock = c
-		rerr = m.log.rotate()
+		rerr = m.activeLog().rotate()
 	})
 	if rerr != nil {
 		return CheckpointStats{}, fmt.Errorf("wal: rotate log: %w", rerr)
@@ -375,10 +389,12 @@ func (m *Manager) Checkpoint() (CheckpointStats, error) {
 	if err != nil {
 		return CheckpointStats{}, err
 	}
-	active := m.log.activeSeq()
+	// A connected replica may still need sealed segments the image now
+	// covers: prune only below the retention floor, never the active one.
+	keep := m.pruneFloor(m.activeLog().activeSeq())
 	removed := 0
 	for _, seg := range segs {
-		if seg.seq >= active {
+		if seg.seq >= keep {
 			break
 		}
 		if err := os.Remove(seg.path); err != nil {
@@ -403,5 +419,5 @@ func (m *Manager) Close() error {
 		return nil
 	}
 	m.closed = true
-	return m.log.close()
+	return m.activeLog().close()
 }

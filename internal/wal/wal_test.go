@@ -416,7 +416,7 @@ func TestFlusherNeverWritesPastLatchedFailure(t *testing.T) {
 		return nil
 	})
 
-	lsnA, err := l.append([]byte("record-A"))
+	lsnA, _, err := l.append([]byte("record-A"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -424,7 +424,7 @@ func TestFlusherNeverWritesPastLatchedFailure(t *testing.T) {
 
 	// B is buffered before the failure latches; it must be dropped, never
 	// written behind the failed batch.
-	lsnB, err := l.append([]byte("record-B"))
+	lsnB, _, err := l.append([]byte("record-B"))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -436,7 +436,7 @@ func TestFlusherNeverWritesPastLatchedFailure(t *testing.T) {
 	if err := l.waitDurable(lsnB); !errors.Is(err, errBoom) {
 		t.Errorf("waitDurable(B) = %v, want errBoom (B must not be acknowledged past the failed batch)", err)
 	}
-	if _, err := l.append([]byte("record-C")); !errors.Is(err, errBoom) {
+	if _, _, err := l.append([]byte("record-C")); !errors.Is(err, errBoom) {
 		t.Errorf("append after failure = %v, want errBoom", err)
 	}
 	if err := l.close(); !errors.Is(err, errBoom) {
@@ -463,12 +463,12 @@ func TestAppendRejectsOversizedPayload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := l.append(make([]byte, maxRecordLen+1)); err == nil {
+	if _, _, err := l.append(make([]byte, maxRecordLen+1)); err == nil {
 		t.Fatal("append accepted a payload larger than maxRecordLen")
 	}
 	// The rejection is a per-record error, not a log failure: the log keeps
 	// accepting ordinary appends.
-	lsn, err := l.append([]byte("small"))
+	lsn, _, err := l.append([]byte("small"))
 	if err != nil {
 		t.Fatalf("append after oversize rejection: %v", err)
 	}
