@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet build test race bench overhead server-smoke crash chaos-repl bench-wal
+.PHONY: check lint vet build test race bench overhead server-smoke crash chaos-repl bench-wal bench-obs
 
 ## check: everything CI runs except server-smoke — lint, build, full tests, race, telemetry-overhead smoke
 check: lint build test race overhead
@@ -26,13 +26,19 @@ test:
 race:
 	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/ ./internal/wal/ ./internal/repl/
 
-## overhead: assert the disarmed telemetry path adds <2% to BenchmarkVectorizedFilterAgg
+## overhead: assert the disarmed operator-stats path AND the armed histogram path each add <2% to the vectorized filter+agg workload
 overhead:
 	LAMBDADB_OVERHEAD_SMOKE=1 $(GO) test ./internal/exec/ -run TestTelemetryOverheadSmoke -v
+	LAMBDADB_OVERHEAD_SMOKE=1 $(GO) test ./internal/engine/ -run TestObsOverheadSmoke -count=1 -v
 
-## server-smoke: build lambdaserver + sqlshell, stress over TCP, SIGTERM drain must exit 0
+## server-smoke: build lambdaserver + sqlshell, stress over TCP, scrape /metrics + /healthz + /readyz (incl. replica gating), SIGTERM drain must exit 0
 server-smoke:
-	LAMBDADB_SERVER_SMOKE=1 $(GO) test ./internal/server/ -run TestServerBinarySmoke -count=1 -v
+	LAMBDADB_SERVER_SMOKE=1 $(GO) test ./internal/server/ -run 'TestServerBinarySmoke|TestReplicaReadyzSmoke' -count=1 -v
+
+## bench-obs: refresh the observability cost baseline (see BENCH_obs.json): histogram record/snapshot and a full /metrics render
+bench-obs:
+	$(GO) test ./internal/telemetry/ -run xxx -bench 'BenchmarkHistogram' -benchtime 2s
+	$(GO) test ./internal/obs/ -run xxx -bench 'BenchmarkRenderMetrics' -benchtime 2s
 
 ## bench: refresh the parallel-operator scaling baseline (see BENCH_exec.json)
 bench:

@@ -6,24 +6,31 @@
 //
 // Usage:
 //
-//	lambdaserver -addr :5433
+//	lambdaserver -addr :5433 -admin-addr :8080
 //	sqlshell -connect localhost:5433     # in another terminal
 //
-// SIGTERM or SIGINT drains gracefully: the server stops accepting, lets
-// in-flight statements finish for -grace, then cancels them (their error
-// responses are still delivered) and exits 0.
+// The -admin-addr listener serves the operator endpoints: Prometheus
+// /metrics, /healthz, /readyz (recovery- and replication-aware), and
+// /debug/pprof. It is bound before recovery starts, so /readyz truthfully
+// answers 503 while the write-ahead log replays.
+//
+// SIGTERM or SIGINT drains gracefully: /readyz starts failing, the server
+// stops accepting, lets in-flight statements finish for -grace, then
+// cancels them (their error responses are still delivered) and exits 0.
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
+	"log/slog"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
 	"lambdadb/internal/engine"
+	"lambdadb/internal/obs"
 	"lambdadb/internal/repl"
 	"lambdadb/internal/server"
 )
@@ -31,6 +38,7 @@ import (
 func main() {
 	var (
 		addr        = flag.String("addr", ":5433", "TCP listen address")
+		adminAddr   = flag.String("admin-addr", "", "admin HTTP listen address (/metrics, /healthz, /readyz, /debug/pprof); empty = disabled")
 		image       = flag.String("db", "", "open this database snapshot image instead of starting empty")
 		dataDir     = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty = in-memory")
 		replicaOf   = flag.String("replica-of", "", "run as a read replica streaming from this primary (host:port); requires -data-dir")
@@ -41,10 +49,37 @@ func main() {
 		stmtTimeout = flag.Duration("stmt-timeout", 0, "per-statement wall-clock timeout (0 = none)")
 		memLimit    = flag.Int64("mem-limit", 0, "per-query memory budget in bytes (0 = unlimited)")
 		grace       = flag.Duration("grace", server.DefaultDrainGrace, "how long a drain lets in-flight statements finish")
+		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
+		readyMaxLag = flag.Int64("ready-max-lag", 0, "replica /readyz fails when commit-clock lag exceeds this many records (0 = no lag gate)")
+		slowLog     = flag.String("slow-log", "", "append slow statements as JSON lines to this file (requires -slow-threshold)")
+		slowThresh  = flag.Duration("slow-threshold", 0, "statements at least this slow land in the slow-query log")
+		slowMax     = flag.Int64("slow-log-max-bytes", 64<<20, "rotate the slow-query log when it reaches this size (0 = never)")
+		slowKeep    = flag.Int("slow-log-keep", 3, "rotated slow-query log files to keep")
 	)
 	flag.Parse()
 
-	var opts []engine.Option
+	logger := obs.NewLogger(*logFormat, os.Stderr)
+	slog.SetDefault(logger)
+
+	// The admin endpoint binds before the engine opens, so /healthz answers
+	// immediately and /readyz reports "recovering" during WAL replay.
+	var admin *obs.Admin
+	if *adminAddr != "" {
+		admin = obs.NewAdmin(obs.AdminConfig{Addr: *adminAddr, MaxReplicaLag: *readyMaxLag})
+		if err := admin.Listen(); err != nil {
+			fatal(err)
+		}
+		go func() {
+			if err := admin.Serve(); err != nil {
+				logger.Error("admin listener failed", "err", err.Error())
+			}
+		}()
+		// Stdout line is load-bearing, like the SQL listener's below: with
+		// -admin-addr :0 it is how the smoke test learns the bound port.
+		fmt.Printf("lambdaserver admin listening on %s\n", admin.Addr())
+	}
+
+	opts := []engine.Option{engine.WithLogger(logger)}
 	if *workers > 0 {
 		opts = append(opts, engine.WithWorkers(*workers))
 	}
@@ -65,6 +100,17 @@ func main() {
 			fatal(fmt.Errorf("-replica-of and -checkpoint-interval are mutually exclusive (a replica checkpoints at the stream's segment boundaries)"))
 		}
 		opts = append(opts, engine.WithReadReplica(*replicaOf))
+	}
+	if *slowLog != "" {
+		if *slowThresh <= 0 {
+			fatal(fmt.Errorf("-slow-log requires a positive -slow-threshold"))
+		}
+		rf, err := obs.OpenRotatingFile(*slowLog, *slowMax, *slowKeep)
+		if err != nil {
+			fatal(fmt.Errorf("open slow-query log: %w", err))
+		}
+		defer rf.Close()
+		opts = append(opts, engine.WithSlowQueryThreshold(*slowThresh, rf))
 	}
 
 	var db *engine.DB
@@ -96,6 +142,9 @@ func main() {
 			fatal(fmt.Errorf("init script %s: %w", *initScript, err))
 		}
 	}
+	if admin != nil {
+		admin.SetDB(db) // recovery (if any) is complete
+	}
 
 	// Replication role: a durable primary accepts replica streams; a
 	// replica mirrors its primary continuously and serves reads only.
@@ -103,14 +152,14 @@ func main() {
 	var replHandler server.ReplicationHandler
 	switch {
 	case *replicaOf != "":
-		r, err := repl.StartReplica(db, *replicaOf, repl.ReplicaConfig{})
+		r, err := repl.StartReplica(db, *replicaOf, repl.ReplicaConfig{Logger: logger})
 		if err != nil {
 			fatal(err)
 		}
 		replica = r
-		fmt.Fprintf(os.Stderr, "lambdaserver: read replica of %s\n", *replicaOf)
+		logger.Info("serving as read replica", "primary", *replicaOf)
 	case *dataDir != "":
-		p, err := repl.NewPrimary(db, repl.PrimaryConfig{})
+		p, err := repl.NewPrimary(db, repl.PrimaryConfig{Logger: logger})
 		if err != nil {
 			fatal(err)
 		}
@@ -122,9 +171,15 @@ func main() {
 		MaxConns:    *maxConns,
 		DrainGrace:  *grace,
 		ReplHandler: replHandler,
+		Logger:      logger,
 	})
 	if err := srv.Listen(); err != nil {
 		fatal(err)
+	}
+	// Readiness flips before the announcement so anyone who learns the
+	// address from stdout sees /readyz agree.
+	if admin != nil {
+		admin.SetServing(true)
 	}
 	// Stdout line is load-bearing: with -addr :0 it is how callers (the
 	// smoke test, scripts) learn the bound port.
@@ -141,7 +196,10 @@ func main() {
 			fatal(err)
 		}
 	case got := <-sig:
-		fmt.Fprintf(os.Stderr, "lambdaserver: %v received, draining (grace %v)\n", got, *grace)
+		if admin != nil {
+			admin.SetDraining() // /readyz fails first, so routers stop sending
+		}
+		logger.Info("draining", "signal", got.String(), "grace", grace.String())
 		ctx, cancel := context.WithTimeout(context.Background(), *grace+30*time.Second)
 		defer cancel()
 		if err := srv.Shutdown(ctx); err != nil {
@@ -158,7 +216,10 @@ func main() {
 		if err := db.Close(); err != nil {
 			fatal(fmt.Errorf("close data directory: %w", err))
 		}
-		fmt.Fprintln(os.Stderr, "lambdaserver: drained cleanly")
+		if admin != nil {
+			admin.Close()
+		}
+		logger.Info("drained cleanly")
 	}
 }
 

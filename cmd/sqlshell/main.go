@@ -12,7 +12,12 @@
 // indexes + ANALYZE statistics (works over -connect too), \explain
 // SELECT ... show the optimized plan, \timing toggle per-statement
 // timing, \stats show the per-operator stats of the last statement,
-// \replication show replication role and progress (works over -connect).
+// \replication show replication role and progress (works over -connect),
+// \metrics show engine counters and latency percentiles, \health probe a
+// server's admin endpoint (-admin or \health host:port).
+//
+// Every statement carries a trace ID; on error the shell prints it, so the
+// failure can be found again in the server's logs and system.query_log.
 package main
 
 import (
@@ -21,6 +26,8 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/signal"
 	"sort"
@@ -31,6 +38,7 @@ import (
 	"lambdadb/internal/engine"
 	"lambdadb/internal/exec"
 	"lambdadb/internal/server/client"
+	"lambdadb/internal/telemetry"
 )
 
 // interrupts routes SIGINT to the running statement: the first Ctrl-C
@@ -134,12 +142,13 @@ func main() {
 		image   = flag.String("db", "", "open this database snapshot image (see \\save)")
 		dataDir = flag.String("data-dir", "", "durable data directory (write-ahead log + checkpoints); empty = in-memory")
 		connect = flag.String("connect", "", "connect to a lambdaserver at host:port instead of running an embedded engine")
+		admin   = flag.String("admin", "", "lambdaserver admin endpoint (host:port) for \\health")
 	)
 	flag.Parse()
 
 	in := &interrupts{}
 	in.watch()
-	state := &shellState{timing: *timing}
+	state := &shellState{timing: *timing, adminAddr: *admin}
 
 	// Remote mode: no local engine at all; statements go over TCP.
 	if *connect != "" {
@@ -202,7 +211,8 @@ func main() {
 
 // shellState holds the toggles shared between statements and meta commands.
 type shellState struct {
-	timing bool
+	timing    bool
+	adminAddr string // default target of \health (the -admin flag)
 }
 
 // describeTable prints a table's columns, indexes, and last-ANALYZE
@@ -272,10 +282,19 @@ func runScript(in *interrupts, ex executor, path string, state *shellState) {
 func runText(in *interrupts, ex executor, text string, state *shellState) error {
 	ctx, done := in.statementContext()
 	defer done()
+	// Tag the statement with a trace ID up front: on failure the same ID is
+	// printed here and recorded in the server's query log and slow-query
+	// log, so "what happened to my statement" is one grep away.
+	traceID := telemetry.NewTraceID()
+	ctx = telemetry.WithTraceID(ctx, traceID)
 	start := time.Now()
 	res, err := ex.ExecContext(ctx, text)
 	if err != nil {
-		return err
+		var se *client.ServerError
+		if errors.As(err, &se) && se.TraceID != "" {
+			traceID = se.TraceID // trust the server's echo over our own
+		}
+		return fmt.Errorf("%w (trace %s)", err, traceID)
 	}
 	if res != nil {
 		fmt.Print(res)
@@ -298,7 +317,9 @@ func interactive(banner string, db *engine.DB, session *engine.Session, ex execu
 	fmt.Println(`\explain <select> for plans,`)
 	fmt.Println(`\timing to toggle timing, \stats for the last statement's operator stats,`)
 	fmt.Println(`\save <path> to snapshot the database, \checkpoint to checkpoint a`)
-	fmt.Println(`durable one (-data-dir), \replication for replication status;`)
+	fmt.Println(`durable one (-data-dir), \replication for replication status,`)
+	fmt.Println(`\metrics for engine counters and latency percentiles,`)
+	fmt.Println(`\health [host:port] to probe a server's admin endpoint;`)
 	fmt.Println(`end statements with ;`)
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
@@ -412,6 +433,27 @@ func metaCommand(db *engine.DB, session *engine.Session, ex executor, cmd string
 		} else {
 			fmt.Print(res)
 		}
+	case cmd == `\metrics`:
+		// Plain SQL against system.metrics (counters plus histogram
+		// percentile rows), so it works both embedded and over -connect.
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := ex.ExecContext(ctx, `SELECT name, value FROM system.metrics`)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Print(res)
+		}
+	case cmd == `\health` || strings.HasPrefix(cmd, `\health `):
+		addr := strings.TrimSpace(strings.TrimPrefix(cmd, `\health`))
+		if addr == "" {
+			addr = state.adminAddr
+		}
+		if addr == "" {
+			fmt.Fprintln(os.Stderr, `\health needs an admin endpoint: pass -admin host:port or \health host:port`)
+			break
+		}
+		probeHealth(addr)
 	case strings.HasPrefix(cmd, `\explain `):
 		if !local() {
 			break
@@ -426,4 +468,26 @@ func metaCommand(db *engine.DB, session *engine.Session, ex executor, cmd string
 		fmt.Fprintf(os.Stderr, "unknown command %q\n", cmd)
 	}
 	return true
+}
+
+// probeHealth hits a lambdaserver admin endpoint's /healthz and /readyz and
+// prints one line per probe, e.g. "readyz: 503 (replica lag 12 records
+// exceeds the 5-record readiness bound)".
+func probeHealth(addr string) {
+	cl := &http.Client{Timeout: 5 * time.Second}
+	for _, probe := range []string{"healthz", "readyz"} {
+		resp, err := cl.Get("http://" + addr + "/" + probe)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", probe, err)
+			continue
+		}
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		resp.Body.Close()
+		msg := strings.TrimSpace(string(body))
+		if resp.StatusCode == http.StatusOK {
+			fmt.Printf("%s: %d (%s)\n", probe, resp.StatusCode, msg)
+		} else {
+			fmt.Printf("%s: %d (%s) — not ready\n", probe, resp.StatusCode, msg)
+		}
+	}
 }

@@ -7,6 +7,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"runtime"
 	"strings"
@@ -35,6 +36,7 @@ type DB struct {
 	queryLog      *telemetry.QueryLog
 	metrics       *telemetry.Metrics
 	stats         statsRegistry
+	logger        *slog.Logger
 	slowThreshold time.Duration
 	slowSink      io.Writer
 	slowMu        sync.Mutex // serializes slow-log writes
@@ -99,6 +101,16 @@ func WithSlowQueryThreshold(d time.Duration, sink io.Writer) Option {
 	}
 }
 
+// WithLogger routes the engine's background logs (checkpointer errors, WAL
+// recovery summaries) through a structured logger instead of stderr text.
+func WithLogger(l *slog.Logger) Option {
+	return func(db *DB) {
+		if l != nil {
+			db.logger = l
+		}
+	}
+}
+
 // WithCheckpointInterval makes a durable DB (OpenDir) checkpoint itself in
 // the background every d: a snapshot image is written and the redo log
 // truncated behind it, bounding recovery time. d <= 0 (the default) leaves
@@ -115,6 +127,10 @@ func Open(opts ...Option) *DB {
 		queryLog: telemetry.NewQueryLog(0),
 		metrics:  &telemetry.Metrics{},
 		stats:    statsRegistry{m: map[string]*plan.TableStats{}},
+		// Default logging matches the engine's historical stderr behavior:
+		// background failures surface, routine lifecycle (recovery summaries)
+		// stays quiet until WithLogger installs an operator-facing logger.
+		logger: slog.New(slog.NewTextHandler(os.Stderr, &slog.HandlerOptions{Level: slog.LevelWarn})),
 	}
 	for _, o := range opts {
 		o(db)
@@ -161,7 +177,7 @@ func OpenFile(path string, opts ...Option) (*DB, error) {
 // crash the next OpenDir recovers instead.
 func OpenDir(dir string, opts ...Option) (*DB, error) {
 	db := Open(opts...)
-	store, mgr, err := wal.Open(dir, wal.Options{Metrics: db.metrics})
+	store, mgr, err := wal.Open(dir, wal.Options{Metrics: db.metrics, Logger: db.logger})
 	if err != nil {
 		return nil, err
 	}
@@ -186,7 +202,7 @@ func (db *DB) checkpointLoop() {
 			return
 		case <-t.C:
 			if _, err := db.Checkpoint(); err != nil {
-				fmt.Fprintf(os.Stderr, "lambdadb: background checkpoint: %v\n", err)
+				db.logger.Warn("background checkpoint failed", "err", err.Error())
 			}
 		}
 	}
@@ -327,7 +343,9 @@ func (db *DB) Query(text string) (*Result, error) {
 
 // QueryContext is Query governed by ctx (see ExecContext).
 func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
+	parseStart := time.Now()
 	st, err := sql.ParseOne(text)
+	parseNs := time.Since(parseStart).Nanoseconds()
 	if err != nil {
 		return nil, err
 	}
@@ -337,6 +355,7 @@ func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
 	}
 	s := db.NewSession()
 	defer s.Close()
+	s.parseNs = parseNs
 	return s.execLogged(ctx, strings.TrimSpace(text), sel)
 }
 
@@ -373,6 +392,12 @@ type Session struct {
 	collect   bool          // arm per-operator stats for every statement
 	lastStats *exec.OpStats // stats tree of the last armed statement
 	lastPeak  int64         // peak accounted bytes of the last armed statement
+
+	// Stage-latency attribution for the current statement (see execLogged):
+	// parseNs is this statement's share of script parse time, planNs the
+	// time execSelect spent building the plan.
+	parseNs int64
+	planNs  int64
 }
 
 // CollectStats arms (or disarms) per-operator statistics collection for
@@ -391,7 +416,10 @@ func (s *Session) LastPeakBytes() int64 { return s.lastPeak }
 func (s *Session) statsArmed() bool { return s.collect || s.db.slowSink != nil }
 
 // NewSession opens a session.
-func (db *DB) NewSession() *Session { return &Session{db: db} }
+func (db *DB) NewSession() *Session {
+	db.metrics.SessionsActive.Add(1)
+	return &Session{db: db}
+}
 
 // Close rolls back any open transaction and marks the session unusable.
 // It is safe to call concurrently with an in-flight ExecContext and safe to
@@ -399,6 +427,9 @@ func (db *DB) NewSession() *Session { return &Session{db: db} }
 func (s *Session) Close() {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if !s.closed {
+		s.db.metrics.SessionsActive.Add(-1)
+	}
 	s.closed = true
 	if s.txn != nil {
 		s.txn.Rollback()
@@ -440,6 +471,7 @@ func (s *Session) Exec(text string) (*Result, error) {
 // statement failure, or cancellation — aborts an open explicit transaction
 // (see Session).
 func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error) {
+	parseStart := time.Now()
 	stmts, err := sql.Parse(text)
 	if err != nil {
 		return nil, s.abortOnError(err)
@@ -453,6 +485,9 @@ func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error)
 	if err != nil || len(texts) != len(stmts) {
 		texts = nil
 	}
+	// Each statement's share of the script's parse time, for the
+	// parse_plan stage histogram.
+	parseShare := time.Since(parseStart).Nanoseconds() / int64(len(stmts))
 	var last *Result
 	for i, st := range stmts {
 		if err := ctx.Err(); err != nil {
@@ -465,6 +500,7 @@ func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error)
 		if texts != nil {
 			stmtText = texts[i]
 		}
+		s.parseNs = parseShare
 		r, err := s.execLogged(ctx, stmtText, st)
 		if err != nil {
 			return nil, s.abortOnError(err)
@@ -673,7 +709,9 @@ func (s *Session) runPlan(ctx context.Context, node plan.Node) (*exec.Materializ
 }
 
 func (s *Session) execSelect(ctx context.Context, sel *sql.Select) (*Result, error) {
+	planStart := time.Now()
 	node, err := s.newBuilder().BuildSelect(sel)
+	s.planNs = time.Since(planStart).Nanoseconds()
 	if err != nil {
 		return nil, err
 	}

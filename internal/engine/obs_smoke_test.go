@@ -1,0 +1,89 @@
+package engine
+
+import (
+	"os"
+	"testing"
+
+	"lambdadb/internal/telemetry"
+	"lambdadb/internal/types"
+)
+
+// TestObsOverheadSmoke asserts the ARMED histogram path — what every
+// statement pays now that latency histograms are always on — stays within
+// 2% of a disabled-histogram baseline on the vectorized filter+agg
+// workload. The per-statement cost is a handful of uncontended atomic adds,
+// so the margin is wide; this smoke exists to catch a future change that
+// moves histogram recording into a per-batch or per-row path. Enabled via
+// make overhead (LAMBDADB_OVERHEAD_SMOKE=1) to keep ordinary runs
+// timing-free.
+func TestObsOverheadSmoke(t *testing.T) {
+	if os.Getenv("LAMBDADB_OVERHEAD_SMOKE") == "" {
+		t.Skip("set LAMBDADB_OVERHEAD_SMOKE=1 (make overhead) to run")
+	}
+	db := Open(WithWorkers(1))
+	defer db.Close()
+	db.MustExec(`CREATE TABLE obs_bench (k BIGINT, v DOUBLE)`)
+	tbl, err := db.Store().Table("obs_bench")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx := db.Store().Begin()
+	const rows = 1_000_000
+	const chunk = 1 << 14
+	for lo := 0; lo < rows; lo += chunk {
+		hi := lo + chunk
+		if hi > rows {
+			hi = rows
+		}
+		b := types.NewBatch(tbl.Schema())
+		for i := lo; i < hi; i++ {
+			b.Cols[0].AppendInt(int64(i))
+			b.Cols[1].AppendFloat(float64(i))
+		}
+		if err := tx.Insert(tbl, b); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	const query = `SELECT count(*), sum(v) FROM obs_bench WHERE v > 500000`
+	run := func() float64 {
+		res := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := db.Exec(query); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		return float64(res.NsPerOp())
+	}
+
+	// Interleave the two sides and keep each side's minimum, so slow drift
+	// (thermal throttling, page-cache state) hits both equally.
+	measure := func(rounds int) (base, armed float64) {
+		for i := 0; i < rounds; i++ {
+			db.Metrics().SetHist(telemetry.NewDisabledHistograms())
+			if v := run(); i == 0 || v < base {
+				base = v
+			}
+			db.Metrics().SetHist(&telemetry.Histograms{})
+			if v := run(); i == 0 || v < armed {
+				armed = v
+			}
+		}
+		return base, armed
+	}
+	base, armed := measure(3)
+	overhead := (armed - base) / base
+	if overhead > 0.02 {
+		// One retry with more rounds before declaring a regression.
+		base, armed = measure(5)
+		overhead = (armed - base) / base
+	}
+	t.Logf("disabled %.0f ns/op, armed %.0f ns/op, overhead %.2f%%", base, armed, overhead*100)
+	if overhead > 0.02 {
+		t.Errorf("armed histogram overhead %.2f%% exceeds 2%%", overhead*100)
+	}
+}

@@ -10,15 +10,33 @@ import (
 	"lambdadb/internal/telemetry"
 )
 
+// stmtKind classifies a statement for the by-kind latency histograms.
+func stmtKind(st sql.Statement) string {
+	switch st.(type) {
+	case *sql.Select:
+		return telemetry.KindSelect
+	case *sql.Insert, *sql.Update, *sql.Delete, *sql.Copy:
+		return telemetry.KindDML
+	case *sql.CreateTable, *sql.DropTable, *sql.CreateIndex, *sql.DropIndex:
+		return telemetry.KindDDL
+	}
+	return telemetry.KindOther
+}
+
 // execLogged runs one statement and folds its outcome into the engine
-// telemetry: cumulative counters (system.metrics), the recent-statement
-// ring (system.query_log), and — when the statement ran at least the
-// configured threshold — the slow-query log.
+// telemetry: cumulative counters and latency histograms (system.metrics),
+// the recent-statement ring (system.query_log), and — when the statement
+// ran at least the configured threshold — the slow-query log. The trace ID
+// carried by ctx (if any) is stamped into the log entries so one ID follows
+// the statement across every surface.
 func (s *Session) execLogged(ctx context.Context, text string, st sql.Statement) (*Result, error) {
-	s.lastStats, s.lastPeak = nil, 0
+	s.lastStats, s.lastPeak, s.planNs = nil, 0, 0
+	db := s.db
+	db.metrics.QueriesActive.Add(1)
 	start := time.Now()
 	res, err := s.execStatement(ctx, st)
 	dur := time.Since(start)
+	db.metrics.QueriesActive.Add(-1)
 
 	status := telemetry.StatusOf(err)
 	var returned, affected int64
@@ -30,11 +48,22 @@ func (s *Session) execLogged(ctx context.Context, text string, st sql.Statement)
 	if err != nil {
 		errText = err.Error()
 	}
-	db := s.db
 	db.metrics.RecordStatement(status, returned, affected, dur, s.lastPeak)
+	hist := db.metrics.Hist()
+	hist.RecordStmt(stmtKind(st), dur.Nanoseconds())
+	// Stage split: parse time is attributed by ExecContext (s.parseNs),
+	// plan time by execSelect (s.planNs); what remains is execution.
+	execNs := dur.Nanoseconds() - s.planNs
+	if execNs < 0 {
+		execNs = 0
+	}
+	hist.RecordStages(s.parseNs+s.planNs, execNs)
+	s.parseNs = 0
+	traceID := telemetry.TraceID(ctx)
 	db.queryLog.Add(telemetry.QueryLogEntry{
 		Started:   start,
 		Statement: text,
+		TraceID:   traceID,
 		Duration:  dur,
 		Rows:      returned + affected,
 		PeakBytes: s.lastPeak,
@@ -43,7 +72,7 @@ func (s *Session) execLogged(ctx context.Context, text string, st sql.Statement)
 	})
 	if db.slowSink != nil && dur >= db.slowThreshold {
 		db.metrics.SlowQueries.Add(1)
-		s.emitSlowQuery(text, dur, returned+affected, status)
+		s.emitSlowQuery(text, traceID, dur, returned+affected, status)
 	}
 	return res, err
 }
@@ -54,6 +83,7 @@ func (s *Session) execLogged(ctx context.Context, text string, st sql.Statement)
 type slowQueryRecord struct {
 	TS         string        `json:"ts"`
 	Statement  string        `json:"statement"`
+	TraceID    string        `json:"trace_id,omitempty"`
 	DurationMS float64       `json:"duration_ms"`
 	Rows       int64         `json:"rows"`
 	Status     string        `json:"status"`
@@ -61,10 +91,11 @@ type slowQueryRecord struct {
 	Stats      *exec.OpStats `json:"stats,omitempty"`
 }
 
-func (s *Session) emitSlowQuery(text string, dur time.Duration, rows int64, status string) {
+func (s *Session) emitSlowQuery(text, traceID string, dur time.Duration, rows int64, status string) {
 	rec := slowQueryRecord{
 		TS:         time.Now().UTC().Format(time.RFC3339Nano),
 		Statement:  text,
+		TraceID:    traceID,
 		DurationMS: float64(dur.Nanoseconds()) / 1e6,
 		Rows:       rows,
 		Status:     status,

@@ -91,6 +91,29 @@ type ReplicationReporter interface {
 // be set before the DB serves queries (the field is unguarded).
 func (db *DB) SetReplicationReporter(r ReplicationReporter) { db.replReporter = r }
 
+// ReplicationRows reports the current replication links, falling back to a
+// single idle row describing the local role when no reporter is installed
+// (or it has no links yet). Both system.replication and the /metrics
+// exporter read through here so the two surfaces can never disagree.
+func (db *DB) ReplicationRows() []ReplicationRow {
+	var rows []ReplicationRow
+	if rep := db.replReporter; rep != nil {
+		rows = rep.ReplicationRows()
+	}
+	if len(rows) == 0 {
+		role := "primary"
+		if db.replicaOf != "" {
+			role = "replica"
+		}
+		rows = []ReplicationRow{{
+			Role: role, Peer: db.replicaOf, State: "idle",
+			AppliedClock: db.store.Snapshot(), PrimaryClock: db.store.Snapshot(),
+			LastContact: -1,
+		}}
+	}
+	return rows
+}
+
 // replicationRelation materializes system.replication. Without a reporter
 // it still answers with the local role, so the table is always queryable.
 func (c systemCatalog) replicationRelation() *memRelation {
@@ -105,21 +128,7 @@ func (c systemCatalog) replicationRelation() *memRelation {
 		{Name: "lag", Type: types.Int64},
 		{Name: "last_contact_ms", Type: types.Int64},
 	}
-	rows := []ReplicationRow{}
-	if rep := c.db.replReporter; rep != nil {
-		rows = rep.ReplicationRows()
-	}
-	if len(rows) == 0 {
-		role := "primary"
-		if c.db.replicaOf != "" {
-			role = "replica"
-		}
-		rows = []ReplicationRow{{
-			Role: role, Peer: c.db.replicaOf, State: "idle",
-			AppliedClock: c.db.store.Snapshot(), PrimaryClock: c.db.store.Snapshot(),
-			LastContact: -1,
-		}}
-	}
+	rows := c.db.ReplicationRows()
 	b := types.NewBatch(schema)
 	for _, r := range rows {
 		lag := int64(r.PrimaryClock) - int64(r.AppliedClock)

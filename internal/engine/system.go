@@ -105,6 +105,7 @@ func (c systemCatalog) queryLogRelation() *memRelation {
 		{Name: "id", Type: types.Int64},
 		{Name: "started", Type: types.String},
 		{Name: "statement", Type: types.String},
+		{Name: "trace_id", Type: types.String},
 		{Name: "duration_ms", Type: types.Float64},
 		{Name: "rows", Type: types.Int64},
 		{Name: "peak_bytes", Type: types.Int64},
@@ -117,6 +118,7 @@ func (c systemCatalog) queryLogRelation() *memRelation {
 			types.NewInt(e.ID),
 			types.NewString(e.Started.UTC().Format(time.RFC3339Nano)),
 			types.NewString(e.Statement),
+			types.NewString(e.TraceID),
 			types.NewFloat(float64(e.Duration.Nanoseconds()) / 1e6),
 			types.NewInt(e.Rows),
 			types.NewInt(e.PeakBytes),
@@ -134,6 +136,12 @@ func (c systemCatalog) metricsRelation() *memRelation {
 	}
 	b := types.NewBatch(schema)
 	for _, m := range c.db.metrics.Snapshot() {
+		b.AppendRow([]types.Value{types.NewString(m.Name), types.NewInt(m.Value)})
+	}
+	// Histogram summaries (p50/p95/p99/count per histogram) follow the
+	// plain counters, so `SELECT * FROM system.metrics` is one stop for
+	// both counts and latency distributions.
+	for _, m := range c.db.metrics.Hist().HistogramSummaries() {
 		b.AppendRow([]types.Value{types.NewString(m.Name), types.NewInt(m.Value)})
 	}
 	return newMemRelation("system.metrics", schema, b)

@@ -1,0 +1,168 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+	"time"
+
+	"lambdadb/internal/engine"
+)
+
+// AdminConfig configures the admin HTTP listener.
+type AdminConfig struct {
+	// Addr is the HTTP listen address, e.g. ":8080" or "127.0.0.1:0".
+	Addr string
+	// MaxReplicaLag gates /readyz on a replica: when > 0, a replica whose
+	// commit-clock lag behind the primary exceeds it answers 503, so a
+	// router or load balancer drains it until it catches up. <= 0 disables
+	// the lag gate (a replica is still not ready before first contact).
+	MaxReplicaLag int64
+}
+
+// Admin is the operator-facing HTTP endpoint set: /metrics (Prometheus
+// text format), /healthz (liveness), /readyz (traffic-readiness: recovery
+// complete, accepting connections, replica not stale), and /debug/pprof.
+//
+// It is built to start before the engine exists: lambdaserver binds it
+// ahead of OpenDir so /readyz truthfully reports "recovering" while WAL
+// replay runs, and SetDB/SetServing flip it ready afterwards.
+type Admin struct {
+	cfg AdminConfig
+
+	db       atomic.Pointer[engine.DB]
+	serving  atomic.Bool // the SQL listener is accepting connections
+	draining atomic.Bool // shutdown started; fail readiness first
+
+	lis net.Listener
+	hs  *http.Server
+}
+
+// NewAdmin returns an unstarted admin endpoint.
+func NewAdmin(cfg AdminConfig) *Admin {
+	a := &Admin{cfg: cfg}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", a.handleMetrics)
+	mux.HandleFunc("/healthz", a.handleHealthz)
+	mux.HandleFunc("/readyz", a.handleReadyz)
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	a.hs = &http.Server{Handler: mux, ReadHeaderTimeout: 5 * time.Second}
+	return a
+}
+
+// Listen binds the configured address; Addr reports the bound address
+// afterwards (useful with ":0").
+func (a *Admin) Listen() error {
+	lis, err := net.Listen("tcp", a.cfg.Addr)
+	if err != nil {
+		return err
+	}
+	a.lis = lis
+	return nil
+}
+
+// Addr returns the bound address, or nil before Listen.
+func (a *Admin) Addr() net.Addr {
+	if a.lis == nil {
+		return nil
+	}
+	return a.lis.Addr()
+}
+
+// Serve serves HTTP until Close. It returns nil when the listener was
+// closed by Close.
+func (a *Admin) Serve() error {
+	if a.lis == nil {
+		return fmt.Errorf("obs: Serve before Listen")
+	}
+	err := a.hs.Serve(a.lis)
+	if err == http.ErrServerClosed {
+		return nil
+	}
+	return err
+}
+
+// Close shuts the admin listener down.
+func (a *Admin) Close() error {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	return a.hs.Shutdown(ctx)
+}
+
+// SetDB installs the engine once it is open. Calling it marks recovery
+// complete: OpenDir only returns after WAL replay finished.
+func (a *Admin) SetDB(db *engine.DB) { a.db.Store(db) }
+
+// SetServing marks whether the SQL listener is accepting connections.
+func (a *Admin) SetServing(on bool) { a.serving.Store(on) }
+
+// SetDraining marks shutdown in progress: /readyz fails immediately so a
+// load balancer stops routing here, while in-flight statements drain.
+func (a *Admin) SetDraining() { a.draining.Store(true) }
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	db := a.db.Load()
+	if db == nil {
+		http.Error(w, "engine is not open yet (recovering)", http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	fmt.Fprint(w, RenderMetrics(db))
+}
+
+func (a *Admin) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	// Liveness: the process is up and the admin loop is responsive. Keep it
+	// independent of readiness so an orchestrator never restarts a healthy
+	// process that is merely still recovering or draining.
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (a *Admin) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	if reason := a.notReady(); reason != "" {
+		http.Error(w, reason, http.StatusServiceUnavailable)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ready")
+}
+
+// notReady returns "" when traffic may be routed here, else the reason.
+func (a *Admin) notReady() string {
+	if a.draining.Load() {
+		return "draining"
+	}
+	db := a.db.Load()
+	if db == nil {
+		return "recovering: engine is not open yet"
+	}
+	if !a.serving.Load() {
+		return "not accepting connections yet"
+	}
+	if db.ReplicaOf() == "" {
+		return ""
+	}
+	// Replica: require at least one contact with the primary this process
+	// lifetime (a replica that never connected serves arbitrarily stale
+	// data), and optionally bound the staleness itself.
+	for _, r := range db.ReplicationRows() {
+		if r.Role != "replica" {
+			continue
+		}
+		if r.LastContact < 0 {
+			return fmt.Sprintf("replica has not contacted primary %s", db.ReplicaOf())
+		}
+		lag := int64(r.PrimaryClock) - int64(r.AppliedClock)
+		if a.cfg.MaxReplicaLag > 0 && lag > a.cfg.MaxReplicaLag {
+			return fmt.Sprintf("replica lag %d records exceeds the %d-record readiness bound", lag, a.cfg.MaxReplicaLag)
+		}
+	}
+	return ""
+}

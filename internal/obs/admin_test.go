@@ -1,0 +1,180 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"lambdadb/internal/engine"
+)
+
+// startAdmin binds an admin endpoint on an ephemeral loopback port and
+// returns it plus its base URL.
+func startAdmin(t *testing.T, cfg AdminConfig) (*Admin, string) {
+	t.Helper()
+	cfg.Addr = "127.0.0.1:0"
+	a := NewAdmin(cfg)
+	if err := a.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go a.Serve()
+	t.Cleanup(func() { a.Close() })
+	return a, "http://" + a.Addr().String()
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// TestAdminReadinessLifecycle walks /readyz through the full server
+// lifecycle: recovering (no engine yet) → engine open but not accepting →
+// serving → draining. /healthz must answer 200 throughout — liveness is
+// independent of readiness.
+func TestAdminReadinessLifecycle(t *testing.T) {
+	a, base := startAdmin(t, AdminConfig{})
+
+	if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "recovering") {
+		t.Errorf("before SetDB: /readyz = %d %q, want 503 recovering", code, body)
+	}
+	if code, _ := get(t, base+"/metrics"); code != http.StatusServiceUnavailable {
+		t.Errorf("before SetDB: /metrics = %d, want 503", code)
+	}
+	if code, body := get(t, base+"/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("before SetDB: /healthz = %d %q, want 200 ok", code, body)
+	}
+
+	db := engine.Open()
+	defer db.Close()
+	a.SetDB(db)
+	if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "not accepting") {
+		t.Errorf("before SetServing: /readyz = %d %q, want 503 not accepting", code, body)
+	}
+
+	a.SetServing(true)
+	if code, body := get(t, base+"/readyz"); code != http.StatusOK || !strings.Contains(body, "ready") {
+		t.Errorf("serving: /readyz = %d %q, want 200 ready", code, body)
+	}
+	if code, body := get(t, base+"/metrics"); code != http.StatusOK || !strings.Contains(body, "lambdadb_statements_total") {
+		t.Errorf("serving: /metrics = %d, body missing counters:\n%s", code, body)
+	}
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("serving: /healthz = %d, want 200", code)
+	}
+
+	a.SetDraining()
+	if code, body := get(t, base+"/readyz"); code != http.StatusServiceUnavailable || !strings.Contains(body, "draining") {
+		t.Errorf("draining: /readyz = %d %q, want 503 draining", code, body)
+	}
+	if code, _ := get(t, base+"/healthz"); code != http.StatusOK {
+		t.Errorf("draining: /healthz = %d, want 200 (liveness is not readiness)", code)
+	}
+}
+
+func TestAdminMetricsContentType(t *testing.T) {
+	a, base := startAdmin(t, AdminConfig{})
+	db := engine.Open()
+	defer db.Close()
+	a.SetDB(db)
+	resp, err := http.Get(base + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") || !strings.Contains(ct, "version=0.0.4") {
+		t.Errorf("Content-Type = %q, want Prometheus text exposition", ct)
+	}
+}
+
+func TestAdminPprofExposed(t *testing.T) {
+	a, base := startAdmin(t, AdminConfig{})
+	db := engine.Open()
+	defer db.Close()
+	a.SetDB(db)
+	if code, body := get(t, base+"/debug/pprof/"); code != http.StatusOK || !strings.Contains(body, "goroutine") {
+		t.Errorf("/debug/pprof/ = %d, body missing profile index", code)
+	}
+	if code, _ := get(t, base+"/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+}
+
+// fakeReporter feeds canned replication rows through the engine's
+// ReplicationReporter seam, standing in for internal/repl.
+type fakeReporter struct{ rows []engine.ReplicationRow }
+
+func (f *fakeReporter) ReplicationRows() []engine.ReplicationRow { return f.rows }
+
+// TestAdminReplicaReadiness covers the replication-aware gates: a replica
+// that never contacted its primary is not ready; once streaming, readiness
+// follows the configured lag bound.
+func TestAdminReplicaReadiness(t *testing.T) {
+	db := engine.Open(engine.WithReadReplica("primary.example:5433"))
+	defer db.Close()
+
+	mk := func(maxLag int64) *Admin {
+		a := NewAdmin(AdminConfig{MaxReplicaLag: maxLag})
+		a.SetDB(db)
+		a.SetServing(true)
+		return a
+	}
+
+	// No reporter installed: the fallback row has LastContact -1.
+	if reason := mk(0).notReady(); !strings.Contains(reason, "not contacted") {
+		t.Errorf("never-contacted replica: notReady = %q, want contact failure", reason)
+	}
+
+	rep := &fakeReporter{}
+	db.SetReplicationReporter(rep)
+	lagRow := func(applied, primary uint64) engine.ReplicationRow {
+		return engine.ReplicationRow{
+			Role: "replica", Peer: "primary.example:5433", State: "streaming",
+			AppliedClock: applied, PrimaryClock: primary, LastContact: 12,
+		}
+	}
+
+	rep.rows = []engine.ReplicationRow{lagRow(90, 100)} // 10 records behind
+	for _, tc := range []struct {
+		maxLag    int64
+		wantReady bool
+	}{
+		{0, true},  // lag gate disabled
+		{20, true}, // within bound
+		{9, false}, // over bound
+	} {
+		reason := mk(tc.maxLag).notReady()
+		if ready := reason == ""; ready != tc.wantReady {
+			t.Errorf("maxLag=%d: notReady = %q, want ready=%v", tc.maxLag, reason, tc.wantReady)
+		}
+		if !tc.wantReady && !strings.Contains(reason, fmt.Sprintf("lag %d", 10)) {
+			t.Errorf("maxLag=%d: reason %q does not name the lag", tc.maxLag, reason)
+		}
+	}
+
+	// Caught up: ready under any bound.
+	rep.rows = []engine.ReplicationRow{lagRow(100, 100)}
+	if reason := mk(1).notReady(); reason != "" {
+		t.Errorf("caught-up replica: notReady = %q, want ready", reason)
+	}
+
+	// A primary is never lag-gated, even with a bound configured.
+	pdb := engine.Open()
+	defer pdb.Close()
+	ap := NewAdmin(AdminConfig{MaxReplicaLag: 1})
+	ap.SetDB(pdb)
+	ap.SetServing(true)
+	if reason := ap.notReady(); reason != "" {
+		t.Errorf("primary: notReady = %q, want ready", reason)
+	}
+}

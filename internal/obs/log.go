@@ -1,0 +1,26 @@
+package obs
+
+import (
+	"io"
+	"log/slog"
+)
+
+// NewLogger builds the process logger: format "json" emits one JSON object
+// per line (for log shippers), anything else the human-readable text
+// handler. All server components log through *slog.Logger so fields like
+// trace_id, session, and replica stay machine-parseable in both formats.
+func NewLogger(format string, w io.Writer) *slog.Logger {
+	var h slog.Handler
+	if format == "json" {
+		h = slog.NewJSONHandler(w, nil)
+	} else {
+		h = slog.NewTextHandler(w, nil)
+	}
+	return slog.New(h)
+}
+
+// Discard returns a logger that drops everything; components take it as
+// their default so logging is always nil-safe.
+func Discard() *slog.Logger {
+	return slog.New(slog.NewTextHandler(io.Discard, nil))
+}

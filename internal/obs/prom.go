@@ -1,0 +1,153 @@
+// Package obs is the operational observability layer: a Prometheus
+// /metrics exporter over the engine's counters and histograms, recovery-
+// and replication-aware /healthz + /readyz probes, /debug/pprof, a
+// size-rotated slow-query log sink, and structured-logging setup. It is
+// surfaced by lambdaserver's -admin-addr HTTP listener and stands apart
+// from the query path: scraping never touches a session or takes a query
+// lock.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/telemetry"
+)
+
+// namespace prefixes every exported metric family.
+const namespace = "lambdadb"
+
+// gaugeNames are the Metrics counters that are point-in-time gauges, not
+// monotone counters; everything else in the snapshot is exported as a
+// counter.
+var gaugeNames = map[string]bool{
+	"conns_active":         true,
+	"queries_active":       true,
+	"sessions_active":      true,
+	"peak_query_bytes":     true,
+	"wal_durable_lsn":      true,
+	"wal_applied_clock":    true,
+	"repl_replicas_active": true,
+}
+
+// renderHistogram writes one histogram in the text exposition format. The
+// power-of-two buckets cover all of int64, but emitting 64 mostly-zero
+// bucket lines per family bloats every scrape, so only buckets up to the
+// highest non-empty one are written (plus the mandatory +Inf).
+func renderHistogram(sb *strings.Builder, d telemetry.HistogramDef) {
+	name := namespace + "_" + d.Family
+	label := "" // trailing comma; bucket lines append the le label after it
+	bare := ""  // the label set for _sum/_count lines
+	if d.LabelKey != "" {
+		label = fmt.Sprintf("%s=\"%s\",", d.LabelKey, escapeLabel(d.LabelVal))
+		bare = "{" + strings.TrimSuffix(label, ",") + "}"
+	}
+	s := d.H.Snapshot()
+	top := 0
+	for i, c := range s.Counts {
+		if c > 0 {
+			top = i
+		}
+	}
+	var cum int64
+	for i := 0; i <= top; i++ {
+		cum += s.Counts[i]
+		upper := float64(telemetry.BucketUpper(i))
+		if d.Seconds {
+			upper /= 1e9
+		}
+		fmt.Fprintf(sb, "%s_bucket{%sle=%q} %d\n", name, label, formatFloat(upper), cum)
+	}
+	fmt.Fprintf(sb, "%s_bucket{%sle=\"+Inf\"} %d\n", name, label, s.Count)
+	sum := float64(s.Sum)
+	if d.Seconds {
+		sum /= 1e9
+	}
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, bare, formatFloat(sum))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, bare, s.Count)
+}
+
+// formatFloat renders a float the way Prometheus expects (shortest
+// round-trip representation).
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// escapeLabel escapes a label value for the text exposition format.
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// RenderMetrics renders the full Prometheus text-format exposition for a
+// database: every telemetry counter/gauge, every latency/size histogram,
+// and one lag gauge set per replication peer.
+func RenderMetrics(db *engine.DB) string {
+	var sb strings.Builder
+	m := db.Metrics()
+
+	for _, c := range m.Snapshot() {
+		name := namespace + "_" + c.Name
+		typ := "counter"
+		if gaugeNames[c.Name] {
+			typ = "gauge"
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n%s %d\n", name, typ, name, c.Value)
+	}
+
+	seenFamily := map[string]bool{}
+	for _, d := range m.Hist().Defs() {
+		fam := namespace + "_" + d.Family
+		if !seenFamily[fam] {
+			seenFamily[fam] = true
+			if d.Help != "" {
+				fmt.Fprintf(&sb, "# HELP %s %s\n", fam, d.Help)
+			}
+			fmt.Fprintf(&sb, "# TYPE %s histogram\n", fam)
+		}
+		renderHistogram(&sb, d)
+	}
+
+	renderReplication(&sb, db.ReplicationRows())
+	return sb.String()
+}
+
+// renderReplication exports one gauge set per replication link: lag in
+// records (commit-clock ticks the peer trails by), lag freshness in
+// seconds (time since the peer was last heard from), and the link state.
+func renderReplication(sb *strings.Builder, rows []engine.ReplicationRow) {
+	if len(rows) == 0 {
+		return
+	}
+	// Stable output order for scrapers and tests.
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Peer < rows[j].Peer })
+
+	fmt.Fprintf(sb, "# HELP %s_repl_lag_records Commit-clock records the peer trails behind the primary.\n", namespace)
+	fmt.Fprintf(sb, "# TYPE %s_repl_lag_records gauge\n", namespace)
+	for _, r := range rows {
+		lag := int64(r.PrimaryClock) - int64(r.AppliedClock)
+		if lag < 0 {
+			lag = 0
+		}
+		fmt.Fprintf(sb, "%s_repl_lag_records{role=\"%s\",peer=\"%s\"} %d\n",
+			namespace, escapeLabel(r.Role), escapeLabel(r.Peer), lag)
+	}
+	fmt.Fprintf(sb, "# TYPE %s_repl_last_contact_seconds gauge\n", namespace)
+	for _, r := range rows {
+		contact := float64(-1)
+		if r.LastContact >= 0 {
+			contact = float64(r.LastContact) / 1000
+		}
+		fmt.Fprintf(sb, "%s_repl_last_contact_seconds{role=\"%s\",peer=\"%s\"} %s\n",
+			namespace, escapeLabel(r.Role), escapeLabel(r.Peer), formatFloat(contact))
+	}
+	fmt.Fprintf(sb, "# TYPE %s_repl_link_info gauge\n", namespace)
+	for _, r := range rows {
+		fmt.Fprintf(sb, "%s_repl_link_info{role=\"%s\",peer=\"%s\",state=\"%s\"} 1\n",
+			namespace, escapeLabel(r.Role), escapeLabel(r.Peer), escapeLabel(r.State))
+	}
+}

@@ -1,0 +1,86 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"sync"
+)
+
+// RotatingFile is an append-only io.Writer with size-based rotation: when a
+// write would push the current file past MaxBytes, the file is renamed to
+// <path>.1 (shifting <path>.1 to <path>.2, and so on up to Keep) and a
+// fresh file is started. Writes are serialized; it is safe to share across
+// goroutines. Used for the slow-query log so a long-lived server cannot
+// fill the disk with JSON lines.
+type RotatingFile struct {
+	path     string
+	maxBytes int64
+	keep     int
+
+	mu   sync.Mutex
+	f    *os.File
+	size int64
+}
+
+// OpenRotatingFile opens (creating or appending) path for rotated writes.
+// maxBytes <= 0 disables rotation; keep <= 0 keeps one rotated file.
+func OpenRotatingFile(path string, maxBytes int64, keep int) (*RotatingFile, error) {
+	if keep <= 0 {
+		keep = 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	st, err := f.Stat()
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &RotatingFile{path: path, maxBytes: maxBytes, keep: keep, f: f, size: st.Size()}, nil
+}
+
+// Write appends p, rotating first when the file would exceed MaxBytes. A
+// single write larger than MaxBytes still lands in one file (an empty file
+// is never rotated), so entries are never split across files.
+func (r *RotatingFile) Write(p []byte) (int, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.maxBytes > 0 && r.size > 0 && r.size+int64(len(p)) > r.maxBytes {
+		if err := r.rotateLocked(); err != nil {
+			return 0, err
+		}
+	}
+	n, err := r.f.Write(p)
+	r.size += int64(n)
+	return n, err
+}
+
+// rotateLocked shifts path.i -> path.(i+1), dropping the oldest, and starts
+// a fresh current file.
+func (r *RotatingFile) rotateLocked() error {
+	if err := r.f.Close(); err != nil {
+		return err
+	}
+	os.Remove(fmt.Sprintf("%s.%d", r.path, r.keep))
+	for i := r.keep - 1; i >= 1; i-- {
+		os.Rename(fmt.Sprintf("%s.%d", r.path, i), fmt.Sprintf("%s.%d", r.path, i+1))
+	}
+	if err := os.Rename(r.path, r.path+".1"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	f, err := os.OpenFile(r.path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	r.f = f
+	r.size = 0
+	return nil
+}
+
+// Close closes the current file.
+func (r *RotatingFile) Close() error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.f.Close()
+}

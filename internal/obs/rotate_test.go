@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func writeLine(t *testing.T, r *RotatingFile, s string) {
+	t.Helper()
+	if _, err := r.Write([]byte(s)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRotatingFileRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.log")
+	r, err := OpenRotatingFile(path, 20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+
+	// Each line is 10 bytes; two fit per file, the third forces rotation.
+	writeLine(t, r, "line-001\n\n")
+	writeLine(t, r, "line-002\n\n")
+	writeLine(t, r, "line-003\n\n")
+
+	cur, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(cur) != "line-003\n\n" {
+		t.Errorf("current file = %q, want only line-003", cur)
+	}
+	old, err := os.ReadFile(path + ".1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(old) != "line-001\n\nline-002\n\n" {
+		t.Errorf("rotated file = %q", old)
+	}
+
+	// Two more rotations: keep=2 means line-001's file falls off the end.
+	writeLine(t, r, "line-004\n\n")
+	writeLine(t, r, "line-005\n\n") // rotates: .1 has 003+004, .2 has 001+002
+	writeLine(t, r, "line-006\n\n")
+	writeLine(t, r, "line-007\n\n") // rotates: .1 has 005+006, .2 has 003+004
+	for file, want := range map[string]string{
+		path:        "line-007\n\n",
+		path + ".1": "line-005\n\nline-006\n\n",
+		path + ".2": "line-003\n\nline-004\n\n",
+	} {
+		got, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatalf("%s: %v", file, err)
+		}
+		if string(got) != want {
+			t.Errorf("%s = %q, want %q", file, got, want)
+		}
+	}
+	if _, err := os.Stat(path + ".3"); !os.IsNotExist(err) {
+		t.Errorf("path.3 should not exist (keep=2), stat err = %v", err)
+	}
+}
+
+// TestRotatingFileOversizedWrite: one write larger than maxBytes lands
+// whole in a fresh file rather than being split or rejected.
+func TestRotatingFileOversizedWrite(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.log")
+	r, err := OpenRotatingFile(path, 10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	writeLine(t, r, "short\n")
+	big := strings.Repeat("x", 50) + "\n"
+	writeLine(t, r, big)
+	cur, _ := os.ReadFile(path)
+	if string(cur) != big {
+		t.Errorf("oversized write split or lost: current = %q", cur)
+	}
+	old, _ := os.ReadFile(path + ".1")
+	if string(old) != "short\n" {
+		t.Errorf("rotated = %q", old)
+	}
+	// The next write rotates again (the file is over budget), never panics.
+	writeLine(t, r, "after\n")
+	cur, _ = os.ReadFile(path)
+	if string(cur) != "after\n" {
+		t.Errorf("post-oversize write = %q", cur)
+	}
+}
+
+// TestRotatingFileNoRotation: maxBytes <= 0 appends forever.
+func TestRotatingFileNoRotation(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.log")
+	r, err := OpenRotatingFile(path, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	for i := 0; i < 100; i++ {
+		writeLine(t, r, "0123456789")
+	}
+	st, err := os.Stat(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size() != 1000 {
+		t.Errorf("size = %d, want 1000", st.Size())
+	}
+	if _, err := os.Stat(path + ".1"); !os.IsNotExist(err) {
+		t.Error("rotation happened with maxBytes=0")
+	}
+}
+
+// TestRotatingFileReopenAppends: reopening an existing file appends and
+// counts the existing bytes toward the rotation budget.
+func TestRotatingFileReopenAppends(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.log")
+	r, err := OpenRotatingFile(path, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writeLine(t, r, "first-open\n") // 11 bytes
+	r.Close()
+
+	r, err = OpenRotatingFile(path, 25, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	writeLine(t, r, "second-open\n") // 12 bytes: 23 total, fits
+	writeLine(t, r, "third-open\n")  // would be 34: rotates first
+	cur, _ := os.ReadFile(path)
+	if string(cur) != "third-open\n" {
+		t.Errorf("current = %q", cur)
+	}
+	old, _ := os.ReadFile(path + ".1")
+	if string(old) != "first-open\nsecond-open\n" {
+		t.Errorf("rotated = %q", old)
+	}
+}
+
+// TestRotatingFileConcurrent: parallel writers never interleave within a
+// write and never lose bytes (every line written is present in exactly one
+// of the files).
+func TestRotatingFileConcurrent(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "slow.log")
+	r, err := OpenRotatingFile(path, 400, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const writers, perWriter = 8, 50
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				fmt.Fprintf(r, "w%02d-%04d\n", w, i)
+			}
+		}(w)
+	}
+	wg.Wait()
+	r.Close()
+
+	seen := map[string]bool{}
+	files, _ := filepath.Glob(path + "*")
+	for _, f := range files {
+		data, err := os.ReadFile(f)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, line := range strings.Split(strings.TrimSuffix(string(data), "\n"), "\n") {
+			if len(line) != 8 || line[0] != 'w' {
+				t.Fatalf("mangled line %q in %s", line, f)
+			}
+			if seen[line] {
+				t.Fatalf("duplicate line %q", line)
+			}
+			seen[line] = true
+		}
+	}
+	if len(seen) != writers*perWriter {
+		t.Errorf("recovered %d lines, want %d", len(seen), writers*perWriter)
+	}
+}

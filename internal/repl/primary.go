@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"os"
 	"sync"
@@ -33,9 +34,15 @@ type PrimaryConfig struct {
 	// HeartbeatEvery is the idle-stream heartbeat interval (position +
 	// clock, so replicas can report staleness). <= 0 means 1s.
 	HeartbeatEvery time.Duration
+	// Logger receives structured replica connect/disconnect logs with the
+	// replica's address as a field. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *PrimaryConfig) defaults() {
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	if c.SendTimeout <= 0 {
 		c.SendTimeout = 10 * time.Second
 	}
@@ -165,11 +172,14 @@ func (p *Primary) ServeReplication(ctx context.Context, nc net.Conn, br *bufio.R
 	p.replicas[link] = struct{}{}
 	p.mu.Unlock()
 	p.metrics.ReplReplicasActive.Add(1)
+	p.cfg.Logger.Info("replica connected",
+		"replica", link.peer, "resume_seg", pos.Seg, "resume_off", pos.Off, "clock", clock)
 	defer func() {
 		p.mu.Lock()
 		delete(p.replicas, link)
 		p.mu.Unlock()
 		p.metrics.ReplReplicasActive.Add(-1)
+		p.cfg.Logger.Info("replica disconnected", "replica", link.peer)
 	}()
 
 	// Ack reader: the replica's only traffic after the handshake is ACK
@@ -195,6 +205,8 @@ func (p *Primary) ServeReplication(ctx context.Context, nc net.Conn, br *bufio.R
 	if err := p.stream(ctx, nc, link, pos); err != nil {
 		if isTimeout(err) {
 			p.metrics.ReplSlowKicks.Add(1)
+			p.cfg.Logger.Warn("replica kicked for stalling the shipper",
+				"replica", link.peer, "err", err.Error())
 		}
 	}
 	nc.Close()

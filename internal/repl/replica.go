@@ -5,6 +5,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -36,9 +37,15 @@ type ReplicaConfig struct {
 	// MaxAttempts bounds consecutive failed sessions before Run gives up;
 	// 0 means retry forever. A session that makes progress resets the count.
 	MaxAttempts int
+	// Logger receives structured replication-lifecycle logs (reconnects,
+	// resyncs) with the primary's address as a field. Nil discards them.
+	Logger *slog.Logger
 }
 
 func (c *ReplicaConfig) defaults() {
+	if c.Logger == nil {
+		c.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	if c.DialTimeout <= 0 {
 		c.DialTimeout = 5 * time.Second
 	}
@@ -154,9 +161,13 @@ func (r *Replica) run(ctx context.Context) {
 		}
 		if err != nil {
 			r.metrics.ReplReconnects.Add(1)
+			r.cfg.Logger.Warn("replication stream broken, reconnecting",
+				"primary", r.primary, "attempt", attempt+1, "err", err.Error())
 			attempt++
 			if r.cfg.MaxAttempts > 0 && attempt >= r.cfg.MaxAttempts {
 				r.set(func(r *Replica) { r.state = "failed" })
+				r.cfg.Logger.Error("replication gave up after repeated failures",
+					"primary", r.primary, "attempts", attempt)
 				return
 			}
 			r.set(func(r *Replica) { r.state = "connecting" })
@@ -344,7 +355,17 @@ func (r *Replica) applyRecord(payload []byte) error {
 	} else {
 		r.metrics.ReplRecordsSkipped.Add(1)
 	}
-	r.metrics.WalAppliedClock.Store(int64(r.db.Store().Snapshot()))
+	clock := r.db.Store().Snapshot()
+	r.metrics.WalAppliedClock.Store(int64(clock))
+	// How far this apply still trailed the primary's last-reported clock:
+	// the per-record view of replication lag.
+	r.mu.Lock()
+	lag := int64(r.primaryClock) - int64(clock)
+	r.mu.Unlock()
+	if lag < 0 {
+		lag = 0
+	}
+	r.metrics.Hist().RecordReplApplyLag(lag)
 	return nil
 }
 
@@ -369,6 +390,8 @@ func (r *Replica) installSnapshot(br *bufio.Reader, header []byte) error {
 	}
 	r.metrics.ReplResyncs.Add(1)
 	r.metrics.WalAppliedClock.Store(int64(clock))
+	r.cfg.Logger.Info("snapshot resync installed",
+		"primary", r.primary, "clock", clock, "start_seg", startSeg, "bytes", size)
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 
 	"lambdadb/internal/retry"
 	"lambdadb/internal/server/wire"
+	"lambdadb/internal/telemetry"
 	"lambdadb/internal/types"
 )
 
@@ -28,9 +29,13 @@ type Result struct {
 
 // ServerError is an error the server reported for one request. The
 // connection stays usable after a ServerError; any other error from Exec
-// poisons the connection.
+// poisons the connection. TraceID is the request's trace ID as echoed by
+// the server ("" when talking to a server predating trace support), so a
+// caller can quote it when filing the failure against server logs and
+// system.query_log.
 type ServerError struct {
-	Msg string
+	Msg     string
+	TraceID string
 }
 
 func (e *ServerError) Error() string { return e.Msg }
@@ -140,6 +145,11 @@ func (c *Conn) Exec(text string) (*Result, error) {
 // cancel message, so cancellation closes the connection; the server
 // notices the disconnect and cancels the statement server-side. After a
 // cancelled call the Conn is closed and must be re-dialled.
+//
+// The request carries a trace ID: the one in ctx (telemetry.WithTraceID)
+// when present, else a freshly generated one. The server stamps it into
+// its query log, slow-query log, and any error frame, so one ID follows
+// the statement across every observability surface.
 func (c *Conn) ExecContext(ctx context.Context, text string) (*Result, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
@@ -161,7 +171,11 @@ func (c *Conn) ExecContext(ctx context.Context, text string) (*Result, error) {
 			}
 		}()
 	}
-	if err := wire.WriteFrame(nc, wire.Query, []byte(text)); err != nil {
+	traceID := telemetry.TraceID(ctx)
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	if err := wire.WriteFrame(nc, wire.Query, wire.AppendTraced(traceID, []byte(text))); err != nil {
 		return nil, c.fail(ctx, err)
 	}
 	typ, payload, err := wire.ReadFrame(c.br)
@@ -170,7 +184,8 @@ func (c *Conn) ExecContext(ctx context.Context, text string) (*Result, error) {
 	}
 	switch typ {
 	case wire.Error:
-		return nil, &ServerError{Msg: string(payload)}
+		id, body := wire.SplitTraced(payload)
+		return nil, &ServerError{Msg: string(body), TraceID: id}
 	case wire.Affected:
 		n, err := strconv.Atoi(string(payload))
 		if err != nil {

@@ -17,13 +17,17 @@ import (
 	"bufio"
 	"context"
 	"fmt"
+	"io"
+	"log/slog"
 	"net"
 	"strconv"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambdadb/internal/engine"
 	"lambdadb/internal/server/wire"
+	"lambdadb/internal/telemetry"
 	"lambdadb/internal/types"
 )
 
@@ -46,6 +50,9 @@ type Config struct {
 	// life instead of serving queries. When nil, a ReplStart is answered
 	// with an Error frame and the connection closed.
 	ReplHandler ReplicationHandler
+	// Logger receives structured connection-lifecycle and statement-error
+	// logs (session and trace IDs as fields). Nil discards them.
+	Logger *slog.Logger
 }
 
 // ReplicationHandler takes over a connection that identified itself as a
@@ -58,8 +65,10 @@ type ReplicationHandler interface {
 
 // Server serves an engine.DB over TCP.
 type Server struct {
-	db  *engine.DB
-	cfg Config
+	db     *engine.DB
+	cfg    Config
+	log    *slog.Logger
+	nextID atomic.Int64 // per-connection session IDs for log correlation
 
 	// baseCtx parents every connection's statement context; Shutdown
 	// cancels it when the drain grace expires.
@@ -79,10 +88,15 @@ func New(db *engine.DB, cfg Config) *Server {
 	if cfg.DrainGrace <= 0 {
 		cfg.DrainGrace = DefaultDrainGrace
 	}
+	log := cfg.Logger
+	if log == nil {
+		log = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	return &Server{
 		db:         db,
 		cfg:        cfg,
+		log:        log,
 		baseCtx:    ctx,
 		baseCancel: cancel,
 		conns:      make(map[*conn]struct{}),
@@ -163,17 +177,19 @@ func (s *Server) admit(nc net.Conn) {
 	if refuse != "" {
 		s.mu.Unlock()
 		m.ConnsRejected.Add(1)
+		s.log.Warn("connection refused", "remote", nc.RemoteAddr().String(), "reason", refuse)
 		_ = nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
 		_ = wire.WriteFrame(nc, wire.Error, []byte(refuse))
 		nc.Close()
 		return
 	}
-	c := &conn{srv: s, nc: nc, sess: s.db.NewSession()}
+	c := &conn{srv: s, nc: nc, sess: s.db.NewSession(), id: s.nextID.Add(1)}
 	s.conns[c] = struct{}{}
 	s.wg.Add(1)
 	s.mu.Unlock()
 	m.ConnsOpened.Add(1)
 	m.ConnsActive.Add(1)
+	s.log.Info("connection opened", "session", c.id, "remote", nc.RemoteAddr().String())
 	go c.serve()
 }
 
@@ -230,6 +246,7 @@ type conn struct {
 	srv  *Server
 	nc   net.Conn
 	sess *engine.Session
+	id   int64 // session ID for log correlation
 
 	mu       sync.Mutex
 	busy     bool // a statement is executing
@@ -266,13 +283,13 @@ func (c *conn) serve() {
 		return
 	}
 
-	reqs := make(chan string)
+	reqs := make(chan []byte)
 	go func() {
 		defer close(reqs)
 		// Deliver the already-read first request, then keep reading ahead so
 		// a client disconnect cancels the statement it was waiting on.
 		select {
-		case reqs <- string(firstPayload):
+		case reqs <- firstPayload:
 		case <-ctx.Done():
 			return
 		}
@@ -285,7 +302,7 @@ func (c *conn) serve() {
 				return
 			}
 			select {
-			case reqs <- string(payload):
+			case reqs <- payload:
 			case <-ctx.Done():
 				return
 			}
@@ -293,11 +310,11 @@ func (c *conn) serve() {
 	}()
 
 	bw := bufio.NewWriter(c.nc)
-	for text := range reqs {
+	for req := range reqs {
 		if !c.beginStatement() {
 			return // draining: don't start new work
 		}
-		typ, payload := c.execute(ctx, text)
+		typ, payload := c.execute(ctx, req)
 		werr := wire.WriteFrame(bw, typ, payload)
 		if werr == nil {
 			werr = bw.Flush()
@@ -310,11 +327,19 @@ func (c *conn) serve() {
 }
 
 // execute runs one request on the connection's session and encodes the
-// response frame.
-func (c *conn) execute(ctx context.Context, text string) (byte, []byte) {
-	res, err := c.sess.ExecContext(ctx, text)
+// response frame. The request's trace ID (client-supplied, or generated
+// here so every statement has one) rides the statement context into the
+// engine's query log and comes back on the Error frame.
+func (c *conn) execute(ctx context.Context, req []byte) (byte, []byte) {
+	traceID, body := wire.SplitTraced(req)
+	if traceID == "" {
+		traceID = telemetry.NewTraceID()
+	}
+	ctx = telemetry.WithTraceID(ctx, traceID)
+	res, err := c.sess.ExecContext(ctx, string(body))
 	if err != nil {
-		return wire.Error, []byte(err.Error())
+		c.srv.log.Warn("statement error", "session", c.id, "trace_id", traceID, "err", err.Error())
+		return wire.Error, wire.AppendTraced(traceID, []byte(err.Error()))
 	}
 	if res == nil || len(res.Columns) == 0 {
 		affected := 0
@@ -389,5 +414,6 @@ func (c *conn) teardown() {
 	m := s.db.Metrics()
 	m.ConnsClosed.Add(1)
 	m.ConnsActive.Add(-1)
+	s.log.Info("connection closed", "session", c.id)
 	s.wg.Done()
 }

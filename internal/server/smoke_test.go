@@ -6,7 +6,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"io"
 	"math/rand"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -51,7 +53,8 @@ func TestServerBinarySmoke(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	srv := exec.Command(serverBin, "-addr", "127.0.0.1:0", "-init", initSQL, "-grace", "5s")
+	srv := exec.Command(serverBin, "-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0",
+		"-init", initSQL, "-grace", "5s")
 	stdout, err := srv.StdoutPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -63,24 +66,37 @@ func TestServerBinarySmoke(t *testing.T) {
 	}
 	defer srv.Process.Kill()
 
-	// The first stdout line announces the bound address.
-	addr := ""
+	// Startup announces two addresses on stdout: the admin endpoint first
+	// (it binds before recovery), then the SQL listener.
+	addr, adminAddr := "", ""
 	sc := bufio.NewScanner(stdout)
-	if sc.Scan() {
+	for (addr == "" || adminAddr == "") && sc.Scan() {
 		line := sc.Text()
-		const prefix = "lambdaserver listening on "
-		if !strings.HasPrefix(line, prefix) {
+		switch {
+		case strings.HasPrefix(line, "lambdaserver admin listening on "):
+			adminAddr = strings.TrimPrefix(line, "lambdaserver admin listening on ")
+		case strings.HasPrefix(line, "lambdaserver listening on "):
+			addr = strings.TrimPrefix(line, "lambdaserver listening on ")
+		default:
 			t.Fatalf("unexpected startup line %q", line)
 		}
-		addr = strings.TrimPrefix(line, prefix)
 	}
-	if addr == "" {
-		t.Fatalf("server never announced its address; stderr:\n%s", stderr.String())
+	if addr == "" || adminAddr == "" {
+		t.Fatalf("server never announced its addresses (sql=%q admin=%q); stderr:\n%s",
+			addr, adminAddr, stderr.String())
 	}
 	go func() { // drain any further stdout so the child never blocks
 		for sc.Scan() {
 		}
 	}()
+
+	// The SQL listener is up, so the server must report itself ready.
+	if code, body := httpGet(t, "http://"+adminAddr+"/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q, want 200 ok", code, body)
+	}
+	if code, body := httpGet(t, "http://"+adminAddr+"/readyz"); code != 200 || !strings.Contains(body, "ready") {
+		t.Errorf("/readyz = %d %q, want 200 ready", code, body)
+	}
 
 	// Concurrent remote clients doing mixed reads, writes, and transactions.
 	const clients = 8
@@ -138,6 +154,39 @@ func TestServerBinarySmoke(t *testing.T) {
 		t.Errorf("sqlshell output missing result column:\n%s", out)
 	}
 
+	// A Prometheus scrape after the workload: valid exposition with the
+	// counters and histograms the traffic must have populated.
+	resp, err := http.Get("http://" + adminAddr + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	metricsBody, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.StatusCode != 200 {
+		t.Fatalf("/metrics = %d:\n%s", resp.StatusCode, metricsBody)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "text/plain") {
+		t.Errorf("/metrics Content-Type = %q", ct)
+	}
+	metrics := string(metricsBody)
+	for _, want := range []string{
+		"# TYPE lambdadb_statements_total counter",
+		"# TYPE lambdadb_conns_active gauge",
+		"# TYPE lambdadb_statement_latency_seconds histogram",
+		`lambdadb_statement_latency_seconds_bucket{kind="select",le="+Inf"}`,
+		"lambdadb_statement_latency_seconds_count",
+	} {
+		if !strings.Contains(metrics, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(metrics, "lambdadb_statements_total 0\n") {
+		t.Error("/metrics reports zero statements after the workload")
+	}
+
 	// Graceful shutdown: SIGTERM must drain and exit 0.
 	if err := srv.Process.Signal(syscall.SIGTERM); err != nil {
 		t.Fatal(err)
@@ -156,5 +205,125 @@ func TestServerBinarySmoke(t *testing.T) {
 	}
 	if !strings.Contains(stderr.String(), "drained cleanly") {
 		t.Errorf("server stderr missing drain confirmation:\n%s", stderr.String())
+	}
+}
+
+func httpGet(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+// startSmokeServer launches a lambdaserver binary and parses the announced
+// SQL and admin addresses from stdout.
+func startSmokeServer(t *testing.T, bin string, extraArgs ...string) (proc *exec.Cmd, addr, adminAddr string, stderr *bytes.Buffer) {
+	t.Helper()
+	args := append([]string{"-addr", "127.0.0.1:0", "-admin-addr", "127.0.0.1:0", "-grace", "5s"}, extraArgs...)
+	proc = exec.Command(bin, args...)
+	stdout, err := proc.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	stderr = &bytes.Buffer{}
+	proc.Stderr = stderr
+	if err := proc.Start(); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { proc.Process.Kill() })
+	sc := bufio.NewScanner(stdout)
+	for (addr == "" || adminAddr == "") && sc.Scan() {
+		line := sc.Text()
+		switch {
+		case strings.HasPrefix(line, "lambdaserver admin listening on "):
+			adminAddr = strings.TrimPrefix(line, "lambdaserver admin listening on ")
+		case strings.HasPrefix(line, "lambdaserver listening on "):
+			addr = strings.TrimPrefix(line, "lambdaserver listening on ")
+		}
+	}
+	if addr == "" || adminAddr == "" {
+		t.Fatalf("server never announced its addresses; stderr:\n%s", stderr.String())
+	}
+	go func() {
+		for sc.Scan() {
+		}
+	}()
+	return proc, addr, adminAddr, stderr
+}
+
+// TestReplicaReadyzSmoke exercises the replication-aware readiness gates on
+// the real binary: a replica whose primary is unreachable must answer 503
+// on /readyz (it has never contacted the primary, so its data is
+// arbitrarily stale), while a replica streaming from a live primary within
+// its lag bound must flip to 200.
+func TestReplicaReadyzSmoke(t *testing.T) {
+	if os.Getenv("LAMBDADB_SERVER_SMOKE") != "1" {
+		t.Skip("set LAMBDADB_SERVER_SMOKE=1 to run the binary smoke test")
+	}
+
+	dir := t.TempDir()
+	serverBin := filepath.Join(dir, "lambdaserver")
+	if out, err := exec.Command("go", "build", "-o", serverBin, "lambdadb/cmd/lambdaserver").CombinedOutput(); err != nil {
+		t.Fatalf("go build: %v\n%s", err, out)
+	}
+
+	// A replica pointed at a dead primary: up, serving reads, but never
+	// ready. Deterministic — there is nothing to contact.
+	_, _, orphanAdmin, _ := startSmokeServer(t, serverBin,
+		"-data-dir", filepath.Join(dir, "orphan"),
+		"-replica-of", "127.0.0.1:1")
+	if code, body := httpGet(t, "http://"+orphanAdmin+"/readyz"); code != 503 || !strings.Contains(body, "not contacted") {
+		t.Errorf("orphan replica /readyz = %d %q, want 503 not contacted", code, body)
+	}
+	if code, _ := httpGet(t, "http://"+orphanAdmin+"/healthz"); code != 200 {
+		t.Errorf("orphan replica /healthz = %d, want 200 (alive, just not ready)", code)
+	}
+
+	// A real primary/replica pair: the replica becomes ready once it has
+	// streamed to within the lag bound.
+	_, primaryAddr, primaryAdmin, _ := startSmokeServer(t, serverBin,
+		"-data-dir", filepath.Join(dir, "primary"))
+	if code, _ := httpGet(t, "http://"+primaryAdmin+"/readyz"); code != 200 {
+		t.Fatalf("primary /readyz = %d, want 200", code)
+	}
+	c, err := client.Dial(primaryAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if _, err := c.Exec("CREATE TABLE smoke (n BIGINT)"); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if _, err := c.Exec(fmt.Sprintf("INSERT INTO smoke VALUES (%d)", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	_, _, replicaAdmin, replicaErr := startSmokeServer(t, serverBin,
+		"-data-dir", filepath.Join(dir, "replica"),
+		"-replica-of", primaryAddr,
+		"-ready-max-lag", "100000")
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		code, body := httpGet(t, "http://"+replicaAdmin+"/readyz")
+		if code == 200 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("replica never became ready: /readyz = %d %q; stderr:\n%s", code, body, replicaErr.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	// The replica's metrics must identify the replication link.
+	if _, body := httpGet(t, "http://"+replicaAdmin+"/metrics"); !strings.Contains(body, `lambdadb_repl_link_info{role="replica"`) {
+		t.Errorf("replica /metrics missing replication link info")
 	}
 }

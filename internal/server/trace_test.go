@@ -1,0 +1,133 @@
+package server
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"regexp"
+	"sync"
+	"testing"
+	"time"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/server/client"
+	"lambdadb/internal/telemetry"
+)
+
+// lockedBuffer is a goroutine-safe slow-log sink.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+func (b *lockedBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.String()
+}
+
+// TestTraceIDRoundTrip is the cross-surface trace contract: a trace ID
+// supplied by a Go client travels the wire, and the SAME id shows up in
+// system.query_log, in the slow-query JSON log, and — for a failing
+// statement — in the error frame the client gets back.
+func TestTraceIDRoundTrip(t *testing.T) {
+	slow := &lockedBuffer{}
+	_, db, addr := startServer(t, Config{},
+		// Threshold of 1ns: every statement is "slow", so the slow log
+		// doubles as a trace capture.
+		engine.WithSlowQueryThreshold(time.Nanosecond, slow))
+	c := dial(t, addr)
+
+	const traceID = "0123456789abcdef"
+	ctx := telemetry.WithTraceID(context.Background(), traceID)
+
+	if _, err := c.ExecContext(ctx, `CREATE TABLE traced (n BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+
+	// 1. The error frame: a failing statement under the same trace returns
+	// the ID on the ServerError.
+	_, err := c.ExecContext(ctx, `SELECT boom FROM missing_table`)
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *client.ServerError", err)
+	}
+	if se.TraceID != traceID {
+		t.Errorf("error frame trace = %q, want %q", se.TraceID, traceID)
+	}
+
+	// 2. system.query_log: both statements carry the client's ID.
+	for _, e := range db.QueryLog() {
+		if e.Statement == `CREATE TABLE traced (n BIGINT)` || e.Statement == `SELECT boom FROM missing_table` {
+			if e.TraceID != traceID {
+				t.Errorf("query_log entry %q trace = %q, want %q", e.Statement, e.TraceID, traceID)
+			}
+		}
+	}
+
+	// ... and the trace_id column is queryable over the wire.
+	r, err := c.Exec(`SELECT trace_id FROM system.query_log WHERE statement = 'CREATE TABLE traced (n BIGINT)'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 1 || r.Rows[0][0].S != traceID {
+		t.Errorf("system.query_log over the wire = %v, want one row with %q", r.Rows, traceID)
+	}
+
+	// 3. The slow-query log names the same trace.
+	if !bytes.Contains([]byte(slow.String()), []byte(`"trace_id":"`+traceID+`"`)) {
+		t.Errorf("slow log missing trace %q:\n%s", traceID, slow.String())
+	}
+}
+
+// TestTraceIDGeneratedWhenAbsent: with no ID in the context, the client
+// generates one, so the server never logs an untraced wire statement — and
+// the generated ID still round-trips on errors.
+func TestTraceIDGeneratedWhenAbsent(t *testing.T) {
+	_, db, addr := startServer(t, Config{})
+	c := dial(t, addr)
+
+	_, err := c.Exec(`SELECT nope FROM nowhere`)
+	var se *client.ServerError
+	if !errors.As(err, &se) {
+		t.Fatalf("err = %v, want *client.ServerError", err)
+	}
+	hex16 := regexp.MustCompile(`^[0-9a-f]{16}$`)
+	if !hex16.MatchString(se.TraceID) {
+		t.Errorf("generated trace = %q, want 16 hex chars", se.TraceID)
+	}
+	found := false
+	for _, e := range db.QueryLog() {
+		if e.Statement == `SELECT nope FROM nowhere` {
+			found = true
+			if e.TraceID != se.TraceID {
+				t.Errorf("query_log trace %q != error frame trace %q", e.TraceID, se.TraceID)
+			}
+		}
+	}
+	if !found {
+		t.Error("statement missing from query log")
+	}
+}
+
+// TestTraceIDEmbeddedSessionsUntraced: an embedded session with no trace in
+// its context logs an empty trace ID — the engine never invents one, so the
+// hot path stays allocation-free for embedded users.
+func TestTraceIDEmbeddedSessionsUntraced(t *testing.T) {
+	db := engine.Open()
+	defer db.Close()
+	if _, err := db.Exec(`CREATE TABLE embedded_t (n BIGINT)`); err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range db.QueryLog() {
+		if e.TraceID != "" {
+			t.Errorf("embedded statement %q has trace %q, want empty", e.Statement, e.TraceID)
+		}
+	}
+}

@@ -1,0 +1,67 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestTracedRoundTrip(t *testing.T) {
+	body := []byte("SELECT 1")
+	payload := AppendTraced("a1b2c3d4e5f60718", body)
+	id, got := SplitTraced(payload)
+	if id != "a1b2c3d4e5f60718" {
+		t.Errorf("id = %q", id)
+	}
+	if !bytes.Equal(got, body) {
+		t.Errorf("body = %q, want %q", got, body)
+	}
+}
+
+// TestTracedBackwardCompat: the framing must be transparent in both
+// directions — an untraced payload passes through SplitTraced unchanged
+// (old client, new server), and an empty ID adds no prefix (new client
+// talking to an old server never sends one).
+func TestTracedBackwardCompat(t *testing.T) {
+	legacy := []byte("SELECT * FROM t")
+	if id, body := SplitTraced(legacy); id != "" || !bytes.Equal(body, legacy) {
+		t.Errorf("legacy payload mangled: id=%q body=%q", id, body)
+	}
+	if got := AppendTraced("", legacy); !bytes.Equal(got, legacy) {
+		t.Errorf("empty id added a prefix: %q", got)
+	}
+	if id, body := SplitTraced(nil); id != "" || len(body) != 0 {
+		t.Errorf("empty payload: id=%q body=%q", id, body)
+	}
+}
+
+// TestTracedMalformed: a payload that starts with NUL but has no
+// terminator degrades to untraced rather than corrupting the statement.
+func TestTracedMalformed(t *testing.T) {
+	malformed := []byte("\x00deadbeef-no-terminator")
+	id, body := SplitTraced(malformed)
+	if id != "" {
+		t.Errorf("malformed prefix produced id %q", id)
+	}
+	if !bytes.Equal(body, malformed) {
+		t.Errorf("malformed payload not passed through: %q", body)
+	}
+}
+
+// TestTracedHostileID: an ID containing the NUL delimiter cannot be framed
+// (it would desynchronize the split), so AppendTraced drops it.
+func TestTracedHostileID(t *testing.T) {
+	body := []byte("SELECT 1")
+	if got := AppendTraced("bad\x00id", body); !bytes.Equal(got, body) {
+		t.Errorf("NUL-bearing id was framed: %q", got)
+	}
+}
+
+// TestTracedEmptyBody: a trace ID on an empty body still round-trips (an
+// empty error message, say).
+func TestTracedEmptyBody(t *testing.T) {
+	payload := AppendTraced("cafe", nil)
+	id, body := SplitTraced(payload)
+	if id != "cafe" || len(body) != 0 {
+		t.Errorf("id=%q body=%q", id, body)
+	}
+}

@@ -1,0 +1,253 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+)
+
+// HistBuckets is the fixed bucket count of a Histogram: bucket i counts
+// values v with 2^(i-1) <= v < 2^i (bucket 0 counts v <= 0). 64 buckets
+// cover the full non-negative int64 range, so no recorded value is ever
+// clipped.
+const HistBuckets = 64
+
+// Histogram is a lock-free bounded histogram with power-of-two buckets
+// (HDR-style: constant relative error of at most 2x, constant memory).
+// Record is three uncontended-atomic adds — cheap enough for hot paths
+// that fire once per statement, fsync, or replication apply. The zero
+// value is ready to use.
+type Histogram struct {
+	buckets [HistBuckets]atomic.Int64
+	sum     atomic.Int64
+}
+
+// Record folds one value in. Negative values count as zero.
+func (h *Histogram) Record(v int64) {
+	if v < 0 {
+		v = 0
+	}
+	// bits.Len64(0) == 0, bits.Len64(1) == 1, ... so bucket i holds
+	// values needing exactly i bits: [2^(i-1), 2^i).
+	h.buckets[bits.Len64(uint64(v))].Add(1)
+	h.sum.Add(v)
+}
+
+// HistSnapshot is a point-in-time copy of a histogram. Count is derived
+// from the bucket counts (not a separate counter), so quantile math over a
+// snapshot is always internally consistent even when taken concurrently
+// with writers.
+type HistSnapshot struct {
+	Counts [HistBuckets]int64
+	Count  int64
+	Sum    int64
+}
+
+// Snapshot copies the bucket counts. Concurrent Records may land between
+// individual bucket reads; each bucket is exact and Count always equals
+// the sum of Counts.
+func (h *Histogram) Snapshot() HistSnapshot {
+	var s HistSnapshot
+	for i := range h.buckets {
+		c := h.buckets[i].Load()
+		s.Counts[i] = c
+		s.Count += c
+	}
+	s.Sum = h.sum.Load()
+	return s
+}
+
+// BucketUpper returns the inclusive upper bound of bucket i: values in
+// bucket i satisfy v < BucketUpper(i)+1. Bucket 0 is the zero bucket.
+func BucketUpper(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return 1<<63 - 1
+	}
+	return 1<<uint(i) - 1
+}
+
+// Quantile estimates the q-quantile (0 < q <= 1) as the upper bound of the
+// bucket where the cumulative count crosses q*Count. Returns 0 on an empty
+// snapshot. The estimate errs high by at most 2x (one power-of-two bucket).
+func (s HistSnapshot) Quantile(q float64) int64 {
+	if s.Count == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	rank := int64(q * float64(s.Count))
+	if rank < 1 {
+		rank = 1
+	}
+	var cum int64
+	for i, c := range s.Counts {
+		cum += c
+		if cum >= rank {
+			return BucketUpper(i)
+		}
+	}
+	return BucketUpper(HistBuckets - 1)
+}
+
+// Mean returns the arithmetic mean of recorded values (0 when empty).
+func (s HistSnapshot) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return float64(s.Sum) / float64(s.Count)
+}
+
+// Statement kinds for latency histograms.
+const (
+	KindSelect = "select"
+	KindDML    = "dml"
+	KindDDL    = "ddl"
+	KindOther  = "other"
+)
+
+// Histograms is the engine-wide latency/size histogram set, the
+// distribution counterpart of the Metrics counters. All recording methods
+// are nil-safe and respect the disabled flag, so call sites never branch.
+type Histograms struct {
+	disabled bool // set by NewDisabledHistograms (overhead A/B baselines)
+
+	// Statement latency by kind, nanoseconds.
+	StmtSelect Histogram
+	StmtDML    Histogram
+	StmtDDL    Histogram
+	StmtOther  Histogram
+
+	// Per-stage statement breakdown, nanoseconds. CommitWait is recorded by
+	// the WAL group-commit path (time a committer parks waiting for fsync).
+	StageParsePlan  Histogram
+	StageExec       Histogram
+	StageCommitWait Histogram
+
+	// Durability: fsync syscall latency (ns) and how many redo records each
+	// group-commit flush made durable (batch size; >1 = amortization).
+	WalFsync        Histogram
+	WalBatchRecords Histogram
+
+	// Replication: how far (in commit-clock ticks ≈ commits) the replica
+	// trailed the primary's last-reported clock at each apply.
+	ReplApplyLag Histogram
+}
+
+// NewDisabledHistograms returns a set whose Record* methods are no-ops:
+// the baseline side of the armed-telemetry overhead smoke.
+func NewDisabledHistograms() *Histograms { return &Histograms{disabled: true} }
+
+// Stmt returns the statement-latency histogram for kind.
+func (h *Histograms) Stmt(kind string) *Histogram {
+	switch kind {
+	case KindSelect:
+		return &h.StmtSelect
+	case KindDML:
+		return &h.StmtDML
+	case KindDDL:
+		return &h.StmtDDL
+	}
+	return &h.StmtOther
+}
+
+// RecordStmt folds one statement latency into the by-kind histogram.
+func (h *Histograms) RecordStmt(kind string, ns int64) {
+	if h == nil || h.disabled {
+		return
+	}
+	h.Stmt(kind).Record(ns)
+}
+
+// RecordStages folds one statement's parse+plan and execute durations in.
+func (h *Histograms) RecordStages(parsePlanNs, execNs int64) {
+	if h == nil || h.disabled {
+		return
+	}
+	h.StageParsePlan.Record(parsePlanNs)
+	h.StageExec.Record(execNs)
+}
+
+// RecordCommitWait folds one commit's durability wait in.
+func (h *Histograms) RecordCommitWait(ns int64) {
+	if h == nil || h.disabled {
+		return
+	}
+	h.StageCommitWait.Record(ns)
+}
+
+// RecordWalFsync folds one group-commit flush in: the fsync+write latency
+// and the number of redo records the batch covered.
+func (h *Histograms) RecordWalFsync(ns, records int64) {
+	if h == nil || h.disabled {
+		return
+	}
+	h.WalFsync.Record(ns)
+	h.WalBatchRecords.Record(records)
+}
+
+// RecordReplApplyLag folds one replication apply's clock lag in.
+func (h *Histograms) RecordReplApplyLag(records int64) {
+	if h == nil || h.disabled {
+		return
+	}
+	h.ReplApplyLag.Record(records)
+}
+
+// HistogramDef names one histogram for exporters: Row is the system.metrics
+// row base ("<Row>_p50" etc.), Family/LabelKey/LabelVal shape the
+// Prometheus family (histograms of one family differ only by label), and
+// Seconds marks nanosecond-valued histograms that exporters should scale
+// to seconds.
+type HistogramDef struct {
+	Row      string
+	Family   string
+	LabelKey string
+	LabelVal string
+	Seconds  bool
+	Help     string
+	H        *Histogram
+}
+
+// Defs enumerates every histogram with its export metadata, in a stable
+// order.
+func (h *Histograms) Defs() []HistogramDef {
+	stmtHelp := "Statement wall-clock latency by statement kind."
+	stageHelp := "Statement latency broken down by stage."
+	return []HistogramDef{
+		{Row: "stmt_latency_select_ns", Family: "statement_latency_seconds", LabelKey: "kind", LabelVal: KindSelect, Seconds: true, Help: stmtHelp, H: &h.StmtSelect},
+		{Row: "stmt_latency_dml_ns", Family: "statement_latency_seconds", LabelKey: "kind", LabelVal: KindDML, Seconds: true, Help: stmtHelp, H: &h.StmtDML},
+		{Row: "stmt_latency_ddl_ns", Family: "statement_latency_seconds", LabelKey: "kind", LabelVal: KindDDL, Seconds: true, Help: stmtHelp, H: &h.StmtDDL},
+		{Row: "stmt_latency_other_ns", Family: "statement_latency_seconds", LabelKey: "kind", LabelVal: KindOther, Seconds: true, Help: stmtHelp, H: &h.StmtOther},
+		{Row: "stmt_stage_parse_plan_ns", Family: "statement_stage_seconds", LabelKey: "stage", LabelVal: "parse_plan", Seconds: true, Help: stageHelp, H: &h.StageParsePlan},
+		{Row: "stmt_stage_exec_ns", Family: "statement_stage_seconds", LabelKey: "stage", LabelVal: "exec", Seconds: true, Help: stageHelp, H: &h.StageExec},
+		{Row: "stmt_stage_commit_wait_ns", Family: "statement_stage_seconds", LabelKey: "stage", LabelVal: "commit_wait", Seconds: true, Help: stageHelp, H: &h.StageCommitWait},
+		{Row: "wal_fsync_ns", Family: "wal_fsync_seconds", Seconds: true, Help: "Write+fsync latency of one group-commit flush.", H: &h.WalFsync},
+		{Row: "wal_group_commit_records", Family: "wal_group_commit_records", Help: "Redo records made durable per group-commit fsync.", H: &h.WalBatchRecords},
+		{Row: "repl_apply_lag_records", Family: "repl_apply_lag_records", Help: "Commit-clock lag behind the primary at each replicated apply.", H: &h.ReplApplyLag},
+	}
+}
+
+// HistogramSummaries renders every histogram as p50/p95/p99/count rows for
+// the system.metrics virtual table, after the plain counters.
+func (h *Histograms) HistogramSummaries() []Counter {
+	if h == nil {
+		return nil
+	}
+	var out []Counter
+	for _, d := range h.Defs() {
+		s := d.H.Snapshot()
+		out = append(out,
+			Counter{Name: d.Row + "_p50", Value: s.Quantile(0.50)},
+			Counter{Name: d.Row + "_p95", Value: s.Quantile(0.95)},
+			Counter{Name: d.Row + "_p99", Value: s.Quantile(0.99)},
+			Counter{Name: d.Row + "_count", Value: s.Count},
+		)
+	}
+	return out
+}

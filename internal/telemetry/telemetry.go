@@ -42,6 +42,7 @@ type QueryLogEntry struct {
 	ID        int64
 	Started   time.Time
 	Statement string
+	TraceID   string // request trace ID ("" when the caller supplied none)
 	Duration  time.Duration
 	Rows      int64
 	PeakBytes int64
@@ -107,6 +108,12 @@ type Metrics struct {
 	ExecNanosTotal      atomic.Int64
 	PeakQueryBytes      atomic.Int64 // max over all statements
 
+	// Activity gauges: statements currently executing and sessions currently
+	// open (a load balancer's view of engine pressure, vs the cumulative
+	// statements_total/conns_* counters above).
+	QueriesActive  atomic.Int64
+	SessionsActive atomic.Int64
+
 	// Network-server connection counters (populated by internal/server;
 	// zero when the engine runs embedded).
 	ConnsOpened   atomic.Int64
@@ -144,7 +151,30 @@ type Metrics struct {
 	ReplSnapshotsSent  atomic.Int64 // full-snapshot resyncs served by this primary
 	ReplSlowKicks      atomic.Int64 // replicas disconnected for blocking the shipper
 	ReplReplicasActive atomic.Int64 // gauge: replication streams currently connected
+
+	// hist is the latency/size histogram set, lazily initialized so the
+	// zero Metrics keeps working. Not an atomic.Int64, so the reflection
+	// snapshot below skips it.
+	hist atomic.Pointer[Histograms]
 }
+
+// Hist returns the histogram set, creating it on first use. Safe for
+// concurrent callers; the CAS loser adopts the winner's set so no recorded
+// value is ever split across two sets.
+func (m *Metrics) Hist() *Histograms {
+	if h := m.hist.Load(); h != nil {
+		return h
+	}
+	h := &Histograms{}
+	if m.hist.CompareAndSwap(nil, h) {
+		return h
+	}
+	return m.hist.Load()
+}
+
+// SetHist replaces the histogram set (the overhead smoke installs a
+// disabled set as its baseline).
+func (m *Metrics) SetHist(h *Histograms) { m.hist.Store(h) }
 
 // RecordStatement folds one statement outcome into the counters.
 func (m *Metrics) RecordStatement(status string, returned, affected int64, d time.Duration, peakBytes int64) {

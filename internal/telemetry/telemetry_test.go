@@ -1,6 +1,12 @@
 package telemetry
 
-import "testing"
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+)
 
 // TestSnapshotNames pins the metric naming: every counter that existed
 // before the reflection-based snapshot must keep its exact spelling (the
@@ -23,6 +29,7 @@ func TestSnapshotNames(t *testing.T) {
 		"statements_cancelled", "statements_timeout",
 		"rows_returned", "rows_affected", "slow_queries",
 		"exec_nanos_total", "peak_query_bytes",
+		"queries_active", "sessions_active",
 		"conns_opened", "conns_closed", "conns_rejected", "conns_active",
 		"wal_appends", "wal_fsyncs", "wal_bytes", "checkpoints",
 		"index_scans", "index_rows_read", "analyze_runs",
@@ -60,6 +67,118 @@ func TestSnapshotReadsValues(t *testing.T) {
 		if vals[name] != want {
 			t.Errorf("%s = %d, want %d", name, vals[name], want)
 		}
+	}
+}
+
+// TestStatusOf pins the outcome classification, including precedence when
+// an error chain carries more than one sentinel: DeadlineExceeded wins over
+// Canceled (a query that timed out was cancelled *because* of the deadline,
+// and "timeout" is the actionable status).
+func TestStatusOf(t *testing.T) {
+	wrapped := fmt.Errorf("exec: %w", context.Canceled)
+	deepWrapped := fmt.Errorf("outer: %w", fmt.Errorf("inner: %w", context.DeadlineExceeded))
+	joined := errors.Join(errors.New("operator failed"), context.DeadlineExceeded)
+	both := errors.Join(context.Canceled, context.DeadlineExceeded)
+	for _, tc := range []struct {
+		err  error
+		want string
+	}{
+		{nil, StatusOK},
+		{errors.New("boom"), StatusError},
+		{context.Canceled, StatusCancelled},
+		{context.DeadlineExceeded, StatusTimeout},
+		{wrapped, StatusCancelled},
+		{deepWrapped, StatusTimeout},
+		{joined, StatusTimeout},
+		{both, StatusTimeout}, // deadline checked first
+		{fmt.Errorf("ctx: %w", both), StatusTimeout},
+	} {
+		if got := StatusOf(tc.err); got != tc.want {
+			t.Errorf("StatusOf(%v) = %q, want %q", tc.err, got, tc.want)
+		}
+	}
+}
+
+// TestQueryLogWraparound drives the ring past its capacity and checks the
+// eviction order: the snapshot holds exactly the last cap entries, oldest
+// first, with contiguous IDs.
+func TestQueryLogWraparound(t *testing.T) {
+	const cap, total = 8, 29
+	l := NewQueryLog(cap)
+	for i := 0; i < total; i++ {
+		l.Add(QueryLogEntry{Statement: fmt.Sprintf("stmt %d", i)})
+	}
+	got := l.Snapshot()
+	if len(got) != cap {
+		t.Fatalf("snapshot len = %d, want %d", len(got), cap)
+	}
+	for i, e := range got {
+		wantID := int64(total - cap + i)
+		if e.ID != wantID {
+			t.Errorf("entry %d ID = %d, want %d", i, e.ID, wantID)
+		}
+		if want := fmt.Sprintf("stmt %d", wantID); e.Statement != want {
+			t.Errorf("entry %d statement = %q, want %q", i, e.Statement, want)
+		}
+	}
+}
+
+// TestQueryLogConcurrentWraparound hammers a small ring from many writers
+// while readers snapshot it, then checks the invariants that must survive
+// any interleaving: every snapshot is ascending and contiguous in ID, no
+// snapshot exceeds capacity, and all IDs were eventually assigned exactly
+// once. Run under -race this also proves the locking discipline.
+func TestQueryLogConcurrentWraparound(t *testing.T) {
+	const cap, writers, perWriter = 16, 8, 200
+	l := NewQueryLog(cap)
+	stop := make(chan struct{})
+	snapErr := make(chan error, 1)
+	readerDone := make(chan struct{})
+	go func() {
+		defer close(readerDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			s := l.Snapshot()
+			if len(s) > cap {
+				snapErr <- fmt.Errorf("snapshot len %d exceeds cap %d", len(s), cap)
+				return
+			}
+			for i := 1; i < len(s); i++ {
+				if s[i].ID != s[i-1].ID+1 {
+					snapErr <- fmt.Errorf("IDs not contiguous: %d then %d", s[i-1].ID, s[i].ID)
+					return
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				l.Add(QueryLogEntry{Statement: "x"})
+			}
+		}()
+	}
+	wg.Wait()
+	close(stop)
+	<-readerDone
+	select {
+	case err := <-snapErr:
+		t.Fatal(err)
+	default:
+	}
+	final := l.Snapshot()
+	if len(final) != cap {
+		t.Fatalf("final snapshot len = %d, want %d", len(final), cap)
+	}
+	if want := int64(writers*perWriter - 1); final[len(final)-1].ID != want {
+		t.Errorf("last ID = %d, want %d", final[len(final)-1].ID, want)
 	}
 }
 

@@ -1,0 +1,50 @@
+package telemetry
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	mrand "math/rand"
+	"sync"
+)
+
+// Trace IDs correlate one client request across every observability
+// surface: the wire frame that carried it, the server session that ran it,
+// system.query_log, the slow-query JSON log, and the error frame sent
+// back. They are opaque strings; ours are 16 hex characters.
+
+// traceKey is the context key for the statement trace ID.
+type traceKey struct{}
+
+// WithTraceID returns a context carrying the trace ID. An empty id returns
+// ctx unchanged.
+func WithTraceID(ctx context.Context, id string) context.Context {
+	if id == "" {
+		return ctx
+	}
+	return context.WithValue(ctx, traceKey{}, id)
+}
+
+// TraceID returns the trace ID carried by ctx, or "".
+func TraceID(ctx context.Context) string {
+	id, _ := ctx.Value(traceKey{}).(string)
+	return id
+}
+
+var fallbackMu sync.Mutex
+
+// NewTraceID returns a fresh random trace ID (16 hex chars). It never
+// fails: if the OS entropy source errors it falls back to math/rand, which
+// is fine for correlation (trace IDs are not secrets).
+func NewTraceID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		fallbackMu.Lock()
+		v := mrand.Uint64()
+		fallbackMu.Unlock()
+		for i := range b {
+			b[i] = byte(v >> (8 * i))
+		}
+	}
+	return hex.EncodeToString(b[:])
+}

@@ -1,0 +1,43 @@
+package telemetry
+
+import (
+	"context"
+	"testing"
+)
+
+func TestTraceIDContext(t *testing.T) {
+	ctx := context.Background()
+	if got := TraceID(ctx); got != "" {
+		t.Errorf("TraceID(empty ctx) = %q, want \"\"", got)
+	}
+	if got := WithTraceID(ctx, ""); got != ctx {
+		t.Error("WithTraceID(ctx, \"\") should return ctx unchanged")
+	}
+	ctx2 := WithTraceID(ctx, "abc123")
+	if got := TraceID(ctx2); got != "abc123" {
+		t.Errorf("TraceID = %q, want %q", got, "abc123")
+	}
+	// Nested IDs shadow, as with any context value.
+	if got := TraceID(WithTraceID(ctx2, "def456")); got != "def456" {
+		t.Errorf("nested TraceID = %q, want %q", got, "def456")
+	}
+}
+
+func TestNewTraceID(t *testing.T) {
+	seen := map[string]bool{}
+	for i := 0; i < 100; i++ {
+		id := NewTraceID()
+		if len(id) != 16 {
+			t.Fatalf("NewTraceID() = %q, want 16 hex chars", id)
+		}
+		for _, c := range id {
+			if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+				t.Fatalf("NewTraceID() = %q contains non-hex %q", id, c)
+			}
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID() repeated %q within 100 draws", id)
+		}
+		seen[id] = true
+	}
+}

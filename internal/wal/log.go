@@ -8,6 +8,7 @@ import (
 	"path/filepath"
 	"sort"
 	"sync"
+	"time"
 
 	"lambdadb/internal/faultinject"
 	"lambdadb/internal/telemetry"
@@ -25,10 +26,10 @@ import (
 var segMagic = []byte("LWAL1\n")
 
 const (
-	segHeaderLen = 6 + 8      // magic + sequence number
-	frameHeader  = 8          // length + CRC
-	maxRecordLen = 1 << 30    // plausibility bound while scanning
-	segPrefix    = "wal-"     // segment file name: wal-<08d>.log
+	segHeaderLen = 6 + 8   // magic + sequence number
+	frameHeader  = 8       // length + CRC
+	maxRecordLen = 1 << 30 // plausibility bound while scanning
+	segPrefix    = "wal-"  // segment file name: wal-<08d>.log
 	segSuffix    = ".log"
 )
 
@@ -308,11 +309,14 @@ func (l *log) flushLoop() {
 			break // closed and drained
 		}
 		buf, target, f := l.buf, l.appendLSN, l.f
+		batchRecords := int64(target - l.durableLSN)
 		l.buf = nil
 		l.writing = true
 		l.mu.Unlock()
 
+		flushStart := time.Now()
 		err := writeAndSync(f, buf)
+		flushNs := time.Since(flushStart).Nanoseconds()
 
 		l.mu.Lock()
 		l.writing = false
@@ -326,6 +330,7 @@ func (l *log) flushLoop() {
 			l.metrics.WalFsyncs.Add(1)
 			l.metrics.WalBytes.Add(int64(len(buf)))
 			l.metrics.WalDurableLsn.Store(int64(target))
+			l.metrics.Hist().RecordWalFsync(flushNs, batchRecords)
 			l.notifySubsLocked(false)
 		}
 		l.durable.Broadcast()

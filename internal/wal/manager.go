@@ -4,9 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"io/fs"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"lambdadb/internal/faultinject"
 	"lambdadb/internal/persist"
@@ -23,6 +25,8 @@ type Options struct {
 	// Metrics receives the durability counters (wal_appends, wal_fsyncs,
 	// wal_bytes, checkpoints). A nil Metrics gets a private, unobserved set.
 	Metrics *telemetry.Metrics
+	// Logger, when set, receives a structured recovery summary at Open.
+	Logger *slog.Logger
 }
 
 // RecoverySummary reports what Open found and did while recovering a data
@@ -160,6 +164,17 @@ func Open(dir string, opts Options) (*storage.Store, *Manager, error) {
 
 	m := &Manager{dir: dir, store: store, metrics: metrics, summary: summary, log: l}
 	store.SetCommitLogger(m)
+	if opts.Logger != nil {
+		opts.Logger.Info("recovery complete",
+			"dir", dir,
+			"snapshot_loaded", summary.SnapshotLoaded,
+			"snapshot_clock", summary.SnapshotClock,
+			"segments", summary.Segments,
+			"commits_replayed", summary.CommitsReplayed,
+			"ddl_replayed", summary.DDLReplayed,
+			"records_skipped", summary.RecordsSkipped,
+			"torn_tail_truncated", summary.TornTailTruncated)
+	}
 	return store, m, nil
 }
 
@@ -297,13 +312,20 @@ func (m *Manager) Summary() RecoverySummary { return m.summary }
 
 // LogCommit implements storage.CommitLogger: it appends the commit's redo
 // record (called under the commit lock, so append order is commit order)
-// and returns the group-commit durability wait.
+// and returns the group-commit durability wait. The time a committer parks
+// in that wait feeds the commit_wait stage histogram — the durability share
+// of end-to-end DML latency.
 func (m *Manager) LogCommit(c *storage.CommitData) (func() error, error) {
 	lsn, _, err := m.activeLog().append(encodeCommit(c))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.activeLog().waitDurable(lsn) }, nil
+	return func() error {
+		waitStart := time.Now()
+		err := m.activeLog().waitDurable(lsn)
+		m.metrics.Hist().RecordCommitWait(time.Since(waitStart).Nanoseconds())
+		return err
+	}, nil
 }
 
 // LogCreateTable implements storage.CommitLogger.
