@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet build test race bench overhead server-smoke crash chaos-repl bench-wal bench-obs
+.PHONY: check lint vet build test race bench overhead server-smoke crash chaos-repl bench-wal bench-obs fuzz-smoke bench-prepared
 
 ## check: everything CI runs except server-smoke — lint, build, full tests, race, telemetry-overhead smoke
 check: lint build test race overhead
@@ -55,3 +55,12 @@ chaos-repl:
 ## bench-wal: refresh the group-commit baseline (see BENCH_wal.json); asserts < 1 fsync per commit under concurrency
 bench-wal:
 	LAMBDADB_WAL_BENCH=1 $(GO) test ./internal/wal/ -run TestGroupCommitBench -count=1 -v
+
+## fuzz-smoke: 30s of native Go fuzzing against each SQL front-end target (go test allows one -fuzz per invocation)
+fuzz-smoke:
+	$(GO) test ./internal/sql/ -run xxx -fuzz FuzzParse -fuzztime 30s
+	$(GO) test ./internal/sql/ -run xxx -fuzz FuzzSplitStatements -fuzztime 30s
+
+## bench-prepared: refresh the prepared-statement baseline (see BENCH_prepared.json); asserts the plan-cached point-query path is >= 2x faster than lex+parse+plan per statement
+bench-prepared:
+	LAMBDADB_PREPARED_BENCH=1 $(GO) test ./internal/engine/ -run TestPreparedBench -count=1 -v

@@ -319,6 +319,7 @@ func interactive(banner string, db *engine.DB, session *engine.Session, ex execu
 	fmt.Println(`\save <path> to snapshot the database, \checkpoint to checkpoint a`)
 	fmt.Println(`durable one (-data-dir), \replication for replication status,`)
 	fmt.Println(`\metrics for engine counters and latency percentiles,`)
+	fmt.Println(`\prepare for this session's prepared statements and the plan cache,`)
 	fmt.Println(`\health [host:port] to probe a server's admin endpoint;`)
 	fmt.Println(`end statements with ;`)
 	scanner := bufio.NewScanner(os.Stdin)
@@ -438,6 +439,26 @@ func metaCommand(db *engine.DB, session *engine.Session, ex executor, cmd string
 		// percentile rows), so it works both embedded and over -connect.
 		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
 		res, err := ex.ExecContext(ctx, `SELECT name, value FROM system.metrics`)
+		cancel()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "error:", err)
+		} else {
+			fmt.Print(res)
+		}
+	case cmd == `\prepare`:
+		// PREPARE/EXECUTE themselves are plain SQL; this shows what is
+		// currently prepared and what the shared plan cache holds.
+		if session != nil {
+			names := session.Prepared()
+			sort.Strings(names)
+			if len(names) == 0 {
+				fmt.Println("no prepared statements in this session (PREPARE name AS ...)")
+			} else {
+				fmt.Printf("prepared: %s\n", strings.Join(names, ", "))
+			}
+		}
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		res, err := ex.ExecContext(ctx, `SELECT position, statement, num_params, hits FROM system.plan_cache`)
 		cancel()
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "error:", err)

@@ -1,0 +1,182 @@
+package engine
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"lambdadb/internal/types"
+)
+
+// TestPreparedBench measures the point-query latency win from the prepared
+// statement / plan-cache path versus re-lexing, re-parsing, and re-planning
+// every statement, and writes the numbers to BENCH_prepared.json at the repo
+// root. Three variants over the same indexed point query:
+//
+//   - unprepared: plan cache disabled; every execution pays lex+parse+plan.
+//   - adhoc_cached: plan cache on, identical text re-submitted; the hit path
+//     skips the front end entirely.
+//   - prepared: PREPARE once, then EXECUTE through the session API.
+//
+// It asserts the headline claim — the cached paths are at least 2x faster
+// than the unprepared path — and records the front end's share of statement
+// time from the stage histograms to show where the win comes from.
+//
+// Gated behind LAMBDADB_PREPARED_BENCH=1 (run via `make bench-prepared`)
+// because it is a timing benchmark, not a correctness test.
+func TestPreparedBench(t *testing.T) {
+	if os.Getenv("LAMBDADB_PREPARED_BENCH") != "1" {
+		t.Skip("set LAMBDADB_PREPARED_BENCH=1 (make bench-prepared) to run the prepared-statement benchmark")
+	}
+
+	const rows = 20000
+	const warmup = 200
+	const iters = 3000
+
+	setup := func(opts ...Option) *DB {
+		db := Open(opts...)
+		db.MustExec(`CREATE TABLE pts (id BIGINT, x DOUBLE, tag VARCHAR)`)
+		var sb strings.Builder
+		for i := 0; i < rows; i += 1000 {
+			sb.Reset()
+			sb.WriteString("INSERT INTO pts VALUES ")
+			for j := i; j < i+1000; j++ {
+				if j > i {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "(%d, %d.5, 'tag%d')", j, j, j%7)
+			}
+			db.MustExec(sb.String())
+		}
+		db.MustExec(`CREATE INDEX pts_id ON pts (id)`)
+		db.MustExec(`ANALYZE`)
+		return db
+	}
+
+	ctx := context.Background()
+	const query = `SELECT x FROM pts WHERE id = 12345`
+
+	timeLoop := func(n int, f func()) (meanNs float64) {
+		start := time.Now()
+		for i := 0; i < n; i++ {
+			f()
+		}
+		return float64(time.Since(start).Nanoseconds()) / float64(n)
+	}
+
+	// Unprepared: plan cache off, so ExecContext pays the whole front end
+	// on every call.
+	coldDB := setup(WithPlanCacheSize(0))
+	coldSess := coldDB.NewSession()
+	run := func(s *Session, sql string) {
+		res, err := s.ExecContext(ctx, sql)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].F != 12345.5 {
+			t.Fatalf("rows = %+v", res.Rows)
+		}
+	}
+	timeLoop(warmup, func() { run(coldSess, query) })
+	unpreparedNs := timeLoop(iters, func() { run(coldSess, query) })
+	coldStages := coldDB.Metrics().Hist()
+	coldParsePlan := coldStages.StageParsePlan.Snapshot()
+	coldExec := coldStages.StageExec.Snapshot()
+	coldSess.Close()
+	coldShare := share(coldParsePlan.Sum, coldExec.Sum)
+
+	// Ad-hoc cached: same text, cache on; after the first miss every
+	// execution is a hit that skips lex/parse/plan.
+	adhocDB := setup()
+	adhocSess := adhocDB.NewSession()
+	timeLoop(warmup, func() { run(adhocSess, query) })
+	adhocNs := timeLoop(iters, func() { run(adhocSess, query) })
+	adhocHits := adhocDB.Metrics().PlanCacheHits.Load()
+	adhocMisses := adhocDB.Metrics().PlanCacheMisses.Load()
+	adhocStages := adhocDB.Metrics().Hist()
+	adhocShare := share(adhocStages.StageParsePlan.Snapshot().Sum, adhocStages.StageExec.Snapshot().Sum)
+	adhocSess.Close()
+
+	// Prepared: parse once, bind per execution.
+	prepDB := setup()
+	prepSess := prepDB.NewSession()
+	if _, err := prepSess.ExecContext(ctx, `PREPARE p AS SELECT x FROM pts WHERE id = $1`); err != nil {
+		t.Fatal(err)
+	}
+	arg := []types.Value{types.NewInt(12345)}
+	runPrep := func() {
+		res, err := prepSess.ExecutePrepared(ctx, "p", arg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Rows) != 1 || res.Rows[0][0].F != 12345.5 {
+			t.Fatalf("rows = %+v", res.Rows)
+		}
+	}
+	timeLoop(warmup, runPrep)
+	preparedNs := timeLoop(iters, runPrep)
+	prepHits := prepDB.Metrics().PlanCacheHits.Load()
+	prepSess.Close()
+
+	t.Logf("unprepared   %8.0f ns/op  (front end %4.1f%% of stmt time)", unpreparedNs, 100*coldShare)
+	t.Logf("adhoc cached %8.0f ns/op  (%.1fx; hits=%d misses=%d, front end %4.1f%%)",
+		adhocNs, unpreparedNs/adhocNs, adhocHits, adhocMisses, 100*adhocShare)
+	t.Logf("prepared     %8.0f ns/op  (%.1fx; hits=%d)", preparedNs, unpreparedNs/preparedNs, prepHits)
+
+	if unpreparedNs < 2*preparedNs {
+		t.Errorf("prepared path is only %.2fx faster than unprepared; want >= 2x", unpreparedNs/preparedNs)
+	}
+	if unpreparedNs < 2*adhocNs {
+		t.Errorf("ad-hoc cached path is only %.2fx faster than unprepared; want >= 2x", unpreparedNs/adhocNs)
+	}
+	if int(adhocHits) < iters {
+		t.Errorf("ad-hoc cache hits = %d, want >= %d", adhocHits, iters)
+	}
+
+	out, err := json.MarshalIndent(map[string]any{
+		"description":        "Point query (indexed, 20k rows): prepared/plan-cached execution vs full lex+parse+plan per statement.",
+		"query":              query,
+		"rows":               rows,
+		"iterations":         iters,
+		"unprepared_ns_op":   round1(unpreparedNs),
+		"adhoc_cached_ns_op": round1(adhocNs),
+		"prepared_ns_op":     round1(preparedNs),
+		"speedup_adhoc":      round2(unpreparedNs / adhocNs),
+		"speedup_prepared":   round2(unpreparedNs / preparedNs),
+		"plan_cache": map[string]any{
+			"adhoc_hits":    adhocHits,
+			"adhoc_misses":  adhocMisses,
+			"prepared_hits": prepHits,
+		},
+		"front_end_share_of_stmt_time": map[string]any{
+			"unprepared":   round3(coldShare),
+			"adhoc_cached": round3(adhocShare),
+		},
+	}, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("..", "..", "BENCH_prepared.json")
+	if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	abs, _ := filepath.Abs(path)
+	t.Logf("wrote %s", abs)
+}
+
+// share returns a/(a+b), 0 when empty.
+func share(a, b int64) float64 {
+	if a+b == 0 {
+		return 0
+	}
+	return float64(a) / float64(a+b)
+}
+
+func round1(v float64) float64 { return float64(int64(v*10)) / 10 }
+func round2(v float64) float64 { return float64(int64(v*100)) / 100 }
+func round3(v float64) float64 { return float64(int64(v*1000)) / 1000 }

@@ -18,6 +18,7 @@ import (
 	"lambdadb/internal/load"
 	"lambdadb/internal/persist"
 	"lambdadb/internal/plan"
+	"lambdadb/internal/plancache"
 	"lambdadb/internal/sql"
 	"lambdadb/internal/storage"
 	"lambdadb/internal/telemetry"
@@ -36,6 +37,8 @@ type DB struct {
 	queryLog      *telemetry.QueryLog
 	metrics       *telemetry.Metrics
 	stats         statsRegistry
+	planCache     *plancache.Cache
+	planCacheSize int
 	logger        *slog.Logger
 	slowThreshold time.Duration
 	slowSink      io.Writer
@@ -88,6 +91,17 @@ func WithIterationLimit(n int) Option {
 	return func(db *DB) { db.iterLimit = n }
 }
 
+// WithPlanCacheSize caps the shared LRU plan cache at n entries; n = 0
+// disables plan caching entirely (every statement is planned from scratch).
+// The default is plancache.DefaultSize.
+func WithPlanCacheSize(n int) Option {
+	return func(db *DB) {
+		if n >= 0 {
+			db.planCacheSize = n
+		}
+	}
+}
+
 // WithSlowQueryThreshold appends every statement that runs for at least d
 // to sink as one JSON line including its compact per-operator stats tree.
 // Setting a threshold arms statement telemetry for all statements (a few
@@ -122,11 +136,12 @@ func WithCheckpointInterval(d time.Duration) Option {
 // Open creates an empty database.
 func Open(opts ...Option) *DB {
 	db := &DB{
-		store:    storage.NewStore(),
-		workers:  runtime.GOMAXPROCS(0),
-		queryLog: telemetry.NewQueryLog(0),
-		metrics:  &telemetry.Metrics{},
-		stats:    statsRegistry{m: map[string]*plan.TableStats{}},
+		store:         storage.NewStore(),
+		workers:       runtime.GOMAXPROCS(0),
+		queryLog:      telemetry.NewQueryLog(0),
+		metrics:       &telemetry.Metrics{},
+		stats:         statsRegistry{m: map[string]*plan.TableStats{}},
+		planCacheSize: plancache.DefaultSize,
 		// Default logging matches the engine's historical stderr behavior:
 		// background failures surface, routine lifecycle (recovery summaries)
 		// stays quiet until WithLogger installs an operator-facing logger.
@@ -135,6 +150,7 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(db)
 	}
+	db.planCache = plancache.New(db.planCacheSize)
 	return db
 }
 
@@ -343,6 +359,12 @@ func (db *DB) Query(text string) (*Result, error) {
 
 // QueryContext is Query governed by ctx (see ExecContext).
 func (db *DB) QueryContext(ctx context.Context, text string) (*Result, error) {
+	fastSess := db.NewSession()
+	res, handled, err := fastSess.tryCachedSelect(ctx, text)
+	fastSess.Close()
+	if handled {
+		return res, err
+	}
 	parseStart := time.Now()
 	st, err := sql.ParseOne(text)
 	parseNs := time.Since(parseStart).Nanoseconds()
@@ -398,6 +420,17 @@ type Session struct {
 	// time execSelect spent building the plan.
 	parseNs int64
 	planNs  int64
+
+	// prepared holds this session's PREPAREd statements by name.
+	prepared map[string]*preparedStmt
+
+	// cacheKey, when non-empty, asks execSelect to insert the plan it
+	// builds into the shared plan cache under that key, stamped with
+	// cacheDDLVer/cacheStatsVer (read before the build started, so a DDL
+	// racing the build invalidates the entry on its next lookup).
+	cacheKey      string
+	cacheDDLVer   uint64
+	cacheStatsVer uint64
 }
 
 // CollectStats arms (or disarms) per-operator statistics collection for
@@ -471,6 +504,15 @@ func (s *Session) Exec(text string) (*Result, error) {
 // statement failure, or cancellation — aborts an open explicit transaction
 // (see Session).
 func (s *Session) ExecContext(ctx context.Context, text string) (*Result, error) {
+	// Plan-cache fast path: a single SELECT whose normalized text matches a
+	// cached template executes with zero lex/parse/plan work. Misses fall
+	// through to the ordinary path (which inserts the built plan).
+	if res, handled, err := s.tryCachedSelect(ctx, text); handled {
+		if err != nil {
+			return nil, s.abortOnError(err)
+		}
+		return res, nil
+	}
 	parseStart := time.Now()
 	stmts, err := sql.Parse(text)
 	if err != nil {
@@ -576,6 +618,12 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 		return s.execCopy(n)
 	case *sql.Explain:
 		return s.execExplain(ctx, n)
+	case *sql.Prepare:
+		return s.execPrepare(n)
+	case *sql.Execute:
+		return s.execExecute(ctx, n)
+	case *sql.Deallocate:
+		return s.execDeallocate(n)
 	case *sql.Checkpoint:
 		stats, err := s.db.Checkpoint()
 		if err != nil {
@@ -709,12 +757,36 @@ func (s *Session) runPlan(ctx context.Context, node plan.Node) (*exec.Materializ
 }
 
 func (s *Session) execSelect(ctx context.Context, sel *sql.Select) (*Result, error) {
+	if n, err := sql.NumParams(sel); err != nil {
+		return nil, err
+	} else if n > 0 {
+		return nil, fmt.Errorf("statement has %d parameter placeholder(s); use PREPARE / EXECUTE to bind them", n)
+	}
+	// Read both invalidation versions before building: a DDL or ANALYZE
+	// racing this build then mismatches the stamped entry on its next
+	// lookup, so a possibly-stale plan is never served again.
+	ddlVer := s.db.store.DDLVersion()
+	statsVer := s.db.stats.Version()
 	planStart := time.Now()
 	node, err := s.newBuilder().BuildSelect(sel)
 	s.planNs = time.Since(planStart).Nanoseconds()
 	if err != nil {
 		return nil, err
 	}
+	if key := s.cacheKey; key != "" {
+		s.cacheKey = ""
+		if planCacheable(node) {
+			s.db.planCache.Put(&plancache.Entry{
+				Key: key, Plan: node, DDLVer: ddlVer, StatsVer: statsVer,
+			})
+		}
+	}
+	return s.runSelectPlan(ctx, node)
+}
+
+// runSelectPlan executes a built (or rebound) SELECT plan and shapes the
+// result.
+func (s *Session) runSelectPlan(ctx context.Context, node plan.Node) (*Result, error) {
 	mat, err := s.runPlan(ctx, node)
 	if err != nil {
 		return nil, err

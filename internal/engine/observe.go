@@ -30,11 +30,21 @@ func stmtKind(st sql.Statement) string {
 // carried by ctx (if any) is stamped into the log entries so one ID follows
 // the statement across every surface.
 func (s *Session) execLogged(ctx context.Context, text string, st sql.Statement) (*Result, error) {
+	return s.execLoggedKind(ctx, text, stmtKind(st), func(ctx context.Context) (*Result, error) {
+		return s.execStatement(ctx, st)
+	})
+}
+
+// execLoggedKind is execLogged without an AST: the plan-cache hit path uses
+// it because a cached statement is never re-parsed, so there is no syntax
+// tree to classify — the caller supplies the histogram kind and a closure
+// that does the work.
+func (s *Session) execLoggedKind(ctx context.Context, text, kind string, run func(context.Context) (*Result, error)) (*Result, error) {
 	s.lastStats, s.lastPeak, s.planNs = nil, 0, 0
 	db := s.db
 	db.metrics.QueriesActive.Add(1)
 	start := time.Now()
-	res, err := s.execStatement(ctx, st)
+	res, err := run(ctx)
 	dur := time.Since(start)
 	db.metrics.QueriesActive.Add(-1)
 
@@ -50,7 +60,7 @@ func (s *Session) execLogged(ctx context.Context, text string, st sql.Statement)
 	}
 	db.metrics.RecordStatement(status, returned, affected, dur, s.lastPeak)
 	hist := db.metrics.Hist()
-	hist.RecordStmt(stmtKind(st), dur.Nanoseconds())
+	hist.RecordStmt(kind, dur.Nanoseconds())
 	// Stage split: parse time is attributed by ExecContext (s.parseNs),
 	// plan time by execSelect (s.planNs); what remains is execution.
 	execNs := dur.Nanoseconds() - s.planNs

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"lambdadb/internal/plan"
 	"lambdadb/internal/sql"
@@ -18,7 +19,14 @@ import (
 type statsRegistry struct {
 	mu sync.RWMutex
 	m  map[string]*plan.TableStats
+	// version counts every statistics change (ANALYZE, CHECKPOINT refresh,
+	// drop-with-table). Plan-cache entries are stamped with it: a stats
+	// change means a cached plan may no longer be the plan the optimizer
+	// would pick, so it must be rebuilt.
+	version atomic.Uint64
 }
+
+func (r *statsRegistry) Version() uint64 { return r.version.Load() }
 
 func (r *statsRegistry) TableStats(table string) (*plan.TableStats, bool) {
 	r.mu.RLock()
@@ -31,12 +39,14 @@ func (r *statsRegistry) put(ts *plan.TableStats) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	r.m[ts.Table] = ts
+	r.version.Add(1)
 }
 
 func (r *statsRegistry) drop(table string) {
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	delete(r.m, table)
+	r.version.Add(1)
 }
 
 // tables returns the analyzed table names, sorted.

@@ -28,6 +28,8 @@ func (c systemCatalog) Resolve(name string) (catalog.Relation, error) {
 		return c.indexesRelation(), nil
 	case "system.replication":
 		return c.replicationRelation(), nil
+	case "system.plan_cache":
+		return c.planCacheRelation(), nil
 	}
 	return c.db.store.Resolve(name)
 }
@@ -145,6 +147,31 @@ func (c systemCatalog) metricsRelation() *memRelation {
 		b.AppendRow([]types.Value{types.NewString(m.Name), types.NewInt(m.Value)})
 	}
 	return newMemRelation("system.metrics", schema, b)
+}
+
+// planCacheRelation lists the cached plan templates, most recently used
+// first (list position 0 is the MRU entry, the last to be evicted).
+func (c systemCatalog) planCacheRelation() *memRelation {
+	schema := types.Schema{
+		{Name: "position", Type: types.Int64},
+		{Name: "statement", Type: types.String},
+		{Name: "num_params", Type: types.Int64},
+		{Name: "hits", Type: types.Int64},
+		{Name: "ddl_version", Type: types.Int64},
+		{Name: "stats_version", Type: types.Int64},
+	}
+	b := types.NewBatch(schema)
+	for i, e := range c.db.planCache.Snapshot() {
+		b.AppendRow([]types.Value{
+			types.NewInt(int64(i)),
+			types.NewString(e.Key),
+			types.NewInt(int64(e.NParams)),
+			types.NewInt(e.Hits),
+			types.NewInt(int64(e.DDLVer)),
+			types.NewInt(int64(e.StatsVer)),
+		})
+	}
+	return newMemRelation("system.plan_cache", schema, b)
 }
 
 // memRelation is an immutable in-memory relation backing a virtual table.

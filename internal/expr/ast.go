@@ -86,6 +86,21 @@ func (c *Const) String() string {
 	return c.Val.String()
 }
 
+// Param is a $N positional parameter placeholder (Idx is 1-based). Its type
+// is Unknown until resolution infers one from the surrounding expression or
+// a PREPARE type list stamps one on. Params survive into cached plans and
+// are substituted with Consts when the plan is rebound at EXECUTE time; an
+// unbound Param reaching the evaluator is an error.
+type Param struct {
+	Idx int
+	Typ types.Type
+}
+
+// Type implements Expr.
+func (p *Param) Type() types.Type { return p.Typ }
+
+func (p *Param) String() string { return fmt.Sprintf("$%d", p.Idx) }
+
 // ColRef references a column, optionally qualified by a table alias.
 // Index is -1 until resolution binds it to a position in the input schema.
 type ColRef struct {

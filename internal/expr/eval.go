@@ -36,6 +36,9 @@ func Compile(e Expr) (Evaluator, error) {
 			return b.Cols[idx], nil
 		}, nil
 
+	case *Param:
+		return nil, fmt.Errorf("unbound parameter $%d (parameters are only valid in prepared statements)", n.Idx)
+
 	case *Cast:
 		return compileCast(n)
 

@@ -70,6 +70,12 @@ func Resolve(e Expr, rc *ResolveCtx) (Expr, error) {
 	case *Const:
 		return n, nil
 
+	case *Param:
+		// Return a copy so type inference (typeBinOp) can stamp a type on
+		// this occurrence without mutating the statement AST, which may be
+		// re-resolved later with different bindings.
+		return &Param{Idx: n.Idx, Typ: n.Typ}, nil
+
 	case *ColRef:
 		idx, err := rc.Lookup(n.Table, n.Name)
 		if err != nil {
@@ -201,7 +207,25 @@ func castTo(e Expr, t types.Type) Expr {
 	return &Cast{E: e, To: t}
 }
 
+// adoptParamType lets an untyped Param take the type of the expression on
+// the other side of a binary operator, so `id = $1` types $1 from `id`.
+func adoptParamType(a, b Expr) {
+	if p, ok := a.(*Param); ok && p.Typ == types.Unknown && b.Type() != types.Unknown {
+		if _, otherParam := b.(*Param); !otherParam {
+			p.Typ = b.Type()
+		}
+	}
+}
+
 func typeBinOp(op Op, l, r Expr) (Expr, error) {
+	adoptParamType(l, r)
+	adoptParamType(r, l)
+	if p, ok := l.(*Param); ok && p.Typ == types.Unknown {
+		return nil, fmt.Errorf("cannot infer a type for parameter $%d; declare one with PREPARE name (TYPE, ...) AS ...", p.Idx)
+	}
+	if p, ok := r.(*Param); ok && p.Typ == types.Unknown {
+		return nil, fmt.Errorf("cannot infer a type for parameter $%d; declare one with PREPARE name (TYPE, ...) AS ...", p.Idx)
+	}
 	lt, rt := l.Type(), r.Type()
 	switch {
 	case op.IsArith():

@@ -505,9 +505,31 @@ func chooseIndexScan(n Node, stats StatsProvider) Node {
 type colBounds struct {
 	eq           *types.Value
 	eqConj       int // conjunct index providing eq
+	eqParam      int // $N providing an equality probe (0 = none)
+	eqParamConj  int // conjunct index providing eqParam
 	lo, hi       *types.Value
 	loInc, hiInc bool
 	rangeConjs   []int // conjunct indices absorbed into lo/hi
+}
+
+// colEqParam matches a conjunct of the form `col = $n` (either orientation),
+// returning the column index and parameter ordinal.
+func colEqParam(c expr.Expr) (col int, param int, ok bool) {
+	b, isBin := c.(*expr.BinOp)
+	if !isBin || b.Op != expr.OpEq {
+		return 0, 0, false
+	}
+	if cr, isCol := b.L.(*expr.ColRef); isCol && cr.Index >= 0 {
+		if p, isParam := b.R.(*expr.Param); isParam {
+			return cr.Index, p.Idx, true
+		}
+	}
+	if cr, isCol := b.R.(*expr.ColRef); isCol && cr.Index >= 0 {
+		if p, isParam := b.L.(*expr.Param); isParam {
+			return cr.Index, p.Idx, true
+		}
+	}
+	return 0, 0, false
 }
 
 // collectColumnBounds groups col-op-const conjuncts by column name,
@@ -517,7 +539,22 @@ func collectColumnBounds(conjs []expr.Expr, schema types.Schema) map[string]*col
 	out := map[string]*colBounds{}
 	for i, c := range conjs {
 		col, op, val, ok := colOpConst(c)
-		if !ok || col >= len(schema) {
+		if !ok {
+			// Parameter equality probes are value-independent: the index
+			// choice and its NDV-based estimate hold for any binding.
+			if pcol, param, pok := colEqParam(c); pok && pcol < len(schema) {
+				cb := out[schema[pcol].Name]
+				if cb == nil {
+					cb = &colBounds{}
+					out[schema[pcol].Name] = cb
+				}
+				if cb.eqParam == 0 {
+					cb.eqParam, cb.eqParamConj = param, i
+				}
+			}
+			continue
+		}
+		if col >= len(schema) {
 			continue
 		}
 		name := schema[col].Name
@@ -606,6 +643,23 @@ func buildIndexProbe(scan *Scan, idx *catalog.IndexInfo, cb *colBounds, rows flo
 		}
 		base.EstRows = rows * clamp01(sel)
 		return base, map[int]bool{cb.eqConj: true}
+	}
+	if cb.eqParam > 0 {
+		// Point probe against a $N parameter: the key arrives at rebind
+		// time, but equality selectivity does not depend on the value.
+		base.EqParam = cb.eqParam
+		sel := 0.0
+		if ts != nil {
+			sel = ts.EqSelectivity(idx.Column)
+		} else {
+			keys := idx.Keys
+			if keys < 1 {
+				keys = 1
+			}
+			sel = 1 / float64(keys)
+		}
+		base.EstRows = rows * clamp01(sel)
+		return base, map[int]bool{cb.eqParamConj: true}
 	}
 	if cb.lo == nil && cb.hi == nil {
 		return nil, nil

@@ -80,6 +80,11 @@ type IndexScan struct {
 	Lo, Hi       *types.Value // range bounds; nil = unbounded
 	LoInc, HiInc bool
 
+	// EqParam, when > 0, marks an equality probe against parameter $EqParam
+	// of a prepared statement; Rebind fills Eq from the bound argument. A
+	// plan with EqParam set cannot execute until rebound.
+	EqParam int
+
 	EstRows float64
 }
 
@@ -96,6 +101,9 @@ func (s *IndexScan) Explain() string {
 func (s *IndexScan) probeString() string {
 	if s.Eq != nil {
 		return fmt.Sprintf("%s = %s", s.Column, s.Eq)
+	}
+	if s.EqParam > 0 {
+		return fmt.Sprintf("%s = $%d", s.Column, s.EqParam)
 	}
 	var sb strings.Builder
 	if s.Lo != nil {

@@ -1,0 +1,257 @@
+package plan
+
+import (
+	"fmt"
+
+	"lambdadb/internal/expr"
+	"lambdadb/internal/types"
+)
+
+// Rebind deep-clones a plan so a cached template can be executed again:
+// every node is copied (optimizer passes and the executor may annotate nodes
+// in place, so cached templates are never run directly), scans are stamped
+// with a fresh snapshot, and $N parameter placeholders are substituted with
+// the bound argument values. args[i] binds $i+1; values are coerced to the
+// type inference stamped on each placeholder occurrence.
+//
+// Expression trees are shared with the template when there are no arguments
+// to substitute — the executor compiles them read-only — and rewritten into
+// fresh trees otherwise.
+func Rebind(n Node, snapshot uint64, args []types.Value) (Node, error) {
+	r := &rebinder{snapshot: snapshot, args: args}
+	out := r.node(n)
+	if r.err != nil {
+		return nil, r.err
+	}
+	return out, nil
+}
+
+type rebinder struct {
+	snapshot uint64
+	args     []types.Value
+	err      error
+	// shared memoizes Shared-node clones: a CTE referenced twice must stay
+	// one node after cloning, or its materialization would run twice.
+	shared map[*Shared]*Shared
+}
+
+func (r *rebinder) fail(err error) {
+	if r.err == nil {
+		r.err = err
+	}
+}
+
+// bindParamValue coerces an argument to the placeholder's inferred type.
+func bindParamValue(v types.Value, to types.Type, idx int) (types.Value, error) {
+	if v.Null {
+		return types.NewNull(to), nil
+	}
+	if v.T == to || to == types.Unknown {
+		return v, nil
+	}
+	if v.T.IsNumeric() && to.IsNumeric() {
+		if to == types.Float64 {
+			return types.NewFloat(v.AsFloat()), nil
+		}
+		return types.NewInt(v.AsInt()), nil
+	}
+	return types.Value{}, fmt.Errorf("parameter $%d: cannot bind %s value where %s is expected", idx, v.T, to)
+}
+
+func (r *rebinder) expr(e expr.Expr) expr.Expr {
+	if e == nil || len(r.args) == 0 {
+		return e
+	}
+	return expr.Rewrite(e, func(x expr.Expr) expr.Expr {
+		p, ok := x.(*expr.Param)
+		if !ok {
+			return x
+		}
+		if p.Idx < 1 || p.Idx > len(r.args) {
+			r.fail(fmt.Errorf("no argument bound for parameter $%d", p.Idx))
+			return x
+		}
+		v, err := bindParamValue(r.args[p.Idx-1], p.Typ, p.Idx)
+		if err != nil {
+			r.fail(err)
+			return x
+		}
+		return &expr.Const{Val: v}
+	})
+}
+
+func (r *rebinder) exprs(es []expr.Expr) []expr.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = r.expr(e)
+	}
+	return out
+}
+
+func (r *rebinder) node(n Node) Node {
+	if n == nil || r.err != nil {
+		return n
+	}
+	switch t := n.(type) {
+	case *Scan:
+		c := *t
+		c.Snapshot = r.snapshot
+		return &c
+
+	case *IndexScan:
+		c := *t
+		c.Snapshot = r.snapshot
+		if c.EqParam > 0 {
+			if c.EqParam > len(r.args) {
+				r.fail(fmt.Errorf("no argument bound for parameter $%d", c.EqParam))
+				return &c
+			}
+			key := r.args[c.EqParam-1]
+			// Coerce against the indexed column's declared type so the
+			// probe key compares like a stored value.
+			schema := c.Rel.Schema()
+			for _, ci := range schema {
+				if ci.Name == c.Column {
+					v, err := bindParamValue(key, ci.Type, c.EqParam)
+					if err != nil {
+						r.fail(err)
+						return &c
+					}
+					key = v
+					break
+				}
+			}
+			c.Eq = &key
+			c.EqParam = 0
+		}
+		return &c
+
+	case *WorkingScan:
+		c := *t
+		return &c
+
+	case *Values:
+		c := *t
+		return &c
+
+	case *Filter:
+		c := *t
+		c.Child = r.node(t.Child)
+		c.Pred = r.expr(t.Pred)
+		return &c
+
+	case *Project:
+		c := *t
+		c.Child = r.node(t.Child)
+		c.Exprs = r.exprs(t.Exprs)
+		return &c
+
+	case *Join:
+		c := *t
+		c.L = r.node(t.L)
+		c.R = r.node(t.R)
+		c.On = r.expr(t.On)
+		c.Residual = r.expr(t.Residual)
+		return &c
+
+	case *Aggregate:
+		c := *t
+		c.Child = r.node(t.Child)
+		c.Keys = r.exprs(t.Keys)
+		if len(r.args) > 0 && t.Aggs != nil {
+			aggs := make([]AggSpec, len(t.Aggs))
+			copy(aggs, t.Aggs)
+			for i := range aggs {
+				aggs[i].Arg = r.expr(aggs[i].Arg)
+			}
+			c.Aggs = aggs
+		}
+		return &c
+
+	case *Sort:
+		c := *t
+		c.Child = r.node(t.Child)
+		return &c
+
+	case *Limit:
+		c := *t
+		c.Child = r.node(t.Child)
+		return &c
+
+	case *Distinct:
+		c := *t
+		c.Child = r.node(t.Child)
+		return &c
+
+	case *Union:
+		c := *t
+		c.L = r.node(t.L)
+		c.R = r.node(t.R)
+		return &c
+
+	case *RecursiveCTE:
+		c := *t
+		c.Init = r.node(t.Init)
+		c.Rec = r.node(t.Rec)
+		return &c
+
+	case *Iterate:
+		c := *t
+		c.Init = r.node(t.Init)
+		c.Step = r.node(t.Step)
+		c.Stop = r.node(t.Stop)
+		return &c
+
+	case *KMeans:
+		c := *t
+		c.Data = r.node(t.Data)
+		c.Centers = r.node(t.Centers)
+		return &c
+
+	case *KMeansAssign:
+		c := *t
+		c.Data = r.node(t.Data)
+		c.Centers = r.node(t.Centers)
+		return &c
+
+	case *PageRank:
+		c := *t
+		c.Edges = r.node(t.Edges)
+		return &c
+
+	case *NaiveBayesTrain:
+		c := *t
+		c.Data = r.node(t.Data)
+		return &c
+
+	case *NaiveBayesPredict:
+		c := *t
+		c.Model = r.node(t.Model)
+		c.Data = r.node(t.Data)
+		return &c
+
+	case *Alias:
+		c := *t
+		c.Child = r.node(t.Child)
+		return &c
+
+	case *Shared:
+		if c, ok := r.shared[t]; ok {
+			return c
+		}
+		c := &Shared{Invariant: t.Invariant}
+		if r.shared == nil {
+			r.shared = map[*Shared]*Shared{}
+		}
+		r.shared[t] = c
+		c.Child = r.node(t.Child)
+		return c
+
+	default:
+		r.fail(fmt.Errorf("cannot rebind plan node %T", n))
+		return n
+	}
+}

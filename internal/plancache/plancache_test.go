@@ -1,0 +1,144 @@
+package plancache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"lambdadb/internal/plan"
+	"lambdadb/internal/types"
+)
+
+// stub returns a distinct tiny plan node so tests can tell entries apart.
+func stub(tag int) plan.Node {
+	return &plan.Values{
+		Sch:  types.Schema{{Name: "x", Type: types.Int64}},
+		Rows: [][]types.Value{{types.NewInt(int64(tag))}},
+	}
+}
+
+func TestCacheHitMissInvalidate(t *testing.T) {
+	c := New(4)
+	if e, o := c.Get("k", 1, 1); e != nil || o != Miss {
+		t.Fatalf("empty get = %v, %v", e, o)
+	}
+	c.Put(&Entry{Key: "k", Plan: stub(1), DDLVer: 1, StatsVer: 1})
+	e, o := c.Get("k", 1, 1)
+	if e == nil || o != Hit || e.Hits != 1 {
+		t.Fatalf("hit = %+v, %v", e, o)
+	}
+	// A DDL-version mismatch drops the entry.
+	if _, o = c.Get("k", 2, 1); o != Invalidated {
+		t.Fatalf("ddl mismatch = %v", o)
+	}
+	if _, o = c.Get("k", 2, 1); o != Miss {
+		t.Fatalf("after invalidation = %v", o)
+	}
+	// Same for a stats-version mismatch.
+	c.Put(&Entry{Key: "k", Plan: stub(2), DDLVer: 2, StatsVer: 1})
+	if _, o = c.Get("k", 2, 9); o != Invalidated {
+		t.Fatalf("stats mismatch = %v", o)
+	}
+	// Four misses: the empty get, both invalidations (an invalidation is
+	// also a miss), and the get after the first invalidation.
+	hits, misses, inv, entries := c.Stats()
+	if hits != 1 || misses != 4 || inv != 2 || entries != 0 {
+		t.Fatalf("stats = %d %d %d %d", hits, misses, inv, entries)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	c := New(3)
+	for i := 0; i < 3; i++ {
+		c.Put(&Entry{Key: fmt.Sprintf("k%d", i), Plan: stub(i)})
+	}
+	// Touch k0 so it is the most recently used.
+	if _, o := c.Get("k0", 0, 0); o != Hit {
+		t.Fatal("k0 should hit")
+	}
+	// Inserting a fourth entry evicts the LRU (k1).
+	c.Put(&Entry{Key: "k3", Plan: stub(3)})
+	if _, o := c.Get("k1", 0, 0); o != Miss {
+		t.Fatal("k1 should have been evicted")
+	}
+	for _, k := range []string{"k0", "k2", "k3"} {
+		if _, o := c.Get(k, 0, 0); o != Hit {
+			t.Errorf("%s should still be cached", k)
+		}
+	}
+	if c.Len() != 3 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	// Snapshot is MRU-first.
+	snap := c.Snapshot()
+	if snap[0].Key != "k3" && snap[0].Key != "k0" && snap[0].Key != "k2" {
+		t.Fatalf("snapshot head = %q", snap[0].Key)
+	}
+}
+
+func TestCacheReplace(t *testing.T) {
+	c := New(2)
+	c.Put(&Entry{Key: "k", Plan: stub(1), DDLVer: 1})
+	c.Put(&Entry{Key: "k", Plan: stub(2), DDLVer: 2})
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	e, o := c.Get("k", 2, 0)
+	if o != Hit || e.DDLVer != 2 {
+		t.Fatalf("replaced entry = %+v, %v", e, o)
+	}
+}
+
+func TestCacheDisabledAndNil(t *testing.T) {
+	c := New(0)
+	c.Put(&Entry{Key: "k", Plan: stub(1)})
+	if _, o := c.Get("k", 0, 0); o != Miss {
+		t.Fatal("size-0 cache should never hit")
+	}
+	var nilCache *Cache
+	nilCache.Put(&Entry{Key: "k"})
+	if _, o := nilCache.Get("k", 0, 0); o != Miss {
+		t.Fatal("nil cache should miss")
+	}
+	if nilCache.Len() != 0 || nilCache.Snapshot() != nil {
+		t.Fatal("nil cache should be empty")
+	}
+}
+
+func TestCacheBulkInvalidate(t *testing.T) {
+	c := New(8)
+	for i := 0; i < 4; i++ {
+		c.Put(&Entry{Key: fmt.Sprintf("k%d", i), Plan: stub(i), DDLVer: 1, StatsVer: 1})
+	}
+	c.Put(&Entry{Key: "fresh", Plan: stub(9), DDLVer: 2, StatsVer: 1})
+	if n := c.Invalidate(2, 1); n != 4 {
+		t.Fatalf("invalidated %d, want 4", n)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+// TestCacheConcurrent hammers the cache from many goroutines; run with
+// -race it proves the locking.
+func TestCacheConcurrent(t *testing.T) {
+	c := New(16)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				k := fmt.Sprintf("k%d", (g+i)%24)
+				if _, o := c.Get(k, uint64(i%3), 0); o != Hit {
+					c.Put(&Entry{Key: k, Plan: stub(i), DDLVer: uint64(i % 3)})
+				}
+				if i%100 == 0 {
+					c.Snapshot()
+					c.Invalidate(uint64(i%3), 0)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+}

@@ -151,6 +151,36 @@ func (c *Conn) Exec(text string) (*Result, error) {
 // its query log, slow-query log, and any error frame, so one ID follows
 // the statement across every observability surface.
 func (c *Conn) ExecContext(ctx context.Context, text string) (*Result, error) {
+	return c.roundTrip(ctx, wire.Query, []byte(text))
+}
+
+// Prepare creates a named server-side prepared statement on this
+// connection's session; stmt may contain $1..$N placeholders, and name may
+// carry a declared type list, e.g. "q (INT, TEXT)". It is sent as ordinary
+// PREPARE statement text, so it also works against servers predating the
+// prepared-statement frames (which answer Bind by dropping the connection —
+// a failed Prepare is the compatibility signal to stop).
+func (c *Conn) Prepare(ctx context.Context, name, stmt string) error {
+	_, err := c.ExecContext(ctx, "PREPARE "+name+" AS "+stmt)
+	return err
+}
+
+// ExecutePrepared executes a prepared statement with args bound to $1..$N
+// using a Bind frame: no SQL text crosses the wire and the server skips
+// lex/parse/plan entirely on a plan-cache hit. Only call it after a
+// successful Prepare on this connection.
+func (c *Conn) ExecutePrepared(ctx context.Context, name string, args ...types.Value) (*Result, error) {
+	return c.roundTrip(ctx, wire.Bind, wire.EncodeBind(name, args))
+}
+
+// Deallocate drops one prepared statement, or every one when name is "".
+func (c *Conn) Deallocate(ctx context.Context, name string) error {
+	_, err := c.roundTrip(ctx, wire.Deallocate, []byte(name))
+	return err
+}
+
+// roundTrip sends one request frame and decodes the single response frame.
+func (c *Conn) roundTrip(ctx context.Context, typ byte, body []byte) (*Result, error) {
 	c.reqMu.Lock()
 	defer c.reqMu.Unlock()
 	nc, err := c.conn()
@@ -175,7 +205,7 @@ func (c *Conn) ExecContext(ctx context.Context, text string) (*Result, error) {
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
-	if err := wire.WriteFrame(nc, wire.Query, wire.AppendTraced(traceID, []byte(text))); err != nil {
+	if err := wire.WriteFrame(nc, typ, wire.AppendTraced(traceID, body)); err != nil {
 		return nil, c.fail(ctx, err)
 	}
 	typ, payload, err := wire.ReadFrame(c.br)

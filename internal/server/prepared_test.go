@@ -1,0 +1,181 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"lambdadb/internal/server/client"
+	"lambdadb/internal/server/wire"
+	"lambdadb/internal/types"
+)
+
+func TestServerPreparedRoundTrip(t *testing.T) {
+	_, db, addr := startServer(t, Config{})
+	db.MustExec(`CREATE TABLE t (id BIGINT, s VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'one'), (2, 'two'), (3, 'three')`)
+	c := dial(t, addr)
+	ctx := context.Background()
+
+	if err := c.Prepare(ctx, "q", `SELECT s FROM t WHERE id = $1`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := c.ExecutePrepared(ctx, "q", types.NewInt(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "two" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+	// Re-execute with a different argument: the same template serves both.
+	res, err = c.ExecutePrepared(ctx, "q", types.NewInt(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 1 || res.Rows[0][0].S != "three" {
+		t.Fatalf("rows = %+v", res.Rows)
+	}
+
+	// Prepared DML over the wire.
+	if err := c.Prepare(ctx, "ins", `INSERT INTO t VALUES ($1, $2)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.ExecutePrepared(ctx, "ins", types.NewInt(4), types.NewString("four"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Affected != 1 {
+		t.Fatalf("affected = %d", res.Affected)
+	}
+
+	// Argument errors surface as ServerError; the connection survives.
+	if _, err := c.ExecutePrepared(ctx, "q"); err == nil {
+		t.Fatal("missing argument should fail")
+	} else if se := new(client.ServerError); !errors.As(err, &se) {
+		t.Fatalf("expected ServerError, got %T %v", err, err)
+	}
+	if _, err := c.ExecutePrepared(ctx, "missing", types.NewInt(1)); err == nil {
+		t.Fatal("unknown name should fail")
+	}
+
+	if err := c.Deallocate(ctx, "q"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ExecutePrepared(ctx, "q", types.NewInt(1)); err == nil {
+		t.Fatal("deallocated statement should be gone")
+	}
+	if err := c.Deallocate(ctx, ""); err != nil { // ALL
+		t.Fatal(err)
+	}
+	if _, err := c.ExecutePrepared(ctx, "ins", types.NewInt(9), types.NewString("x")); err == nil {
+		t.Fatal("DEALLOCATE ALL should have dropped ins")
+	}
+
+	// The connection is still a perfectly good query connection.
+	res, err = c.Exec(`SELECT count(*) FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Rows[0][0].I != 4 {
+		t.Fatalf("count = %+v", res.Rows)
+	}
+}
+
+// TestServerBindSkipsParsing: repeated Bind executions hit the plan cache —
+// the whole point of the frame.
+func TestServerBindSkipsParsing(t *testing.T) {
+	_, db, addr := startServer(t, Config{})
+	db.MustExec(`CREATE TABLE t (id BIGINT, s VARCHAR)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 'one')`)
+	c := dial(t, addr)
+	ctx := context.Background()
+
+	if err := c.Prepare(ctx, "q", `SELECT s FROM t WHERE id = $1`); err != nil {
+		t.Fatal(err)
+	}
+	before := db.Metrics().PlanCacheHits.Load()
+	for i := 0; i < 5; i++ {
+		if _, err := c.ExecutePrepared(ctx, "q", types.NewInt(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := db.Metrics().PlanCacheHits.Load(); got < before+5 {
+		t.Fatalf("plan cache hits = %d, want >= %d", got, before+5)
+	}
+}
+
+// TestServerPrepareFrame exercises the raw P frame (clients normally route
+// Prepare through Query text for compatibility, but the frame is part of
+// the protocol).
+func TestServerPrepareFrame(t *testing.T) {
+	_, db, addr := startServer(t, Config{})
+	db.MustExec(`CREATE TABLE t (id BIGINT)`)
+	db.MustExec(`INSERT INTO t VALUES (7)`)
+
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+
+	// A P frame as the very first frame of the connection must work.
+	if err := wire.WriteFrame(nc, wire.Prepare, wire.EncodePrepare("p", `SELECT id FROM t WHERE id = $1`)); err != nil {
+		t.Fatal(err)
+	}
+	typ, _, err := wire.ReadFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.Affected {
+		t.Fatalf("Prepare answered with frame %q", typ)
+	}
+	if err := wire.WriteFrame(nc, wire.Bind, wire.EncodeBind("p", []types.Value{types.NewInt(7)})); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != wire.Result {
+		t.Fatalf("Bind answered with frame %q: %s", typ, payload)
+	}
+	rs, err := wire.DecodeResultSet(payload)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rs.Rows) != 1 || rs.Rows[0][0].I != 7 {
+		t.Fatalf("rows = %+v", rs.Rows)
+	}
+	if err := wire.WriteFrame(nc, wire.Deallocate, []byte("p")); err != nil {
+		t.Fatal(err)
+	}
+	if typ, _, err = wire.ReadFrame(br); err != nil || typ != wire.Affected {
+		t.Fatalf("Deallocate answered %q, err %v", typ, err)
+	}
+}
+
+// TestServerOldClientStillWorks: a connection that only ever sends Query
+// frames (an old client) is unaffected by the new frame types.
+func TestServerOldClientStillWorks(t *testing.T) {
+	_, _, addr := startServer(t, Config{})
+	nc, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer nc.Close()
+	br := bufio.NewReader(nc)
+	if err := wire.WriteFrame(nc, wire.Query, []byte(`SELECT 1`)); err != nil {
+		t.Fatal(err)
+	}
+	typ, payload, err := wire.ReadFrame(br)
+	if err != nil || typ != wire.Result {
+		t.Fatalf("typ=%q err=%v", typ, err)
+	}
+	rs, err := wire.DecodeResultSet(payload)
+	if err != nil || rs.Rows[0][0].I != 1 {
+		t.Fatalf("rs=%+v err=%v", rs, err)
+	}
+}

@@ -279,30 +279,30 @@ func (c *conn) serve() {
 		h.ServeReplication(ctx, c.nc, br, firstPayload)
 		return
 	}
-	if first != wire.Query {
+	if !isRequestFrame(first) {
 		return
 	}
 
-	reqs := make(chan []byte)
+	reqs := make(chan request)
 	go func() {
 		defer close(reqs)
 		// Deliver the already-read first request, then keep reading ahead so
 		// a client disconnect cancels the statement it was waiting on.
 		select {
-		case reqs <- firstPayload:
+		case reqs <- request{first, firstPayload}:
 		case <-ctx.Done():
 			return
 		}
 		for {
 			typ, payload, err := wire.ReadFrame(br)
-			if err != nil || typ != wire.Query {
+			if err != nil || !isRequestFrame(typ) {
 				// Disconnect or protocol violation: abort whatever the
 				// connection is running and stop reading.
 				cancel()
 				return
 			}
 			select {
-			case reqs <- payload:
+			case reqs <- request{typ, payload}:
 			case <-ctx.Done():
 				return
 			}
@@ -314,7 +314,7 @@ func (c *conn) serve() {
 		if !c.beginStatement() {
 			return // draining: don't start new work
 		}
-		typ, payload := c.execute(ctx, req)
+		typ, payload := c.execute(ctx, req.typ, req.payload)
 		werr := wire.WriteFrame(bw, typ, payload)
 		if werr == nil {
 			werr = bw.Flush()
@@ -326,17 +326,61 @@ func (c *conn) serve() {
 	}
 }
 
+// request is one client frame awaiting execution.
+type request struct {
+	typ     byte
+	payload []byte
+}
+
+// isRequestFrame reports whether typ is a frame a client may send on an
+// established query connection.
+func isRequestFrame(typ byte) bool {
+	switch typ {
+	case wire.Query, wire.Prepare, wire.Bind, wire.Deallocate:
+		return true
+	}
+	return false
+}
+
 // execute runs one request on the connection's session and encodes the
 // response frame. The request's trace ID (client-supplied, or generated
 // here so every statement has one) rides the statement context into the
 // engine's query log and comes back on the Error frame.
-func (c *conn) execute(ctx context.Context, req []byte) (byte, []byte) {
+func (c *conn) execute(ctx context.Context, typ byte, req []byte) (byte, []byte) {
 	traceID, body := wire.SplitTraced(req)
 	if traceID == "" {
 		traceID = telemetry.NewTraceID()
 	}
 	ctx = telemetry.WithTraceID(ctx, traceID)
-	res, err := c.sess.ExecContext(ctx, string(body))
+	var res *engine.Result
+	var err error
+	switch typ {
+	case wire.Query:
+		res, err = c.sess.ExecContext(ctx, string(body))
+	case wire.Prepare:
+		// Routed through PREPARE text: the statement is parsed once here and
+		// never again on Bind.
+		var name, stmt string
+		if name, stmt, err = wire.DecodePrepare(body); err == nil {
+			res, err = c.sess.ExecContext(ctx, "PREPARE "+name+" AS "+stmt)
+		}
+	case wire.Bind:
+		// The fast path: no SQL text at all — the prepared template's cached
+		// plan is rebound to the argument values and executed.
+		var name string
+		var args []types.Value
+		if name, args, err = wire.DecodeBind(body); err == nil {
+			res, err = c.sess.ExecutePrepared(ctx, name, args)
+		}
+	case wire.Deallocate:
+		if len(body) == 0 {
+			res, err = c.sess.ExecContext(ctx, "DEALLOCATE ALL")
+		} else {
+			res, err = c.sess.ExecContext(ctx, "DEALLOCATE "+string(body))
+		}
+	default:
+		err = fmt.Errorf("unsupported request frame %q", typ)
+	}
 	if err != nil {
 		c.srv.log.Warn("statement error", "session", c.id, "trace_id", traceID, "err", err.Error())
 		return wire.Error, wire.AppendTraced(traceID, []byte(err.Error()))

@@ -1,0 +1,130 @@
+package wire
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"lambdadb/internal/types"
+)
+
+// Prepared-statement frames. All payloads are tab-separated escaped text
+// (the same escaping as result sets), so they compose with the optional
+// NUL-prefixed trace-ID framing: an escaped field never begins with a NUL.
+//
+//	Prepare    'P': name \t statement-text
+//	Bind       'B': name [\t tagged-arg]...
+//	Deallocate 'X': name  (empty payload = DEALLOCATE ALL)
+//
+// A tagged argument is one tag byte followed by the escaped value text:
+// 'i' BIGINT, 'f' DOUBLE, 's' VARCHAR, 'b' BOOLEAN, 'n' NULL (no text).
+// The server answers P and X with an Affected frame, B with the usual
+// Result/Affected/Error — exactly one response frame per request, like Query.
+
+// EncodePrepare renders a Prepare payload. Name may carry a parenthesized
+// parameter type list, e.g. "q (INT, TEXT)".
+func EncodePrepare(name, stmt string) []byte {
+	b := appendEscaped(nil, name)
+	b = append(b, '\t')
+	return appendEscaped(b, stmt)
+}
+
+// DecodePrepare parses a Prepare payload.
+func DecodePrepare(payload []byte) (name, stmt string, err error) {
+	fields := strings.SplitN(string(payload), "\t", 2)
+	if len(fields) != 2 {
+		return "", "", fmt.Errorf("wire: Prepare payload has no statement field")
+	}
+	if name, _, err = unescape(fields[0]); err != nil {
+		return "", "", err
+	}
+	if name == "" {
+		return "", "", fmt.Errorf("wire: Prepare payload has an empty name")
+	}
+	if stmt, _, err = unescape(fields[1]); err != nil {
+		return "", "", err
+	}
+	return name, stmt, nil
+}
+
+// EncodeBind renders a Bind payload: the statement name plus the argument
+// values for $1..$N in order.
+func EncodeBind(name string, args []types.Value) []byte {
+	b := appendEscaped(nil, name)
+	for _, v := range args {
+		b = append(b, '\t')
+		if v.Null {
+			b = append(b, 'n')
+			continue
+		}
+		switch v.T {
+		case types.Int64:
+			b = append(b, 'i')
+			b = strconv.AppendInt(b, v.I, 10)
+		case types.Float64:
+			b = append(b, 'f')
+			b = strconv.AppendFloat(b, v.F, 'g', -1, 64)
+		case types.Bool:
+			b = append(b, 'b')
+			b = strconv.AppendBool(b, v.B)
+		default:
+			b = append(b, 's')
+			b = appendEscaped(b, v.String())
+		}
+	}
+	return b
+}
+
+// DecodeBind parses a Bind payload.
+func DecodeBind(payload []byte) (name string, args []types.Value, err error) {
+	fields := strings.Split(string(payload), "\t")
+	if name, _, err = unescape(fields[0]); err != nil {
+		return "", nil, err
+	}
+	if name == "" {
+		return "", nil, fmt.Errorf("wire: Bind payload has an empty name")
+	}
+	args = make([]types.Value, 0, len(fields)-1)
+	for i, f := range fields[1:] {
+		if f == "" {
+			return "", nil, fmt.Errorf("wire: Bind argument %d is empty", i+1)
+		}
+		tag, rest := f[0], f[1:]
+		if tag == 'n' {
+			args = append(args, types.NewNull(types.Unknown))
+			continue
+		}
+		text, _, err := unescape(rest)
+		if err != nil {
+			return "", nil, fmt.Errorf("wire: Bind argument %d: %w", i+1, err)
+		}
+		switch tag {
+		case 'i':
+			n, err := strconv.ParseInt(text, 10, 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("wire: Bind argument %d: bad BIGINT %q", i+1, text)
+			}
+			args = append(args, types.NewInt(n))
+		case 'f':
+			x, err := strconv.ParseFloat(text, 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("wire: Bind argument %d: bad DOUBLE %q", i+1, text)
+			}
+			args = append(args, types.NewFloat(x))
+		case 'b':
+			switch text {
+			case "true":
+				args = append(args, types.NewBool(true))
+			case "false":
+				args = append(args, types.NewBool(false))
+			default:
+				return "", nil, fmt.Errorf("wire: Bind argument %d: bad BOOLEAN %q", i+1, text)
+			}
+		case 's':
+			args = append(args, types.NewString(text))
+		default:
+			return "", nil, fmt.Errorf("wire: Bind argument %d has unknown tag %q", i+1, tag)
+		}
+	}
+	return name, args, nil
+}

@@ -1,0 +1,70 @@
+package wire
+
+import (
+	"testing"
+
+	"lambdadb/internal/types"
+)
+
+func TestPrepareRoundTrip(t *testing.T) {
+	name, stmt, err := DecodePrepare(EncodePrepare("q (INT)", "SELECT *\nFROM t\tWHERE id = $1"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "q (INT)" || stmt != "SELECT *\nFROM t\tWHERE id = $1" {
+		t.Fatalf("name=%q stmt=%q", name, stmt)
+	}
+	if _, _, err := DecodePrepare([]byte("no-statement-field")); err == nil {
+		t.Error("missing statement field should fail")
+	}
+	if _, _, err := DecodePrepare([]byte("\tSELECT 1")); err == nil {
+		t.Error("empty name should fail")
+	}
+}
+
+func TestBindRoundTrip(t *testing.T) {
+	args := []types.Value{
+		types.NewInt(-42),
+		types.NewFloat(2.5),
+		types.NewString("tab\there\nand 'quote'"),
+		types.NewBool(true),
+		types.NewNull(types.Unknown),
+	}
+	name, got, err := DecodeBind(EncodeBind("stmt", args))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if name != "stmt" || len(got) != len(args) {
+		t.Fatalf("name=%q args=%+v", name, got)
+	}
+	if got[0].I != -42 || got[1].F != 2.5 || got[2].S != args[2].S || !got[3].B || !got[4].Null {
+		t.Fatalf("args = %+v", got)
+	}
+	// No args at all.
+	name, got, err = DecodeBind(EncodeBind("q", nil))
+	if err != nil || name != "q" || len(got) != 0 {
+		t.Fatalf("name=%q args=%+v err=%v", name, got, err)
+	}
+	// Malformed payloads are rejected, not mis-decoded.
+	for _, bad := range []string{"", "q\t", "q\tz99", "q\tiNaN", "q\tbmaybe"} {
+		if _, _, err := DecodeBind([]byte(bad)); err == nil {
+			t.Errorf("DecodeBind(%q) should fail", bad)
+		}
+	}
+}
+
+// TestBindComposesWithTrace: a traced Bind payload splits cleanly because
+// escaped text never begins with a NUL byte.
+func TestBindComposesWithTrace(t *testing.T) {
+	body := EncodeBind("q", []types.Value{types.NewString("x")})
+	traced := AppendTraced("trace-1", body)
+	id, split := SplitTraced(traced)
+	if id != "trace-1" || string(split) != string(body) {
+		t.Fatalf("id=%q body=%q", id, split)
+	}
+	// Untraced payloads pass through unmolested.
+	id, split = SplitTraced(body)
+	if id != "" || string(split) != string(body) {
+		t.Fatalf("untraced: id=%q body=%q", id, split)
+	}
+}

@@ -31,6 +31,14 @@ const (
 	Affected byte = 'A' // server -> client: affected-row count
 	Error    byte = 'E' // server -> client: error message
 
+	// Prepared-statement frames (see prepared.go). Servers predating them
+	// drop the connection on an unknown frame type, so clients only send
+	// Bind/Deallocate after a successful PREPARE round-trip proved the
+	// server understands prepared statements.
+	Prepare    byte = 'P' // client -> server: name + statement text
+	Bind       byte = 'B' // client -> server: name + argument values
+	Deallocate byte = 'X' // client -> server: name ("" = ALL)
+
 	// Replication stream frames (see internal/repl). A replica opens an
 	// ordinary connection and sends ReplStart instead of a Query; from then
 	// on the connection is a replication stream, not a query session.

@@ -109,6 +109,36 @@ type Checkpoint struct{}
 
 func (*Checkpoint) stmtNode() {}
 
+// Prepare is PREPARE name [(TYPE, ...)] AS <stmt>. The inner statement may
+// contain $N parameter placeholders; Types optionally declares their types
+// (position i declares $i+1). Text is the inner statement's source text,
+// used as the plan-cache key after normalization.
+type Prepare struct {
+	Name  string
+	Types []types.Type
+	Stmt  Statement
+	Text  string
+}
+
+func (*Prepare) stmtNode() {}
+
+// Execute is EXECUTE name [(args, ...)]. Arguments are constant expressions
+// evaluated at execute time and bound to $1..$N in order.
+type Execute struct {
+	Name string
+	Args []expr.Expr
+}
+
+func (*Execute) stmtNode() {}
+
+// Deallocate is DEALLOCATE [name | ALL].
+type Deallocate struct {
+	Name string
+	All  bool
+}
+
+func (*Deallocate) stmtNode() {}
+
 // Copy is COPY table FROM 'path' [WITH HEADER] [DELIMITER 'c'] — bulk CSV
 // ingestion.
 type Copy struct {

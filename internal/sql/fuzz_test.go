@@ -1,0 +1,103 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// fuzzSeeds is the shared corpus: the regression inputs from the three lexer
+// bugfixes plus a spread of valid and deliberately broken statements.
+var fuzzSeeds = []string{
+	// Lexer regression inputs.
+	`SELECT "my""col" FROM t`,
+	"SELECT 1 /* oops",
+	"SELECT 1\n/* nested /* ",
+	"1e", "1e+", "1E-", "2.5e", "SELECT 3e+ FROM t",
+	"٢\xa2e0", // non-ASCII digit: used to loop lexAll forever
+	// Valid statements across the grammar.
+	"SELECT 1",
+	"SELECT x, count(*) FROM t WHERE id = 1 GROUP BY x HAVING count(*) > 2 ORDER BY x LIMIT 10",
+	"SELECT a.x, b.y FROM a JOIN b ON a.id = b.id",
+	"WITH c AS (SELECT 1 AS x) SELECT x FROM c",
+	"INSERT INTO t VALUES (1, 'two', 3.5, true, NULL)",
+	"UPDATE t SET x = x + 1 WHERE id = 2",
+	"DELETE FROM t WHERE id = 3",
+	"CREATE TABLE t (id BIGINT, s VARCHAR)",
+	"CREATE INDEX idx ON t (id)",
+	"PREPARE q (INT, TEXT) AS SELECT * FROM t WHERE id = $1 AND s = $2",
+	"EXECUTE q (1, 'x')",
+	"DEALLOCATE ALL",
+	"SELECT 'it''s', .5e1, 1e+3, 0x, $1 FROM t",
+	// Statement splitting shapes.
+	"SELECT 1; SELECT 2;",
+	"SELECT ';' ; SELECT \"a;b\"",
+	"-- comment only\n",
+	"/* c */ SELECT 1 /* d */; UPDATE t SET x = ';'",
+	// Broken things the front end must reject without panicking.
+	"SELECT 'open",
+	`SELECT "open`,
+	"SELECT $",
+	"SELECT $0",
+	"SELECT (((",
+	")", ";", "", "   ", "\x00", "\xff\xfe",
+	"SELECT   FROM ",
+}
+
+// FuzzParse: Parse must never panic, and whatever it accepts must survive
+// the downstream walkers (NumParams) and the plan-cache normalizer.
+func FuzzParse(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		stmts, err := Parse(src)
+		if err != nil {
+			return
+		}
+		for _, st := range stmts {
+			if st == nil {
+				t.Fatalf("Parse(%q) returned a nil statement", src)
+			}
+			if _, err := NumParams(st); err != nil {
+				// Param-numbering gaps are a legitimate post-parse error.
+				if !strings.Contains(err.Error(), "missing") {
+					t.Fatalf("NumParams(%q) = %v", src, err)
+				}
+			}
+		}
+		// Normalize must not panic either; a parseable statement that is a
+		// single statement must normalize successfully.
+		NormalizeStatement(src)
+	})
+}
+
+// FuzzSplitStatements: splitting must never panic, every returned piece must
+// be non-empty, and re-splitting a piece must yield that piece back (the
+// splitter is idempotent on its own output).
+func FuzzSplitStatements(f *testing.F) {
+	for _, s := range fuzzSeeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		parts, err := SplitStatements(src)
+		if err != nil {
+			return
+		}
+		for _, p := range parts {
+			if strings.TrimSpace(p) == "" {
+				t.Fatalf("SplitStatements(%q) returned blank piece %q", src, p)
+			}
+			if utf8.ValidString(src) && !strings.Contains(src, p) {
+				t.Fatalf("piece %q is not a substring of input %q", p, src)
+			}
+			again, err := SplitStatements(p)
+			if err != nil {
+				t.Fatalf("re-split of %q failed: %v", p, err)
+			}
+			if len(again) != 1 || again[0] != p {
+				t.Fatalf("re-split of %q = %q", p, again)
+			}
+		}
+	})
+}

@@ -23,6 +23,7 @@ const (
 	tokString
 	tokSymbol // punctuation and operators
 	tokLambda // the λ rune
+	tokParam  // $N positional parameter; text holds the digits
 )
 
 type token struct {
@@ -49,6 +50,7 @@ var keywords = map[string]bool{
 	"KEY": true, "COPY": true, "HEADER": true, "DELIMITER": true,
 	"EXPLAIN": true, "ANALYZE": true, "CHECKPOINT": true,
 	"INDEX": true, "USING": true,
+	"PREPARE": true, "EXECUTE": true, "DEALLOCATE": true,
 }
 
 // lexer turns SQL text into tokens.
@@ -85,7 +87,9 @@ func (l *lexer) errorf(pos int, format string, args ...any) error {
 
 // next returns the next token.
 func (l *lexer) next() (token, error) {
-	l.skipSpace()
+	if err := l.skipSpace(); err != nil {
+		return token{}, err
+	}
 	if l.pos >= len(l.src) {
 		return token{kind: tokEOF, pos: l.pos}, nil
 	}
@@ -112,7 +116,10 @@ func (l *lexer) next() (token, error) {
 		}
 		return token{kind: tokIdent, text: strings.ToLower(word), pos: start}, nil
 
-	case unicode.IsDigit(r) || (r == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
+	// Numbers are ASCII-only: lexNumber consumes bytes, so classifying by
+	// unicode.IsDigit would let a non-ASCII digit (e.g. U+0662) produce an
+	// empty token without advancing — an infinite loop in lexAll.
+	case isDigit(l.src[l.pos]) || (r == '.' && l.pos+1 < len(l.src) && isDigit(l.src[l.pos+1])):
 		return l.lexNumber(start)
 
 	case r == '\'':
@@ -121,6 +128,9 @@ func (l *lexer) next() (token, error) {
 	case r == '"':
 		return l.lexQuotedIdent(start)
 
+	case r == '$':
+		return l.lexParam(start)
+
 	default:
 		return l.lexSymbol(start)
 	}
@@ -128,7 +138,7 @@ func (l *lexer) next() (token, error) {
 
 func isDigit(b byte) bool { return b >= '0' && b <= '9' }
 
-func (l *lexer) skipSpace() {
+func (l *lexer) skipSpace() error {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		switch {
@@ -140,17 +150,19 @@ func (l *lexer) skipSpace() {
 				l.pos++
 			}
 		case c == '/' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '*':
-			// Block comment.
+			// Block comment. An unterminated one is an error, not silent
+			// truncation: `SELECT 1 /* oops` must not parse cleanly while
+			// trailing statements vanish.
 			end := strings.Index(l.src[l.pos+2:], "*/")
 			if end < 0 {
-				l.pos = len(l.src)
-			} else {
-				l.pos += 2 + end + 2
+				return l.errorf(l.pos, "unterminated block comment")
 			}
+			l.pos += 2 + end + 2
 		default:
-			return
+			return nil
 		}
 	}
+	return nil
 }
 
 func (l *lexer) lexNumber(start int) (token, error) {
@@ -164,11 +176,19 @@ func (l *lexer) lexNumber(start int) (token, error) {
 			seenDot = true
 			l.pos++
 		case (c == 'e' || c == 'E') && !seenExp && l.pos > start:
-			seenExp = true
-			l.pos++
-			if l.pos < len(l.src) && (l.src[l.pos] == '+' || l.src[l.pos] == '-') {
-				l.pos++
+			// Peek past the marker and an optional sign without consuming:
+			// an exponent with no digits (`1e`, `1e+`) is rejected here with
+			// a position, instead of deferring to the parser's generic "bad
+			// number" after swallowing characters of the next token.
+			j := l.pos + 1
+			if j < len(l.src) && (l.src[j] == '+' || l.src[j] == '-') {
+				j++
 			}
+			if j >= len(l.src) || !isDigit(l.src[j]) {
+				return token{}, l.errorf(l.pos, "exponent has no digits")
+			}
+			seenExp = true
+			l.pos = j
 		default:
 			return token{kind: tokNumber, text: l.src[start:l.pos], pos: start}, nil
 		}
@@ -202,6 +222,11 @@ func (l *lexer) lexQuotedIdent(start int) (token, error) {
 	for l.pos < len(l.src) {
 		c := l.src[l.pos]
 		if c == '"' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '"' {
+				sb.WriteByte('"') // doubled quote escapes a literal quote
+				l.pos += 2
+				continue
+			}
 			l.pos++
 			return token{kind: tokQuotedIdent, text: sb.String(), pos: start}, nil
 		}
@@ -209,6 +234,20 @@ func (l *lexer) lexQuotedIdent(start int) (token, error) {
 		l.pos++
 	}
 	return token{}, l.errorf(start, "unterminated quoted identifier")
+}
+
+// lexParam lexes a $N positional parameter. The token text holds just the
+// digits; a bare `$` is an error.
+func (l *lexer) lexParam(start int) (token, error) {
+	l.pos++ // the $
+	ds := l.pos
+	for l.pos < len(l.src) && isDigit(l.src[l.pos]) {
+		l.pos++
+	}
+	if l.pos == ds {
+		return token{}, l.errorf(start, "expected digits after $ in parameter placeholder")
+	}
+	return token{kind: tokParam, text: l.src[ds:l.pos], pos: start}, nil
 }
 
 // two-character symbols, checked before single characters.

@@ -84,10 +84,11 @@ func TestLexComments(t *testing.T) {
 	if toks[1].text != "+" {
 		t.Errorf("tok 1 = %+v", toks[1])
 	}
-	// Unterminated block comment consumes to EOF without error.
-	toks = lexKinds(t, "1 /* never closed")
-	if len(toks) != 1 {
-		t.Errorf("unterminated block: %+v", toks)
+	// An unterminated block comment is a positioned syntax error (it used
+	// to be silently swallowed to EOF, hiding truncated statements).
+	_, err := lexAll("1 /* never closed")
+	if err == nil || !strings.Contains(err.Error(), "unterminated block comment") {
+		t.Errorf("unterminated block: err = %v", err)
 	}
 }
 

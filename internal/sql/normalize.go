@@ -1,0 +1,104 @@
+package sql
+
+import "strings"
+
+// NormalizeStatement canonicalizes a single statement's text for use as a
+// plan-cache key: comments are stripped, whitespace runs collapse to one
+// space, and a single trailing semicolon is dropped, while quoted string
+// literals and quoted identifiers are preserved byte-for-byte. It is a pure
+// byte scan — no lexing or parsing — so the cache-hit fast path stays cheap.
+//
+// ok is false when the text is not a safely keyable single statement: empty
+// input, more than one top-level statement, an unterminated quote, or an
+// unterminated block comment (which the lexer rejects too).
+func NormalizeStatement(src string) (key string, ok bool) {
+	var sb strings.Builder
+	sb.Grow(len(src))
+	pendingSpace := false
+	// emit appends one byte, collapsing any pending whitespace run into a
+	// single separating space first.
+	emit := func(c byte) {
+		if pendingSpace && sb.Len() > 0 {
+			sb.WriteByte(' ')
+		}
+		pendingSpace = false
+		sb.WriteByte(c)
+	}
+	i := 0
+	for i < len(src) {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			pendingSpace = true
+			i++
+		case c == '-' && i+1 < len(src) && src[i+1] == '-':
+			for i < len(src) && src[i] != '\n' {
+				i++
+			}
+			pendingSpace = true
+		case c == '/' && i+1 < len(src) && src[i+1] == '*':
+			end := strings.Index(src[i+2:], "*/")
+			if end < 0 {
+				return "", false
+			}
+			i += 2 + end + 2
+			pendingSpace = true
+		case c == '\'' || c == '"':
+			// Copy the quoted region verbatim, honoring doubled-quote
+			// escapes. An unterminated quote is not keyable.
+			q := c
+			emit(c)
+			i++
+			for {
+				if i >= len(src) {
+					return "", false
+				}
+				emit(src[i])
+				if src[i] == q {
+					if i+1 < len(src) && src[i+1] == q {
+						emit(q)
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+		case c == ';':
+			// Only a trailing semicolon (modulo whitespace/comments) is
+			// allowed; anything after means multi-statement text.
+			j := i + 1
+			for j < len(src) {
+				d := src[j]
+				if d == ' ' || d == '\t' || d == '\n' || d == '\r' {
+					j++
+					continue
+				}
+				if d == '-' && j+1 < len(src) && src[j+1] == '-' {
+					for j < len(src) && src[j] != '\n' {
+						j++
+					}
+					continue
+				}
+				if d == '/' && j+1 < len(src) && src[j+1] == '*' {
+					end := strings.Index(src[j+2:], "*/")
+					if end < 0 {
+						return "", false
+					}
+					j += 2 + end + 2
+					continue
+				}
+				return "", false
+			}
+			i = len(src)
+		default:
+			emit(c)
+			i++
+		}
+	}
+	if sb.Len() == 0 {
+		return "", false
+	}
+	return sb.String(), true
+}

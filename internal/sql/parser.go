@@ -209,8 +209,109 @@ func (p *parser) parseStatement() (Statement, error) {
 	case "CHECKPOINT":
 		p.advance()
 		return &Checkpoint{}, nil
+	case "PREPARE":
+		return p.parsePrepare()
+	case "EXECUTE":
+		return p.parseExecute()
+	case "DEALLOCATE":
+		return p.parseDeallocate()
 	}
 	return nil, p.errorf("unsupported statement %q", t.text)
+}
+
+// parsePrepare parses PREPARE name [(TYPE, ...)] AS <stmt>.
+func (p *parser) parsePrepare() (Statement, error) {
+	p.advance() // PREPARE
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	var declared []types.Type
+	if p.matchSymbol("(") {
+		for {
+			typeName, err := p.parseTypeName()
+			if err != nil {
+				return nil, err
+			}
+			ct, err := types.ParseType(typeName)
+			if err != nil {
+				return nil, p.errorf("%v", err)
+			}
+			declared = append(declared, ct)
+			if p.matchSymbol(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectSymbol(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKeyword("AS"); err != nil {
+		return nil, err
+	}
+	start := p.peek().pos
+	st, err := p.parseStatement()
+	if err != nil {
+		return nil, err
+	}
+	switch st.(type) {
+	case *Select, *Insert, *Update, *Delete:
+	default:
+		return nil, p.errorf("PREPARE supports SELECT, INSERT, UPDATE, and DELETE statements")
+	}
+	end := p.peek().pos // the ';' or EOF token after the inner statement
+	if end > len(p.src) {
+		end = len(p.src)
+	}
+	return &Prepare{
+		Name:  name,
+		Types: declared,
+		Stmt:  st,
+		Text:  strings.TrimSpace(p.src[start:end]),
+	}, nil
+}
+
+// parseExecute parses EXECUTE name [(expr, ...)].
+func (p *parser) parseExecute() (Statement, error) {
+	p.advance() // EXECUTE
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	ex := &Execute{Name: name}
+	if p.matchSymbol("(") {
+		if !p.matchSymbol(")") {
+			for {
+				e, err := p.parseExpr()
+				if err != nil {
+					return nil, err
+				}
+				ex.Args = append(ex.Args, e)
+				if p.matchSymbol(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectSymbol(")"); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return ex, nil
+}
+
+// parseDeallocate parses DEALLOCATE [name | ALL].
+func (p *parser) parseDeallocate() (Statement, error) {
+	p.advance() // DEALLOCATE
+	if p.matchKeyword("ALL") {
+		return &Deallocate{All: true}, nil
+	}
+	name, err := p.expectIdent()
+	if err != nil {
+		return nil, err
+	}
+	return &Deallocate{Name: name}, nil
 }
 
 func (p *parser) parseCreateTable() (Statement, error) {
@@ -1277,6 +1378,14 @@ func (p *parser) parsePrimary() (expr.Expr, error) {
 	case tokString:
 		p.advance()
 		return &expr.Const{Val: types.NewString(t.text)}, nil
+
+	case tokParam:
+		p.advance()
+		idx, err := strconv.Atoi(t.text)
+		if err != nil || idx < 1 {
+			return nil, p.errorf("bad parameter placeholder $%s", t.text)
+		}
+		return &expr.Param{Idx: idx}, nil
 
 	case tokKeyword:
 		switch t.text {

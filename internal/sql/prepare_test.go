@@ -1,0 +1,212 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+
+	"lambdadb/internal/expr"
+	"lambdadb/internal/types"
+)
+
+// TestLexerRegressions is the table-driven regression suite for three
+// front-end bugs; every case here fails against the pre-fix lexer.
+func TestLexerRegressions(t *testing.T) {
+	t.Run("doubled-quote escape in quoted identifiers", func(t *testing.T) {
+		toks := lexKinds(t, `"my""col"`)
+		if len(toks) != 1 || toks[0].kind != tokQuotedIdent || toks[0].text != `my"col` {
+			t.Fatalf("toks = %+v", toks)
+		}
+		// The escape must survive all the way through the parser.
+		st := mustParseOne(t, `SELECT "a""b" FROM t`)
+		sel := st.(*Select).Body.(*SelectCore)
+		col, ok := sel.Items[0].Expr.(*expr.ColRef)
+		if !ok || col.Name != `a"b` {
+			t.Fatalf("item = %#v", sel.Items[0].Expr)
+		}
+	})
+
+	t.Run("unterminated block comment is a positioned error", func(t *testing.T) {
+		for src, wantPos := range map[string]string{
+			"SELECT 1 /* oops":        "line 1 column 10",
+			"SELECT 1\n/* nested /* ": "line 2 column 1",
+		} {
+			_, err := lexAll(src)
+			if err == nil {
+				t.Errorf("lexAll(%q) should fail", src)
+				continue
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "unterminated block comment") || !strings.Contains(msg, wantPos) {
+				t.Errorf("lexAll(%q) error = %q, want unterminated block comment at %s", src, msg, wantPos)
+			}
+		}
+	})
+
+	t.Run("exponent with no digits is a positioned error", func(t *testing.T) {
+		for _, src := range []string{"1e", "1e+", "1E-", "2.5e", "SELECT 3e+ FROM t"} {
+			_, err := lexAll(src)
+			if err == nil {
+				t.Errorf("lexAll(%q) should fail", src)
+				continue
+			}
+			msg := err.Error()
+			if !strings.Contains(msg, "exponent has no digits") || !strings.Contains(msg, "column") {
+				t.Errorf("lexAll(%q) error = %q", src, msg)
+			}
+		}
+		// Well-formed exponents keep working, including signs.
+		for _, src := range []string{"1e3", "1e+3", "1E-2", ".5e1"} {
+			toks := lexKinds(t, src)
+			if len(toks) != 1 || toks[0].kind != tokNumber {
+				t.Errorf("lex(%q) = %+v", src, toks)
+			}
+		}
+	})
+
+	t.Run("non-ASCII digit errors instead of looping", func(t *testing.T) {
+		// Found by FuzzSplitStatements: unicode.IsDigit used to route U+0662
+		// into the byte-oriented number lexer, which emitted empty tokens
+		// without advancing — lexAll never terminated.
+		for _, src := range []string{"٢", "SELECT ٢\xa2e0"} {
+			if _, err := lexAll(src); err == nil || !strings.Contains(err.Error(), "unexpected character") {
+				t.Errorf("lexAll(%q) = %v, want unexpected-character error", src, err)
+			}
+		}
+	})
+}
+
+func TestLexParams(t *testing.T) {
+	toks := lexKinds(t, "$1 $23")
+	if len(toks) != 2 || toks[0].kind != tokParam || toks[0].text != "1" || toks[1].text != "23" {
+		t.Fatalf("toks = %+v", toks)
+	}
+	if _, err := lexAll("$"); err == nil {
+		t.Error("bare $ should fail")
+	}
+	if _, err := lexAll("$x"); err == nil {
+		t.Error("$x should fail")
+	}
+}
+
+func TestParsePrepare(t *testing.T) {
+	st := mustParseOne(t, `PREPARE q AS SELECT x FROM t WHERE id = $1`)
+	p, ok := st.(*Prepare)
+	if !ok {
+		t.Fatalf("got %T", st)
+	}
+	if p.Name != "q" || len(p.Types) != 0 {
+		t.Fatalf("prepare = %+v", p)
+	}
+	if _, ok := p.Stmt.(*Select); !ok {
+		t.Fatalf("inner statement is %T", p.Stmt)
+	}
+	if p.Text != "SELECT x FROM t WHERE id = $1" {
+		t.Fatalf("text = %q", p.Text)
+	}
+
+	st = mustParseOne(t, `PREPARE q2 (INT, TEXT) AS INSERT INTO t VALUES ($1, $2)`)
+	p = st.(*Prepare)
+	if len(p.Types) != 2 || p.Types[0] != types.Int64 || p.Types[1] != types.String {
+		t.Fatalf("types = %+v", p.Types)
+	}
+	if _, ok := p.Stmt.(*Insert); !ok {
+		t.Fatalf("inner statement is %T", p.Stmt)
+	}
+
+	for _, bad := range []string{
+		`PREPARE q AS CREATE TABLE t (x INT)`, // only SELECT/DML
+		`PREPARE AS SELECT 1`,
+		`PREPARE q SELECT 1`, // missing AS
+		`PREPARE q (NOTATYPE) AS SELECT $1`,
+	} {
+		if _, err := Parse(bad); err == nil {
+			t.Errorf("Parse(%q) should fail", bad)
+		}
+	}
+}
+
+func TestParseExecuteDeallocate(t *testing.T) {
+	st := mustParseOne(t, `EXECUTE q (1, 'two', 3.5)`)
+	e := st.(*Execute)
+	if e.Name != "q" || len(e.Args) != 3 {
+		t.Fatalf("execute = %+v", e)
+	}
+	st = mustParseOne(t, `EXECUTE q`)
+	if e = st.(*Execute); len(e.Args) != 0 {
+		t.Fatalf("no-arg execute = %+v", e)
+	}
+	st = mustParseOne(t, `EXECUTE q ()`)
+	if e = st.(*Execute); len(e.Args) != 0 {
+		t.Fatalf("empty-paren execute = %+v", e)
+	}
+
+	st = mustParseOne(t, `DEALLOCATE q`)
+	d := st.(*Deallocate)
+	if d.Name != "q" || d.All {
+		t.Fatalf("deallocate = %+v", d)
+	}
+	st = mustParseOne(t, `DEALLOCATE ALL`)
+	if d = st.(*Deallocate); !d.All {
+		t.Fatalf("deallocate all = %+v", d)
+	}
+}
+
+func TestNumParams(t *testing.T) {
+	st := mustParseOne(t, `SELECT $1, x + $2 FROM (SELECT z FROM u WHERE w = $3) s`)
+	n, err := NumParams(st)
+	if err != nil || n != 3 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	st = mustParseOne(t, `SELECT 1`)
+	if n, err = NumParams(st); err != nil || n != 0 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	st = mustParseOne(t, `SELECT $2`)
+	if _, err = NumParams(st); err == nil || !strings.Contains(err.Error(), "$1 is missing") {
+		t.Fatalf("gap error = %v", err)
+	}
+}
+
+func TestNormalizeStatement(t *testing.T) {
+	cases := []struct {
+		in   string
+		want string
+		ok   bool
+	}{
+		{`SELECT 1`, `SELECT 1`, true},
+		{"  SELECT\t1\n;", `SELECT 1`, true},
+		{"SELECT /* c */ 1 -- t\n", `SELECT 1`, true},
+		{`SELECT 'a  b' FROM t`, `SELECT 'a  b' FROM t`, true},
+		{`SELECT 'it''s', "my""col" FROM t`, `SELECT 'it''s', "my""col" FROM t`, true},
+		{"SELECT 1; SELECT 2", "", false}, // multi-statement
+		{"SELECT 1; -- trailing comment ok", `SELECT 1`, true},
+		{"SELECT 'open", "", false}, // unterminated quote
+		{"SELECT 1 /* open", "", false},
+		{"", "", false},
+		{"   ", "", false},
+		{";", "", false},
+	}
+	for _, c := range cases {
+		got, ok := NormalizeStatement(c.in)
+		if got != c.want || ok != c.ok {
+			t.Errorf("NormalizeStatement(%q) = %q, %v; want %q, %v", c.in, got, ok, c.want, c.ok)
+		}
+	}
+	// Two spellings of the same statement share a key.
+	a, _ := NormalizeStatement("SELECT  x FROM t  WHERE id = 1;")
+	b, _ := NormalizeStatement("SELECT x /* hint */ FROM t WHERE id = 1")
+	if a != b {
+		t.Errorf("keys differ: %q vs %q", a, b)
+	}
+}
+
+func TestParamsInParser(t *testing.T) {
+	st := mustParseOne(t, `SELECT * FROM t WHERE id = $1 AND tag = $2`)
+	n, err := NumParams(st)
+	if err != nil || n != 2 {
+		t.Fatalf("n=%d err=%v", n, err)
+	}
+	if _, err := Parse(`SELECT $0`); err == nil {
+		t.Error("$0 should fail")
+	}
+}

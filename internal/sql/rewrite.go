@@ -1,0 +1,128 @@
+package sql
+
+import "lambdadb/internal/expr"
+
+// RewriteExprs returns a deep copy of st with fn applied (via expr.Rewrite)
+// to every expression root, recursing through subqueries, CTEs, and table
+// functions. The input statement is never mutated, so a prepared-statement
+// template stays reusable: EXECUTE substitutes $N placeholders with constant
+// values on the copy.
+func RewriteExprs(st Statement, fn func(expr.Expr) expr.Expr) Statement {
+	switch s := st.(type) {
+	case *Select:
+		return rewriteSelect(s, fn)
+	case *Insert:
+		c := *s
+		if s.Rows != nil {
+			c.Rows = make([][]expr.Expr, len(s.Rows))
+			for i, row := range s.Rows {
+				c.Rows[i] = rewriteExprList(row, fn)
+			}
+		}
+		c.Query = rewriteSelect(s.Query, fn)
+		return &c
+	case *Update:
+		c := *s
+		c.Set = make([]Assignment, len(s.Set))
+		for i, a := range s.Set {
+			c.Set[i] = Assignment{Column: a.Column, Value: expr.Rewrite(a.Value, fn)}
+		}
+		c.Where = expr.Rewrite(s.Where, fn)
+		return &c
+	case *Delete:
+		c := *s
+		c.Where = expr.Rewrite(s.Where, fn)
+		return &c
+	}
+	return st
+}
+
+func rewriteExprList(es []expr.Expr, fn func(expr.Expr) expr.Expr) []expr.Expr {
+	if es == nil {
+		return nil
+	}
+	out := make([]expr.Expr, len(es))
+	for i, e := range es {
+		out[i] = expr.Rewrite(e, fn)
+	}
+	return out
+}
+
+func rewriteSelect(s *Select, fn func(expr.Expr) expr.Expr) *Select {
+	if s == nil {
+		return nil
+	}
+	c := *s
+	if s.With != nil {
+		c.With = make([]CTE, len(s.With))
+		for i, cte := range s.With {
+			c.With[i] = cte
+			c.With[i].Query = rewriteSelect(cte.Query, fn)
+		}
+	}
+	c.Body = rewriteQueryExpr(s.Body, fn)
+	if s.OrderBy != nil {
+		c.OrderBy = make([]OrderItem, len(s.OrderBy))
+		for i, o := range s.OrderBy {
+			c.OrderBy[i] = OrderItem{Expr: expr.Rewrite(o.Expr, fn), Desc: o.Desc}
+		}
+	}
+	c.Limit = expr.Rewrite(s.Limit, fn)
+	c.Offset = expr.Rewrite(s.Offset, fn)
+	return &c
+}
+
+func rewriteQueryExpr(q QueryExpr, fn func(expr.Expr) expr.Expr) QueryExpr {
+	switch n := q.(type) {
+	case *SetOp:
+		c := *n
+		c.L = rewriteQueryExpr(n.L, fn)
+		c.R = rewriteQueryExpr(n.R, fn)
+		return &c
+	case *SelectCore:
+		c := *n
+		c.Items = make([]SelectItem, len(n.Items))
+		for i, it := range n.Items {
+			c.Items[i] = it
+			c.Items[i].Expr = expr.Rewrite(it.Expr, fn)
+		}
+		c.From = rewriteTableRef(n.From, fn)
+		c.Where = expr.Rewrite(n.Where, fn)
+		c.GroupBy = rewriteExprList(n.GroupBy, fn)
+		c.Having = expr.Rewrite(n.Having, fn)
+		return &c
+	}
+	return q
+}
+
+func rewriteTableRef(t TableRef, fn func(expr.Expr) expr.Expr) TableRef {
+	switch n := t.(type) {
+	case *Subquery:
+		c := *n
+		c.Query = rewriteSelect(n.Query, fn)
+		return &c
+	case *Join:
+		c := *n
+		c.L = rewriteTableRef(n.L, fn)
+		c.R = rewriteTableRef(n.R, fn)
+		c.On = expr.Rewrite(n.On, fn)
+		return &c
+	case *TableFunc:
+		c := *n
+		c.Args = make([]TableFuncArg, len(n.Args))
+		for i, a := range n.Args {
+			c.Args[i] = TableFuncArg{
+				Query:  rewriteSelect(a.Query, fn),
+				Lambda: a.Lambda,
+				Scalar: expr.Rewrite(a.Scalar, fn),
+			}
+			if a.Lambda != nil {
+				lc := *a.Lambda
+				lc.Body = expr.Rewrite(a.Lambda.Body, fn)
+				c.Args[i].Lambda = &lc
+			}
+		}
+		return &c
+	}
+	return t
+}

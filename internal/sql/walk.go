@@ -1,0 +1,139 @@
+package sql
+
+import (
+	"fmt"
+
+	"lambdadb/internal/expr"
+)
+
+// WalkExprs calls fn for every expression root in st, recursing through
+// subqueries, CTEs, and table functions. Together with expr.Walk it lets
+// callers enumerate every expression node in a statement — the engine uses
+// it to find $N parameter placeholders for validation and type stamping.
+func WalkExprs(st Statement, fn func(expr.Expr)) {
+	switch s := st.(type) {
+	case *Select:
+		walkSelectExprs(s, fn)
+	case *Insert:
+		for _, row := range s.Rows {
+			for _, e := range row {
+				fn(e)
+			}
+		}
+		if s.Query != nil {
+			walkSelectExprs(s.Query, fn)
+		}
+	case *Update:
+		for _, a := range s.Set {
+			fn(a.Value)
+		}
+		if s.Where != nil {
+			fn(s.Where)
+		}
+	case *Delete:
+		if s.Where != nil {
+			fn(s.Where)
+		}
+	case *Explain:
+		WalkExprs(s.Stmt, fn)
+	case *Prepare:
+		WalkExprs(s.Stmt, fn)
+	case *Execute:
+		for _, e := range s.Args {
+			fn(e)
+		}
+	}
+}
+
+func walkSelectExprs(s *Select, fn func(expr.Expr)) {
+	if s == nil {
+		return
+	}
+	for _, cte := range s.With {
+		walkSelectExprs(cte.Query, fn)
+	}
+	walkQueryExprs(s.Body, fn)
+	for _, o := range s.OrderBy {
+		fn(o.Expr)
+	}
+	if s.Limit != nil {
+		fn(s.Limit)
+	}
+	if s.Offset != nil {
+		fn(s.Offset)
+	}
+}
+
+func walkQueryExprs(q QueryExpr, fn func(expr.Expr)) {
+	switch n := q.(type) {
+	case *SetOp:
+		walkQueryExprs(n.L, fn)
+		walkQueryExprs(n.R, fn)
+	case *SelectCore:
+		for _, it := range n.Items {
+			if it.Expr != nil {
+				fn(it.Expr)
+			}
+		}
+		walkTableRefExprs(n.From, fn)
+		if n.Where != nil {
+			fn(n.Where)
+		}
+		for _, g := range n.GroupBy {
+			fn(g)
+		}
+		if n.Having != nil {
+			fn(n.Having)
+		}
+	}
+}
+
+func walkTableRefExprs(t TableRef, fn func(expr.Expr)) {
+	switch n := t.(type) {
+	case *TableName:
+	case *Subquery:
+		walkSelectExprs(n.Query, fn)
+	case *Join:
+		walkTableRefExprs(n.L, fn)
+		walkTableRefExprs(n.R, fn)
+		if n.On != nil {
+			fn(n.On)
+		}
+	case *TableFunc:
+		for _, a := range n.Args {
+			if a.Query != nil {
+				walkSelectExprs(a.Query, fn)
+			}
+			if a.Lambda != nil {
+				fn(a.Lambda.Body)
+			}
+			if a.Scalar != nil {
+				fn(a.Scalar)
+			}
+		}
+	}
+}
+
+// NumParams returns the highest $N referenced anywhere in st, validating
+// that the set of referenced ordinals is contiguous from $1.
+func NumParams(st Statement) (int, error) {
+	seen := map[int]bool{}
+	max := 0
+	WalkExprs(st, func(root expr.Expr) {
+		expr.Walk(root, func(e expr.Expr) bool {
+			if p, ok := e.(*expr.Param); ok {
+				seen[p.Idx] = true
+				if p.Idx > max {
+					max = p.Idx
+				}
+			}
+			return true
+		})
+	})
+	for i := 1; i <= max; i++ {
+		if !seen[i] {
+			return 0, fmt.Errorf("parameter placeholders must be contiguous from $1: $%d is missing but $%d is used", i, max)
+		}
+	}
+	return max, nil
+}

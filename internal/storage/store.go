@@ -25,6 +25,12 @@ type Store struct {
 	// clock reading: all rows committed at or before it are visible.
 	clock atomic.Uint64
 
+	// ddlVer counts catalog changes (CREATE/DROP TABLE, CREATE/DROP INDEX,
+	// state adoption) — including ones applied by WAL replay or replication.
+	// The engine's plan cache stamps entries with it so a schema change
+	// invalidates every plan built against the old catalog.
+	ddlVer atomic.Uint64
+
 	// commitMu serializes commits so validation and apply are atomic.
 	commitMu sync.Mutex
 
@@ -107,6 +113,7 @@ func (s *Store) CreateTable(name string, schema types.Schema) (*Table, error) {
 	}
 	s.nextTableID = t.id
 	s.tables[name] = t
+	s.ddlVer.Add(1)
 	s.mu.Unlock()
 	if wait != nil {
 		if err := wait(); err != nil {
@@ -132,6 +139,7 @@ func (s *Store) CreateTableWithID(name string, schema types.Schema, id uint64) (
 		s.nextTableID = id
 	}
 	s.tables[name] = t
+	s.ddlVer.Add(1)
 	return t, nil
 }
 
@@ -153,6 +161,7 @@ func (s *Store) DropTable(name string) error {
 		wait = w
 	}
 	delete(s.tables, name)
+	s.ddlVer.Add(1)
 	s.mu.Unlock()
 	if wait != nil {
 		if err := wait(); err != nil {
@@ -205,6 +214,7 @@ func (s *Store) CreateIndex(def IndexDef) error {
 		s.mu.Unlock()
 		return err
 	}
+	s.ddlVer.Add(1)
 	s.mu.Unlock()
 	if wait != nil {
 		if err := wait(); err != nil {
@@ -238,6 +248,7 @@ func (s *Store) DropIndex(name string) error {
 		wait = w
 	}
 	t.dropIndex(name)
+	s.ddlVer.Add(1)
 	s.mu.Unlock()
 	if wait != nil {
 		if err := wait(); err != nil {
@@ -319,7 +330,12 @@ func (s *Store) AdoptState(from *Store) {
 	s.tables = from.tables
 	s.nextTableID = from.nextTableID
 	s.clock.Store(from.clock.Load())
+	s.ddlVer.Add(1)
 }
+
+// DDLVersion returns the current catalog-change counter. Plans cached at an
+// older version must not be served.
+func (s *Store) DDLVersion() uint64 { return s.ddlVer.Load() }
 
 // lookupForReplay resolves a logged table reference. It returns nil when
 // the name is gone or now names a different incarnation — the record then

@@ -134,6 +134,14 @@ type Metrics struct {
 	IndexRowsRead atomic.Int64 // rows produced by index probes
 	AnalyzeRuns   atomic.Int64 // tables analyzed (ANALYZE and checkpoint refresh)
 
+	// Plan-cache counters (populated by internal/engine). A hit means the
+	// statement skipped lex/parse/plan entirely; an invalidation means a
+	// cached plan was dropped because the catalog or statistics changed
+	// under it.
+	PlanCacheHits          atomic.Int64
+	PlanCacheMisses        atomic.Int64
+	PlanCacheInvalidations atomic.Int64
+
 	// WAL position gauges. WalDurableLsn is the record LSN the group-commit
 	// flusher has confirmed on disk this process lifetime; WalAppliedClock is
 	// the commit clock of the last replicated record a replica applied (zero
