@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check lint vet build test race bench overhead server-smoke crash chaos-repl bench-wal bench-obs fuzz-smoke bench-prepared
+.PHONY: check lint vet build test race bench overhead server-smoke crash chaos-repl chaos-cluster bench-wal bench-obs fuzz-smoke bench-prepared
 
 ## check: everything CI runs except server-smoke — lint, build, full tests, race, telemetry-overhead smoke
 check: lint build test race overhead
@@ -24,7 +24,7 @@ test:
 
 ## race: the concurrent subsystems — executor, engine, storage, network server, WAL, replication — under the race detector
 race:
-	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/ ./internal/wal/ ./internal/repl/
+	$(GO) test -race ./internal/exec/ ./internal/engine/ ./internal/faultinject/ ./internal/storage/ ./internal/server/ ./internal/wal/ ./internal/repl/ ./internal/cluster/ ./internal/retry/
 
 ## overhead: assert the disarmed operator-stats path AND the armed histogram path each add <2% to the vectorized filter+agg workload
 overhead:
@@ -51,6 +51,10 @@ crash:
 ## chaos-repl: kill -9 primary/replica and sever streams repeatedly; verify zero acked-commit loss, convergence, resume vs resync, and promotion
 chaos-repl:
 	LAMBDADB_CHAOS_REPL=1 $(GO) test ./internal/repl/ -run TestReplChaos -count=1 -timeout 5m -v
+
+## chaos-cluster: 3-node cluster behind the router; kill -9 and SIGSTOP the primary under write load, verify automatic failover with epoch fencing, zero acked-commit loss, single writer per epoch, and continuous reads
+chaos-cluster:
+	LAMBDADB_CHAOS_CLUSTER=1 $(GO) test ./internal/cluster/ -run TestClusterChaos -count=1 -timeout 5m -v
 
 ## bench-wal: refresh the group-commit baseline (see BENCH_wal.json); asserts < 1 fsync per commit under concurrency
 bench-wal:

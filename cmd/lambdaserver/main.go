@@ -29,6 +29,7 @@ import (
 	"syscall"
 	"time"
 
+	"lambdadb/internal/cluster"
 	"lambdadb/internal/engine"
 	"lambdadb/internal/obs"
 	"lambdadb/internal/repl"
@@ -51,6 +52,8 @@ func main() {
 		grace       = flag.Duration("grace", server.DefaultDrainGrace, "how long a drain lets in-flight statements finish")
 		logFormat   = flag.String("log-format", "text", "structured log format: text or json")
 		readyMaxLag = flag.Int64("ready-max-lag", 0, "replica /readyz fails when commit-clock lag exceeds this many records (0 = no lag gate)")
+		syncReps    = flag.Int("sync-replicas", 0, "acknowledge a commit only after this many replicas durably acked it (0 = asynchronous replication)")
+		syncTimeout = flag.Duration("sync-timeout", 0, "how long a semi-synchronous commit waits for replica acks before erroring (0 = 5s)")
 		slowLog     = flag.String("slow-log", "", "append slow statements as JSON lines to this file (requires -slow-threshold)")
 		slowThresh  = flag.Duration("slow-threshold", 0, "statements at least this slow land in the slow-query log")
 		slowMax     = flag.Int64("slow-log-max-bytes", 64<<20, "rotate the slow-query log when it reaches this size (0 = never)")
@@ -146,24 +149,30 @@ func main() {
 		admin.SetDB(db) // recovery (if any) is complete
 	}
 
-	// Replication role: a durable primary accepts replica streams; a
-	// replica mirrors its primary continuously and serves reads only.
-	var replica *repl.Replica
+	// Replication role: a durable node joins the cluster role machinery —
+	// it starts as a replica when -replica-of is set, else as a primary,
+	// and can change roles at runtime via PROMOTE / FOLLOW (issued by an
+	// operator or lambdarouter's automatic failover).
+	var node *cluster.Node
 	var replHandler server.ReplicationHandler
-	switch {
-	case *replicaOf != "":
-		r, err := repl.StartReplica(db, *replicaOf, repl.ReplicaConfig{Logger: logger})
+	if *dataDir != "" {
+		n, err := cluster.NewNode(db, *replicaOf, cluster.NodeConfig{
+			Replica: repl.ReplicaConfig{Logger: logger},
+			Primary: repl.PrimaryConfig{
+				Logger:       logger,
+				SyncReplicas: *syncReps,
+				SyncTimeout:  *syncTimeout,
+			},
+			Logger: logger,
+		})
 		if err != nil {
 			fatal(err)
 		}
-		replica = r
-		logger.Info("serving as read replica", "primary", *replicaOf)
-	case *dataDir != "":
-		p, err := repl.NewPrimary(db, repl.PrimaryConfig{Logger: logger})
-		if err != nil {
-			fatal(err)
+		node = n
+		replHandler = n
+		if *replicaOf != "" {
+			logger.Info("serving as read replica", "primary", *replicaOf)
 		}
-		replHandler = p
 	}
 
 	srv := server.New(db, server.Config{
@@ -208,8 +217,8 @@ func main() {
 		if err := <-serveErr; err != nil {
 			fatal(err)
 		}
-		if replica != nil {
-			replica.Close()
+		if node != nil {
+			node.Close()
 		}
 		// Drained: every acknowledged commit is already fsynced; Close flushes
 		// the log so the next start needs no replay.

@@ -1,0 +1,658 @@
+package cluster
+
+// The cluster chaos harness: three database nodes run as separate processes
+// (this test binary re-execed) with semi-synchronous replication, fronted
+// by a Router running in the parent. A writer inserts sequential ids
+// through the router and journals which ones were acknowledged; a reader
+// hammers SELECTs through the router for the entire test and records its
+// longest outage. Rounds then inflict cluster-level calamities:
+//
+//   - kill -9 of the primary under write load: the router must detect the
+//     death, promote the most-caught-up replica under a fresh epoch, and
+//     let writes resume; the restarted ex-primary comes back still
+//     believing it leads and must be demoted and resynced,
+//   - a partition (SIGSTOP) of the primary: failover happens behind its
+//     back; on heal (SIGCONT) the frozen ex-primary must not be able to
+//     acknowledge anything under its stale epoch,
+//   - kill -9 of a replica under load: reads keep flowing through the
+//     survivors and the restarted replica converges.
+//
+// After every round the harness asserts zero acked-commit loss and full
+// three-way convergence; at the end it verifies the single-writer-per-epoch
+// invariant (exactly one node accepts a direct write), that every node
+// agrees on the final epoch, and that reads stayed continuously available.
+//
+// Gated behind LAMBDADB_CHAOS_CLUSTER=1 (run via `make chaos-cluster`)
+// because it forks processes and loops for a while.
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"log/slog"
+	"net"
+	"os"
+	"os/exec"
+	"os/signal"
+	"path/filepath"
+	"strings"
+	"sync"
+	"syscall"
+	"testing"
+	"time"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/repl"
+	"lambdadb/internal/server"
+	"lambdadb/internal/server/client"
+	"lambdadb/internal/telemetry"
+)
+
+const (
+	clusterChaosEnv        = "LAMBDADB_CHAOS_CLUSTER"
+	clusterChaosEnvDir     = "LAMBDADB_CHAOS_CLUSTER_DIR"
+	clusterChaosEnvAddr    = "LAMBDADB_CHAOS_CLUSTER_ADDR"
+	clusterChaosEnvPrimary = "LAMBDADB_CHAOS_CLUSTER_PRIMARY"
+)
+
+// ---------------------------------------------------------------- parent
+
+func TestClusterChaos(t *testing.T) {
+	if os.Getenv(clusterChaosEnv) != "1" {
+		t.Skip("set LAMBDADB_CHAOS_CLUSTER=1 (make chaos-cluster) to run the cluster chaos harness")
+	}
+	h := newClusterHarness(t)
+	defer h.stopAll()
+
+	h.setupSchema()
+	h.startReader()
+
+	// Round 1: kill -9 the primary under write load. The router promotes,
+	// writes resume, and the restarted ex-primary — which comes back still
+	// claiming the primary role under its old epoch — is demoted and
+	// snapshot-resynced into the new regime.
+	t.Log("round 1: kill -9 primary under load")
+	pi := h.findPrimary()
+	done := h.startLoad(150)
+	h.children[pi].killHard(h.t)
+	<-done
+	h.waitWritable()
+	h.children[pi] = h.startChild(pi, "") // restarts believing it is primary
+	h.waitConverged("round 1")
+
+	// Round 2: partition the new primary with SIGSTOP. Failover happens
+	// behind its back; when the partition heals the frozen ex-primary must
+	// not be able to ack anything under its stale epoch before the router
+	// reconciles it down.
+	t.Log("round 2: SIGSTOP partition of primary, then heal")
+	pi = h.findPrimary()
+	done = h.startLoad(120)
+	h.children[pi].cmd.Process.Signal(syscall.SIGSTOP)
+	// The writer may be frozen mid-request against the partitioned node, so
+	// failover is verified with fresh sessions before the partition heals.
+	h.waitWritable()
+	h.children[pi].cmd.Process.Signal(syscall.SIGCONT)
+	<-done
+	h.waitConverged("round 2")
+
+	// Round 3: kill -9 one replica under load. The router keeps serving
+	// reads off the survivors; the restarted replica converges.
+	t.Log("round 3: kill -9 replica under load")
+	pi = h.findPrimary()
+	ri := (pi + 1) % len(h.children)
+	done = h.startLoad(120)
+	h.children[ri].killHard(h.t)
+	<-done
+	h.children[ri] = h.startChild(ri, h.addrs[pi])
+	h.waitConverged("round 3")
+
+	// Single-writer-per-epoch: exactly one node accepts a direct write.
+	writers := 0
+	for i, addr := range h.addrs {
+		id := int64(-(1000 + i))
+		h.mu.Lock()
+		h.tried[id] = true
+		h.mu.Unlock()
+		if _, err := chaosExec(addr, fmt.Sprintf("INSERT INTO chaos VALUES (%d)", id), 5*time.Second); err == nil {
+			writers++
+			h.mu.Lock()
+			h.acked[id] = true
+			h.mu.Unlock()
+		}
+	}
+	if writers != 1 {
+		t.Errorf("single-writer violated: %d of %d nodes accepted a direct write, want exactly 1", writers, len(h.addrs))
+	}
+	h.waitConverged("single-writer sentinel")
+
+	// Epoch audit: two promotions happened, and after reconciliation every
+	// node serves under the same, latest epoch.
+	epochs := make([]int64, len(h.addrs))
+	for i, addr := range h.addrs {
+		res, err := chaosExec(addr, "SELECT MAX(epoch) FROM system.replication", 10*time.Second)
+		if err != nil || len(res.Rows) == 0 {
+			t.Fatalf("epoch audit on %s: %v", addr, err)
+		}
+		epochs[i] = res.Rows[0][0].AsInt()
+	}
+	for i, e := range epochs {
+		if e != epochs[0] || e < 2 {
+			t.Errorf("epoch audit: node epochs %v, want all equal and >= 2 (got %d on node %d)", epochs, e, i)
+		}
+	}
+
+	// Continuous read availability: the reader ran through two failovers
+	// and a replica death; its longest outage must stay well under the
+	// failure-detection window plus retry slack.
+	succ, gap := h.stopReader()
+	t.Logf("reader: %d successful reads, longest outage %v", succ, gap)
+	if succ < 50 {
+		t.Errorf("reader made only %d successful reads", succ)
+	}
+	if gap > 8*time.Second {
+		t.Errorf("reads were unavailable for %v, want < 8s", gap)
+	}
+
+	if got := h.metrics.RouterFailovers.Load(); got != 2 {
+		t.Errorf("router_failovers = %d, want 2", got)
+	}
+}
+
+type clusterHarness struct {
+	t        *testing.T
+	dirs     []string
+	addrs    []string
+	children []*clusterChild
+	rt       *Router
+	metrics  *telemetry.Metrics
+
+	mu    sync.Mutex
+	tried map[int64]bool
+	acked map[int64]bool
+	next  int64
+
+	readerStop chan struct{}
+	readerDone chan struct{}
+	readerSucc int
+	readerGap  time.Duration
+}
+
+type clusterChild struct {
+	cmd  *exec.Cmd
+	done chan error
+	dead bool
+}
+
+func newClusterHarness(t *testing.T) *clusterHarness {
+	t.Helper()
+	h := &clusterHarness{
+		t:     t,
+		tried: map[int64]bool{},
+		acked: map[int64]bool{},
+	}
+	for i := 0; i < 3; i++ {
+		h.dirs = append(h.dirs, filepath.Join(t.TempDir(), fmt.Sprintf("node%d", i)))
+		h.addrs = append(h.addrs, chaosFreeAddr(t))
+	}
+	h.children = make([]*clusterChild, 3)
+	h.children[0] = h.startChild(0, "")
+	h.children[1] = h.startChild(1, h.addrs[0])
+	h.children[2] = h.startChild(2, h.addrs[0])
+
+	h.metrics = &telemetry.Metrics{}
+	rt, err := NewRouter(RouterConfig{
+		Listen:     "127.0.0.1:0",
+		Nodes:      h.addrs,
+		ProbeEvery: 100 * time.Millisecond,
+		FailAfter:  time.Second,
+		WriteWait:  20 * time.Second,
+		Metrics:    h.metrics,
+		Logger:     slog.New(slog.NewTextHandler(os.Stderr, nil)).With("proc", "router"),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := rt.Listen(); err != nil {
+		t.Fatal(err)
+	}
+	go rt.Serve() //nolint:errcheck
+	h.rt = rt
+	return h
+}
+
+// chaosExec runs one statement on a fresh connection with a hard deadline.
+// Everything the harness sends is bounded: a frozen (SIGSTOP) backend keeps
+// its TCP stack ACKing, so an unbounded round-trip through the router would
+// block until the partition heals.
+func chaosExec(addr, stmt string, d time.Duration) (*client.Result, error) {
+	c, err := client.Dial(addr)
+	if err != nil {
+		return nil, err
+	}
+	defer c.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), d)
+	defer cancel()
+	return c.ExecContext(ctx, stmt)
+}
+
+// chaosFreeAddr grabs a loopback port and releases it for a child to bind.
+// Node addresses must stay fixed across restarts, so children cannot use :0.
+func chaosFreeAddr(t *testing.T) string {
+	t.Helper()
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := l.Addr().String()
+	l.Close()
+	return addr
+}
+
+// startChild launches node i as a separate process. replicaOf == "" makes
+// it come up believing it is a primary — the rejoin path for an ex-primary.
+func (h *clusterHarness) startChild(i int, replicaOf string) *clusterChild {
+	h.t.Helper()
+	cmd := exec.Command(os.Args[0], "-test.run=TestClusterChaosChild$")
+	cmd.Env = append(os.Environ(),
+		clusterChaosEnvDir+"="+h.dirs[i],
+		clusterChaosEnvAddr+"="+h.addrs[i],
+		clusterChaosEnvPrimary+"="+replicaOf,
+	)
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		h.t.Fatal(err)
+	}
+	ready := make(chan struct{})
+	go func() {
+		sc := bufio.NewScanner(stdout)
+		for sc.Scan() {
+			if strings.Contains(sc.Text(), "CHILD-READY") {
+				close(ready)
+				break
+			}
+		}
+		for sc.Scan() { // drain
+		}
+	}()
+	select {
+	case <-ready:
+	case <-time.After(30 * time.Second):
+		h.t.Fatalf("node %d child never became ready", i)
+	}
+	c := &clusterChild{cmd: cmd, done: make(chan error, 1)}
+	go func() { c.done <- cmd.Wait() }()
+	return c
+}
+
+func (c *clusterChild) killHard(t *testing.T) {
+	t.Helper()
+	c.cmd.Process.Signal(syscall.SIGKILL)
+	select {
+	case <-c.done:
+		c.dead = true
+	case <-time.After(30 * time.Second):
+		t.Fatal("child did not die after SIGKILL")
+	}
+}
+
+func (h *clusterHarness) stopAll() {
+	if h.readerStop != nil {
+		select {
+		case <-h.readerStop:
+		default:
+			close(h.readerStop)
+			<-h.readerDone
+		}
+	}
+	for _, c := range h.children {
+		if c == nil || c.dead {
+			continue
+		}
+		c.cmd.Process.Signal(syscall.SIGCONT) // in case a partition is still in force
+		c.cmd.Process.Signal(syscall.SIGTERM)
+	}
+	for i, c := range h.children {
+		if c == nil || c.dead {
+			continue
+		}
+		select {
+		case err := <-c.done:
+			if err != nil {
+				h.t.Errorf("node %d did not drain cleanly: %v", i, err)
+			}
+		case <-time.After(30 * time.Second):
+			h.t.Errorf("node %d did not exit after SIGTERM", i)
+		}
+	}
+	h.rt.Close()
+}
+
+func (h *clusterHarness) setupSchema() {
+	h.t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		_, err := chaosExec(h.rt.Addr(), "CREATE TABLE IF NOT EXISTS chaos (id BIGINT)", 10*time.Second)
+		if err == nil {
+			return
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatalf("schema setup: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// findPrimary asks each node directly which role it serves.
+func (h *clusterHarness) findPrimary() int {
+	h.t.Helper()
+	deadline := time.Now().Add(20 * time.Second)
+	for {
+		found := -1
+		for i, addr := range h.addrs {
+			if h.children[i] == nil || h.children[i].dead {
+				continue
+			}
+			res, err := chaosExec(addr, "SELECT role FROM system.replication", 5*time.Second)
+			if err != nil {
+				continue
+			}
+			for _, row := range res.Rows {
+				if row[0].S == "primary" {
+					found = i
+				}
+			}
+		}
+		if found >= 0 {
+			return found
+		}
+		if time.Now().After(deadline) {
+			h.t.Fatal("no node claims the primary role")
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// startLoad launches a write batch through the router; the returned channel
+// closes when the batch finishes. Failed writes stay journaled as
+// tried-but-unacked: they may legitimately be present or absent afterwards.
+// The caller decides when to join — a writer blocked on a frozen (SIGSTOP)
+// backend only unblocks after the partition heals, so the partition round
+// must not wait for it before sending SIGCONT.
+func (h *clusterHarness) startLoad(n int) chan struct{} {
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		var c *client.Conn
+		defer func() {
+			if c != nil {
+				c.Close()
+			}
+		}()
+		for i := 0; i < n; i++ {
+			if c == nil {
+				var err error
+				if c, err = client.Dial(h.rt.Addr()); err != nil {
+					time.Sleep(50 * time.Millisecond)
+					continue
+				}
+			}
+			h.mu.Lock()
+			id := h.next
+			h.next++
+			h.tried[id] = true
+			h.mu.Unlock()
+			if _, err := c.Exec(fmt.Sprintf("INSERT INTO chaos VALUES (%d)", id)); err != nil {
+				c.Close()
+				c = nil
+				continue
+			}
+			h.mu.Lock()
+			h.acked[id] = true
+			h.mu.Unlock()
+			// Pace the batch so it is still in flight when the calamity hits.
+			time.Sleep(5 * time.Millisecond)
+		}
+	}()
+	time.Sleep(300 * time.Millisecond) // let some writes land first
+	return writerDone
+}
+
+// waitWritable blocks until a journaled write through the router succeeds —
+// i.e. failover has completed.
+func (h *clusterHarness) waitWritable() {
+	h.t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		h.mu.Lock()
+		id := h.next
+		h.next++
+		h.tried[id] = true
+		h.mu.Unlock()
+		if _, err := chaosExec(h.rt.Addr(), fmt.Sprintf("INSERT INTO chaos VALUES (%d)", id), 5*time.Second); err == nil {
+			h.mu.Lock()
+			h.acked[id] = true
+			h.mu.Unlock()
+			return
+		} else if time.Now().After(deadline) {
+			h.t.Fatalf("writes never resumed after failover: %v", err)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+}
+
+// idSet dumps the chaos table directly from one node.
+func (h *clusterHarness) idSet(addr string) (map[int64]bool, error) {
+	res, err := chaosExec(addr, "SELECT id FROM chaos", 10*time.Second)
+	if err != nil {
+		return nil, err
+	}
+	set := make(map[int64]bool, len(res.Rows))
+	for _, row := range res.Rows {
+		set[row[0].I] = true
+	}
+	return set, nil
+}
+
+// waitConverged asserts the cluster contract after a round: all three nodes
+// hold identical contents, every acked id is present, and no phantom ids
+// exist.
+func (h *clusterHarness) waitConverged(round string) {
+	h.t.Helper()
+	h.mu.Lock()
+	acked := make([]int64, 0, len(h.acked))
+	for id := range h.acked {
+		acked = append(acked, id)
+	}
+	tried := make(map[int64]bool, len(h.tried))
+	for id := range h.tried {
+		tried[id] = true
+	}
+	h.mu.Unlock()
+
+	deadline := time.Now().Add(90 * time.Second)
+	var sets []map[int64]bool
+	for {
+		sets = sets[:0]
+		ok := true
+		for _, addr := range h.addrs {
+			set, err := h.idSet(addr)
+			if err != nil {
+				ok = false
+				break
+			}
+			sets = append(sets, set)
+		}
+		if ok {
+			for _, s := range sets[1:] {
+				if !chaosSetsEqual(sets[0], s) {
+					ok = false
+					break
+				}
+			}
+		}
+		if ok {
+			break
+		}
+		if time.Now().After(deadline) {
+			sizes := make([]int, len(sets))
+			for i, s := range sets {
+				sizes[i] = len(s)
+			}
+			h.t.Fatalf("%s: cluster never converged: row counts %v", round, sizes)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	for _, id := range acked {
+		if !sets[0][id] {
+			h.t.Errorf("%s: ACKED COMMIT LOST: id %d", round, id)
+		}
+	}
+	for id := range sets[0] {
+		if !tried[id] {
+			h.t.Errorf("%s: PHANTOM ROW: id %d", round, id)
+		}
+	}
+	h.t.Logf("%s: %d tried, %d acked, %d rows converged on all 3 nodes",
+		round, len(tried), len(acked), len(sets[0]))
+}
+
+func chaosSetsEqual(a, b map[int64]bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for id := range a {
+		if !b[id] {
+			return false
+		}
+	}
+	return true
+}
+
+// startReader launches the availability prober: SELECTs through the router
+// every 50ms for the whole test, tracking the longest gap between
+// successes.
+func (h *clusterHarness) startReader() {
+	h.readerStop = make(chan struct{})
+	h.readerDone = make(chan struct{})
+	go func() {
+		defer close(h.readerDone)
+		var c *client.Conn
+		defer func() {
+			if c != nil {
+				c.Close()
+			}
+		}()
+		last := time.Now()
+		for {
+			select {
+			case <-h.readerStop:
+				return
+			case <-time.After(50 * time.Millisecond):
+			}
+			if c == nil {
+				var err error
+				if c, err = client.Dial(h.rt.Addr()); err != nil {
+					continue
+				}
+			}
+			ctx, cancel := context.WithTimeout(context.Background(), 3*time.Second)
+			_, err := c.ExecContext(ctx, "SELECT COUNT(*) FROM chaos")
+			cancel()
+			if err != nil {
+				c.Close()
+				c = nil
+				continue
+			}
+			h.mu.Lock()
+			h.readerSucc++
+			if gap := time.Since(last); gap > h.readerGap {
+				h.readerGap = gap
+			}
+			h.mu.Unlock()
+			last = time.Now()
+		}
+	}()
+}
+
+func (h *clusterHarness) stopReader() (successes int, longestGap time.Duration) {
+	close(h.readerStop)
+	<-h.readerDone
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.readerSucc, h.readerGap
+}
+
+// ----------------------------------------------------------------- child
+
+// TestClusterChaosChild is the re-execed node process: engine + cluster
+// role machinery + wire server, exactly the lambdaserver wiring. It serves
+// until SIGKILLed or drained by SIGTERM.
+func TestClusterChaosChild(t *testing.T) {
+	dir := os.Getenv(clusterChaosEnvDir)
+	if dir == "" {
+		t.Skip("cluster-chaos child")
+	}
+	addr := os.Getenv(clusterChaosEnvAddr)
+	replicaOf := os.Getenv(clusterChaosEnvPrimary)
+
+	var opts []engine.Option
+	if replicaOf != "" {
+		opts = append(opts, engine.WithReadReplica(replicaOf))
+	}
+	db, err := engine.OpenDir(dir, opts...)
+	if err != nil {
+		t.Fatalf("child: recovery failed: %v", err)
+	}
+	logger := slog.New(slog.NewTextHandler(os.Stderr, nil)).With("proc", addr)
+	node, err := NewNode(db, replicaOf, NodeConfig{
+		Replica: repl.ReplicaConfig{
+			DialTimeout: 2 * time.Second,
+			ReadTimeout: 2 * time.Second,
+			AckEvery:    10 * time.Millisecond,
+			BaseBackoff: 20 * time.Millisecond,
+			MaxBackoff:  300 * time.Millisecond,
+			Logger:      logger,
+		},
+		Primary: repl.PrimaryConfig{
+			HeartbeatEvery: 100 * time.Millisecond,
+			SyncReplicas:   1,
+			SyncTimeout:    2 * time.Second,
+			Logger:         logger,
+		},
+		Logger: logger,
+	})
+	if err != nil {
+		t.Fatalf("child: node: %v", err)
+	}
+
+	srv := server.New(db, server.Config{Addr: addr, ReplHandler: node})
+	if err := srv.Listen(); err != nil {
+		t.Fatalf("child: listen %s: %v", addr, err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve() }()
+	fmt.Println("CHILD-READY")
+	os.Stdout.Sync()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGTERM)
+	select {
+	case err := <-serveErr:
+		t.Fatalf("child: serve: %v", err)
+	case <-sig:
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		t.Fatalf("child: drain: %v", err)
+	}
+	<-serveErr
+	node.Close()
+	if err := db.Close(); err != nil {
+		t.Fatalf("child: close db: %v", err)
+	}
+}

@@ -1,0 +1,229 @@
+// Package cluster turns a set of lambdaserver processes into one
+// epoch-fenced, automatically-failing-over database: a Node wraps the
+// engine's replication machinery behind role transitions (PROMOTE /
+// FOLLOW), and a Router funnels client writes to the current primary while
+// spreading reads across lag-healthy replicas, promoting the most
+// caught-up replica when the primary dies.
+//
+// The fencing invariant the package maintains: at most one node accepts
+// writes per cluster epoch. The epoch is a monotonic counter persisted
+// through the WAL (wal.Manager.SetEpoch); promotion durably bumps it
+// before the node becomes writable, every replication control frame
+// carries it, and both ends of a stream refuse the other side's stale
+// epoch. A partitioned ex-primary therefore fences itself the moment it
+// hears from any node of the new regime — and until then, nothing
+// replicates from it, so its unreplicated writes cannot leak.
+package cluster
+
+import (
+	"bufio"
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"net"
+	"sync"
+
+	"lambdadb/internal/engine"
+	"lambdadb/internal/repl"
+	"lambdadb/internal/server"
+	"lambdadb/internal/server/wire"
+	"lambdadb/internal/wal"
+)
+
+// NodeConfig tunes one cluster member.
+type NodeConfig struct {
+	// Replica tunes the following side (used whenever the node follows).
+	Replica repl.ReplicaConfig
+	// Primary tunes the shipping side (used whenever the node leads).
+	// OnStaleEpoch is overwritten by the Node: self-demotion is its job.
+	Primary repl.PrimaryConfig
+	// Logger receives role-transition logs. Nil discards them.
+	Logger *slog.Logger
+}
+
+// Node is one cluster member: an engine plus the replication role it is
+// currently playing. It implements engine.ClusterControl (PROMOTE/FOLLOW
+// statements land here) and server.ReplicationHandler (replica streams are
+// forwarded to the current primary machinery, or refused while following).
+type Node struct {
+	db  *engine.DB
+	mgr *wal.Manager
+	cfg NodeConfig
+	log *slog.Logger
+
+	mu      sync.Mutex
+	primary *repl.Primary // non-nil while leading
+	replica *repl.Replica // non-nil while following
+	closed  bool
+}
+
+// NewNode wraps db — which must have been opened with a data directory —
+// and starts it in the role it was configured for: following primaryAddr
+// when non-empty (the -replica-of flag), else leading.
+func NewNode(db *engine.DB, primaryAddr string, cfg NodeConfig) (*Node, error) {
+	mgr := db.WALManager()
+	if mgr == nil {
+		return nil, fmt.Errorf("cluster: a node requires a database opened with a data directory")
+	}
+	if cfg.Logger == nil {
+		cfg.Logger = slog.New(slog.NewTextHandler(io.Discard, nil))
+	}
+	n := &Node{db: db, mgr: mgr, cfg: cfg, log: cfg.Logger}
+	db.SetClusterControl(n)
+	if primaryAddr == "" {
+		p, err := n.newPrimary()
+		if err != nil {
+			return nil, err
+		}
+		n.primary = p
+		return n, nil
+	}
+	r, err := repl.StartReplica(db, primaryAddr, cfg.Replica)
+	if err != nil {
+		return nil, err
+	}
+	n.replica = r
+	return n, nil
+}
+
+// newPrimary builds the shipping machinery with the Node's self-demotion
+// hook installed.
+func (n *Node) newPrimary() (*repl.Primary, error) {
+	cfg := n.cfg.Primary
+	cfg.OnStaleEpoch = n.staleEpoch
+	return repl.NewPrimary(n.db, cfg)
+}
+
+// Role reports "primary" or "replica" plus the current fencing epoch.
+func (n *Node) Role() (string, uint64) {
+	if n.db.Writable() {
+		return "primary", n.mgr.Epoch()
+	}
+	return "replica", n.mgr.Epoch()
+}
+
+// Promote implements engine.ClusterControl: detach from the old primary,
+// durably bump the cluster epoch, and become the writable primary. The
+// order is load-bearing — the epoch record must be durable before the
+// first write is accepted, so no commit can ever exist under an epoch that
+// was not fenced first. Promoting a node that already leads just returns
+// the current epoch (the router retries promotion on failover; it must be
+// idempotent).
+func (n *Node) Promote(ctx context.Context) (uint64, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return 0, fmt.Errorf("cluster: node is closed")
+	}
+	if n.primary != nil {
+		return n.mgr.Epoch(), nil
+	}
+	if n.replica != nil {
+		n.replica.Close()
+		n.replica = nil
+	}
+	n.mgr.PrimaryMode()
+	epoch := n.mgr.Epoch() + 1
+	if err := n.mgr.SetEpoch(epoch); err != nil {
+		return 0, fmt.Errorf("cluster: promote: persist epoch %d: %w", epoch, err)
+	}
+	p, err := n.newPrimary()
+	if err != nil {
+		return 0, err
+	}
+	n.primary = p
+	n.db.BecomePrimary()
+	n.log.Info("promoted to primary", "epoch", epoch)
+	return epoch, nil
+}
+
+// Follow implements engine.ClusterControl: fence the node read-only, stop
+// any leading machinery, and stream from addr. Re-pointing an existing
+// replica at a new primary restarts the stream (its durable position is
+// preserved; divergence or lag is handled by the stream's usual resync
+// path).
+func (n *Node) Follow(ctx context.Context, addr string) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return fmt.Errorf("cluster: node is closed")
+	}
+	// Fence before anything else: from here on no new write is accepted,
+	// even while the old machinery winds down.
+	n.db.BecomeReplica(addr)
+	if n.primary != nil {
+		n.primary.Stop()
+		n.primary = nil
+	}
+	if n.replica != nil {
+		n.replica.Close()
+		n.replica = nil
+	}
+	r, err := repl.StartReplica(n.db, addr, n.cfg.Replica)
+	if err != nil {
+		return err
+	}
+	n.replica = r
+	n.log.Info("following primary", "primary", addr, "epoch", n.mgr.Epoch())
+	return nil
+}
+
+// staleEpoch is the Primary's OnStaleEpoch hook: a replica reported an
+// epoch newer than ours, so another node was promoted and this one must
+// stop writing immediately. It fences the engine and tears the shipping
+// machinery down; it does not start following anyone — the router (or an
+// operator) names our new primary with FOLLOW once one is known.
+func (n *Node) staleEpoch(remoteEpoch uint64, peer string) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.primary == nil {
+		return // already demoted
+	}
+	n.log.Warn("fencing: peer reported a newer cluster epoch",
+		"peer", peer, "remote_epoch", remoteEpoch, "local_epoch", n.mgr.Epoch())
+	n.db.BecomeReplica("")
+	n.mgr.AdoptEpoch(remoteEpoch)
+	p := n.primary
+	n.primary = nil
+	// Stop closes replica sockets — possibly including the one whose
+	// goroutine invoked this hook; Stop never joins those goroutines, so
+	// calling it inline cannot deadlock.
+	p.Stop()
+}
+
+// ServeReplication implements server.ReplicationHandler by forwarding to
+// the current leading machinery. While following (or mid-demotion) the
+// stream is refused: replicas must chain from the real primary.
+func (n *Node) ServeReplication(ctx context.Context, nc net.Conn, br *bufio.Reader, start []byte) {
+	n.mu.Lock()
+	p := n.primary
+	n.mu.Unlock()
+	if p == nil {
+		_ = wire.WriteFrame(nc, wire.Error, []byte("repl: this node is not a primary"))
+		return
+	}
+	p.ServeReplication(ctx, nc, br, start)
+}
+
+// Close stops whatever role machinery is running. The engine itself is the
+// caller's to close.
+func (n *Node) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+	if n.primary != nil {
+		n.primary.Stop()
+		n.primary = nil
+	}
+	if n.replica != nil {
+		n.replica.Close()
+		n.replica = nil
+	}
+}
+
+// compile-time interface checks
+var (
+	_ engine.ClusterControl     = (*Node)(nil)
+	_ server.ReplicationHandler = (*Node)(nil)
+)

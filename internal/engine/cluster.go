@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"context"
+	"fmt"
+	"time"
+)
+
+// ClusterControl handles the cluster role-change statements. The engine
+// only defines the interface — internal/cluster implements it against the
+// replication layer — so PROMOTE and FOLLOW work through any SQL surface
+// (wire protocol, shell) without the engine importing replication.
+type ClusterControl interface {
+	// Promote detaches the node from its primary and makes it writable
+	// under a freshly bumped, durably-logged cluster epoch. It returns the
+	// new epoch.
+	Promote(ctx context.Context) (uint64, error)
+	// Follow fences the node read-only and starts (or re-points)
+	// replication from the primary at addr.
+	Follow(ctx context.Context, addr string) error
+}
+
+// SetClusterControl installs the PROMOTE/FOLLOW handler. It must be set
+// before the DB serves queries (the field is unguarded).
+func (db *DB) SetClusterControl(cc ClusterControl) { db.clusterCtl = cc }
+
+// defaultClockWait bounds WAIT FOR CLOCK when neither the statement
+// context nor a statement timeout imposes a tighter deadline, so a wait
+// for a clock the node will never reach cannot park a session forever.
+const defaultClockWait = 30 * time.Second
+
+// WaitForClock blocks until the locally applied commit clock reaches
+// clock, the context is done, or defaultClockWait elapses. Routers prefix
+// replica-bound reads with WAIT FOR CLOCK to provide read-your-writes: the
+// read only proceeds once the replica has applied the writer's commit.
+func (db *DB) WaitForClock(ctx context.Context, clock uint64) error {
+	if db.store.Snapshot() >= clock {
+		return nil
+	}
+	deadline := time.NewTimer(defaultClockWait)
+	defer deadline.Stop()
+	tick := time.NewTicker(time.Millisecond)
+	defer tick.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-deadline.C:
+			return fmt.Errorf("WAIT FOR CLOCK %d: still at clock %d after %v", clock, db.store.Snapshot(), defaultClockWait)
+		case <-tick.C:
+			if db.store.Snapshot() >= clock {
+				return nil
+			}
+		}
+	}
+}

@@ -12,6 +12,7 @@ import (
 	"runtime"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambdadb/internal/exec"
@@ -51,10 +52,14 @@ type DB struct {
 	checkpointDone  chan struct{}
 	closeOnce       sync.Once
 
-	// Replication state (see replica.go): replicaOf marks a read-only
-	// replica and names its primary; replReporter feeds system.replication.
+	// Replication state (see replica.go): replicaOf is the initial role
+	// from WithReadReplica; the live role (which failover changes at
+	// runtime) lives in role. replReporter feeds system.replication and
+	// clusterCtl handles PROMOTE/FOLLOW.
 	replicaOf    string
+	role         atomic.Pointer[roleState]
 	replReporter ReplicationReporter
+	clusterCtl   ClusterControl
 }
 
 // Option configures a DB.
@@ -150,6 +155,7 @@ func Open(opts ...Option) *DB {
 	for _, o := range opts {
 		o(db)
 	}
+	db.role.Store(&roleState{writable: db.replicaOf == "", primary: db.replicaOf})
 	db.planCache = plancache.New(db.planCacheSize)
 	return db
 }
@@ -231,10 +237,10 @@ func (db *DB) Checkpoint() (wal.CheckpointStats, error) {
 	if db.wal == nil {
 		return wal.CheckpointStats{}, fmt.Errorf("CHECKPOINT requires a database opened with a data directory")
 	}
-	if db.replicaOf != "" {
+	if r := db.role.Load(); !r.writable {
 		// The replica's log mirrors the primary's; rotating it locally would
 		// break the mirror. Replica checkpoints happen at stream boundaries.
-		return wal.CheckpointStats{}, &ReadOnlyError{Primary: db.replicaOf, Statement: "CHECKPOINT"}
+		return wal.CheckpointStats{}, &ReadOnlyError{Primary: r.primary, Statement: "CHECKPOINT"}
 	}
 	stats, err := db.wal.Checkpoint()
 	if err == nil {
@@ -637,6 +643,34 @@ func (s *Session) execStatement(ctx context.Context, st sql.Statement) (*Result,
 				types.NewInt(int64(stats.SegmentsRemoved)),
 			}},
 		}, nil
+	case *sql.Promote:
+		cc := s.db.clusterCtl
+		if cc == nil {
+			return nil, fmt.Errorf("PROMOTE requires cluster control (a lambdaserver with a data directory)")
+		}
+		epoch, err := cc.Promote(ctx)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{
+			Columns: []string{"epoch"},
+			Types:   []types.Type{types.Int64},
+			Rows:    [][]types.Value{{types.NewInt(int64(epoch))}},
+		}, nil
+	case *sql.Follow:
+		cc := s.db.clusterCtl
+		if cc == nil {
+			return nil, fmt.Errorf("FOLLOW requires cluster control (a lambdaserver with a data directory)")
+		}
+		if err := cc.Follow(ctx, n.Addr); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
+	case *sql.WaitForClock:
+		if err := s.db.WaitForClock(ctx, n.Clock); err != nil {
+			return nil, err
+		}
+		return &Result{}, nil
 	}
 	return nil, fmt.Errorf("unsupported statement %T", st)
 }

@@ -7,15 +7,28 @@ import (
 	"lambdadb/internal/types"
 )
 
-// ReadOnlyError rejects a write on a read replica. It names the primary so
-// a client (or operator) knows where writes must go.
+// ReadOnlyError rejects a write on a node that is not the writable
+// primary. It names the primary, when known, so a client (or router)
+// knows where writes must go; the address round-trips through the wire
+// protocol's read_only error code.
 type ReadOnlyError struct {
-	Primary   string // primary address the replica follows
+	Primary   string // primary address the node follows ("" when unknown)
 	Statement string // the rejected statement kind, e.g. "INSERT"
 }
 
 func (e *ReadOnlyError) Error() string {
+	if e.Primary == "" {
+		return fmt.Sprintf("%s rejected: this node is read-only (not the primary)", e.Statement)
+	}
 	return fmt.Sprintf("%s rejected: this is a read-only replica of %s", e.Statement, e.Primary)
+}
+
+// roleState is the node's live cluster role. Failover swaps it at runtime
+// (promotion makes a replica writable; demotion fences an ex-primary), so
+// it lives behind an atomic pointer rather than a construction-time field.
+type roleState struct {
+	writable bool   // writes accepted (this node is the primary)
+	primary  string // the primary's address when not writable ("" when unknown)
 }
 
 // WithReadReplica marks the database a read-only replica following the
@@ -28,13 +41,29 @@ func WithReadReplica(addr string) Option {
 }
 
 // ReplicaOf returns the primary address this DB follows, or "" when it is
-// not a replica.
-func (db *DB) ReplicaOf() string { return db.replicaOf }
+// the primary (or read-only with no primary known).
+func (db *DB) ReplicaOf() string { return db.role.Load().primary }
 
-// rejectOnReplica returns the *ReadOnlyError for st when the DB is a
-// replica and st writes; nil otherwise.
+// Writable reports whether this node accepts writes.
+func (db *DB) Writable() bool { return db.role.Load().writable }
+
+// BecomePrimary makes the node writable. Promotion calls it after the
+// replication stream is stopped and the bumped epoch is durable.
+func (db *DB) BecomePrimary() { db.role.Store(&roleState{writable: true}) }
+
+// BecomeReplica fences the node read-only, recording the primary writes
+// should be redirected to. addr may be "" when no primary is known yet
+// (a demoted primary waiting to learn its successor): writes are still
+// rejected, just without a redirect target.
+func (db *DB) BecomeReplica(addr string) {
+	db.role.Store(&roleState{writable: false, primary: addr})
+}
+
+// rejectOnReplica returns the *ReadOnlyError for st when the DB is not
+// writable and st writes; nil otherwise.
 func (db *DB) rejectOnReplica(st sql.Statement) error {
-	if db.replicaOf == "" {
+	role := db.role.Load()
+	if role.writable {
 		return nil
 	}
 	var kind string
@@ -63,7 +92,7 @@ func (db *DB) rejectOnReplica(st sql.Statement) error {
 	default:
 		return nil
 	}
-	return &ReadOnlyError{Primary: db.replicaOf, Statement: kind}
+	return &ReadOnlyError{Primary: role.primary, Statement: kind}
 }
 
 // ReplicationRow is one row of system.replication: the local role plus one
@@ -73,6 +102,7 @@ type ReplicationRow struct {
 	Role         string // "primary" or "replica"
 	Peer         string // remote address ("" when no peer is connected)
 	State        string // e.g. "streaming", "catchup", "connecting", "idle"
+	Epoch        uint64 // cluster fencing epoch the node is serving under
 	WalSeg       uint64 // durable log position: segment ...
 	WalOff       int64  // ... and offset (local on a replica, acked on a primary)
 	AppliedClock uint64 // commit clock applied locally (replica) / acked (primary)
@@ -101,12 +131,17 @@ func (db *DB) ReplicationRows() []ReplicationRow {
 		rows = rep.ReplicationRows()
 	}
 	if len(rows) == 0 {
+		r := db.role.Load()
 		role := "primary"
-		if db.replicaOf != "" {
+		if !r.writable {
 			role = "replica"
 		}
+		var epoch uint64
+		if db.wal != nil {
+			epoch = db.wal.Epoch()
+		}
 		rows = []ReplicationRow{{
-			Role: role, Peer: db.replicaOf, State: "idle",
+			Role: role, Peer: r.primary, State: "idle", Epoch: epoch,
 			AppliedClock: db.store.Snapshot(), PrimaryClock: db.store.Snapshot(),
 			LastContact: -1,
 		}}
@@ -121,6 +156,7 @@ func (c systemCatalog) replicationRelation() *memRelation {
 		{Name: "role", Type: types.String},
 		{Name: "peer", Type: types.String},
 		{Name: "state", Type: types.String},
+		{Name: "epoch", Type: types.Int64},
 		{Name: "wal_seg", Type: types.Int64},
 		{Name: "wal_off", Type: types.Int64},
 		{Name: "applied_clock", Type: types.Int64},
@@ -139,6 +175,7 @@ func (c systemCatalog) replicationRelation() *memRelation {
 			types.NewString(r.Role),
 			types.NewString(r.Peer),
 			types.NewString(r.State),
+			types.NewInt(int64(r.Epoch)),
 			types.NewInt(int64(r.WalSeg)),
 			types.NewInt(r.WalOff),
 			types.NewInt(int64(r.AppliedClock)),

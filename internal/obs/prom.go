@@ -24,13 +24,14 @@ const namespace = "lambdadb"
 // monotone counters; everything else in the snapshot is exported as a
 // counter.
 var gaugeNames = map[string]bool{
-	"conns_active":         true,
-	"queries_active":       true,
-	"sessions_active":      true,
-	"peak_query_bytes":     true,
-	"wal_durable_lsn":      true,
-	"wal_applied_clock":    true,
-	"repl_replicas_active": true,
+	"conns_active":            true,
+	"queries_active":          true,
+	"sessions_active":         true,
+	"peak_query_bytes":        true,
+	"wal_durable_lsn":         true,
+	"wal_applied_clock":       true,
+	"repl_replicas_active":    true,
+	"router_backends_healthy": true,
 }
 
 // renderHistogram writes one histogram in the text exposition format. The
@@ -89,15 +90,7 @@ func escapeLabel(s string) string {
 func RenderMetrics(db *engine.DB) string {
 	var sb strings.Builder
 	m := db.Metrics()
-
-	for _, c := range m.Snapshot() {
-		name := namespace + "_" + c.Name
-		typ := "counter"
-		if gaugeNames[c.Name] {
-			typ = "gauge"
-		}
-		fmt.Fprintf(&sb, "# TYPE %s %s\n%s %d\n", name, typ, name, c.Value)
-	}
+	renderCounters(&sb, m)
 
 	seenFamily := map[string]bool{}
 	for _, d := range m.Hist().Defs() {
@@ -114,6 +107,26 @@ func RenderMetrics(db *engine.DB) string {
 
 	renderReplication(&sb, db.ReplicationRows())
 	return sb.String()
+}
+
+// RenderCounters renders only the counter/gauge families of m — the
+// exposition for processes that have telemetry but no engine, like the
+// cluster router.
+func RenderCounters(m *telemetry.Metrics) string {
+	var sb strings.Builder
+	renderCounters(&sb, m)
+	return sb.String()
+}
+
+func renderCounters(sb *strings.Builder, m *telemetry.Metrics) {
+	for _, c := range m.Snapshot() {
+		name := namespace + "_" + c.Name
+		typ := "counter"
+		if gaugeNames[c.Name] {
+			typ = "gauge"
+		}
+		fmt.Fprintf(sb, "# TYPE %s %s\n%s %d\n", name, typ, name, c.Value)
+	}
 }
 
 // renderReplication exports one gauge set per replication link: lag in

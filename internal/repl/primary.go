@@ -34,6 +34,19 @@ type PrimaryConfig struct {
 	// HeartbeatEvery is the idle-stream heartbeat interval (position +
 	// clock, so replicas can report staleness). <= 0 means 1s.
 	HeartbeatEvery time.Duration
+	// SyncReplicas, when > 0, makes commits semi-synchronous: a commit is
+	// acknowledged to the client only once this many replicas have durably
+	// acked its log position (or SyncTimeout expires, which surfaces as a
+	// commit error — the write is locally durable but unconfirmed). 0 keeps
+	// replication fully asynchronous.
+	SyncReplicas int
+	// SyncTimeout bounds how long a semi-synchronous commit waits for
+	// replica acks. <= 0 means 5s.
+	SyncTimeout time.Duration
+	// OnStaleEpoch is called (from a connection goroutine) when a replica
+	// reports a cluster epoch newer than this primary's: someone else was
+	// promoted, so this node must fence itself. May be nil.
+	OnStaleEpoch func(remoteEpoch uint64, peer string)
 	// Logger receives structured replica connect/disconnect logs with the
 	// replica's address as a field. Nil discards them.
 	Logger *slog.Logger
@@ -52,6 +65,9 @@ func (c *PrimaryConfig) defaults() {
 	if c.HeartbeatEvery <= 0 {
 		c.HeartbeatEvery = time.Second
 	}
+	if c.SyncTimeout <= 0 {
+		c.SyncTimeout = 5 * time.Second
+	}
 }
 
 // Primary ships the write-ahead log to connected replicas. It implements
@@ -66,11 +82,14 @@ type Primary struct {
 
 	mu       sync.Mutex
 	replicas map[*replicaLink]struct{}
+	ackGen   chan struct{} // closed and replaced whenever any ack advances
+	stopped  bool          // Stop was called; refuse new replicas
 }
 
 // replicaLink is the primary's view of one connected replica.
 type replicaLink struct {
 	peer string
+	nc   net.Conn
 
 	mu          sync.Mutex
 	state       string // "catchup", "streaming", "resync"
@@ -99,10 +118,84 @@ func NewPrimary(db *engine.DB, cfg PrimaryConfig) (*Primary, error) {
 	p := &Primary{
 		db: db, mgr: mgr, metrics: db.Metrics(), cfg: cfg,
 		replicas: make(map[*replicaLink]struct{}),
+		ackGen:   make(chan struct{}),
 	}
 	mgr.SetSegmentRetainer(p)
 	db.SetReplicationReporter(p)
+	if cfg.SyncReplicas > 0 {
+		mgr.SetCommitWaiter(p.WaitReplicated)
+	}
 	return p, nil
+}
+
+// Stop disconnects every replica and uninstalls the semi-sync commit
+// waiter. New ReplStart handshakes are refused afterwards. Demotion calls
+// it so a fenced ex-primary cannot keep shipping records under its stale
+// epoch.
+func (p *Primary) Stop() {
+	p.mu.Lock()
+	p.stopped = true
+	links := make([]*replicaLink, 0, len(p.replicas))
+	for l := range p.replicas {
+		links = append(links, l)
+	}
+	p.mu.Unlock()
+	p.mgr.SetCommitWaiter(nil)
+	for _, l := range links {
+		l.nc.Close()
+	}
+}
+
+// ackAdvanced wakes every semi-sync commit waiting in WaitReplicated.
+func (p *Primary) ackAdvanced() {
+	p.mu.Lock()
+	close(p.ackGen)
+	p.ackGen = make(chan struct{})
+	p.mu.Unlock()
+}
+
+// WaitReplicated blocks until cfg.SyncReplicas replicas have acked pos as
+// durably applied, or SyncTimeout expires. It is installed as the WAL's
+// commit waiter when semi-synchronous replication is enabled: the commit
+// is already locally durable when it runs, so a timeout means the write
+// exists but its replication factor is unconfirmed — the error tells the
+// client exactly that.
+func (p *Primary) WaitReplicated(pos wal.Pos) error {
+	need := p.cfg.SyncReplicas
+	if need <= 0 {
+		return nil
+	}
+	deadline := time.Now().Add(p.cfg.SyncTimeout)
+	for {
+		p.mu.Lock()
+		acked := 0
+		for l := range p.replicas {
+			l.mu.Lock()
+			if !l.acked.Less(pos) {
+				acked++
+			}
+			l.mu.Unlock()
+		}
+		gen := p.ackGen
+		stopped := p.stopped
+		p.mu.Unlock()
+		if acked >= need {
+			return nil
+		}
+		if stopped {
+			return fmt.Errorf("repl: commit is durable locally but unconfirmed: primary was stopped before %d replica(s) acked", need)
+		}
+		remaining := time.Until(deadline)
+		if remaining <= 0 {
+			return fmt.Errorf("repl: commit is durable locally but unconfirmed: only %d of %d required replicas acked within %v", acked, need, p.cfg.SyncTimeout)
+		}
+		t := time.NewTimer(remaining)
+		select {
+		case <-gen:
+		case <-t.C:
+		}
+		t.Stop()
+	}
 }
 
 // MinSegment implements wal.SegmentRetainer. Checkpoints always retain the
@@ -133,6 +226,7 @@ func (p *Primary) MinSegment(active uint64) uint64 {
 // connected replica.
 func (p *Primary) ReplicationRows() []engine.ReplicationRow {
 	clock := p.db.Store().Snapshot()
+	epoch := p.mgr.Epoch()
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	rows := make([]engine.ReplicationRow, 0, len(p.replicas))
@@ -143,7 +237,7 @@ func (p *Primary) ReplicationRows() []engine.ReplicationRow {
 			contact = time.Since(l.lastContact).Milliseconds()
 		}
 		rows = append(rows, engine.ReplicationRow{
-			Role: "primary", Peer: l.peer, State: l.state,
+			Role: "primary", Peer: l.peer, State: l.state, Epoch: epoch,
 			WalSeg: l.acked.Seg, WalOff: l.acked.Off,
 			AppliedClock: l.ackedClock, PrimaryClock: clock,
 			LastContact: contact,
@@ -156,19 +250,50 @@ func (p *Primary) ReplicationRows() []engine.ReplicationRow {
 // ServeReplication implements server.ReplicationHandler: it owns the
 // connection from the ReplStart handshake until the stream ends.
 func (p *Primary) ServeReplication(ctx context.Context, nc net.Conn, br *bufio.Reader, start []byte) {
-	pos, clock, err := parseHandshake(start)
+	pos, clock, replEpoch, err := parseHandshake(start)
 	if err != nil {
 		_ = nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
 		_ = wire.WriteFrame(nc, wire.Error, []byte(err.Error()))
 		return
 	}
+	local := p.mgr.Epoch()
+	if replEpoch > local {
+		// The replica has seen a newer epoch than ours: another node was
+		// promoted while we thought we were the primary. Fence ourselves and
+		// refuse the stream — shipping our stale history would diverge it.
+		p.cfg.Logger.Warn("replica reports a newer cluster epoch; fencing this primary",
+			"replica", nc.RemoteAddr().String(), "replica_epoch", replEpoch, "local_epoch", local)
+		if p.cfg.OnStaleEpoch != nil {
+			p.cfg.OnStaleEpoch(replEpoch, nc.RemoteAddr().String())
+		}
+		_ = nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_ = wire.WriteFrame(nc, wire.Error,
+			[]byte(fmt.Sprintf("repl: stale epoch: this node is at epoch %d, replica at %d", local, replEpoch)))
+		return
+	}
+	// A replica from an older epoch may carry log bytes written outside the
+	// fenced regime: a demoted primary keeps commits that were durable
+	// locally but never confirmed, and they can collide positionally with
+	// the bytes this regime wrote at the same offsets. Positional resume
+	// cannot detect that, so the whole log is replaced with a snapshot.
+	forceResync := replEpoch < local && !pos.IsZero()
+	if forceResync {
+		p.cfg.Logger.Info("replica joins from an older epoch; forcing snapshot resync",
+			"replica", nc.RemoteAddr().String(), "replica_epoch", replEpoch, "local_epoch", local)
+	}
 
 	link := &replicaLink{
-		peer: nc.RemoteAddr().String(), state: "catchup",
+		peer: nc.RemoteAddr().String(), nc: nc, state: "catchup",
 		acked: pos, ackedClock: clock, lastContact: time.Now(),
 		gone: make(chan struct{}),
 	}
 	p.mu.Lock()
+	if p.stopped {
+		p.mu.Unlock()
+		_ = nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
+		_ = wire.WriteFrame(nc, wire.Error, []byte("repl: this node no longer serves as a primary"))
+		return
+	}
 	p.replicas[link] = struct{}{}
 	p.mu.Unlock()
 	p.metrics.ReplReplicasActive.Add(1)
@@ -192,17 +317,28 @@ func (p *Primary) ServeReplication(ctx context.Context, nc net.Conn, br *bufio.R
 			if err != nil || typ != wire.ReplAck {
 				return
 			}
-			ackPos, ackClock, err := parsePosPayload("ACK", payload)
+			ackPos, ackClock, ackEpoch, err := parsePosPayload("ACK", payload)
 			if err != nil {
+				return
+			}
+			if local := p.mgr.Epoch(); ackEpoch > local {
+				// The replica learned a newer epoch mid-session (e.g. a healed
+				// partition brought the real primary back into view). Fence.
+				p.cfg.Logger.Warn("replica acked under a newer cluster epoch; fencing this primary",
+					"replica", link.peer, "replica_epoch", ackEpoch, "local_epoch", local)
+				if p.cfg.OnStaleEpoch != nil {
+					p.cfg.OnStaleEpoch(ackEpoch, link.peer)
+				}
 				return
 			}
 			link.set(func(l *replicaLink) {
 				l.acked, l.ackedClock, l.lastContact = ackPos, ackClock, time.Now()
 			})
+			p.ackAdvanced()
 		}
 	}()
 
-	if err := p.stream(ctx, nc, link, pos); err != nil {
+	if err := p.stream(ctx, nc, link, pos, forceResync); err != nil {
 		if isTimeout(err) {
 			p.metrics.ReplSlowKicks.Add(1)
 			p.cfg.Logger.Warn("replica kicked for stalling the shipper",
@@ -237,7 +373,7 @@ func (w deadlineWriter) Write(b []byte) (int, error) {
 // stream ships the log from pos onward until the connection, the server,
 // or the log goes away. Catch-up and tailing are the same loop: ship
 // everything durable, then wait for the durable position to advance.
-func (p *Primary) stream(ctx context.Context, nc net.Conn, link *replicaLink, pos wal.Pos) error {
+func (p *Primary) stream(ctx context.Context, nc net.Conn, link *replicaLink, pos wal.Pos, forceResync bool) error {
 	bw := bufio.NewWriterSize(deadlineWriter{nc: nc, timeout: p.cfg.SendTimeout}, 256<<10)
 
 	sub, cancelSub := p.mgr.SubscribeDurable()
@@ -245,7 +381,19 @@ func (p *Primary) stream(ctx context.Context, nc net.Conn, link *replicaLink, po
 	heartbeat := time.NewTicker(p.cfg.HeartbeatEvery)
 	defer heartbeat.Stop()
 
-	needResync := p.needsResync(pos)
+	// Announce our position, clock, and — crucially — epoch before anything
+	// else. The replica fences on this frame: it refuses the whole session
+	// (including any snapshot that would follow) if our epoch is older than
+	// its own, so a stale primary can never resync a replica backwards.
+	hello := encodePosPayload("POS", p.mgr.DurablePos(), p.db.Store().Snapshot(), p.mgr.Epoch())
+	if err := wire.WriteFrame(bw, wire.ReplPos, hello); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+
+	needResync := forceResync || p.needsResync(pos)
 	sentSeg := uint64(0) // last ReplSeg announced; 0 = none yet
 	var frame []byte     // reused ReplRecord payload buffer
 
@@ -315,7 +463,7 @@ func (p *Primary) stream(ctx context.Context, nc net.Conn, link *replicaLink, po
 				return nil // log closed or failed; the stream ends cleanly
 			}
 		case <-heartbeat.C:
-			hb := encodePosPayload("POS", p.mgr.DurablePos(), p.db.Store().Snapshot())
+			hb := encodePosPayload("POS", p.mgr.DurablePos(), p.db.Store().Snapshot(), p.mgr.Epoch())
 			if err := wire.WriteFrame(bw, wire.ReplPos, hb); err != nil {
 				return err
 			}
@@ -361,7 +509,7 @@ func (p *Primary) resync(bw *bufio.Writer, link *replicaLink) (wal.Pos, error) {
 		if err != nil {
 			return err
 		}
-		if err := wire.WriteFrame(bw, wire.ReplResync, encodeResync(startSeg, st.Size(), clock)); err != nil {
+		if err := wire.WriteFrame(bw, wire.ReplResync, encodeResync(startSeg, st.Size(), clock, p.mgr.Epoch())); err != nil {
 			return err
 		}
 		buf := make([]byte, chunkSize)

@@ -10,17 +10,23 @@
 // the connection is a one-way record stream (primary to replica) plus a
 // trickle of position acknowledgements (replica to primary):
 //
-//	replica  -> primary: ReplStart  "REPL1 seg=S off=O clock=C"  (resume position)
+//	replica  -> primary: ReplStart  "REPL1 seg=S off=O clock=C epoch=E"  (resume position)
 //	primary  -> replica: ReplSeg    "SEG S"        records now belong to segment S
 //	primary  -> replica: ReplRecord u64 end | u32 crc | payload   one redo record
-//	primary  -> replica: ReplPos    "POS seg=S off=O clock=C"     heartbeat
-//	primary  -> replica: ReplResync "RESYNC seg=S size=N clock=C" snapshot follows
+//	primary  -> replica: ReplPos    "POS seg=S off=O clock=C epoch=E"     heartbeat
+//	primary  -> replica: ReplResync "RESYNC seg=S size=N clock=C epoch=E" snapshot follows
 //	primary  -> replica: ReplChunk  raw bytes                     snapshot data
-//	replica  -> primary: ReplAck    "ACK seg=S off=O clock=C"     durably applied
+//	replica  -> primary: ReplAck    "ACK seg=S off=O clock=C epoch=E"     durably applied
 //
 // Positions are physical (segment, offset) pairs into the primary's log;
 // because the replica's log is a byte mirror, the same position names the
 // same prefix on both sides, across restarts of either.
+//
+// Every control payload carries the sender's cluster fencing epoch, and
+// both ends enforce it: a primary refuses (and demotes itself on) a
+// replica reporting a newer epoch, and a replica refuses a stream — and in
+// particular a snapshot — from a primary on an older epoch. A healed
+// partition therefore reconciles by epoch instead of silently diverging.
 package repl
 
 import (
@@ -33,29 +39,30 @@ import (
 // chunkSize bounds one ReplChunk frame of a shipped snapshot.
 const chunkSize = 1 << 20
 
-// encodePosPayload renders a tagged position + clock control payload.
-func encodePosPayload(tag string, pos wal.Pos, clock uint64) []byte {
-	return []byte(fmt.Sprintf("%s seg=%d off=%d clock=%d", tag, pos.Seg, pos.Off, clock))
+// encodePosPayload renders a tagged position + clock + epoch control
+// payload.
+func encodePosPayload(tag string, pos wal.Pos, clock, epoch uint64) []byte {
+	return []byte(fmt.Sprintf("%s seg=%d off=%d clock=%d epoch=%d", tag, pos.Seg, pos.Off, clock, epoch))
 }
 
 // parsePosPayload parses what encodePosPayload produced.
-func parsePosPayload(tag string, payload []byte) (wal.Pos, uint64, error) {
+func parsePosPayload(tag string, payload []byte) (wal.Pos, uint64, uint64, error) {
 	var pos wal.Pos
-	var clock uint64
-	got, err := fmt.Sscanf(string(payload), tag+" seg=%d off=%d clock=%d", &pos.Seg, &pos.Off, &clock)
-	if err != nil || got != 3 {
-		return wal.Pos{}, 0, fmt.Errorf("repl: malformed %s payload %q", tag, payload)
+	var clock, epoch uint64
+	got, err := fmt.Sscanf(string(payload), tag+" seg=%d off=%d clock=%d epoch=%d", &pos.Seg, &pos.Off, &clock, &epoch)
+	if err != nil || got != 4 {
+		return wal.Pos{}, 0, 0, fmt.Errorf("repl: malformed %s payload %q", tag, payload)
 	}
-	return pos, clock, nil
+	return pos, clock, epoch, nil
 }
 
 // Handshake payloads (ReplStart) carry the protocol version so a primary
 // can refuse a replica from a different build cleanly.
-func encodeHandshake(pos wal.Pos, clock uint64) []byte {
-	return encodePosPayload("REPL1", pos, clock)
+func encodeHandshake(pos wal.Pos, clock, epoch uint64) []byte {
+	return encodePosPayload("REPL1", pos, clock, epoch)
 }
 
-func parseHandshake(payload []byte) (wal.Pos, uint64, error) {
+func parseHandshake(payload []byte) (wal.Pos, uint64, uint64, error) {
 	return parsePosPayload("REPL1", payload)
 }
 
@@ -72,17 +79,18 @@ func parseSeg(payload []byte) (uint64, error) {
 }
 
 // Resync payloads (ReplResync): the snapshot's byte size, the image's
-// clock, and the segment the mirror restarts at.
-func encodeResync(startSeg uint64, size int64, clock uint64) []byte {
-	return []byte(fmt.Sprintf("RESYNC seg=%d size=%d clock=%d", startSeg, size, clock))
+// clock, the segment the mirror restarts at, and the primary's epoch for
+// the replica to adopt once the image is installed.
+func encodeResync(startSeg uint64, size int64, clock, epoch uint64) []byte {
+	return []byte(fmt.Sprintf("RESYNC seg=%d size=%d clock=%d epoch=%d", startSeg, size, clock, epoch))
 }
 
-func parseResync(payload []byte) (startSeg uint64, size int64, clock uint64, err error) {
-	got, err := fmt.Sscanf(string(payload), "RESYNC seg=%d size=%d clock=%d", &startSeg, &size, &clock)
-	if err != nil || got != 3 {
-		return 0, 0, 0, fmt.Errorf("repl: malformed RESYNC payload %q", payload)
+func parseResync(payload []byte) (startSeg uint64, size int64, clock, epoch uint64, err error) {
+	got, err := fmt.Sscanf(string(payload), "RESYNC seg=%d size=%d clock=%d epoch=%d", &startSeg, &size, &clock, &epoch)
+	if err != nil || got != 4 {
+		return 0, 0, 0, 0, fmt.Errorf("repl: malformed RESYNC payload %q", payload)
 	}
-	return startSeg, size, clock, nil
+	return startSeg, size, clock, epoch, nil
 }
 
 // recordHeader is the binary prefix of a ReplRecord payload: the offset

@@ -139,7 +139,7 @@ func (r *Replica) ReplicationRows() []engine.ReplicationRow {
 		contact = time.Since(r.lastContact).Milliseconds()
 	}
 	return []engine.ReplicationRow{{
-		Role: "replica", Peer: r.primary, State: r.state,
+		Role: "replica", Peer: r.primary, State: r.state, Epoch: r.mgr.Epoch(),
 		WalSeg: pos.Seg, WalOff: pos.Off,
 		AppliedClock: clock, PrimaryClock: r.primaryClock,
 		LastContact: contact,
@@ -196,10 +196,13 @@ func (r *Replica) session(ctx context.Context) (progressed bool, err error) {
 	if r.forceResync.Swap(false) {
 		pos, clock = wal.Pos{}, 0 // zero position asks for a snapshot
 	}
+	// The epoch always rides along — even on a resync request — so a stale
+	// ex-primary learns it is fenced instead of rolling us backwards.
+	epoch := r.mgr.Epoch()
 	if err := nc.SetWriteDeadline(time.Now().Add(r.cfg.DialTimeout)); err != nil {
 		return false, err
 	}
-	if err := wire.WriteFrame(nc, wire.ReplStart, encodeHandshake(pos, clock)); err != nil {
+	if err := wire.WriteFrame(nc, wire.ReplStart, encodeHandshake(pos, clock, epoch)); err != nil {
 		return false, err
 	}
 	if err := nc.SetWriteDeadline(time.Time{}); err != nil {
@@ -216,6 +219,11 @@ func (r *Replica) session(ctx context.Context) (progressed bool, err error) {
 		defer close(ackerDone)
 		tick := time.NewTicker(r.cfg.AckEvery)
 		defer tick.Stop()
+		// Also wake on durability advances: with semi-synchronous replication
+		// the primary's commit latency is bounded by how promptly we ack, so
+		// waiting out the full tick would put AckEvery on every commit.
+		sub, cancelSub := r.mgr.SubscribeDurable()
+		defer func() { cancelSub() }()
 		var lastPos wal.Pos
 		var lastClock uint64
 		for {
@@ -223,6 +231,18 @@ func (r *Replica) session(ctx context.Context) (progressed bool, err error) {
 			case <-ackCtx.Done():
 				return
 			case <-tick.C:
+				if sub == nil {
+					// The durable subscription died (the log was swapped by a
+					// resync, or closed). Re-arm it at tick cadence so a
+					// permanently closed log cannot spin this loop.
+					sub, cancelSub = r.mgr.SubscribeDurable()
+				}
+			case _, ok := <-sub:
+				if !ok {
+					cancelSub()
+					sub = nil
+					continue
+				}
 			}
 			p := r.mgr.DurablePos()
 			c := r.db.Store().Snapshot()
@@ -237,7 +257,7 @@ func (r *Replica) session(ctx context.Context) (progressed bool, err error) {
 				nc.Close()
 				return
 			}
-			if err := wire.WriteFrame(nc, wire.ReplAck, encodePosPayload("ACK", p, c)); err != nil {
+			if err := wire.WriteFrame(nc, wire.ReplAck, encodePosPayload("ACK", p, c, r.mgr.Epoch())); err != nil {
 				nc.Close()
 				return
 			}
@@ -246,6 +266,12 @@ func (r *Replica) session(ctx context.Context) (progressed bool, err error) {
 	}()
 
 	br := bufio.NewReaderSize(nc, 256<<10)
+	// The primary's first frame is a POS announcing its epoch; nothing else
+	// — in particular no snapshot — is accepted before that epoch has been
+	// checked against ours. A primary on an older epoch is stale (we, or a
+	// peer we replicated from, were promoted past it) and its entire session
+	// is refused.
+	fenced := false
 	for {
 		if err := nc.SetReadDeadline(time.Now().Add(r.cfg.ReadTimeout)); err != nil {
 			return progressed, err
@@ -255,6 +281,9 @@ func (r *Replica) session(ctx context.Context) (progressed bool, err error) {
 			return progressed, err
 		}
 		r.set(func(r *Replica) { r.lastContact = time.Now() })
+		if !fenced && typ != wire.ReplPos && typ != wire.Error {
+			return progressed, fmt.Errorf("repl: primary sent frame type %q before announcing its epoch", typ)
+		}
 
 		switch typ {
 		case wire.ReplSeg:
@@ -273,10 +302,15 @@ func (r *Replica) session(ctx context.Context) (progressed bool, err error) {
 			progressed = true
 
 		case wire.ReplPos:
-			pos, clock, err := parsePosPayload("POS", payload)
+			pos, clock, primaryEpoch, err := parsePosPayload("POS", payload)
 			if err != nil {
 				return progressed, err
 			}
+			if local := r.mgr.Epoch(); primaryEpoch < local {
+				return progressed, fmt.Errorf("repl: refusing stream from stale primary %s: its epoch %d is behind local epoch %d",
+					r.primary, primaryEpoch, local)
+			}
+			fenced = true
 			r.set(func(r *Replica) {
 				r.primaryPos, r.primaryClock, r.state = pos, clock, "streaming"
 			})
@@ -372,9 +406,16 @@ func (r *Replica) applyRecord(payload []byte) error {
 // installSnapshot consumes a RESYNC header plus its chunk frames and
 // replaces the local state wholesale.
 func (r *Replica) installSnapshot(br *bufio.Reader, header []byte) error {
-	startSeg, size, clock, err := parseResync(header)
+	startSeg, size, clock, epoch, err := parseResync(header)
 	if err != nil {
 		return err
+	}
+	if local := r.mgr.Epoch(); epoch < local {
+		// Unreachable while the session-level fence holds (the primary's
+		// epoch was already validated), but a snapshot install is the one
+		// operation that discards local history — double-check it.
+		return fmt.Errorf("repl: refusing snapshot from stale primary %s: its epoch %d is behind local epoch %d",
+			r.primary, epoch, local)
 	}
 	r.set(func(r *Replica) { r.state = "resync" })
 	cr := &chunkReader{br: br, remaining: size, bump: func() error {
@@ -388,6 +429,10 @@ func (r *Replica) installSnapshot(br *bufio.Reader, header []byte) error {
 	if got := r.db.Store().Snapshot(); got != clock {
 		return fmt.Errorf("repl: resync image clock %d, expected %d", got, clock)
 	}
+	// The image carries state, not log records, so the primary's epoch
+	// arrives out of band in the RESYNC header; adopt it now that the
+	// install succeeded.
+	r.mgr.AdoptEpoch(epoch)
 	r.metrics.ReplResyncs.Add(1)
 	r.metrics.WalAppliedClock.Store(int64(clock))
 	r.cfg.Logger.Info("snapshot resync installed",

@@ -42,11 +42,17 @@ func (b *Backoff) Delay(attempt int) time.Duration {
 	if d > max {
 		d = max
 	}
+	half := d / 2
+	if half <= 0 {
+		// Sub-2ns delays cannot be jittered without rounding to zero (and
+		// rand.Int63n panics on n <= 0); return the delay as-is.
+		return d
+	}
 	b.mu.Lock()
 	if b.rng == nil {
 		b.rng = rand.New(rand.NewSource(time.Now().UnixNano()))
 	}
-	jittered := d/2 + time.Duration(b.rng.Int63n(int64(d/2)+1))
+	jittered := half + time.Duration(b.rng.Int63n(int64(half)))
 	b.mu.Unlock()
 	return jittered
 }

@@ -8,14 +8,36 @@ import (
 
 func TestDelayBoundsAndGrowth(t *testing.T) {
 	b := &Backoff{Base: 10 * time.Millisecond, Max: 80 * time.Millisecond}
-	// Expected un-jittered schedule: 10, 20, 40, 80, 80, ...
+	// Expected un-jittered schedule: 10, 20, 40, 80, 80, ... with each
+	// delay jittered into the half-open interval [d/2, d).
 	want := []time.Duration{10, 20, 40, 80, 80, 80}
 	for attempt, w := range want {
 		w *= time.Millisecond
 		for i := 0; i < 50; i++ {
 			d := b.Delay(attempt)
-			if d < w/2 || d > w {
-				t.Fatalf("attempt %d: delay %v outside [%v, %v]", attempt, d, w/2, w)
+			if d < w/2 || d >= w {
+				t.Fatalf("attempt %d: delay %v outside [%v, %v)", attempt, d, w/2, w)
+			}
+		}
+	}
+}
+
+func TestDelayNeverZeroOrNegative(t *testing.T) {
+	// Sweep attempt counts far past the cap (where the doubling loop has
+	// long saturated) and odd bases that do not halve evenly: every delay
+	// must stay positive and strictly below the un-jittered schedule value.
+	for _, b := range []*Backoff{
+		{Base: time.Nanosecond, Max: time.Nanosecond},
+		{Base: 3 * time.Nanosecond, Max: 7 * time.Nanosecond},
+		{Base: 50 * time.Millisecond, Max: 5 * time.Second},
+	} {
+		for attempt := 0; attempt < 5000; attempt++ {
+			d := b.Delay(attempt)
+			if d <= 0 {
+				t.Fatalf("Base=%v Max=%v attempt %d: non-positive delay %v", b.Base, b.Max, attempt, d)
+			}
+			if d > b.Max {
+				t.Fatalf("Base=%v Max=%v attempt %d: delay %v exceeds cap", b.Base, b.Max, attempt, d)
 			}
 		}
 	}

@@ -6,6 +6,7 @@ package client
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"net"
 	"strconv"
@@ -33,12 +34,26 @@ type Result struct {
 // the server ("" when talking to a server predating trace support), so a
 // caller can quote it when filing the failure against server logs and
 // system.query_log.
+//
+// Code is the machine-readable classification from the error frame (e.g.
+// wire.CodeReadOnly, wire.CodeRetryable), "" when the server sent an
+// unclassified error. Details carries the code's key/value annotations.
 type ServerError struct {
 	Msg     string
 	TraceID string
+	Code    string
+	Details map[string]string
 }
 
 func (e *ServerError) Error() string { return e.Msg }
+
+// Primary returns the primary's address a read_only rejection pointed at,
+// or "" when the server did not know one.
+func (e *ServerError) Primary() string { return e.Details["primary"] }
+
+// Retryable reports whether the server classified the failure as safe to
+// retry (elsewhere or later) for idempotent requests.
+func (e *ServerError) Retryable() bool { return e.Code == wire.CodeRetryable }
 
 // Conn is a client connection. It is safe for concurrent use: requests are
 // serialized (the protocol is strictly request/response), and Close may be
@@ -90,7 +105,10 @@ func Dial(addr string) (*Conn, error) {
 // DialRetry connects to a lambdaserver at addr, retrying failed dials with
 // capped exponential backoff plus jitter up to cfg.MaxAttempts times. It
 // returns a *ConnError carrying the attempt count when every attempt
-// failed, or ctx's error when cancelled between attempts.
+// failed, or ctx's error when cancelled between attempts. Permanent
+// failures — a malformed address, or a resolver saying the host does not
+// exist — fail immediately instead of burning the attempt budget: no
+// number of retries turns a bad address into a reachable server.
 func DialRetry(ctx context.Context, addr string, cfg RetryConfig) (*Conn, error) {
 	attempts := cfg.MaxAttempts
 	if attempts <= 0 {
@@ -103,6 +121,9 @@ func DialRetry(ctx context.Context, addr string, cfg RetryConfig) (*Conn, error)
 	max := cfg.MaxBackoff
 	if max <= 0 {
 		max = 2 * time.Second
+	}
+	if _, _, err := net.SplitHostPort(addr); err != nil {
+		return nil, &ConnError{Addr: addr, Attempts: 0, Err: err}
 	}
 	bo := &retry.Backoff{Base: base, Max: max}
 	var d net.Dialer
@@ -121,8 +142,27 @@ func DialRetry(ctx context.Context, addr string, cfg RetryConfig) (*Conn, error)
 		if ctx.Err() != nil {
 			return nil, ctx.Err()
 		}
+		if permanentDialError(err) {
+			return nil, &ConnError{Addr: addr, Attempts: attempt + 1, Err: err}
+		}
 	}
 	return nil, &ConnError{Addr: addr, Attempts: attempts, Err: lastErr}
+}
+
+// permanentDialError reports whether a dial failure cannot be cured by
+// retrying: the address failed to parse, or DNS authoritatively said the
+// name does not exist. Refused connections, timeouts, and temporary
+// resolver failures all stay retryable.
+func permanentDialError(err error) bool {
+	var ae *net.AddrError
+	if errors.As(err, &ae) {
+		return true
+	}
+	var de *net.DNSError
+	if errors.As(err, &de) {
+		return de.IsNotFound
+	}
+	return false
 }
 
 // conn returns the live socket or an error after Close/failure.
@@ -215,7 +255,8 @@ func (c *Conn) roundTrip(ctx context.Context, typ byte, body []byte) (*Result, e
 	switch typ {
 	case wire.Error:
 		id, body := wire.SplitTraced(payload)
-		return nil, &ServerError{Msg: string(body), TraceID: id}
+		code, details, msg := wire.SplitErrorCode(body)
+		return nil, &ServerError{Msg: msg, TraceID: id, Code: code, Details: details}
 	case wire.Affected:
 		n, err := strconv.Atoi(string(payload))
 		if err != nil {

@@ -16,6 +16,7 @@ package server
 import (
 	"bufio"
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log/slog"
@@ -179,7 +180,9 @@ func (s *Server) admit(nc net.Conn) {
 		m.ConnsRejected.Add(1)
 		s.log.Warn("connection refused", "remote", nc.RemoteAddr().String(), "reason", refuse)
 		_ = nc.SetWriteDeadline(time.Now().Add(2 * time.Second))
-		_ = wire.WriteFrame(nc, wire.Error, []byte(refuse))
+		// Both refusals are transient: another node (or this one, shortly)
+		// can serve the client, so code them retryable for routers.
+		_ = wire.WriteFrame(nc, wire.Error, wire.EncodeErrorCode(wire.CodeRetryable, nil, refuse))
 		nc.Close()
 		return
 	}
@@ -383,7 +386,7 @@ func (c *conn) execute(ctx context.Context, typ byte, req []byte) (byte, []byte)
 	}
 	if err != nil {
 		c.srv.log.Warn("statement error", "session", c.id, "trace_id", traceID, "err", err.Error())
-		return wire.Error, wire.AppendTraced(traceID, []byte(err.Error()))
+		return wire.Error, wire.AppendTraced(traceID, classifyError(err))
 	}
 	if res == nil || len(res.Columns) == 0 {
 		affected := 0
@@ -394,6 +397,26 @@ func (c *conn) execute(ctx context.Context, typ byte, req []byte) (byte, []byte)
 	}
 	rs := &wire.ResultSet{Columns: res.Columns, Types: resultTypes(res), Rows: res.Rows}
 	return wire.Result, wire.EncodeResultSet(rs)
+}
+
+// classifyError renders an error body for the wire, prefixing the
+// machine-readable code for failures a router or client must act on
+// structurally; everything else stays a plain message.
+func classifyError(err error) []byte {
+	var ro *engine.ReadOnlyError
+	if errors.As(err, &ro) {
+		details := map[string]string{}
+		if ro.Primary != "" {
+			details["primary"] = ro.Primary
+		}
+		return wire.EncodeErrorCode(wire.CodeReadOnly, details, err.Error())
+	}
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The statement was cancelled (drain, disconnect race, timeout): a
+		// read is safe to retry on another node.
+		return wire.EncodeErrorCode(wire.CodeRetryable, nil, err.Error())
+	}
+	return []byte(err.Error())
 }
 
 // resultTypes returns the column types of a result, falling back to the

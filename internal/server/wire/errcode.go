@@ -1,0 +1,106 @@
+package wire
+
+import (
+	"sort"
+	"strings"
+)
+
+// Machine-readable error codes carried on Error frames. The coded form is
+//
+//	[code key=value ...] message
+//
+// prefixed to the human-readable message (after the trace-ID prefix), so a
+// router or client classifies failures without string matching. A body
+// that does not start with a well-formed bracket group is a plain message
+// from a server predating codes — SplitErrorCode returns it untouched with
+// an empty code, which callers treat as unclassified.
+const (
+	// CodeReadOnly: the node rejects writes — it is a replica or a fenced
+	// ex-primary. The "primary" detail, when present, names the address
+	// writes should go to.
+	CodeReadOnly = "read_only"
+	// CodeNotPrimary: the request needed a primary and the cluster has
+	// none electable right now; reads may still be served.
+	CodeNotPrimary = "not_primary"
+	// CodeRetryable: a transient condition (shutdown in progress,
+	// connection limit); the same request may succeed elsewhere or later.
+	CodeRetryable = "retryable"
+	// CodeUnavailable: no backend could serve the request at all.
+	CodeUnavailable = "unavailable"
+)
+
+// EncodeErrorCode renders the coded error body: "[code k=v ...] message".
+// Detail keys are emitted in sorted order so the encoding is
+// deterministic. Keys and values must not contain spaces or ']' (addresses
+// and identifiers never do); offenders are skipped rather than corrupting
+// the frame.
+func EncodeErrorCode(code string, details map[string]string, msg string) []byte {
+	var sb strings.Builder
+	sb.WriteByte('[')
+	sb.WriteString(code)
+	keys := make([]string, 0, len(details))
+	for k := range details {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		v := details[k]
+		if strings.ContainsAny(k, " ]=") || strings.ContainsAny(v, " ]") {
+			continue
+		}
+		sb.WriteByte(' ')
+		sb.WriteString(k)
+		sb.WriteByte('=')
+		sb.WriteString(v)
+	}
+	sb.WriteString("] ")
+	sb.WriteString(msg)
+	return []byte(sb.String())
+}
+
+// SplitErrorCode parses a coded error body. It returns the code, the
+// detail map (nil when none), and the human-readable message. A body
+// without a well-formed code prefix comes back with code "" and the whole
+// body as the message — old servers and messages that merely start with
+// '[' both degrade to unclassified, never to a wrong classification.
+func SplitErrorCode(body []byte) (code string, details map[string]string, msg string) {
+	s := string(body)
+	if !strings.HasPrefix(s, "[") {
+		return "", nil, s
+	}
+	end := strings.IndexByte(s, ']')
+	if end < 0 {
+		return "", nil, s
+	}
+	fields := strings.Fields(s[1:end])
+	if len(fields) == 0 || !isErrCode(fields[0]) {
+		return "", nil, s
+	}
+	for _, f := range fields[1:] {
+		k, v, ok := strings.Cut(f, "=")
+		if !ok || k == "" {
+			// A bracket group with non-kv fields is not ours.
+			return "", nil, s
+		}
+		if details == nil {
+			details = make(map[string]string, len(fields)-1)
+		}
+		details[k] = v
+	}
+	return fields[0], details, strings.TrimPrefix(s[end+1:], " ")
+}
+
+// isErrCode reports whether s looks like an error code: non-empty
+// lower-case snake case.
+func isErrCode(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < 'a' || c > 'z') && c != '_' {
+			return false
+		}
+	}
+	return true
+}

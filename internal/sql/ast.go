@@ -109,6 +109,30 @@ type Checkpoint struct{}
 
 func (*Checkpoint) stmtNode() {}
 
+// Promote is PROMOTE: detach this node from its primary and begin
+// accepting writes under a bumped, durably-logged cluster epoch. Only
+// meaningful on a node with cluster control wired in (lambdaserver).
+type Promote struct{}
+
+func (*Promote) stmtNode() {}
+
+// Follow is FOLLOW 'host:port': demote this node (fencing local writes
+// first) and start replicating from the given primary.
+type Follow struct {
+	Addr string
+}
+
+func (*Follow) stmtNode() {}
+
+// WaitForClock is WAIT FOR CLOCK <n>: block until the node's applied
+// commit clock reaches n. A router prefixes replica-bound reads with it to
+// give a client read-your-writes across the fleet.
+type WaitForClock struct {
+	Clock uint64
+}
+
+func (*WaitForClock) stmtNode() {}
+
 // Prepare is PREPARE name [(TYPE, ...)] AS <stmt>. The inner statement may
 // contain $N parameter placeholders; Types optionally declares their types
 // (position i declares $i+1). Text is the inner statement's source text,

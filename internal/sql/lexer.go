@@ -51,6 +51,7 @@ var keywords = map[string]bool{
 	"EXPLAIN": true, "ANALYZE": true, "CHECKPOINT": true,
 	"INDEX": true, "USING": true,
 	"PREPARE": true, "EXECUTE": true, "DEALLOCATE": true,
+	"PROMOTE": true, "FOLLOW": true, "WAIT": true,
 }
 
 // lexer turns SQL text into tokens.

@@ -215,8 +215,53 @@ func (p *parser) parseStatement() (Statement, error) {
 		return p.parseExecute()
 	case "DEALLOCATE":
 		return p.parseDeallocate()
+	case "PROMOTE":
+		p.advance()
+		return &Promote{}, nil
+	case "FOLLOW":
+		return p.parseFollow()
+	case "WAIT":
+		return p.parseWaitForClock()
 	}
 	return nil, p.errorf("unsupported statement %q", t.text)
+}
+
+// parseFollow parses FOLLOW 'host:port'.
+func (p *parser) parseFollow() (Statement, error) {
+	p.advance() // FOLLOW
+	t := p.peek()
+	if t.kind != tokString {
+		return nil, p.errorf("expected a quoted primary address after FOLLOW, got %q", t.text)
+	}
+	p.advance()
+	if t.text == "" {
+		return nil, p.errorf("FOLLOW address must not be empty")
+	}
+	return &Follow{Addr: t.text}, nil
+}
+
+// parseWaitForClock parses WAIT FOR CLOCK <n>. FOR and CLOCK are matched
+// as plain identifiers, not keywords, to keep them usable as column and
+// table names everywhere else.
+func (p *parser) parseWaitForClock() (Statement, error) {
+	p.advance() // WAIT
+	for _, word := range []string{"for", "clock"} {
+		t := p.peek()
+		if t.kind != tokIdent || t.text != word {
+			return nil, p.errorf("expected %s in WAIT FOR CLOCK, got %q", strings.ToUpper(word), t.text)
+		}
+		p.advance()
+	}
+	t := p.peek()
+	if t.kind != tokNumber {
+		return nil, p.errorf("expected a clock value after WAIT FOR CLOCK, got %q", t.text)
+	}
+	n, err := strconv.ParseUint(t.text, 10, 64)
+	if err != nil {
+		return nil, p.errorf("bad clock value %q: must be a non-negative integer", t.text)
+	}
+	p.advance()
+	return &WaitForClock{Clock: n}, nil
 }
 
 // parsePrepare parses PREPARE name [(TYPE, ...)] AS <stmt>.

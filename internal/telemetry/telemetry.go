@@ -160,6 +160,15 @@ type Metrics struct {
 	ReplSlowKicks      atomic.Int64 // replicas disconnected for blocking the shipper
 	ReplReplicasActive atomic.Int64 // gauge: replication streams currently connected
 
+	// Cluster-router counters (populated by internal/cluster's Router; zero
+	// on a plain server).
+	RouterReadsRouted     atomic.Int64 // read requests forwarded to a backend
+	RouterWritesRouted    atomic.Int64 // write requests forwarded to the primary
+	RouterReadRetries     atomic.Int64 // reads transparently retried on another backend
+	RouterWritesRefused   atomic.Int64 // writes refused because no primary was reachable
+	RouterFailovers       atomic.Int64 // automatic promotions this router performed
+	RouterBackendsHealthy atomic.Int64 // gauge: backends currently passing health checks
+
 	// hist is the latency/size histogram set, lazily initialized so the
 	// zero Metrics keeps working. Not an atomic.Int64, so the reflection
 	// snapshot below skips it.

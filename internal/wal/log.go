@@ -174,27 +174,27 @@ func syncDir(dir string) error {
 }
 
 // append frames the payload and buffers it, returning the record's LSN to
-// wait on and the byte offset the active segment will end at once the
-// record is flushed. Callers serialize appends through the store's locks,
-// so the buffer order is the commit order.
-func (l *log) append(payload []byte) (uint64, int64, error) {
+// wait on and the position (segment, byte offset) the active segment will
+// end at once the record is flushed. Callers serialize appends through the
+// store's locks, so the buffer order is the commit order.
+func (l *log) append(payload []byte) (uint64, Pos, error) {
 	if err := faultinject.Fire("wal.append"); err != nil {
-		return 0, 0, err
+		return 0, Pos{}, err
 	}
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if l.err != nil {
-		return 0, 0, l.err
+		return 0, Pos{}, l.err
 	}
 	if l.closed {
-		return 0, 0, fmt.Errorf("wal: log is closed")
+		return 0, Pos{}, fmt.Errorf("wal: log is closed")
 	}
 	if len(payload) > maxRecordLen {
 		// Recovery rejects any record longer than maxRecordLen as
 		// implausible (and a length >= 4GiB would not even survive the u32
 		// frame header). Refusing here turns an un-loggable commit into an
 		// error instead of an acknowledged commit that replay drops.
-		return 0, 0, fmt.Errorf("wal: record payload is %d bytes, limit is %d", len(payload), maxRecordLen)
+		return 0, Pos{}, fmt.Errorf("wal: record payload is %d bytes, limit is %d", len(payload), maxRecordLen)
 	}
 	var hdr [frameHeader]byte
 	binary.LittleEndian.PutUint32(hdr[0:], uint32(len(payload)))
@@ -205,7 +205,7 @@ func (l *log) append(payload []byte) (uint64, int64, error) {
 	l.appendOff += int64(frameHeader + len(payload))
 	l.metrics.WalAppends.Add(1)
 	l.work.Signal()
-	return l.appendLSN, l.appendOff, nil
+	return l.appendLSN, Pos{Seg: l.seq, Off: l.appendOff}, nil
 }
 
 // durablePos returns the position (segment, byte offset) confirmed on

@@ -8,6 +8,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"lambdadb/internal/faultinject"
@@ -43,6 +44,7 @@ type RecoverySummary struct {
 	TornSegment       string // segment file name of the torn tail
 	TornOffset        int64  // byte offset the segment was truncated to
 	TornReason        string // why the tail record was rejected
+	Epoch             uint64 // highest cluster epoch seen in the log (0 when never fenced)
 }
 
 // String renders the summary as one human-readable line.
@@ -72,6 +74,15 @@ type Manager struct {
 	store   *storage.Store
 	metrics *telemetry.Metrics
 	summary RecoverySummary
+
+	// epoch is the cluster fencing epoch: the highest epoch record durable
+	// in this log. It only moves forward (see SetEpoch / AdoptEpoch).
+	epoch atomic.Uint64
+
+	// commitWaiter, when set, is called after a record is locally durable
+	// with the position its frame ends at; it blocks the commit ack until
+	// the record is replicated (semi-synchronous replication).
+	commitWaiter atomic.Pointer[CommitWaiter]
 
 	mu     sync.Mutex // serializes Checkpoint, resync, and Close
 	closed bool
@@ -163,6 +174,7 @@ func Open(dir string, opts Options) (*storage.Store, *Manager, error) {
 	}
 
 	m := &Manager{dir: dir, store: store, metrics: metrics, summary: summary, log: l}
+	m.epoch.Store(summary.Epoch)
 	store.SetCommitLogger(m)
 	if opts.Logger != nil {
 		opts.Logger.Info("recovery complete",
@@ -274,6 +286,13 @@ func replayRecord(dir string, seg segmentInfo, store *storage.Store, snapClock u
 			return &AmbiguousStateError{Dir: dir, Segment: segName, Reason: err.Error()}
 		}
 		summary.DDLReplayed++
+	case recEpoch:
+		// Epoch records only move the fencing epoch forward; an older one
+		// (possible after a demoted primary's segments are replayed behind a
+		// newer bump) is inert.
+		if rec.epoch > summary.Epoch {
+			summary.Epoch = rec.epoch
+		}
 	}
 	return nil
 }
@@ -310,13 +329,37 @@ func truncateSegment(dir, path string, off int64) error {
 // Summary returns what recovery found and did.
 func (m *Manager) Summary() RecoverySummary { return m.summary }
 
+// CommitWaiter blocks until the record ending at pos is replicated (or the
+// replication guarantee is otherwise satisfied). Installed by the semi-sync
+// layer via SetCommitWaiter; called after the record is locally durable.
+type CommitWaiter func(pos Pos) error
+
+// SetCommitWaiter installs (or, with nil, removes) the post-durability
+// replication wait applied to every logged record before its commit is
+// acknowledged.
+func (m *Manager) SetCommitWaiter(w CommitWaiter) {
+	if w == nil {
+		m.commitWaiter.Store(nil)
+		return
+	}
+	m.commitWaiter.Store(&w)
+}
+
+// waitReplicated applies the installed commit waiter, if any.
+func (m *Manager) waitReplicated(pos Pos) error {
+	if w := m.commitWaiter.Load(); w != nil {
+		return (*w)(pos)
+	}
+	return nil
+}
+
 // LogCommit implements storage.CommitLogger: it appends the commit's redo
 // record (called under the commit lock, so append order is commit order)
 // and returns the group-commit durability wait. The time a committer parks
 // in that wait feeds the commit_wait stage histogram — the durability share
 // of end-to-end DML latency.
 func (m *Manager) LogCommit(c *storage.CommitData) (func() error, error) {
-	lsn, _, err := m.activeLog().append(encodeCommit(c))
+	lsn, end, err := m.activeLog().append(encodeCommit(c))
 	if err != nil {
 		return nil, err
 	}
@@ -324,44 +367,94 @@ func (m *Manager) LogCommit(c *storage.CommitData) (func() error, error) {
 		waitStart := time.Now()
 		err := m.activeLog().waitDurable(lsn)
 		m.metrics.Hist().RecordCommitWait(time.Since(waitStart).Nanoseconds())
-		return err
+		if err != nil {
+			return err
+		}
+		return m.waitReplicated(end)
 	}, nil
 }
 
 // LogCreateTable implements storage.CommitLogger.
 func (m *Manager) LogCreateTable(name string, schema types.Schema, id uint64) (func() error, error) {
-	lsn, _, err := m.activeLog().append(encodeCreateTable(name, schema, id))
+	lsn, end, err := m.activeLog().append(encodeCreateTable(name, schema, id))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.activeLog().waitDurable(lsn) }, nil
+	return m.durableThenReplicated(lsn, end), nil
 }
 
 // LogDropTable implements storage.CommitLogger.
 func (m *Manager) LogDropTable(name string, id uint64) (func() error, error) {
-	lsn, _, err := m.activeLog().append(encodeDropTable(name, id))
+	lsn, end, err := m.activeLog().append(encodeDropTable(name, id))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.activeLog().waitDurable(lsn) }, nil
+	return m.durableThenReplicated(lsn, end), nil
 }
 
 // LogCreateIndex implements storage.CommitLogger.
 func (m *Manager) LogCreateIndex(def storage.IndexDef, tableID uint64) (func() error, error) {
-	lsn, _, err := m.activeLog().append(encodeCreateIndex(def, tableID))
+	lsn, end, err := m.activeLog().append(encodeCreateIndex(def, tableID))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.activeLog().waitDurable(lsn) }, nil
+	return m.durableThenReplicated(lsn, end), nil
 }
 
 // LogDropIndex implements storage.CommitLogger.
 func (m *Manager) LogDropIndex(index, table string, tableID uint64) (func() error, error) {
-	lsn, _, err := m.activeLog().append(encodeDropIndex(index, table, tableID))
+	lsn, end, err := m.activeLog().append(encodeDropIndex(index, table, tableID))
 	if err != nil {
 		return nil, err
 	}
-	return func() error { return m.activeLog().waitDurable(lsn) }, nil
+	return m.durableThenReplicated(lsn, end), nil
+}
+
+// durableThenReplicated is the wait shared by the DDL log hooks: local
+// group-commit durability, then the semi-sync replication wait.
+func (m *Manager) durableThenReplicated(lsn uint64, end Pos) func() error {
+	return func() error {
+		if err := m.activeLog().waitDurable(lsn); err != nil {
+			return err
+		}
+		return m.waitReplicated(end)
+	}
+}
+
+// Epoch returns the cluster fencing epoch: the highest epoch record known
+// durable in this log (0 when the node has never been fenced).
+func (m *Manager) Epoch() uint64 { return m.epoch.Load() }
+
+// SetEpoch bumps the fencing epoch: it appends an epoch record, waits for
+// it to be durable, and only then exposes the new value. Promotion calls it
+// before accepting the first write, so a node that claims an epoch and then
+// crashes still claims it after recovery. The epoch is strictly monotonic.
+func (m *Manager) SetEpoch(e uint64) error {
+	if cur := m.epoch.Load(); e <= cur {
+		return fmt.Errorf("wal: epoch %d does not advance the current epoch %d", e, cur)
+	}
+	lsn, _, err := m.activeLog().append(encodeEpoch(e))
+	if err != nil {
+		return err
+	}
+	if err := m.activeLog().waitDurable(lsn); err != nil {
+		return err
+	}
+	m.epoch.Store(e)
+	return nil
+}
+
+// AdoptEpoch raises the in-memory epoch to e when higher, without logging a
+// record. The replica apply loop uses it for streamed epoch records (the
+// record is already in the mirror log) and resync uses it for the epoch
+// carried by the shipped snapshot's stream position.
+func (m *Manager) AdoptEpoch(e uint64) {
+	for {
+		cur := m.epoch.Load()
+		if e <= cur || m.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
 }
 
 // Checkpoint writes a durable physical snapshot and prunes the log behind
@@ -388,13 +481,29 @@ func (m *Manager) Checkpoint() (CheckpointStats, error) {
 	}
 
 	var clock uint64
+	var epochLSN uint64
 	var rerr error
 	m.store.WithCommitLock(func(c uint64) {
 		clock = c
-		rerr = m.activeLog().rotate()
+		if rerr = m.activeLog().rotate(); rerr != nil {
+			return
+		}
+		// Re-announce the fencing epoch at the head of the fresh segment:
+		// the prune below may remove the only segment carrying it, and the
+		// snapshot image does not record epochs.
+		if e := m.epoch.Load(); e > 0 {
+			epochLSN, _, rerr = m.activeLog().append(encodeEpoch(e))
+		}
 	})
 	if rerr != nil {
 		return CheckpointStats{}, fmt.Errorf("wal: rotate log: %w", rerr)
+	}
+	if epochLSN != 0 {
+		// The epoch record must be durable before older segments disappear,
+		// or a crash mid-prune could forget the epoch entirely.
+		if err := m.activeLog().waitDurable(epochLSN); err != nil {
+			return CheckpointStats{}, err
+		}
 	}
 
 	if err := faultinject.Fire("wal.checkpoint.snapshot"); err != nil {

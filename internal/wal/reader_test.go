@@ -24,7 +24,7 @@ func appendDurable(t *testing.T, l *log, payload []byte) int64 {
 	if err := l.waitDurable(lsn); err != nil {
 		t.Fatal(err)
 	}
-	return end
+	return end.Off
 }
 
 // collectRecords reads the given range and returns the payload copies.

@@ -30,6 +30,7 @@ const (
 	recDropTable   byte = 3
 	recCreateIndex byte = 4
 	recDropIndex   byte = 5
+	recEpoch       byte = 6
 )
 
 // record is the decoded form of one log record.
@@ -42,6 +43,7 @@ type record struct {
 	index  string              // index name (recCreateIndex / recDropIndex)
 	column string              // indexed column (recCreateIndex)
 	ikind  storage.IndexKind   // index structure (recCreateIndex)
+	epoch  uint64              // recEpoch
 }
 
 // encodeCommit serializes a committing transaction:
@@ -121,6 +123,17 @@ func encodeDropIndex(index, table string, tableID uint64) []byte {
 	return b.Bytes()
 }
 
+// encodeEpoch serializes a cluster-epoch bump: u8 kind, u64 epoch. The
+// record rides the ordinary log stream so the fencing epoch survives
+// crashes, checkpoints (the active segment re-announces it after every
+// rotation), and replication (it mirrors byte-identically to replicas).
+func encodeEpoch(epoch uint64) []byte {
+	var b bytes.Buffer
+	b.WriteByte(recEpoch)
+	persist.WriteU64(&b, epoch)
+	return b.Bytes()
+}
+
 // decodeRecord parses one record payload. The payload has already passed
 // its CRC check, so a decode failure here means the log and the code
 // disagree about the format — a hard error, never a torn tail.
@@ -179,6 +192,8 @@ func decodeRecord(payload []byte) (*record, error) {
 			break
 		}
 		rec.id, err = persist.ReadU64(r)
+	case recEpoch:
+		rec.epoch, err = persist.ReadU64(r)
 	default:
 		return nil, fmt.Errorf("unknown record kind %d", rec.kind)
 	}

@@ -27,6 +27,11 @@ var ErrDiverged = errors.New("wal: local log diverged from the primary's")
 // be logged a second time, or the mirror would diverge.
 func (m *Manager) ReplicaMode() { m.store.SetCommitLogger(nil) }
 
+// PrimaryMode reinstalls the manager as the store's commit logger,
+// reversing ReplicaMode. Promotion calls it once the replication stream is
+// stopped and before the first local write.
+func (m *Manager) PrimaryMode() { m.store.SetCommitLogger(m) }
+
 // AppendMirror appends one record shipped by the primary, verifying it
 // against the primary's framing: the CRC must match the payload and the
 // record must end exactly at wantEnd in the active segment. It returns the
@@ -41,8 +46,8 @@ func (m *Manager) AppendMirror(payload []byte, wantEnd int64, wantCRC uint32) (f
 	if err != nil {
 		return nil, err
 	}
-	if end != wantEnd {
-		return nil, fmt.Errorf("%w: record ends at offset %d locally, %d on the primary", ErrDiverged, end, wantEnd)
+	if end.Off != wantEnd {
+		return nil, fmt.Errorf("%w: record ends at offset %d locally, %d on the primary", ErrDiverged, end.Off, wantEnd)
 	}
 	return func() error { return m.activeLog().waitDurable(lsn) }, nil
 }
@@ -67,6 +72,12 @@ func (m *Manager) ApplyStreamed(payload []byte) (applied bool, err error) {
 	seg := segmentInfo{seq: m.activeLog().activeSeq(), path: filepath.Join(m.dir, "replication-stream")}
 	if err := replayRecord(m.dir, seg, m.store, m.store.Snapshot(), &scratch, payload); err != nil {
 		return false, err
+	}
+	// A streamed epoch record fences this replica forward; the record is
+	// already in the mirror log via AppendMirror, so only the in-memory
+	// value needs raising.
+	if scratch.Epoch > 0 {
+		m.AdoptEpoch(scratch.Epoch)
 	}
 	return scratch.RecordsSkipped == 0, nil
 }

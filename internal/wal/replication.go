@@ -75,13 +75,26 @@ func (m *Manager) ShipState(fn func(snapshotPath string, clock, startSeg uint64)
 		return fmt.Errorf("wal: manager is closed")
 	}
 	var clock uint64
+	var epochLSN uint64
 	var rerr error
 	m.store.WithCommitLock(func(c uint64) {
 		clock = c
-		rerr = m.activeLog().rotate()
+		if rerr = m.activeLog().rotate(); rerr != nil {
+			return
+		}
+		// Re-announce the fencing epoch so the stream the replica mirrors
+		// from startSeg carries it (the shipped image does not).
+		if e := m.epoch.Load(); e > 0 {
+			epochLSN, _, rerr = m.activeLog().append(encodeEpoch(e))
+		}
 	})
 	if rerr != nil {
 		return fmt.Errorf("wal: rotate log: %w", rerr)
+	}
+	if epochLSN != 0 {
+		if err := m.activeLog().waitDurable(epochLSN); err != nil {
+			return err
+		}
 	}
 	path := filepath.Join(m.dir, snapshotFile)
 	if err := persist.SavePhysicalFile(m.store, path, clock); err != nil {
